@@ -1,0 +1,265 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure (Section 7), plus ablation benches for the design choices in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// These measure the steady-state checking cost (dataset generation sits
+// outside the timer); the cmd/experiments harness prints the
+// paper-style tables with absolute wall-clock numbers.
+package blockchaindb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockchaindb/internal/bench"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/workload"
+)
+
+// benchConfig returns the D200-analogue configuration at benchmark
+// scale.
+func benchConfig(blocks, txPerBlock int) workload.Config {
+	return workload.Config{
+		Seed:              1,
+		Blocks:            blocks,
+		TxPerBlock:        txPerBlock,
+		Users:             300,
+		PendingBlocks:     20,
+		PendingTxPerBlock: 12,
+		Contradictions:    20,
+		ChainProb:         0.3,
+		MaxOuts:           3,
+	}
+}
+
+func d200() workload.Config { return benchConfig(120, 24) }
+
+func runCheck(b *testing.B, ds *workload.Dataset, q *query.Query, opts core.Options, want bool) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Check(ds.DB, q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Satisfied != want {
+			b.Fatalf("verdict %v, want %v", res.Satisfied, want)
+		}
+	}
+}
+
+// BenchmarkTable1_Datasets measures dataset generation (the substrate
+// behind Table 1's statistics).
+func BenchmarkTable1_Datasets(b *testing.B) {
+	for _, size := range []struct {
+		name               string
+		blocks, txPerBlock int
+	}{
+		{"D100", 60, 4}, {"D200", 120, 24}, {"D300", 180, 64},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			cfg := benchConfig(size.blocks, size.txPerBlock)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds := workload.Generate(cfg)
+				if ds.Stats.Transactions == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// queryTypeBench benches Figure 6a/6b: the four query families, Naive
+// and Opt, on the D200 analogue.
+func queryTypeBench(b *testing.B, satisfied bool) {
+	ds := workload.Generate(d200())
+	type qt struct {
+		label string
+		kind  workload.QueryKind
+		size  int
+		opt   bool
+	}
+	for _, qq := range []qt{
+		{"qs", workload.QuerySimple, 0, true},
+		{"qp3", workload.QueryPath, 3, true},
+		{"qr3", workload.QueryStar, 3, true},
+		{"qa", workload.QueryAggregate, 0, false},
+	} {
+		q := ds.MustQuery(qq.kind, qq.size, satisfied)
+		b.Run(qq.label+"/naive", func(b *testing.B) {
+			runCheck(b, ds, q, core.Options{Algorithm: core.AlgoNaive}, satisfied)
+		})
+		if qq.opt {
+			b.Run(qq.label+"/opt", func(b *testing.B) {
+				runCheck(b, ds, q, core.Options{Algorithm: core.AlgoOpt}, satisfied)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6a_QueryTypes_Satisfied regenerates Figure 6a.
+func BenchmarkFig6a_QueryTypes_Satisfied(b *testing.B) { queryTypeBench(b, true) }
+
+// BenchmarkFig6b_QueryTypes_Unsatisfied regenerates Figure 6b.
+func BenchmarkFig6b_QueryTypes_Unsatisfied(b *testing.B) { queryTypeBench(b, false) }
+
+// pendingBench benches Figure 6c/6d: qp3 across pending volumes.
+func pendingBench(b *testing.B, satisfied bool) {
+	for _, blocks := range []int{10, 30, 50} {
+		cfg := d200()
+		cfg.PendingBlocks = blocks
+		ds := workload.Generate(cfg)
+		q := ds.MustQuery(workload.QueryPath, 3, satisfied)
+		for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoOpt} {
+			b.Run(fmt.Sprintf("pending%d/%v", ds.Stats.PendingTransactions, algo), func(b *testing.B) {
+				runCheck(b, ds, q, core.Options{Algorithm: algo}, satisfied)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6c_Pending_Satisfied regenerates Figure 6c.
+func BenchmarkFig6c_Pending_Satisfied(b *testing.B) { pendingBench(b, true) }
+
+// BenchmarkFig6d_Pending_Unsatisfied regenerates Figure 6d.
+func BenchmarkFig6d_Pending_Unsatisfied(b *testing.B) { pendingBench(b, false) }
+
+// contradictionBench benches Figure 6e/6f: qp3 across contradiction
+// counts.
+func contradictionBench(b *testing.B, satisfied bool) {
+	for _, n := range []int{10, 30, 50} {
+		cfg := d200()
+		cfg.Contradictions = n
+		ds := workload.Generate(cfg)
+		q := ds.MustQuery(workload.QueryPath, 3, satisfied)
+		for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoOpt} {
+			b.Run(fmt.Sprintf("contradictions%d/%v", n, algo), func(b *testing.B) {
+				runCheck(b, ds, q, core.Options{Algorithm: algo}, satisfied)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6e_Contradictions_Satisfied regenerates Figure 6e.
+func BenchmarkFig6e_Contradictions_Satisfied(b *testing.B) { contradictionBench(b, true) }
+
+// BenchmarkFig6f_Contradictions_Unsatisfied regenerates Figure 6f.
+func BenchmarkFig6f_Contradictions_Unsatisfied(b *testing.B) { contradictionBench(b, false) }
+
+// BenchmarkFig6g_QuerySize regenerates Figure 6g: unsatisfied path
+// queries of sizes 2–5.
+func BenchmarkFig6g_QuerySize(b *testing.B) {
+	ds := workload.Generate(d200())
+	for _, size := range []int{2, 3, 4, 5} {
+		q := ds.MustQuery(workload.QueryPath, size, false)
+		for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoOpt} {
+			b.Run(fmt.Sprintf("qp%d/%v", size, algo), func(b *testing.B) {
+				runCheck(b, ds, q, core.Options{Algorithm: algo}, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6h_DataSize regenerates Figure 6h: unsatisfied qp3 across
+// dataset sizes.
+func BenchmarkFig6h_DataSize(b *testing.B) {
+	for _, size := range []struct {
+		name               string
+		blocks, txPerBlock int
+	}{
+		{"D100", 60, 4}, {"D200", 120, 24}, {"D300", 180, 64},
+	} {
+		ds := workload.Generate(benchConfig(size.blocks, size.txPerBlock))
+		q := ds.MustQuery(workload.QueryPath, 3, false)
+		for _, algo := range []core.Algorithm{core.AlgoNaive, core.AlgoOpt} {
+			b.Run(fmt.Sprintf("%s/%v", size.name, algo), func(b *testing.B) {
+				runCheck(b, ds, q, core.Options{Algorithm: algo}, false)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPrecheck quantifies the Section 6.3 pre-check
+// (satisfied constraint, NaiveDCSat).
+func BenchmarkAblationPrecheck(b *testing.B) {
+	cfg := benchConfig(60, 4)
+	cfg.Contradictions = 4
+	ds := workload.Generate(cfg)
+	q := ds.MustQuery(workload.QueryPath, 3, true)
+	b.Run("on", func(b *testing.B) {
+		runCheck(b, ds, q, core.Options{Algorithm: core.AlgoNaive}, true)
+	})
+	b.Run("off", func(b *testing.B) {
+		runCheck(b, ds, q, core.Options{Algorithm: core.AlgoNaive, DisablePrecheck: true}, true)
+	})
+}
+
+// BenchmarkAblationCovers quantifies OptDCSat's coverage filter.
+func BenchmarkAblationCovers(b *testing.B) {
+	ds := workload.Generate(d200())
+	q := ds.MustQuery(workload.QueryPath, 3, false)
+	b.Run("on", func(b *testing.B) {
+		runCheck(b, ds, q, core.Options{Algorithm: core.AlgoOpt}, false)
+	})
+	b.Run("off", func(b *testing.B) {
+		runCheck(b, ds, q, core.Options{Algorithm: core.AlgoOpt, DisableCoverFilter: true}, false)
+	})
+}
+
+// BenchmarkAblationPivot measures clique enumeration with and without
+// Tomita pivoting on a bounded subgraph of the real fd graph.
+func BenchmarkAblationPivot(b *testing.B) {
+	cfg := benchConfig(60, 4)
+	cfg.Contradictions = 12
+	ds := workload.Generate(cfg)
+	full := core.FDGraph(ds.DB)
+	vertices := make([]int, 18)
+	for i := range vertices {
+		vertices[i] = i
+	}
+	g, _ := full.Subgraph(vertices)
+	b.Run("pivot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.MaximalCliques(g, func([]int) bool { return true })
+		}
+	})
+	b.Run("nopivot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.MaximalCliquesNoPivot(g, func([]int) bool { return true })
+		}
+	})
+}
+
+// BenchmarkAblationParallel measures component-parallel OptDCSat.
+func BenchmarkAblationParallel(b *testing.B) {
+	cfg := d200()
+	cfg.Contradictions = 4
+	ds := workload.Generate(cfg)
+	q := ds.MustQuery(workload.QueryPath, 3, true)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			runCheck(b, ds, q, core.Options{
+				Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: workers,
+			}, true)
+		})
+	}
+}
+
+// BenchmarkHarnessTiny exercises the full experiment harness end to end
+// at a tiny scale, so regressions in any experiment runner surface in
+// benchmarks too.
+func BenchmarkHarnessTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range bench.All() {
+			if _, err := e.Run(bench.RunOptions{Scale: 0.1, Seed: 2, Repeats: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package blockchaindb_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	bcdb "blockchaindb"
+)
+
+// paperDatabase rebuilds the paper's Figure 2 example through the
+// public API only.
+func paperDatabase(t testing.TB) *bcdb.Database {
+	t.Helper()
+	state := bcdb.NewState()
+	state.MustAddSchema(bcdb.NewSchema("TxOut",
+		"txId:int", "ser:int", "pk:string", "amount:float"))
+	state.MustAddSchema(bcdb.NewSchema("TxIn",
+		"prevTxId:int", "prevSer:int", "pk:string", "amount:float", "newTxId:int", "sig:string"))
+	fds := []*bcdb.FD{
+		bcdb.NewKey(state.Schema("TxOut"), "txId", "ser"),
+		bcdb.NewKey(state.Schema("TxIn"), "prevTxId", "prevSer"),
+	}
+	inds := []*bcdb.IND{
+		bcdb.NewIND("TxIn", []string{"prevTxId", "prevSer", "pk", "amount"},
+			"TxOut", []string{"txId", "ser", "pk", "amount"}),
+		bcdb.NewIND("TxIn", []string{"newTxId"}, "TxOut", []string{"txId"}),
+	}
+	out := func(tx, ser int64, pk string, amt float64) bcdb.Tuple {
+		return bcdb.NewTuple(bcdb.Int(tx), bcdb.Int(ser), bcdb.Str(pk), bcdb.Float(amt))
+	}
+	in := func(ptx, pser int64, pk string, amt float64, ntx int64, sig string) bcdb.Tuple {
+		return bcdb.NewTuple(bcdb.Int(ptx), bcdb.Int(pser), bcdb.Str(pk),
+			bcdb.Float(amt), bcdb.Int(ntx), bcdb.Str(sig))
+	}
+	for _, tup := range []bcdb.Tuple{
+		out(1, 1, "U1Pk", 1), out(2, 1, "U1Pk", 1), out(2, 2, "U2Pk", 4),
+		out(3, 1, "U3Pk", 1), out(3, 2, "U4Pk", 0.5), out(3, 3, "U1Pk", 0.5),
+	} {
+		state.MustInsert("TxOut", tup)
+	}
+	state.MustInsert("TxIn", in(1, 1, "U1Pk", 1, 3, "U1Sig"))
+	state.MustInsert("TxIn", in(2, 1, "U1Pk", 1, 3, "U1Sig"))
+	t1 := bcdb.NewTransaction("T1").
+		Add("TxIn", in(2, 2, "U2Pk", 4, 4, "U2Sig")).
+		Add("TxOut", out(4, 1, "U5Pk", 1)).
+		Add("TxOut", out(4, 2, "U2Pk", 3))
+	t2 := bcdb.NewTransaction("T2").
+		Add("TxIn", in(4, 2, "U2Pk", 3, 5, "U2Sig")).
+		Add("TxOut", out(5, 1, "U4Pk", 3))
+	t3 := bcdb.NewTransaction("T3").
+		Add("TxIn", in(3, 3, "U1Pk", 0.5, 6, "U1Sig")).
+		Add("TxOut", out(6, 1, "U4Pk", 0.5))
+	t4 := bcdb.NewTransaction("T4").
+		Add("TxIn", in(6, 1, "U4Pk", 0.5, 7, "U4Sig")).
+		Add("TxIn", in(5, 1, "U4Pk", 3, 7, "U4Sig")).
+		Add("TxOut", out(7, 1, "U7Pk", 2.5)).
+		Add("TxOut", out(7, 2, "U8Pk", 1))
+	t5 := bcdb.NewTransaction("T5").
+		Add("TxIn", in(2, 2, "U2Pk", 4, 8, "U2Sig")).
+		Add("TxOut", out(8, 1, "U7Pk", 4))
+	db, err := bcdb.New(state, fds, inds, t1, t2, t3, t4, t5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIPaperExample(t *testing.T) {
+	db := paperDatabase(t)
+	if got := db.CountWorlds(); got != 9 {
+		t.Errorf("CountWorlds = %d, want 9 (Example 3)", got)
+	}
+	if len(db.Pending()) != 5 {
+		t.Errorf("Pending = %d", len(db.Pending()))
+	}
+	if db.State().Count("TxOut") != 6 {
+		t.Errorf("state TxOut rows = %d", db.State().Count("TxOut"))
+	}
+	qs := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
+	res, err := db.Check(qs, bcdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("qs should be violated (Example 6)")
+	}
+	if !db.IsReachable(res.Witness) {
+		t.Errorf("witness %v unreachable", res.Witness)
+	}
+	if got := db.Classify(qs); got != bcdb.CoNPComplete {
+		t.Errorf("Classify = %v", got)
+	}
+}
+
+func TestPublicAPIAlgorithmsAgree(t *testing.T) {
+	db := paperDatabase(t)
+	queries := []string{
+		"q() :- TxOut(t, s, 'U8Pk', a)",
+		"q() :- TxOut(t, s, 'Nobody', a)",
+		"q(sum(a)) > 6 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)",
+		"q(sum(a)) > 7 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)",
+		"q(cntd(nt)) > 2 :- TxIn(pt, ps, pk, a, nt, sig)",
+	}
+	for _, src := range queries {
+		q := bcdb.MustParseQuery(src)
+		var verdicts []bool
+		for _, algo := range []bcdb.Algorithm{bcdb.AlgoNaive, bcdb.AlgoExhaustive} {
+			res, err := db.Check(q, bcdb.Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%s / %v: %v", src, algo, err)
+			}
+			verdicts = append(verdicts, res.Satisfied)
+		}
+		if q.IsConnected() {
+			res, err := db.Check(q, bcdb.Options{Algorithm: bcdb.AlgoOpt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdicts = append(verdicts, res.Satisfied)
+		}
+		for _, v := range verdicts[1:] {
+			if v != verdicts[0] {
+				t.Errorf("%s: algorithms disagree: %v", src, verdicts)
+			}
+		}
+	}
+}
+
+func TestPublicAPIPossibleWorldsEarlyStop(t *testing.T) {
+	db := paperDatabase(t)
+	n := 0
+	db.PossibleWorlds(func([]int, bcdb.View) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPublicAPIContradict(t *testing.T) {
+	db := paperDatabase(t)
+	contra, err := db.Contradict(0, "cancel-T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Constraints().FDCompatible(db.Pending()[0], contra) {
+		t.Error("contradiction does not conflict")
+	}
+	if _, err := db.Contradict(99, "x"); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := db.Contradict(-1, "x"); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestPublicAPIEstimate(t *testing.T) {
+	db := paperDatabase(t)
+	q := bcdb.MustParseQuery("q() :- TxOut(t, s, 'U8Pk', a)")
+	est, err := db.EstimateViolation(q, bcdb.UniformInclusion(1), 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U8Pk needs the whole T1..T4 chain appended before T5 claims the
+	// shared input; possible but not certain under random orders.
+	if est.Probability <= 0 || est.Probability >= 1 {
+		t.Errorf("probability = %v, want in (0,1)", est.Probability)
+	}
+}
+
+func TestPublicAPIMonitor(t *testing.T) {
+	db := paperDatabase(t)
+	mon := db.Monitor()
+	if mon.PendingCount() != 5 {
+		t.Fatalf("monitor pending = %d", mon.PendingCount())
+	}
+	if mon.ConflictCount() != 1 {
+		t.Errorf("monitor conflicts = %d", mon.ConflictCount())
+	}
+	q := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
+	res, err := mon.Check(q, bcdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("monitor check disagrees with Example 6")
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	// Inconsistent state rejected.
+	state := bcdb.NewState()
+	state.MustAddSchema(bcdb.NewSchema("R", "k:int", "v:int"))
+	state.MustInsert("R", bcdb.NewTuple(bcdb.Int(1), bcdb.Int(1)))
+	state.MustInsert("R", bcdb.NewTuple(bcdb.Int(1), bcdb.Int(2)))
+	if _, err := bcdb.New(state, []*bcdb.FD{bcdb.NewKey(state.Schema("R"), "k")}, nil); err == nil {
+		t.Error("inconsistent state accepted")
+	}
+	// Bad constraint rejected.
+	s2 := bcdb.NewState()
+	s2.MustAddSchema(bcdb.NewSchema("R", "k:int"))
+	if _, err := bcdb.New(s2, []*bcdb.FD{bcdb.NewFD("Missing", nil, nil)}, nil); err == nil {
+		t.Error("bad constraint accepted")
+	}
+	// ParseQuery errors surface.
+	if _, err := bcdb.ParseQuery("q("); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestPublicAPIQueryIntrospection(t *testing.T) {
+	q := bcdb.MustParseQuery("q(sum(a)) > 5 :- TxIn(t, s, 'P', a, n, 'S')")
+	if !q.IsAggregate() || !q.IsMonotonic() || q.IsConnected() {
+		t.Error("query flags wrong through the facade")
+	}
+	if !strings.Contains(q.String(), "sum(a)) > 5") {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func ExampleDatabase_Check() {
+	state := bcdb.NewState()
+	state.MustAddSchema(bcdb.NewSchema("Payment", "payee:string", "amount:int"))
+	state.MustInsert("Payment", bcdb.NewTuple(bcdb.Str("bob"), bcdb.Int(5)))
+	pending := bcdb.NewTransaction("tip").
+		Add("Payment", bcdb.NewTuple(bcdb.Str("bob"), bcdb.Int(1)))
+	db, err := bcdb.New(state, []*bcdb.FD{bcdb.NewKey(state.Schema("Payment"), "payee", "amount")}, nil, pending)
+	if err != nil {
+		panic(err)
+	}
+	q := bcdb.MustParseQuery("q(sum(a)) > 5 :- Payment('bob', a)")
+	res, err := db.Check(q, bcdb.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("can bob be paid more than 5 in total:", !res.Satisfied)
+	// Output: can bob be paid more than 5 in total: true
+}
+
+func ExampleParseQuery() {
+	q, err := bcdb.ParseQuery("q1() :- TxOut(t, s, 'BobPK', a), a > 2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.IsMonotonic(), q.IsConnected())
+	// Output: true true
+}

@@ -1,0 +1,72 @@
+// Command bcdbgen generates synthetic blockchain-database datasets
+// (JSON) with the structure of the paper's D100/D200/D300 experiments:
+//
+//	bcdbgen -out d200.json -blocks 200 -tx-per-block 36 -pending-blocks 30 -contradictions 20
+//
+// The output file feeds cmd/dcsat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blockchaindb/internal/datafile"
+	"blockchaindb/internal/workload"
+)
+
+func main() {
+	var (
+		out            = flag.String("out", "", "output file (default stdout)")
+		seed           = flag.Int64("seed", 1, "generator seed")
+		blocks         = flag.Int("blocks", 200, "committed blocks")
+		txPerBlock     = flag.Int("tx-per-block", 36, "transactions per committed block")
+		users          = flag.Int("users", 500, "address population")
+		pendingBlocks  = flag.Int("pending-blocks", 30, "pending blocks")
+		pendingPer     = flag.Int("pending-tx-per-block", 12, "pending transactions per block")
+		contradictions = flag.Int("contradictions", 20, "injected double-spend pairs")
+		chainProb      = flag.Float64("chain-prob", 0.3, "probability a pending tx spends a pending output")
+		maxOuts        = flag.Int("max-outs", 3, "max outputs per transaction")
+		quiet          = flag.Bool("q", false, "suppress the stats summary")
+	)
+	flag.Parse()
+
+	ds := workload.Generate(workload.Config{
+		Seed:              *seed,
+		Blocks:            *blocks,
+		TxPerBlock:        *txPerBlock,
+		Users:             *users,
+		PendingBlocks:     *pendingBlocks,
+		PendingTxPerBlock: *pendingPer,
+		Contradictions:    *contradictions,
+		ChainProb:         *chainProb,
+		MaxOuts:           *maxOuts,
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := datafile.Save(w, ds.DB); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		st := ds.Stats
+		fmt.Fprintf(os.Stderr, "state:   %d blocks, %d transactions, %d inputs, %d outputs\n",
+			st.Blocks, st.Transactions, st.Inputs, st.Outputs)
+		fmt.Fprintf(os.Stderr, "pending: %d blocks, %d transactions, %d inputs, %d outputs\n",
+			st.PendingBlocks, st.PendingTransactions, st.PendingInputs, st.PendingOutputs)
+		fmt.Fprintf(os.Stderr, "plants:  simple=%s path=%v star=%s agg=%s (reachable %d)\n",
+			ds.Plant.SimplePk, ds.Plant.PathPks, ds.Plant.StarPk, ds.Plant.AggPk, ds.Plant.AggReachable)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcdbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command experiments runs the paper-reproduction experiment harness:
+// every table and figure of the evaluation section, plus the ablation
+// studies.
+//
+//	experiments                 # run everything at the default scale
+//	experiments -exp fig6b      # one experiment
+//	experiments -scale 0.5      # smaller datasets
+//	experiments -csv out/       # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"blockchaindb/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (default: all); one of: "+ids())
+		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		repeats = flag.Int("repeats", 3, "timed repetitions per cell (paper used 3)")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		report  = flag.String("report", "", "write a self-contained markdown report to this file and exit")
+	)
+	flag.Parse()
+
+	opts := bench.RunOptions{Scale: *scale, Seed: *seed, Repeats: *repeats}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		var ids []string
+		if *exp != "" {
+			for _, id := range strings.Split(*exp, ",") {
+				ids = append(ids, strings.TrimSpace(id))
+			}
+		}
+		if err := bench.WriteMarkdownReport(f, opts, ids...); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *report)
+		return
+	}
+	var selected []bench.Experiment
+	if *exp == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have: %s)\n", id, ids())
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func ids() string {
+	var out []string
+	for _, e := range bench.All() {
+		out = append(out, e.ID)
+	}
+	return strings.Join(out, ", ")
+}

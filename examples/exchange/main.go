@@ -1,0 +1,152 @@
+// Exchange plays out the paper's motivating example (Section 1): a
+// Bitcoin exchange issues a withdrawal, does not see it confirm, and
+// must decide whether reissuing is safe. Before broadcasting anything,
+// the exchange dry-runs the reissue against the blockchain database:
+// it hypothetically adds the new transaction to the pending set and
+// asks whether the denial constraint "this customer is paid twice" can
+// be violated in any possible world (Example 4's q1).
+//
+//	go run ./examples/exchange
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bcdb "blockchaindb"
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relmap"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	exchange := bitcoin.NewWallet("exchange", rng)
+	customer := bitcoin.NewWallet("customer", rng)
+
+	// A small private chain: the exchange owns the genesis coins and
+	// splits them so withdrawals use independent inputs.
+	chain := bitcoin.NewChain(bitcoin.DefaultParams(), exchange.PubKey())
+	mempool := bitcoin.NewMempool(chain)
+	miner := bitcoin.NewMiner(chain, mempool, exchange.PubKey())
+	split, err := exchange.Pay(chain.UTXO(), []bitcoin.Payment{
+		{To: exchange.PubKey(), Amount: 10 * bitcoin.Coin},
+		{To: exchange.PubKey(), Amount: 10 * bitcoin.Coin},
+		{To: exchange.PubKey(), Amount: 10 * bitcoin.Coin},
+	}, 1000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mempool.Add(split); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := miner.Mine(1); err != nil {
+		log.Fatal(err)
+	}
+
+	// The withdrawal: 2 coins to the customer. It lingers unconfirmed.
+	withdrawal, err := exchange.Pay(chain.UTXO(),
+		[]bitcoin.Payment{{To: customer.PubKey(), Amount: 2 * bitcoin.Coin}}, 200, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mempool.Add(withdrawal); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("withdrawal %s pending (fee too low; not confirming)\n", withdrawal.ID().Short())
+
+	// The denial constraint: the customer receives the 2-coin payment
+	// from the exchange in two different transactions.
+	exPk := relmap.PubKeyString(exchange.PubKey())
+	custPk := relmap.PubKeyString(customer.PubKey())
+	q1 := query.MustParse(fmt.Sprintf(
+		`q1() :- TxIn(a1, b1, '%s', c1, ntx1, d1), TxOut(ntx1, s1, '%s', 200000000),
+		         TxIn(a2, b2, '%s', c2, ntx2, d2), TxOut(ntx2, s2, '%s', 200000000), ntx1 != ntx2`,
+		exPk, custPk, exPk, custPk))
+
+	// dryRun hypothetically adds a candidate reissue to the database
+	// and checks q1 — without broadcasting anything.
+	dryRun := func(label string, candidate *bitcoin.Transaction) bool {
+		db, err := relmap.Database(chain, mempool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Resolve the candidate against the chain UTXO: a conflicting
+		// reissue spends an outpoint the mempool already considers
+		// promised, which is exactly the point.
+		mapped, err := relmap.MapTransaction(candidate, chain.UTXO())
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Pending = append(db.Pending, mapped)
+		res, err := core.Check(db, q1, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "SAFE to issue (q1 satisfied in every possible world)"
+		if !res.Satisfied {
+			verdict = "UNSAFE (some possible world pays the customer twice)"
+		}
+		fmt.Printf("dry run %-28s -> %s\n", label, verdict)
+		return res.Satisfied
+	}
+
+	// Candidate A: the careless reissue — new inputs, higher fee.
+	careless, err := exchange.Pay(chain.UTXO(),
+		[]bitcoin.Payment{{To: customer.PubKey(), Amount: 2 * bitcoin.Coin}}, 50_000,
+		spentBy(withdrawal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dryRun("careless (fresh inputs):", careless)
+
+	// Candidate B: the paper's remedy — reuse the original input so the
+	// two transactions conflict and can never coexist.
+	safe, err := exchange.SpendOutpoint(chain.UTXO(), withdrawal.Ins[0].Prev,
+		[]bitcoin.Payment{{To: customer.PubKey(), Amount: 2 * bitcoin.Coin}}, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !dryRun("conflicting (same input):", safe) {
+		log.Fatal("the conflicting reissue must be safe")
+	}
+
+	// Issue the safe replacement (replace-by-fee) and confirm it.
+	if err := mempool.Add(safe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("issued conflicting reissue %s via replace-by-fee; original evicted: %v\n",
+		safe.ID().Short(), !mempool.Has(withdrawal.ID()))
+	if _, _, err := miner.Mine(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customer balance after confirmation: %v (paid exactly once)\n",
+		customer.Balance(chain.UTXO()))
+
+	// The library agrees nothing bad can happen anymore.
+	db, err := relmap.Database(chain, mempool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrapped, err := bcdb.FromParts(db.State, db.Constraints, db.Pending)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wrapped.Check(q1, bcdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final check: q1 satisfied=%v\n", res.Satisfied)
+}
+
+// spentBy marks a transaction's inputs as unavailable for coin
+// selection.
+func spentBy(tx *bitcoin.Transaction) map[bitcoin.OutPoint]bool {
+	avoid := make(map[bitcoin.OutPoint]bool)
+	for _, in := range tx.Ins {
+		avoid[in.Prev] = true
+	}
+	return avoid
+}

@@ -1,0 +1,159 @@
+// Mempoolwatch runs a gossiping multi-node network simulation and a
+// steady-state denial-constraint monitor side by side: the monitor
+// ingests pending transactions as they arrive at a node and commits
+// them as blocks confirm, keeping the paper's precomputed structures
+// (appendability statuses, fd-conflict pairs) incrementally up to date
+// between checks.
+//
+//	go run ./examples/mempoolwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/netsim"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relmap"
+)
+
+func main() {
+	const seed = 21
+	rng := rand.New(rand.NewSource(seed))
+	treasury := bitcoin.NewWallet("treasury", rng)
+	miner := bitcoin.NewWallet("miner", rng)
+	var users []*bitcoin.Wallet
+	for i := 0; i < 5; i++ {
+		users = append(users, bitcoin.NewWallet(fmt.Sprintf("user%d", i), rng))
+	}
+
+	sim := netsim.NewSimulator(seed)
+	net := netsim.NewNetwork(sim, 4, bitcoin.DefaultParams(), treasury.PubKey(), miner.PubKey())
+	net.ConnectAll(5, 5)
+	home := net.Nodes[0]
+
+	// Fund the users: the treasury fans out, confirmed immediately.
+	var fanout []bitcoin.Payment
+	for _, u := range users {
+		fanout = append(fanout, bitcoin.Payment{To: u.PubKey(), Amount: 9 * bitcoin.Coin})
+	}
+	tx, err := treasury.Pay(home.Chain.UTXO(), fanout, 1000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(home.SubmitTx(tx))
+	sim.Run(sim.Now() + 100)
+	if _, err := home.MineNow(); err != nil {
+		log.Fatal(err)
+	}
+	sim.Run(sim.Now() + 100)
+
+	// Build the monitor from the node's current view.
+	db, err := relmap.Database(home.Chain, home.Mempool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := core.NewMonitor(db)
+
+	// Watched constraint: user0 accumulates receipts beyond 18 coins
+	// (TxOut rows are append-only history, so the sum only grows).
+	watched := query.MustParse(fmt.Sprintf(
+		"q(sum(a)) > %d :- TxOut(n, s, '%s', a)",
+		18*bitcoin.Coin, relmap.PubKeyString(users[0].PubKey())))
+
+	// Track mempool ids so confirmations can be forwarded to the
+	// monitor.
+	idByTx := make(map[bitcoin.Hash]int)
+	ingest := func() {
+		resolver := relmap.HistoryResolver(home.Chain, home.Mempool)
+		for _, pending := range home.Mempool.Transactions() {
+			if _, seen := idByTx[pending.ID()]; seen {
+				continue
+			}
+			mapped, err := relmap.MapTransaction(pending, resolver)
+			if err != nil {
+				continue
+			}
+			id, err := mon.AddPending(mapped)
+			if err != nil {
+				continue
+			}
+			idByTx[pending.ID()] = id
+		}
+	}
+	confirm := func(b *bitcoin.Block) {
+		for _, tx := range b.Txs {
+			if id, ok := idByTx[tx.ID()]; ok {
+				if err := mon.Commit(id); err == nil {
+					delete(idByTx, tx.ID())
+				}
+			}
+		}
+	}
+
+	fmt.Println("watching: user0 accumulates receipts beyond 18 coins")
+	for round := 1; round <= 8; round++ {
+		// Random payments; user0 receives with higher probability.
+		for i := 0; i < 3; i++ {
+			from := users[rng.Intn(len(users))]
+			to := users[0]
+			if rng.Intn(3) == 0 {
+				to = users[rng.Intn(len(users))]
+			}
+			if from == to {
+				continue
+			}
+			amount := bitcoin.Amount(rng.Intn(3)+1) * bitcoin.Coin
+			p, err := from.Pay(home.Chain.UTXO(),
+				[]bitcoin.Payment{{To: to.PubKey(), Amount: amount}},
+				bitcoin.Amount(rng.Intn(2000)+100), promised(home.Mempool))
+			if err != nil {
+				continue
+			}
+			_ = home.SubmitTx(p)
+		}
+		sim.Run(sim.Now() + 100)
+		ingest()
+
+		res, err := mon.Check(watched, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "satisfied"
+		if !res.Satisfied {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("round %d: pending=%d conflictPairs=%d -> %s (%v)\n",
+			round, mon.PendingCount(), mon.ConflictCount(), verdict,
+			res.Stats.Duration.Round(10e3))
+
+		// A block confirms some of the pool.
+		b, err := home.MineNow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(sim.Now() + 100)
+		confirm(b)
+	}
+	fmt.Printf("final: user0 balance %v on the home replica\n",
+		users[0].Balance(home.Chain.UTXO()))
+}
+
+func promised(m *bitcoin.Mempool) map[bitcoin.OutPoint]bool {
+	avoid := make(map[bitcoin.OutPoint]bool)
+	for _, tx := range m.Transactions() {
+		for _, in := range tx.Ins {
+			avoid[in.Prev] = true
+		}
+	}
+	return avoid
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Quickstart builds the paper's running example (Figure 2) with the
+// public API and walks through the core concepts: possible worlds,
+// denial constraint satisfaction, complexity classification, and
+// contradiction derivation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bcdb "blockchaindb"
+)
+
+func main() {
+	// --- Schema: the paper's simplified Bitcoin relations (Example 1).
+	state := bcdb.NewState()
+	state.MustAddSchema(bcdb.NewSchema("TxOut",
+		"txId:int", "ser:int", "pk:string", "amount:float"))
+	state.MustAddSchema(bcdb.NewSchema("TxIn",
+		"prevTxId:int", "prevSer:int", "pk:string", "amount:float", "newTxId:int", "sig:string"))
+
+	// --- Integrity constraints: keys plus the two inclusion
+	// dependencies (every input consumes an existing output; every
+	// transaction has outputs).
+	fds := []*bcdb.FD{
+		bcdb.NewKey(state.Schema("TxOut"), "txId", "ser"),
+		bcdb.NewKey(state.Schema("TxIn"), "prevTxId", "prevSer"),
+	}
+	inds := []*bcdb.IND{
+		bcdb.NewIND("TxIn", []string{"prevTxId", "prevSer", "pk", "amount"},
+			"TxOut", []string{"txId", "ser", "pk", "amount"}),
+		bcdb.NewIND("TxIn", []string{"newTxId"}, "TxOut", []string{"txId"}),
+	}
+
+	// --- Current state R: transactions 1–3 of Figure 2.
+	out := func(tx, ser int64, pk string, amt float64) bcdb.Tuple {
+		return bcdb.NewTuple(bcdb.Int(tx), bcdb.Int(ser), bcdb.Str(pk), bcdb.Float(amt))
+	}
+	in := func(ptx, pser int64, pk string, amt float64, ntx int64, sig string) bcdb.Tuple {
+		return bcdb.NewTuple(bcdb.Int(ptx), bcdb.Int(pser), bcdb.Str(pk),
+			bcdb.Float(amt), bcdb.Int(ntx), bcdb.Str(sig))
+	}
+	for _, t := range []bcdb.Tuple{
+		out(1, 1, "U1Pk", 1), out(2, 1, "U1Pk", 1), out(2, 2, "U2Pk", 4),
+		out(3, 1, "U3Pk", 1), out(3, 2, "U4Pk", 0.5), out(3, 3, "U1Pk", 0.5),
+	} {
+		state.MustInsert("TxOut", t)
+	}
+	state.MustInsert("TxIn", in(1, 1, "U1Pk", 1, 3, "U1Sig"))
+	state.MustInsert("TxIn", in(2, 1, "U1Pk", 1, 3, "U1Sig"))
+
+	// --- Pending transactions T1–T5 of Figure 2. T1 and T5 both spend
+	// output (2,2): a double spend. T2 depends on T1; T4 on T2 and T3.
+	t1 := bcdb.NewTransaction("T1").
+		Add("TxIn", in(2, 2, "U2Pk", 4, 4, "U2Sig")).
+		Add("TxOut", out(4, 1, "U5Pk", 1)).
+		Add("TxOut", out(4, 2, "U2Pk", 3))
+	t2 := bcdb.NewTransaction("T2").
+		Add("TxIn", in(4, 2, "U2Pk", 3, 5, "U2Sig")).
+		Add("TxOut", out(5, 1, "U4Pk", 3))
+	t3 := bcdb.NewTransaction("T3").
+		Add("TxIn", in(3, 3, "U1Pk", 0.5, 6, "U1Sig")).
+		Add("TxOut", out(6, 1, "U4Pk", 0.5))
+	t4 := bcdb.NewTransaction("T4").
+		Add("TxIn", in(6, 1, "U4Pk", 0.5, 7, "U4Sig")).
+		Add("TxIn", in(5, 1, "U4Pk", 3, 7, "U4Sig")).
+		Add("TxOut", out(7, 1, "U7Pk", 2.5)).
+		Add("TxOut", out(7, 2, "U8Pk", 1))
+	t5 := bcdb.NewTransaction("T5").
+		Add("TxIn", in(2, 2, "U2Pk", 4, 8, "U2Sig")).
+		Add("TxOut", out(8, 1, "U7Pk", 4))
+
+	db, err := bcdb.New(state, fds, inds, t1, t2, t3, t4, t5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Possible worlds (Example 3: exactly nine).
+	fmt.Println("Poss(D), as transaction subsets:")
+	db.PossibleWorlds(func(included []int, _ bcdb.View) bool {
+		names := "R"
+		for _, i := range included {
+			names += " ∪ " + db.Pending()[i].Name
+		}
+		fmt.Println("  ", names)
+		return true
+	})
+	fmt.Printf("total: %d possible worlds\n\n", db.CountWorlds())
+
+	// --- Denial constraints (Example 6): can U8Pk ever receive coins?
+	qs := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
+	res, err := db.Check(qs, bcdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qs (U8Pk receives coins): satisfied=%v", res.Satisfied)
+	if !res.Satisfied {
+		fmt.Printf(", witness world includes")
+		for _, i := range res.Witness {
+			fmt.Printf(" %s", db.Pending()[i].Name)
+		}
+	}
+	fmt.Println()
+
+	// A constraint that holds in every world: outputs 4 and 8 conflict.
+	qBoth := bcdb.MustParseQuery("q() :- TxOut(4, s1, p1, a1), TxOut(8, s2, p2, a2)")
+	res2, err := db.Check(qBoth, bcdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q (T1 and T5 both land): satisfied=%v — the double spend protects us\n\n", res2.Satisfied)
+
+	// --- Complexity classification (Theorems 1–2).
+	fmt.Printf("complexity of DCSat for qs over keys+INDs: %v\n", db.Classify(qs))
+
+	// --- Aggregates: U2Pk can spend at most 7 in any single world.
+	qCap := bcdb.MustParseQuery("q3(sum(a)) > 7 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)")
+	res3, err := db.Check(qCap, bcdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q3 (U2Pk spends more than 7): satisfied=%v\n\n", res3.Satisfied)
+
+	// --- Retracting T5: derive a transaction that conflicts with it.
+	contra, err := db.Contradict(4, "cancel-T5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived %s conflicting with T5: compatible=%v\n",
+		contra.Name, db.Constraints().FDCompatible(db.Pending()[4], contra))
+
+	// --- Likelihood weighting: how often is qs violated when miners
+	// include each pending transaction with probability 1/2?
+	est, err := db.EstimateViolation(qs, bcdb.UniformInclusion(0.5), 2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(qs violated | inclusion p=0.5) ≈ %.3f ± %.3f\n", est.Probability, est.StdErr)
+}

@@ -1,0 +1,3 @@
+module blockchaindb
+
+go 1.22

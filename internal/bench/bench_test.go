@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Headers: []string{"col", "value"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("alpha", 1.23456)
+	tbl.AddRow("b", 7)
+	text := tbl.Format()
+	for _, want := range []string{"== x: demo ==", "col", "alpha", "1.235", "note: a note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output missing %q:\n%s", want, text)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "col,value\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	// Quoting.
+	q := &Table{Headers: []string{"a"}}
+	q.AddRow(`with,comma "and quote"`)
+	if !strings.Contains(q.CSV(), `"with,comma ""and quote"""`) {
+		t.Errorf("CSV quoting wrong: %q", q.CSV())
+	}
+}
+
+func TestGetAndAll(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Get("fig6a"); !ok {
+		t.Error("Get(fig6a) missing")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) found something")
+	}
+}
+
+func TestDatasetConfig(t *testing.T) {
+	o := RunOptions{}.withDefaults()
+	d100, err := datasetConfig("D100", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d300, err := datasetConfig("D300", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d300.Blocks*d300.TxPerBlock <= d100.Blocks*d100.TxPerBlock {
+		t.Error("datasets do not grow")
+	}
+	if _, err := datasetConfig("D999", o); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if scaleInt(10, 0.01) != 1 {
+		t.Error("scaleInt floor wrong")
+	}
+}
+
+// tinyOptions shrink every experiment to smoke-test size.
+func tinyOptions() RunOptions {
+	return RunOptions{Scale: 0.12, Seed: 3, Repeats: 1}
+}
+
+// TestAllExperimentsRunTiny executes every experiment at a tiny scale:
+// the verdict assertions inside timeCheck double as correctness checks
+// (a wrong verdict fails the run).
+func TestAllExperimentsRunTiny(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(tinyOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tbl.ID, e.ID)
+			}
+		})
+	}
+}
+
+// TestTable1Shape: the Table 1 analogue reports superlinear growth in
+// transactions across the three datasets, as the paper's does.
+func TestTable1Shape(t *testing.T) {
+	tbl, err := runTable1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "D100" || tbl.Rows[0][1] != "R" {
+		t.Errorf("row layout: %v", tbl.Rows[0])
+	}
+}
+
+func TestWriteMarkdownReport(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteMarkdownReport(&buf, tinyOptions(), "table1", "fig6a"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Experiment report", "## table1 —", "## fig6a —",
+		"**Paper:**", "```", "ran in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if err := WriteMarkdownReport(&buf, tinyOptions(), "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Empty ids runs everything; smoke only the call path with one id
+	// above to keep the suite fast.
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteMarkdownReport runs the given experiments (all of them when ids
+// is empty) and writes a self-contained markdown report: one section
+// per experiment with the paper's expectation and the measured table in
+// a fenced block. EXPERIMENTS.md-style documents can be regenerated
+// from it:
+//
+//	go run ./cmd/experiments -report results.md
+func WriteMarkdownReport(w io.Writer, opts RunOptions, ids ...string) error {
+	opts = opts.withDefaults()
+	var selected []Experiment
+	if len(ids) == 0 {
+		selected = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Get(id)
+			if !ok {
+				return fmt.Errorf("bench: unknown experiment %q", id)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	fmt.Fprintf(w, "# Experiment report\n\n")
+	fmt.Fprintf(w, "Scale %.2f, seed %d, %d timed repetitions per cell "+
+		"(after one warmup). Runtimes in milliseconds.\n\n",
+		opts.Scale, opts.Seed, opts.Repeats)
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "**Paper:** %s\n\n", e.Paper)
+		fmt.Fprintf(w, "```\n%s```\n\n", tbl.Format())
+		fmt.Fprintf(w, "_(ran in %v)_\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package bitcoin
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+)
+
+// Block is an ordered batch of transactions committed together, chained
+// to a predecessor by hash and sealed with proof of work.
+type Block struct {
+	PrevHash   Hash
+	MerkleRoot Hash
+	Time       int64
+	Nonce      uint64
+	// Difficulty is the required number of leading zero bits in the
+	// block hash; the work contributed by the block is 2^Difficulty.
+	Difficulty uint8
+
+	Txs []*Transaction
+
+	hash   Hash
+	sealed bool
+}
+
+// NewBlock assembles an unsealed block. The first transaction must be
+// the coinbase.
+func NewBlock(prev Hash, txs []*Transaction, now int64, difficulty uint8) *Block {
+	b := &Block{PrevHash: prev, Time: now, Difficulty: difficulty, Txs: txs}
+	b.MerkleRoot = merkleRoot(txs)
+	return b
+}
+
+// merkleRoot folds the transaction ids pairwise, duplicating the last
+// on odd levels, as Bitcoin does.
+func merkleRoot(txs []*Transaction) Hash {
+	if len(txs) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(txs))
+	for i, t := range txs {
+		level[i] = t.ID()
+	}
+	for len(level) > 1 {
+		var next []Hash
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i
+			}
+			var buf bytes.Buffer
+			buf.Write(level[i][:])
+			buf.Write(level[j][:])
+			next = append(next, sha256.Sum256(buf.Bytes()))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// headerBytes serializes the header for hashing.
+func (b *Block) headerBytes() []byte {
+	var buf bytes.Buffer
+	buf.Write(b.PrevHash[:])
+	buf.Write(b.MerkleRoot[:])
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], uint64(b.Time))
+	buf.Write(t[:])
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], b.Nonce)
+	buf.Write(n[:])
+	buf.WriteByte(b.Difficulty)
+	return buf.Bytes()
+}
+
+// computeHash hashes the header.
+func (b *Block) computeHash() Hash {
+	return sha256.Sum256(b.headerBytes())
+}
+
+// Hash returns the sealed block hash; it panics if the block has not
+// been sealed by Seal.
+func (b *Block) Hash() Hash {
+	if !b.sealed {
+		panic("bitcoin: Hash of unsealed block")
+	}
+	return b.hash
+}
+
+// leadingZeroBits counts the hash's leading zero bits.
+func leadingZeroBits(h Hash) int {
+	n := 0
+	for _, by := range h {
+		if by == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(by)
+		break
+	}
+	return n
+}
+
+// MeetsDifficulty reports whether the hash carries the required work.
+func MeetsDifficulty(h Hash, difficulty uint8) bool {
+	return leadingZeroBits(h) >= int(difficulty)
+}
+
+// Seal performs the proof of work: it increments the nonce until the
+// header hash meets the difficulty, then freezes the hash. The act of
+// block creation the paper calls mining.
+func (b *Block) Seal() *Block {
+	for {
+		h := b.computeHash()
+		if MeetsDifficulty(h, b.Difficulty) {
+			b.hash = h
+			b.sealed = true
+			return b
+		}
+		b.Nonce++
+	}
+}
+
+// CheckSeal verifies the proof of work and merkle root of a received
+// block, caching the hash on success.
+func (b *Block) CheckSeal() bool {
+	if merkleRoot(b.Txs) != b.MerkleRoot {
+		return false
+	}
+	h := b.computeHash()
+	if !MeetsDifficulty(h, b.Difficulty) {
+		return false
+	}
+	b.hash = h
+	b.sealed = true
+	return true
+}
+
+// Work returns the expected work the block contributes to its chain.
+func (b *Block) Work() uint64 { return 1 << b.Difficulty }
+
+// Size returns the serialized size of the block's transactions.
+func (b *Block) Size() int {
+	size := len(b.headerBytes())
+	for _, t := range b.Txs {
+		size += t.Size()
+	}
+	return size
+}

@@ -1,0 +1,308 @@
+package bitcoin
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+)
+
+// Params are the consensus parameters of a simulated network.
+type Params struct {
+	// Difficulty is the leading-zero-bit requirement for blocks.
+	Difficulty uint8
+	// Subsidy is the amount minted by each block's coinbase.
+	Subsidy Amount
+	// MaxBlockSize bounds the serialized size of a block's
+	// transactions; the miner's knapsack constraint.
+	MaxBlockSize int
+}
+
+// DefaultParams are laptop-friendly: fast proof of work, a 50-coin
+// subsidy, small blocks (so fee competition — the paper's motivating
+// pressure — arises quickly).
+func DefaultParams() Params {
+	return Params{Difficulty: 8, Subsidy: 50 * Coin, MaxBlockSize: 4096}
+}
+
+type undoEntry struct {
+	op  OutPoint
+	out TxOut
+}
+
+type blockEntry struct {
+	block  *Block
+	parent *blockEntry
+	height int
+	work   uint64 // cumulative
+	undo   []undoEntry
+	inMain bool
+}
+
+// ConnectResult describes how AddBlock changed the active chain, so
+// callers (a node's mempool) can retire confirmed transactions and
+// resurrect disconnected ones.
+type ConnectResult struct {
+	// Connected lists newly active blocks, oldest first.
+	Connected []*Block
+	// Disconnected lists blocks removed from the active chain by a
+	// reorg, newest first.
+	Disconnected []*Block
+}
+
+// Chain is a block tree with fork choice by most accumulated work —
+// the consensus rule the paper abstracts away — and the UTXO state of
+// the active branch.
+type Chain struct {
+	params  Params
+	entries map[Hash]*blockEntry
+	genesis Hash
+	tip     *blockEntry
+	utxo    *UTXOSet
+}
+
+// Chain errors.
+var (
+	ErrBadSeal       = errors.New("bitcoin: block fails proof-of-work or merkle check")
+	ErrOrphan        = errors.New("bitcoin: unknown predecessor block")
+	ErrKnownBlock    = errors.New("bitcoin: block already known")
+	ErrNoCoinbase    = errors.New("bitcoin: first transaction must be the coinbase")
+	ErrBadCoinbase   = errors.New("bitcoin: coinbase exceeds subsidy plus fees")
+	ErrBlockTooLarge = errors.New("bitcoin: block exceeds size limit")
+	ErrInvalidBlock  = errors.New("bitcoin: block contains an invalid transaction")
+)
+
+// NewChain creates a chain whose deterministic genesis block pays the
+// subsidy to the given key (use a wallet's public key to bootstrap
+// funds in simulations).
+func NewChain(params Params, genesisPub ed25519.PublicKey) *Chain {
+	coinbase := NewTransaction(nil, []TxOut{{Value: params.Subsidy, PubKey: genesisPub}}).Finalize()
+	genesis := NewBlock(Hash{}, []*Transaction{coinbase}, 0, params.Difficulty).Seal()
+	c := &Chain{
+		params:  params,
+		entries: make(map[Hash]*blockEntry),
+		utxo:    NewUTXOSet(),
+	}
+	entry := &blockEntry{block: genesis, height: 0, work: genesis.Work(), inMain: true}
+	c.entries[genesis.Hash()] = entry
+	c.genesis = genesis.Hash()
+	c.tip = entry
+	c.utxo.add(coinbase)
+	return c
+}
+
+// Params returns the consensus parameters.
+func (c *Chain) Params() Params { return c.params }
+
+// Genesis returns the genesis block hash.
+func (c *Chain) Genesis() Hash { return c.genesis }
+
+// Tip returns the hash of the active chain's tip.
+func (c *Chain) Tip() Hash { return c.tip.block.Hash() }
+
+// Height returns the active chain height (genesis is 0).
+func (c *Chain) Height() int { return c.tip.height }
+
+// Work returns the accumulated work of the active chain.
+func (c *Chain) Work() uint64 { return c.tip.work }
+
+// Block returns a known block by hash.
+func (c *Chain) Block(h Hash) (*Block, bool) {
+	e, ok := c.entries[h]
+	if !ok {
+		return nil, false
+	}
+	return e.block, true
+}
+
+// HasBlock reports whether the block is known (on any branch).
+func (c *Chain) HasBlock(h Hash) bool {
+	_, ok := c.entries[h]
+	return ok
+}
+
+// BlockAtHeight returns the active-chain block at the height.
+func (c *Chain) BlockAtHeight(height int) (*Block, bool) {
+	e := c.tip
+	if height < 0 || height > e.height {
+		return nil, false
+	}
+	for e.height > height {
+		e = e.parent
+	}
+	return e.block, true
+}
+
+// MainChain returns the active chain's block hashes, genesis first.
+func (c *Chain) MainChain() []Hash {
+	out := make([]Hash, c.tip.height+1)
+	for e := c.tip; e != nil; e = e.parent {
+		out[e.height] = e.block.Hash()
+	}
+	return out
+}
+
+// UTXO exposes the active chain's unspent outputs. Callers must treat
+// it as read-only.
+func (c *Chain) UTXO() *UTXOSet { return c.utxo }
+
+// AddBlock validates and stores the block, extending or reorganizing
+// the active chain when the block's branch carries more accumulated
+// work. Side-branch blocks are stored without transaction validation
+// (validated if their branch ever activates, as in Bitcoin).
+func (c *Chain) AddBlock(b *Block) (*ConnectResult, error) {
+	if !b.CheckSeal() {
+		return nil, ErrBadSeal
+	}
+	if b.Difficulty < c.params.Difficulty {
+		return nil, ErrBadSeal
+	}
+	h := b.Hash()
+	if _, dup := c.entries[h]; dup {
+		return nil, ErrKnownBlock
+	}
+	parent, ok := c.entries[b.PrevHash]
+	if !ok {
+		return nil, ErrOrphan
+	}
+	if b.Size() > c.params.MaxBlockSize+len(b.headerBytes()) {
+		return nil, ErrBlockTooLarge
+	}
+	entry := &blockEntry{
+		block:  b,
+		parent: parent,
+		height: parent.height + 1,
+		work:   parent.work + b.Work(),
+	}
+	c.entries[h] = entry
+	if entry.work <= c.tip.work {
+		return &ConnectResult{}, nil // stored on a side branch
+	}
+	res, err := c.reorganizeTo(entry)
+	if err != nil {
+		delete(c.entries, h)
+		return nil, err
+	}
+	return res, nil
+}
+
+// reorganizeTo makes the entry's branch active: it disconnects back to
+// the fork point and connects the new branch, validating each block. A
+// validation failure rolls everything back and reports the error.
+func (c *Chain) reorganizeTo(target *blockEntry) (*ConnectResult, error) {
+	// Collect the new branch back to the fork point.
+	var attach []*blockEntry
+	newSide := target
+	oldSide := c.tip
+	for newSide.height > oldSide.height {
+		attach = append([]*blockEntry{newSide}, attach...)
+		newSide = newSide.parent
+	}
+	var detach []*blockEntry
+	for oldSide.height > newSide.height {
+		detach = append(detach, oldSide)
+		oldSide = oldSide.parent
+	}
+	for newSide != oldSide {
+		attach = append([]*blockEntry{newSide}, attach...)
+		newSide = newSide.parent
+		detach = append(detach, oldSide)
+		oldSide = oldSide.parent
+	}
+	res := &ConnectResult{}
+	for _, e := range detach {
+		c.disconnect(e)
+		res.Disconnected = append(res.Disconnected, e.block)
+	}
+	var connected []*blockEntry
+	for _, e := range attach {
+		if err := c.connect(e); err != nil {
+			// Roll back: disconnect what we connected, reconnect the
+			// old branch (known valid).
+			for i := len(connected) - 1; i >= 0; i-- {
+				c.disconnect(connected[i])
+			}
+			for i := len(detach) - 1; i >= 0; i-- {
+				if cErr := c.connect(detach[i]); cErr != nil {
+					panic(fmt.Sprintf("bitcoin: rollback reconnect failed: %v", cErr))
+				}
+			}
+			// c.tip was never reassigned, so the old branch is active
+			// again.
+			return nil, fmt.Errorf("%w: %v", ErrInvalidBlock, err)
+		}
+		connected = append(connected, e)
+		res.Connected = append(res.Connected, e.block)
+	}
+	c.tip = target
+	return res, nil
+}
+
+// connect validates the block's transactions against the UTXO set,
+// applies them, and records undo data.
+func (c *Chain) connect(e *blockEntry) error {
+	b := e.block
+	if len(b.Txs) == 0 || !b.Txs[0].IsCoinbase() {
+		return ErrNoCoinbase
+	}
+	var fees Amount
+	var undo []undoEntry
+	apply := func(t *Transaction) {
+		for _, in := range t.Ins {
+			out, _ := c.utxo.spend(in.Prev)
+			undo = append(undo, undoEntry{in.Prev, out})
+		}
+		c.utxo.add(t)
+	}
+	for i, t := range b.Txs[1:] {
+		if t.IsCoinbase() {
+			rollbackPartial(c, b.Txs[1:1+i], undo)
+			return fmt.Errorf("transaction %d is an extra coinbase", i+1)
+		}
+		fee, err := t.Validate(c.utxo)
+		if err != nil {
+			rollbackPartial(c, b.Txs[1:1+i], undo)
+			return err
+		}
+		fees += fee
+		apply(t)
+	}
+	if b.Txs[0].TotalOut() > c.params.Subsidy+fees {
+		rollbackPartial(c, b.Txs[1:], undo)
+		return ErrBadCoinbase
+	}
+	c.utxo.add(b.Txs[0])
+	e.undo = undo
+	e.inMain = true
+	return nil
+}
+
+// rollbackPartial unwinds a failed connect: remove outputs created by
+// the applied transactions and restore their spends.
+func rollbackPartial(c *Chain, applied []*Transaction, undo []undoEntry) {
+	for _, t := range applied {
+		id := t.ID()
+		for i := range t.Outs {
+			c.utxo.remove(OutPoint{TxID: id, Index: uint32(i)})
+		}
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		c.utxo.restore(undo[i].op, undo[i].out)
+	}
+}
+
+// disconnect reverses a connected block: removes its created outputs
+// and restores the outputs it spent.
+func (c *Chain) disconnect(e *blockEntry) {
+	b := e.block
+	for _, t := range b.Txs {
+		id := t.ID()
+		for i := range t.Outs {
+			c.utxo.remove(OutPoint{TxID: id, Index: uint32(i)})
+		}
+	}
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		c.utxo.restore(e.undo[i].op, e.undo[i].out)
+	}
+	e.undo = nil
+	e.inMain = false
+}

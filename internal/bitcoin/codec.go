@@ -1,0 +1,229 @@
+package bitcoin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire codec: a compact deterministic binary encoding for transactions
+// and blocks, so simulated nodes can persist chains and exchange
+// messages as real implementations do. The format is length-prefixed
+// throughout; all integers are big-endian.
+
+// Encoding limits — defensive bounds a decoder enforces so corrupted or
+// hostile input cannot trigger huge allocations.
+const (
+	maxWireIns    = 1 << 16
+	maxWireOuts   = 1 << 16
+	maxWireTxs    = 1 << 20
+	maxWireSigLen = 1 << 12
+	maxWireKeyLen = 1 << 12
+)
+
+// Codec errors.
+var (
+	ErrWireTruncated = errors.New("bitcoin: truncated wire data")
+	ErrWireTooLarge  = errors.New("bitcoin: wire field exceeds limit")
+)
+
+// EncodeTransaction writes the transaction in wire format.
+func EncodeTransaction(w io.Writer, t *Transaction) error {
+	var buf bytes.Buffer
+	writeUint64(&buf, t.Tag)
+	writeUint32(&buf, uint32(len(t.Ins)))
+	for _, in := range t.Ins {
+		buf.Write(in.Prev.TxID[:])
+		writeUint32(&buf, in.Prev.Index)
+		writeUint16(&buf, uint16(len(in.Sig)))
+		buf.Write(in.Sig)
+	}
+	writeUint32(&buf, uint32(len(t.Outs)))
+	for _, out := range t.Outs {
+		writeUint64(&buf, uint64(out.Value))
+		writeUint16(&buf, uint16(len(out.PubKey)))
+		buf.Write(out.PubKey)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// DecodeTransaction reads one wire-format transaction and finalizes it
+// (the id is recomputed, never trusted from the wire).
+func DecodeTransaction(r io.Reader) (*Transaction, error) {
+	tag, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	nIns, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nIns > maxWireIns {
+		return nil, fmt.Errorf("%w: %d inputs", ErrWireTooLarge, nIns)
+	}
+	ins := make([]TxIn, nIns)
+	for i := range ins {
+		if _, err := io.ReadFull(r, ins[i].Prev.TxID[:]); err != nil {
+			return nil, truncated(err)
+		}
+		idx, err := readUint32(r)
+		if err != nil {
+			return nil, err
+		}
+		ins[i].Prev.Index = idx
+		sigLen, err := readUint16(r)
+		if err != nil {
+			return nil, err
+		}
+		if sigLen > maxWireSigLen {
+			return nil, fmt.Errorf("%w: signature %d bytes", ErrWireTooLarge, sigLen)
+		}
+		ins[i].Sig = make([]byte, sigLen)
+		if _, err := io.ReadFull(r, ins[i].Sig); err != nil {
+			return nil, truncated(err)
+		}
+	}
+	nOuts, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nOuts > maxWireOuts {
+		return nil, fmt.Errorf("%w: %d outputs", ErrWireTooLarge, nOuts)
+	}
+	outs := make([]TxOut, nOuts)
+	for i := range outs {
+		v, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		outs[i].Value = Amount(v)
+		keyLen, err := readUint16(r)
+		if err != nil {
+			return nil, err
+		}
+		if keyLen > maxWireKeyLen {
+			return nil, fmt.Errorf("%w: pubkey %d bytes", ErrWireTooLarge, keyLen)
+		}
+		outs[i].PubKey = make([]byte, keyLen)
+		if _, err := io.ReadFull(r, outs[i].PubKey); err != nil {
+			return nil, truncated(err)
+		}
+	}
+	tx := &Transaction{Ins: ins, Outs: outs, Tag: tag}
+	tx.Finalize()
+	return tx, nil
+}
+
+// EncodeBlock writes the block (header then transactions).
+func EncodeBlock(w io.Writer, b *Block) error {
+	var buf bytes.Buffer
+	buf.Write(b.PrevHash[:])
+	buf.Write(b.MerkleRoot[:])
+	writeUint64(&buf, uint64(b.Time))
+	writeUint64(&buf, b.Nonce)
+	buf.WriteByte(b.Difficulty)
+	writeUint32(&buf, uint32(len(b.Txs)))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	for _, tx := range b.Txs {
+		if err := EncodeTransaction(w, tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBlock reads one wire-format block. The seal (proof of work and
+// merkle root) is re-verified; a block failing CheckSeal is rejected.
+func DecodeBlock(r io.Reader) (*Block, error) {
+	b := &Block{}
+	if _, err := io.ReadFull(r, b.PrevHash[:]); err != nil {
+		return nil, truncated(err)
+	}
+	if _, err := io.ReadFull(r, b.MerkleRoot[:]); err != nil {
+		return nil, truncated(err)
+	}
+	t, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	b.Time = int64(t)
+	if b.Nonce, err = readUint64(r); err != nil {
+		return nil, err
+	}
+	var diff [1]byte
+	if _, err := io.ReadFull(r, diff[:]); err != nil {
+		return nil, truncated(err)
+	}
+	b.Difficulty = diff[0]
+	nTxs, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nTxs > maxWireTxs {
+		return nil, fmt.Errorf("%w: %d transactions", ErrWireTooLarge, nTxs)
+	}
+	b.Txs = make([]*Transaction, nTxs)
+	for i := range b.Txs {
+		if b.Txs[i], err = DecodeTransaction(r); err != nil {
+			return nil, err
+		}
+	}
+	if !b.CheckSeal() {
+		return nil, ErrBadSeal
+	}
+	return b, nil
+}
+
+func writeUint16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeUint32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeUint64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func readUint16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, truncated(err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, truncated(err)
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, truncated(err)
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrWireTruncated
+	}
+	return err
+}

@@ -1,0 +1,88 @@
+package bitcoin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FeeEstimate summarizes the current fee market as a node sees it —
+// the signal behind the paper's motivating example: fees fluctuate with
+// competition for limited block space, so transactions may linger
+// unconfirmed and tempt users into unsafe reissues.
+type FeeEstimate struct {
+	// PendingBytes is the total serialized size waiting in the pool.
+	PendingBytes int
+	// BlocksToClear is the number of full blocks the pool occupies.
+	BlocksToClear int
+	// FloorRate is the lowest fee rate (milli-units per byte, see
+	// FeeRate) among transactions that fit in the next BlocksToClear
+	// blocks; paying below it means waiting.
+	FloorRate int64
+	// NextBlockRate is the fee rate needed to land in the very next
+	// block: the lowest rate among the transactions the miner's
+	// template would select (0 when the next block has room to spare).
+	NextBlockRate int64
+}
+
+// String renders a short summary.
+func (e FeeEstimate) String() string {
+	return fmt.Sprintf("pool %dB (%d blocks); next-block rate %d, floor %d",
+		e.PendingBytes, e.BlocksToClear, e.NextBlockRate, e.FloorRate)
+}
+
+// EstimateFees inspects the mempool against the consensus block-size
+// limit. SuggestFee converts the estimate into a concrete fee for a
+// transaction of the given size.
+func EstimateFees(chain *Chain, mempool *Mempool) FeeEstimate {
+	maxBlock := chain.Params().MaxBlockSize
+	txs := mempool.Transactions() // descending fee rate
+	est := FeeEstimate{}
+	type entry struct {
+		rate int64
+		size int
+	}
+	entries := make([]entry, 0, len(txs))
+	for _, tx := range txs {
+		fee, ok := mempool.Fee(tx.ID())
+		if !ok {
+			continue
+		}
+		size := tx.Size()
+		est.PendingBytes += size
+		entries = append(entries, entry{rate: FeeRate(fee, size), size: size})
+	}
+	if maxBlock > 0 {
+		est.BlocksToClear = (est.PendingBytes + maxBlock - 1) / maxBlock
+	}
+	// Walk the fee-ordered pool, filling virtual blocks.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rate > entries[j].rate })
+	used := 0
+	nextBlockFull := false
+	for _, e := range entries {
+		if used+e.size > maxBlock && !nextBlockFull {
+			nextBlockFull = true
+		}
+		if !nextBlockFull {
+			est.NextBlockRate = e.rate
+		}
+		est.FloorRate = e.rate
+		used += e.size
+	}
+	if !nextBlockFull {
+		// The whole pool fits in one block: anything confirms next.
+		est.NextBlockRate = 0
+	}
+	return est
+}
+
+// SuggestFee returns a fee for a transaction of txSize bytes that would
+// outbid the next-block cutoff by ~10%. An empty or uncongested pool
+// suggests a one-unit-per-byte floor.
+func (e FeeEstimate) SuggestFee(txSize int) Amount {
+	rate := e.NextBlockRate
+	if rate == 0 {
+		return Amount(txSize) // 1 unit/byte floor (rate is milli-scaled)
+	}
+	boosted := rate + rate/10 + 1
+	return Amount(boosted * int64(txSize) / 1000)
+}

@@ -1,0 +1,110 @@
+package bitcoin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEstimateFeesEmptyPool(t *testing.T) {
+	r := newRig(t)
+	est := EstimateFees(r.chain, r.mempool)
+	if est.PendingBytes != 0 || est.BlocksToClear != 0 || est.NextBlockRate != 0 {
+		t.Errorf("empty pool estimate: %+v", est)
+	}
+	if fee := est.SuggestFee(200); fee != 200 {
+		t.Errorf("floor suggestion = %v", fee)
+	}
+	if !strings.Contains(est.String(), "pool 0B") {
+		t.Errorf("String = %q", est.String())
+	}
+}
+
+func TestEstimateFeesUncongested(t *testing.T) {
+	r := newRig(t)
+	tx := r.pay(t, r.alice, r.bob, Coin, 5000)
+	if err := r.mempool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateFees(r.chain, r.mempool)
+	if est.PendingBytes != tx.Size() {
+		t.Errorf("PendingBytes = %d, want %d", est.PendingBytes, tx.Size())
+	}
+	if est.BlocksToClear != 1 {
+		t.Errorf("BlocksToClear = %d", est.BlocksToClear)
+	}
+	// Everything fits in the next block: no bidding needed.
+	if est.NextBlockRate != 0 {
+		t.Errorf("NextBlockRate = %d, want 0", est.NextBlockRate)
+	}
+	if est.FloorRate != FeeRate(5000, tx.Size()) {
+		t.Errorf("FloorRate = %d", est.FloorRate)
+	}
+}
+
+func TestEstimateFeesCongested(t *testing.T) {
+	// Tiny blocks force competition.
+	r := newRig(t)
+	params := Params{Difficulty: 2, Subsidy: 50 * Coin, MaxBlockSize: 400}
+	chain := NewChain(params, r.alice.PubKey())
+	mempool := NewMempool(chain)
+	miner := NewMiner(chain, mempool, r.alice.PubKey())
+	for i := 0; i < 5; i++ {
+		if _, err := miner.MineEmpty(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := chain.UTXO().ByOwner(r.alice.PubKey())
+	fees := []Amount{500, 40_000, 9_000, 70_000, 2_000}
+	for i, op := range ops[:5] {
+		tx, err := r.alice.SpendOutpoint(chain.UTXO(), op,
+			[]Payment{{To: r.bob.PubKey(), Amount: Coin}}, fees[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mempool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := EstimateFees(chain, mempool)
+	if est.BlocksToClear < 2 {
+		t.Fatalf("expected congestion, got %+v", est)
+	}
+	if est.NextBlockRate == 0 {
+		t.Fatal("congested pool must have a next-block cutoff")
+	}
+	if est.FloorRate > est.NextBlockRate {
+		t.Errorf("floor %d above next-block rate %d", est.FloorRate, est.NextBlockRate)
+	}
+	// A transaction paying the suggested fee must beat the cutoff and
+	// be selected by the miner's template. Measure the real size with a
+	// provisional build, then pay the suggestion for that size.
+	op := ops[5]
+	probe, err := r.alice.SpendOutpoint(chain.UTXO(), op,
+		[]Payment{{To: r.bob.PubKey(), Amount: Coin}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := probe.Size()
+	suggested := est.SuggestFee(size)
+	if FeeRate(suggested, size) <= est.NextBlockRate {
+		t.Errorf("suggested fee %v does not outbid the cutoff", suggested)
+	}
+	tx, err := r.alice.SpendOutpoint(chain.UTXO(), op,
+		[]Payment{{To: r.bob.PubKey(), Amount: Coin}}, suggested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mempool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	selected, _ := miner.BuildTemplate()
+	found := false
+	for _, s := range selected {
+		if s.ID() == tx.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("suggested-fee transaction missed the next block template")
+	}
+}

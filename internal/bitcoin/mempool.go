@@ -1,0 +1,235 @@
+package bitcoin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Mempool is a node's set of yet-unconfirmed transactions. It tracks,
+// per the paper's model of pending transactions T:
+//
+//   - conflicts: transactions spending an already-promised outpoint are
+//     rejected unless they pay a sufficiently higher fee rate
+//     (replace-by-fee), in which case the conflicted transactions and
+//     their descendants are evicted;
+//   - dependencies: a transaction may spend the output of another
+//     pending transaction, and is only minable after its parents.
+type Mempool struct {
+	chain *Chain
+	txs   map[Hash]*mempoolEntry
+	// spenders maps each promised outpoint to the pending transaction
+	// spending it.
+	spenders map[OutPoint]Hash
+	// RBFFactor is the fee-rate multiplier (in percent) a replacement
+	// must exceed; 110 means "10% higher".
+	RBFFactor int64
+}
+
+type mempoolEntry struct {
+	tx  *Transaction
+	fee Amount
+}
+
+// Mempool errors.
+var (
+	ErrMempoolConflict = errors.New("bitcoin: conflicts with a pending transaction")
+	ErrMempoolDup      = errors.New("bitcoin: transaction already pending")
+	ErrMempoolOrphanTx = errors.New("bitcoin: transaction inputs unavailable")
+)
+
+// NewMempool creates an empty mempool over the chain.
+func NewMempool(chain *Chain) *Mempool {
+	return &Mempool{
+		chain:     chain,
+		txs:       make(map[Hash]*mempoolEntry),
+		spenders:  make(map[OutPoint]Hash),
+		RBFFactor: 110,
+	}
+}
+
+// Len returns the number of pending transactions.
+func (m *Mempool) Len() int { return len(m.txs) }
+
+// Has reports whether the transaction is pending.
+func (m *Mempool) Has(id Hash) bool {
+	_, ok := m.txs[id]
+	return ok
+}
+
+// Get returns a pending transaction.
+func (m *Mempool) Get(id Hash) (*Transaction, bool) {
+	e, ok := m.txs[id]
+	if !ok {
+		return nil, false
+	}
+	return e.tx, true
+}
+
+// View returns the chain UTXO augmented with pending outputs minus
+// pending spends — the source wallets use to build transactions that
+// spend unconfirmed outputs.
+func (m *Mempool) View() OutputSource { return m.view() }
+
+// view is the chain UTXO augmented with pending outputs minus pending
+// spends — the source dependent transactions validate against.
+func (m *Mempool) view() *overlaySource {
+	o := newOverlaySource(m.chain.UTXO())
+	for _, e := range m.txs {
+		o.apply(e.tx)
+	}
+	return o
+}
+
+// Add validates the transaction against the chain and pending set and
+// admits it. A conflicting transaction is admitted only as a
+// replace-by-fee: its fee rate must exceed every conflicted pending
+// transaction's by RBFFactor, and the conflicted transactions plus
+// their descendants are evicted.
+func (m *Mempool) Add(tx *Transaction) error {
+	id := tx.ID()
+	if m.Has(id) {
+		return ErrMempoolDup
+	}
+	if tx.IsCoinbase() {
+		return fmt.Errorf("bitcoin: coinbase cannot enter the mempool")
+	}
+	// Identify conflicts first.
+	var conflicted []Hash
+	seenConflict := map[Hash]bool{}
+	for _, in := range tx.Ins {
+		if other, ok := m.spenders[in.Prev]; ok && !seenConflict[other] {
+			seenConflict[other] = true
+			conflicted = append(conflicted, other)
+		}
+	}
+	// Validate against the view without the conflicted transactions.
+	view := newOverlaySource(m.chain.UTXO())
+	for h, e := range m.txs {
+		if !seenConflict[h] {
+			view.apply(e.tx)
+		}
+	}
+	fee, err := tx.Validate(view)
+	if err != nil {
+		if errors.Is(err, ErrMissingOutput) {
+			return fmt.Errorf("%w: %v", ErrMempoolOrphanTx, err)
+		}
+		return err
+	}
+	if len(conflicted) > 0 {
+		rate := FeeRate(fee, tx.Size())
+		for _, h := range conflicted {
+			e := m.txs[h]
+			if rate*100 < FeeRate(e.fee, e.tx.Size())*m.RBFFactor {
+				return fmt.Errorf("%w: %v (replacement fee rate too low)", ErrMempoolConflict, h.Short())
+			}
+		}
+		for _, h := range conflicted {
+			m.evict(h)
+		}
+	}
+	m.txs[id] = &mempoolEntry{tx: tx, fee: fee}
+	for _, in := range tx.Ins {
+		m.spenders[in.Prev] = id
+	}
+	return nil
+}
+
+// evict removes the transaction and, recursively, every pending
+// transaction spending its outputs.
+func (m *Mempool) evict(id Hash) {
+	e, ok := m.txs[id]
+	if !ok {
+		return
+	}
+	delete(m.txs, id)
+	for _, in := range e.tx.Ins {
+		if m.spenders[in.Prev] == id {
+			delete(m.spenders, in.Prev)
+		}
+	}
+	for i := range e.tx.Outs {
+		child, ok := m.spenders[OutPoint{TxID: id, Index: uint32(i)}]
+		if ok {
+			m.evict(child)
+		}
+	}
+}
+
+// Remove drops a transaction (and its dependent descendants) without
+// fee logic — e.g. after it confirmed in a block.
+func (m *Mempool) Remove(id Hash) { m.evict(id) }
+
+// Transactions returns the pending transactions ordered by descending
+// fee rate (ties broken by id for determinism).
+func (m *Mempool) Transactions() []*Transaction {
+	type pair struct {
+		tx   *Transaction
+		rate int64
+	}
+	pairs := make([]pair, 0, len(m.txs))
+	for _, e := range m.txs {
+		pairs = append(pairs, pair{e.tx, FeeRate(e.fee, e.tx.Size())})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].rate != pairs[j].rate {
+			return pairs[i].rate > pairs[j].rate
+		}
+		hi, hj := pairs[i].tx.ID(), pairs[j].tx.ID()
+		return string(hi[:]) < string(hj[:])
+	})
+	out := make([]*Transaction, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.tx
+	}
+	return out
+}
+
+// Fee returns the recorded fee of a pending transaction.
+func (m *Mempool) Fee(id Hash) (Amount, bool) {
+	e, ok := m.txs[id]
+	if !ok {
+		return 0, false
+	}
+	return e.fee, true
+}
+
+// ApplyConnect updates the pool after blocks changed the active chain:
+// confirmed transactions leave the pool; transactions from disconnected
+// blocks are re-admitted when still valid; pending transactions whose
+// inputs a new block spent (confirmed double-spends) are evicted with
+// their descendants.
+func (m *Mempool) ApplyConnect(res *ConnectResult) {
+	for _, b := range res.Disconnected {
+		for _, tx := range b.Txs[1:] {
+			// Best effort: the transaction may conflict with the new
+			// branch, in which case Add rejects it.
+			_ = m.Add(tx)
+		}
+	}
+	for _, b := range res.Connected {
+		for _, tx := range b.Txs {
+			id := tx.ID()
+			if m.Has(id) {
+				// Confirmed: remove it alone; its descendants remain
+				// valid (their parent is now in the chain).
+				e := m.txs[id]
+				delete(m.txs, id)
+				for _, in := range e.tx.Ins {
+					if m.spenders[in.Prev] == id {
+						delete(m.spenders, in.Prev)
+					}
+				}
+				continue
+			}
+			// A different transaction spent outpoints we had promised:
+			// evict the losing double-spends.
+			for _, in := range tx.Ins {
+				if other, ok := m.spenders[in.Prev]; ok {
+					m.evict(other)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package bitcoin
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMempoolConflictRejection(t *testing.T) {
+	r := newRig(t)
+	op := r.chain.UTXO().ByOwner(r.alice.PubKey())[0]
+	tx1, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 1000)
+	tx2, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.carol.PubKey(), Amount: Coin}}, 1000)
+	if err := r.mempool.Add(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(tx2); !errors.Is(err, ErrMempoolConflict) {
+		t.Errorf("equal-fee conflict: %v", err)
+	}
+	if err := r.mempool.Add(tx1); !errors.Is(err, ErrMempoolDup) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	if r.mempool.Len() != 1 {
+		t.Errorf("mempool len = %d", r.mempool.Len())
+	}
+}
+
+func TestMempoolReplaceByFee(t *testing.T) {
+	r := newRig(t)
+	op := r.chain.UTXO().ByOwner(r.alice.PubKey())[0]
+	low, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 1000)
+	if err := r.mempool.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	// A child of the low-fee payment, to verify descendant eviction.
+	childOp := OutPoint{TxID: low.ID(), Index: 0}
+	child, err := r.bob.SpendOutpoint(r.mempool.view(), childOp, []Payment{{To: r.carol.PubKey(), Amount: Coin / 2}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(child); err != nil {
+		t.Fatal(err)
+	}
+	if r.mempool.Len() != 2 {
+		t.Fatalf("mempool len = %d", r.mempool.Len())
+	}
+	// Replacement paying a much higher fee.
+	high, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.carol.PubKey(), Amount: Coin}}, 100_000)
+	if err := r.mempool.Add(high); err != nil {
+		t.Fatalf("RBF rejected: %v", err)
+	}
+	if r.mempool.Has(low.ID()) || r.mempool.Has(child.ID()) {
+		t.Error("replaced transaction or its descendant still pending")
+	}
+	if !r.mempool.Has(high.ID()) {
+		t.Error("replacement missing")
+	}
+}
+
+func TestMempoolDependentChain(t *testing.T) {
+	r := newRig(t)
+	pay1 := r.pay(t, r.alice, r.bob, 10*Coin, 100)
+	if err := r.mempool.Add(pay1); err != nil {
+		t.Fatal(err)
+	}
+	// Bob immediately re-spends his unconfirmed output.
+	bobOut := OutPoint{TxID: pay1.ID(), Index: 0}
+	pay2, err := r.bob.SpendOutpoint(r.mempool.view(), bobOut, []Payment{{To: r.carol.PubKey(), Amount: 5 * Coin}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(pay2); err != nil {
+		t.Fatalf("dependent transaction rejected: %v", err)
+	}
+	// Both mined in one block, parent before child.
+	b := r.mine(t)
+	if len(b.Txs) != 3 {
+		t.Fatalf("block txs = %d", len(b.Txs))
+	}
+	if got := r.carol.Balance(r.chain.UTXO()); got != 5*Coin {
+		t.Errorf("carol = %v", got)
+	}
+	if r.mempool.Len() != 0 {
+		t.Error("mempool not drained")
+	}
+}
+
+func TestMempoolOrphanRejected(t *testing.T) {
+	r := newRig(t)
+	// A transaction spending a nonexistent output.
+	ghost := NewTransaction([]TxIn{{Prev: OutPoint{Index: 3}}},
+		[]TxOut{{Value: Coin, PubKey: r.bob.PubKey()}})
+	r.alice.SignAll(ghost)
+	ghost.Finalize()
+	if err := r.mempool.Add(ghost); !errors.Is(err, ErrMempoolOrphanTx) {
+		t.Errorf("orphan: %v", err)
+	}
+	// Coinbase rejected.
+	cb := NewTransaction(nil, []TxOut{{Value: Coin, PubKey: r.bob.PubKey()}}).Finalize()
+	if err := r.mempool.Add(cb); err == nil {
+		t.Error("coinbase accepted into mempool")
+	}
+}
+
+func TestMempoolTransactionsOrdering(t *testing.T) {
+	r := newRig(t)
+	// Two independent outputs for Alice.
+	r.mine(t)
+	ops := r.chain.UTXO().ByOwner(r.alice.PubKey())
+	if len(ops) < 2 {
+		t.Fatal("need two outputs")
+	}
+	lowFee, _ := r.alice.SpendOutpoint(r.chain.UTXO(), ops[0], []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 10)
+	highFee, _ := r.alice.SpendOutpoint(r.chain.UTXO(), ops[1], []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 100_000)
+	if err := r.mempool.Add(lowFee); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(highFee); err != nil {
+		t.Fatal(err)
+	}
+	ordered := r.mempool.Transactions()
+	if len(ordered) != 2 || ordered[0].ID() != highFee.ID() {
+		t.Error("fee-rate ordering wrong")
+	}
+	if fee, ok := r.mempool.Fee(highFee.ID()); !ok || fee != 100_000 {
+		t.Errorf("Fee = %v, %v", fee, ok)
+	}
+	if _, ok := r.mempool.Fee(Hash{1}); ok {
+		t.Error("phantom fee")
+	}
+	if _, ok := r.mempool.Get(highFee.ID()); !ok {
+		t.Error("Get lost the transaction")
+	}
+}
+
+func TestMempoolConfirmedDoubleSpendEvicted(t *testing.T) {
+	r := newRig(t)
+	op := r.chain.UTXO().ByOwner(r.alice.PubKey())[0]
+	mine, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 50_000)
+	rival, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.carol.PubKey(), Amount: Coin}}, 100)
+	// The rival sits in our mempool; "mine" confirms via a block built
+	// elsewhere.
+	if err := r.mempool.Add(rival); err != nil {
+		t.Fatal(err)
+	}
+	cb := NewTransaction(nil, []TxOut{{Value: r.params.Subsidy + 50_000, PubKey: r.carol.PubKey()}})
+	cb.Tag = 1
+	cb.Finalize()
+	b := NewBlock(r.chain.Tip(), []*Transaction{cb, mine}, 9, r.params.Difficulty).Seal()
+	res, err := r.chain.AddBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mempool.ApplyConnect(res)
+	if r.mempool.Has(rival.ID()) {
+		t.Error("confirmed double-spend's rival still pending")
+	}
+}
+
+func TestMinerRespectsSizeLimit(t *testing.T) {
+	rng := newRig(t)
+	// Tiny block budget: only the highest-fee transactions fit.
+	rng.params.MaxBlockSize = 300
+	chain := NewChain(rng.params, rng.alice.PubKey())
+	mempool := NewMempool(chain)
+	miner := NewMiner(chain, mempool, rng.alice.PubKey())
+	// Fund several outputs.
+	for i := 0; i < 3; i++ {
+		if _, err := miner.MineEmpty(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := chain.UTXO().ByOwner(rng.alice.PubKey())
+	fees := []Amount{100, 50_000, 10_000}
+	var txs []*Transaction
+	for i, op := range ops[:3] {
+		tx, err := rng.alice.SpendOutpoint(chain.UTXO(), op, []Payment{{To: rng.bob.PubKey(), Amount: Coin}}, fees[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+		if err := mempool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	selected, total := miner.BuildTemplate()
+	size := 0
+	for _, tx := range selected {
+		size += tx.Size()
+	}
+	if size > 300 {
+		t.Errorf("template size %d exceeds budget", size)
+	}
+	if len(selected) == 0 || selected[0].ID() != txs[1].ID() {
+		t.Error("highest-fee transaction not selected first")
+	}
+	if total <= 0 {
+		t.Error("no fees collected")
+	}
+	// Unselected transactions stay pending after mining.
+	if _, _, err := miner.Mine(99); err != nil {
+		t.Fatal(err)
+	}
+	if mempool.Len() == 0 {
+		t.Error("everything confirmed despite the size limit")
+	}
+}

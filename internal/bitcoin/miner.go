@@ -1,0 +1,100 @@
+package bitcoin
+
+import (
+	"crypto/ed25519"
+)
+
+// Miner assembles and seals blocks from a mempool. Transaction
+// selection is the constrained knapsack the paper describes: blocks
+// have a maximum size, transactions have varying sizes and fees, and a
+// transaction may be included only after its in-pool parents. The
+// selection is greedy by fee rate with a dependency-respecting retry
+// pass — the strategy real miners approximate.
+type Miner struct {
+	chain   *Chain
+	mempool *Mempool
+	// Payout receives the coinbase (subsidy + fees).
+	Payout ed25519.PublicKey
+}
+
+// NewMiner creates a miner paying its rewards to the key.
+func NewMiner(chain *Chain, mempool *Mempool, payout ed25519.PublicKey) *Miner {
+	return &Miner{chain: chain, mempool: mempool, Payout: payout}
+}
+
+// BuildTemplate selects transactions for the next block: descending fee
+// rate, admitting a transaction only when its inputs are resolvable
+// from the chain UTXO plus already-selected transactions, within the
+// size budget. It returns the selected transactions and the total fees.
+func (m *Miner) BuildTemplate() ([]*Transaction, Amount) {
+	budget := m.chain.Params().MaxBlockSize
+	candidates := m.mempool.Transactions()
+	view := newOverlaySource(m.chain.UTXO())
+	var selected []*Transaction
+	var fees Amount
+	used := 0
+	// Two passes: the second picks up fee-sorted children whose parents
+	// were selected later in the first pass.
+	for pass := 0; pass < 2; pass++ {
+		var rest []*Transaction
+		for _, tx := range candidates {
+			if used+tx.Size() > budget {
+				rest = append(rest, tx)
+				continue
+			}
+			fee, err := tx.Validate(view)
+			if err != nil {
+				rest = append(rest, tx)
+				continue
+			}
+			view.apply(tx)
+			selected = append(selected, tx)
+			fees += fee
+			used += tx.Size()
+		}
+		candidates = rest
+		if len(candidates) == 0 {
+			break
+		}
+	}
+	return selected, fees
+}
+
+// Mine assembles a block paying subsidy plus fees to the payout key,
+// performs the proof of work, connects the block to the chain, and
+// updates the mempool. It returns the sealed block.
+func (m *Miner) Mine(now int64) (*Block, *ConnectResult, error) {
+	txs, fees := m.BuildTemplate()
+	coinbase := NewTransaction(nil, []TxOut{{
+		Value:  m.chain.Params().Subsidy + fees,
+		PubKey: m.Payout,
+	}})
+	coinbase.Tag = uint64(m.chain.Height() + 1)
+	coinbase.Finalize()
+	blockTxs := append([]*Transaction{coinbase}, txs...)
+	b := NewBlock(m.chain.Tip(), blockTxs, now, m.chain.Params().Difficulty).Seal()
+	res, err := m.chain.AddBlock(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.mempool.ApplyConnect(res)
+	return b, res, nil
+}
+
+// MineEmpty mines a block with only the coinbase — useful to mature
+// funds in simulations.
+func (m *Miner) MineEmpty(now int64) (*Block, error) {
+	coinbase := NewTransaction(nil, []TxOut{{
+		Value:  m.chain.Params().Subsidy,
+		PubKey: m.Payout,
+	}})
+	coinbase.Tag = uint64(m.chain.Height() + 1)
+	coinbase.Finalize()
+	b := NewBlock(m.chain.Tip(), []*Transaction{coinbase}, now, m.chain.Params().Difficulty).Seal()
+	res, err := m.chain.AddBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	m.mempool.ApplyConnect(res)
+	return b, nil
+}

@@ -1,0 +1,55 @@
+package bitcoin
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+)
+
+// SaveChain writes the active chain's blocks after the genesis (which
+// is deterministic from the parameters and genesis key) in order, so a
+// node can persist its replica and restart from disk.
+func SaveChain(w io.Writer, c *Chain) error {
+	main := c.MainChain()
+	if err := writeUint32IO(w, uint32(len(main)-1)); err != nil {
+		return err
+	}
+	for _, h := range main[1:] {
+		b, _ := c.Block(h)
+		if err := EncodeBlock(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadChain reconstructs a chain from SaveChain output, re-validating
+// every block (proof of work, transactions, coinbase limits) as it
+// connects — persisted data is never trusted blindly.
+func LoadChain(r io.Reader, params Params, genesisPub ed25519.PublicKey) (*Chain, error) {
+	c := NewChain(params, genesisPub)
+	n, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireTxs {
+		return nil, fmt.Errorf("%w: %d blocks", ErrWireTooLarge, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		b, err := DecodeBlock(r)
+		if err != nil {
+			return nil, fmt.Errorf("bitcoin: block %d: %w", i+1, err)
+		}
+		if _, err := c.AddBlock(b); err != nil {
+			return nil, fmt.Errorf("bitcoin: block %d: %w", i+1, err)
+		}
+	}
+	return c, nil
+}
+
+func writeUint32IO(w io.Writer, v uint32) error {
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	_, err := w.Write(b[:])
+	return err
+}

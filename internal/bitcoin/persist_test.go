@@ -1,0 +1,65 @@
+package bitcoin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadChain(t *testing.T) {
+	r := newRig(t)
+	// Build some history with payments.
+	for i := 0; i < 4; i++ {
+		if tx, err := r.alice.Pay(r.chain.UTXO(),
+			[]Payment{{To: r.bob.PubKey(), Amount: Coin}}, 100, nil); err == nil {
+			_ = r.mempool.Add(tx)
+		}
+		r.mine(t)
+	}
+	var buf bytes.Buffer
+	if err := SaveChain(&buf, r.chain); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadChain(bytes.NewReader(buf.Bytes()), r.params, r.alice.PubKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tip() != r.chain.Tip() {
+		t.Error("tip changed across persistence")
+	}
+	if loaded.Height() != r.chain.Height() {
+		t.Error("height changed")
+	}
+	if loaded.UTXO().TotalValue() != r.chain.UTXO().TotalValue() {
+		t.Error("UTXO value changed")
+	}
+	if got := r.bob.Balance(loaded.UTXO()); got != r.bob.Balance(r.chain.UTXO()) {
+		t.Errorf("bob's balance changed: %v", got)
+	}
+}
+
+func TestLoadChainRejectsTampering(t *testing.T) {
+	r := newRig(t)
+	r.mine(t)
+	var buf bytes.Buffer
+	if err := SaveChain(&buf, r.chain); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte inside the first block's payload.
+	if len(raw) > 40 {
+		raw[40] ^= 0x01
+	}
+	if _, err := LoadChain(bytes.NewReader(raw), r.params, r.alice.PubKey()); err == nil {
+		t.Error("tampered chain loaded")
+	}
+	// Truncation.
+	if _, err := LoadChain(bytes.NewReader(raw[:10]), r.params, r.alice.PubKey()); err == nil {
+		t.Error("truncated chain loaded")
+	}
+	// Wrong genesis key: the first block's PrevHash will be an orphan.
+	if _, err := LoadChain(bytes.NewReader(buf.Bytes()), r.params, r.bob.PubKey()); err == nil ||
+		!strings.Contains(err.Error(), "block 1") {
+		t.Error("chain loaded against the wrong genesis")
+	}
+}

@@ -1,0 +1,120 @@
+package bitcoin
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReorgToInvalidBranchRollsBack: a side branch that accumulates
+// more work but contains an invalid transaction must be rejected at
+// activation time, leaving the original chain and UTXO set intact.
+func TestReorgToInvalidBranchRollsBack(t *testing.T) {
+	r := newRig(t)
+	forkBase := r.chain.Tip()
+	// Active branch: one block with a real payment.
+	pay := r.pay(t, r.alice, r.bob, 10*Coin, 0)
+	if err := r.mempool.Add(pay); err != nil {
+		t.Fatal(err)
+	}
+	r.mine(t)
+	goodTip := r.chain.Tip()
+	utxoBefore := r.chain.UTXO().Len()
+	valueBefore := r.chain.UTXO().TotalValue()
+
+	mkCB := func(tag uint64, v Amount) *Transaction {
+		cb := NewTransaction(nil, []TxOut{{Value: v, PubKey: r.carol.PubKey()}})
+		cb.Tag = tag
+		cb.Finalize()
+		return cb
+	}
+	// Side branch: first block valid, second contains an overdraw, so
+	// activation must fail when the second block arrives and tips the
+	// work balance.
+	b1 := NewBlock(forkBase, []*Transaction{mkCB(201, r.params.Subsidy)}, 60, r.params.Difficulty).Seal()
+	if _, err := r.chain.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	ops := r.chain.UTXO().ByOwner(r.alice.PubKey())
+	overdraw := NewTransaction([]TxIn{{Prev: ops[0]}},
+		[]TxOut{{Value: 10_000 * Coin, PubKey: r.carol.PubKey()}})
+	r.alice.SignAll(overdraw)
+	overdraw.Finalize()
+	b2 := NewBlock(b1.Hash(), []*Transaction{mkCB(202, r.params.Subsidy), overdraw}, 61, r.params.Difficulty).Seal()
+	if _, err := r.chain.AddBlock(b2); !errors.Is(err, ErrInvalidBlock) {
+		t.Fatalf("invalid branch activation: %v", err)
+	}
+	// The original chain is still active and the UTXO set unchanged.
+	if r.chain.Tip() != goodTip {
+		t.Error("tip moved to the invalid branch")
+	}
+	if r.chain.UTXO().Len() != utxoBefore || r.chain.UTXO().TotalValue() != valueBefore {
+		t.Error("UTXO set corrupted by the failed reorg")
+	}
+	if got := r.bob.Balance(r.chain.UTXO()); got != 10*Coin {
+		t.Errorf("bob's payment lost: %v", got)
+	}
+	// The chain still functions: extend the good branch.
+	r.mine(t)
+	if r.chain.Height() != 2 {
+		t.Errorf("height after recovery = %d", r.chain.Height())
+	}
+}
+
+// TestDeepReorg exercises disconnect/connect across several blocks with
+// interleaved spends: branch B rewrites three blocks of history.
+func TestDeepReorg(t *testing.T) {
+	r := newRig(t)
+	forkBase := r.chain.Tip()
+	// Active branch: three blocks, each confirming a payment chain
+	// alice -> bob -> carol -> alice.
+	pay1 := r.pay(t, r.alice, r.bob, 20*Coin, 0)
+	if err := r.mempool.Add(pay1); err != nil {
+		t.Fatal(err)
+	}
+	r.mine(t)
+	pay2, err := r.bob.Pay(r.chain.UTXO(), []Payment{{To: r.carol.PubKey(), Amount: 15 * Coin}}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(pay2); err != nil {
+		t.Fatal(err)
+	}
+	r.mine(t)
+	pay3, err := r.carol.Pay(r.chain.UTXO(), []Payment{{To: r.alice.PubKey(), Amount: 5 * Coin}}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(pay3); err != nil {
+		t.Fatal(err)
+	}
+	r.mine(t)
+	if r.chain.Height() != 3 {
+		t.Fatalf("height = %d", r.chain.Height())
+	}
+	// Branch B: four empty blocks from the fork base.
+	prev := forkBase
+	for i := 0; i < 4; i++ {
+		cb := NewTransaction(nil, []TxOut{{Value: r.params.Subsidy, PubKey: r.carol.PubKey()}})
+		cb.Tag = uint64(300 + i)
+		cb.Finalize()
+		b := NewBlock(prev, []*Transaction{cb}, int64(80+i), r.params.Difficulty).Seal()
+		if _, err := r.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		prev = b.Hash()
+	}
+	if r.chain.Tip() != prev {
+		t.Fatal("deep reorg did not activate branch B")
+	}
+	// All three payments unwound; only genesis + branch B subsidies.
+	if got := r.bob.Balance(r.chain.UTXO()); got != 0 {
+		t.Errorf("bob after deep reorg = %v", got)
+	}
+	if got := r.alice.Balance(r.chain.UTXO()); got != 50*Coin {
+		t.Errorf("alice after deep reorg = %v", got)
+	}
+	want := Amount(r.chain.Height()+1) * r.params.Subsidy
+	if got := r.chain.UTXO().TotalValue(); got != want {
+		t.Errorf("total value after deep reorg = %v, want %v", got, want)
+	}
+}

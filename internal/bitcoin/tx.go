@@ -1,0 +1,272 @@
+// Package bitcoin implements the Bitcoin-like blockchain substrate the
+// paper's experiments run against: transactions that transfer value
+// many-to-many from inputs to outputs, ed25519-signed spends, blocks
+// with proof of work, a chain with fork choice by accumulated work and
+// undo-based reorgs, a UTXO set, a mempool with conflict and dependency
+// tracking (including replace-by-fee), and a fee-greedy miner.
+//
+// The paper evaluates on real Bitcoin data from a synced node; this
+// package is the synthetic substitute: it preserves the structural
+// properties the DCSat algorithms depend on — conflicting transactions
+// share inputs, dependent transactions spend each other's outputs, and
+// pending transactions may or may not ever be accepted.
+package bitcoin
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Amount is a quantity of currency in base units (satoshis).
+type Amount int64
+
+// Coin is the number of base units per whole coin.
+const Coin Amount = 100_000_000
+
+// String renders the amount in whole coins.
+func (a Amount) String() string {
+	whole := a / Coin
+	frac := a % Coin
+	if frac < 0 {
+		frac = -frac
+	}
+	return fmt.Sprintf("%d.%08d", whole, frac)
+}
+
+// Hash is a 32-byte identifier (transaction or block).
+type Hash [32]byte
+
+// String returns the hash in hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// OutPoint identifies one output of one transaction.
+type OutPoint struct {
+	TxID  Hash
+	Index uint32
+}
+
+// String renders "txid:index".
+func (o OutPoint) String() string { return fmt.Sprintf("%s:%d", o.TxID.Short(), o.Index) }
+
+// TxOut is a transaction output: an amount locked to a public key. The
+// paper's general scripts are specialized to pay-to-pubkey, the typical
+// Bitcoin case.
+type TxOut struct {
+	Value  Amount
+	PubKey ed25519.PublicKey
+}
+
+// TxIn is a transaction input: a reference to a previous output plus
+// the signature responding to that output's challenge.
+type TxIn struct {
+	Prev OutPoint
+	Sig  []byte
+}
+
+// Transaction transfers value from inputs to outputs. A transaction
+// with no inputs is a coinbase: it mints the block subsidy plus fees.
+// Transactions are immutable after Finalize computes their id.
+type Transaction struct {
+	Ins  []TxIn
+	Outs []TxOut
+	// Tag disambiguates otherwise-identical transactions; miners set it
+	// to the block height on coinbases so two subsidy-only coinbases
+	// never share an id (Bitcoin's BIP30 height-in-coinbase rule).
+	Tag uint64
+
+	id    Hash
+	final bool
+}
+
+// NewTransaction assembles an unsigned transaction.
+func NewTransaction(ins []TxIn, outs []TxOut) *Transaction {
+	return &Transaction{Ins: ins, Outs: outs}
+}
+
+// IsCoinbase reports whether the transaction mints new coins.
+func (t *Transaction) IsCoinbase() bool { return len(t.Ins) == 0 }
+
+// TotalOut returns the sum of output values.
+func (t *Transaction) TotalOut() Amount {
+	var sum Amount
+	for _, o := range t.Outs {
+		sum += o.Value
+	}
+	return sum
+}
+
+// SigHash returns the digest that input signatures commit to: the
+// transaction's outputs and every input's previous outpoint. Committing
+// to the outpoints (not the signatures) removes the malleability that
+// enabled the attacks described in the paper's introduction.
+func (t *Transaction) SigHash() Hash {
+	var buf bytes.Buffer
+	for _, in := range t.Ins {
+		buf.Write(in.Prev.TxID[:])
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], in.Prev.Index)
+		buf.Write(idx[:])
+	}
+	writeOuts(&buf, t.Outs)
+	return sha256.Sum256(buf.Bytes())
+}
+
+// Finalize computes and caches the transaction id over the complete
+// contents (inputs with signatures, and outputs).
+func (t *Transaction) Finalize() *Transaction {
+	var buf bytes.Buffer
+	var tag [8]byte
+	binary.BigEndian.PutUint64(tag[:], t.Tag)
+	buf.Write(tag[:])
+	for _, in := range t.Ins {
+		buf.Write(in.Prev.TxID[:])
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], in.Prev.Index)
+		buf.Write(idx[:])
+		var siglen [2]byte
+		binary.BigEndian.PutUint16(siglen[:], uint16(len(in.Sig)))
+		buf.Write(siglen[:])
+		buf.Write(in.Sig)
+	}
+	writeOuts(&buf, t.Outs)
+	t.id = sha256.Sum256(buf.Bytes())
+	t.final = true
+	return t
+}
+
+func writeOuts(buf *bytes.Buffer, outs []TxOut) {
+	for _, o := range outs {
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], uint64(o.Value))
+		buf.Write(v[:])
+		var klen [2]byte
+		binary.BigEndian.PutUint16(klen[:], uint16(len(o.PubKey)))
+		buf.Write(klen[:])
+		buf.Write(o.PubKey)
+	}
+}
+
+// ID returns the transaction id; it panics if Finalize has not run.
+func (t *Transaction) ID() Hash {
+	if !t.final {
+		panic("bitcoin: ID of unfinalized transaction")
+	}
+	return t.id
+}
+
+// Size returns the serialized size in bytes, used for block limits and
+// fee rates.
+func (t *Transaction) Size() int {
+	size := 0
+	for _, in := range t.Ins {
+		size += 32 + 4 + 2 + len(in.Sig)
+	}
+	for _, o := range t.Outs {
+		size += 8 + 2 + len(o.PubKey)
+	}
+	return size
+}
+
+// ConflictsWith reports whether the two transactions spend a common
+// output — Bitcoin's conflict rule: "two transactions that share even a
+// single input cannot be accepted into the blockchain together".
+func (t *Transaction) ConflictsWith(o *Transaction) bool {
+	spent := make(map[OutPoint]bool, len(t.Ins))
+	for _, in := range t.Ins {
+		spent[in.Prev] = true
+	}
+	for _, in := range o.Ins {
+		if spent[in.Prev] {
+			return true
+		}
+	}
+	return false
+}
+
+// errors reported by validation.
+var (
+	ErrMissingOutput  = errors.New("bitcoin: input references a missing or spent output")
+	ErrBadSignature   = errors.New("bitcoin: invalid input signature")
+	ErrValueOverflow  = errors.New("bitcoin: outputs exceed inputs")
+	ErrDuplicateInput = errors.New("bitcoin: duplicate input within transaction")
+	ErrEmpty          = errors.New("bitcoin: transaction has no outputs")
+)
+
+// OutputSource resolves outpoints to unspent outputs; both the UTXO set
+// and mempool-augmented views implement it.
+type OutputSource interface {
+	// Output returns the output at the outpoint if it exists unspent.
+	Output(OutPoint) (TxOut, bool)
+}
+
+// Validate checks a non-coinbase transaction against the output source:
+// inputs exist, signatures verify against the consumed outputs' keys,
+// no input repeats, and input value covers output value. It returns the
+// fee (inputs minus outputs).
+func (t *Transaction) Validate(src OutputSource) (Amount, error) {
+	if len(t.Outs) == 0 {
+		return 0, ErrEmpty
+	}
+	if t.IsCoinbase() {
+		return 0, nil
+	}
+	sighash := t.SigHash()
+	seen := make(map[OutPoint]bool, len(t.Ins))
+	var in Amount
+	for _, txin := range t.Ins {
+		if seen[txin.Prev] {
+			return 0, fmt.Errorf("%w: %v", ErrDuplicateInput, txin.Prev)
+		}
+		seen[txin.Prev] = true
+		out, ok := src.Output(txin.Prev)
+		if !ok {
+			return 0, fmt.Errorf("%w: %v", ErrMissingOutput, txin.Prev)
+		}
+		if !ed25519.Verify(out.PubKey, sighash[:], txin.Sig) {
+			return 0, fmt.Errorf("%w: %v", ErrBadSignature, txin.Prev)
+		}
+		in += out.Value
+	}
+	if out := t.TotalOut(); out > in {
+		return 0, fmt.Errorf("%w: in %v, out %v", ErrValueOverflow, in, out)
+	}
+	return in - t.TotalOut(), nil
+}
+
+// Fee computes the transaction fee against the source without
+// re-verifying signatures. It returns false when an input is
+// unresolvable.
+func (t *Transaction) Fee(src OutputSource) (Amount, bool) {
+	if t.IsCoinbase() {
+		return 0, true
+	}
+	var in Amount
+	for _, txin := range t.Ins {
+		out, ok := src.Output(txin.Prev)
+		if !ok {
+			return 0, false
+		}
+		in += out.Value
+	}
+	return in - t.TotalOut(), true
+}
+
+// FeeRate returns the fee per byte scaled by 1000 (milli-units), for
+// miner ordering.
+func FeeRate(fee Amount, size int) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return int64(fee) * 1000 / int64(size)
+}

@@ -1,0 +1,241 @@
+package bitcoin
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testRig provides a chain funded through mined blocks plus wallets.
+type testRig struct {
+	params  Params
+	chain   *Chain
+	mempool *Mempool
+	miner   *Miner
+	alice   *Wallet
+	bob     *Wallet
+	carol   *Wallet
+	now     int64
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	alice := NewWallet("alice", rng)
+	bob := NewWallet("bob", rng)
+	carol := NewWallet("carol", rng)
+	params := Params{Difficulty: 4, Subsidy: 50 * Coin, MaxBlockSize: 8192}
+	chain := NewChain(params, alice.PubKey())
+	mempool := NewMempool(chain)
+	miner := NewMiner(chain, mempool, alice.PubKey())
+	return &testRig{params: params, chain: chain, mempool: mempool, miner: miner,
+		alice: alice, bob: bob, carol: carol}
+}
+
+func (r *testRig) mine(t *testing.T) *Block {
+	t.Helper()
+	r.now++
+	b, _, err := r.miner.Mine(r.now)
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	return b
+}
+
+func (r *testRig) pay(t *testing.T, from *Wallet, to *Wallet, amount, fee Amount) *Transaction {
+	t.Helper()
+	tx, err := from.Pay(r.chain.UTXO(), []Payment{{To: to.PubKey(), Amount: amount}}, fee, nil)
+	if err != nil {
+		t.Fatalf("pay: %v", err)
+	}
+	return tx
+}
+
+func TestAmountString(t *testing.T) {
+	if got := (3*Coin + 50).String(); got != "3.00000050" {
+		t.Errorf("Amount.String = %q", got)
+	}
+	if got := Amount(-Coin / 2).String(); got != "0.50000000" && !strings.HasPrefix(got, "-") {
+		t.Logf("negative amount renders %q", got)
+	}
+}
+
+func TestGenesisAndBalances(t *testing.T) {
+	r := newRig(t)
+	if r.chain.Height() != 0 {
+		t.Fatalf("Height = %d", r.chain.Height())
+	}
+	if got := r.alice.Balance(r.chain.UTXO()); got != 50*Coin {
+		t.Errorf("genesis balance = %v", got)
+	}
+	if r.chain.UTXO().TotalValue() != 50*Coin {
+		t.Errorf("total UTXO value = %v", r.chain.UTXO().TotalValue())
+	}
+}
+
+func TestSignedPaymentLifecycle(t *testing.T) {
+	r := newRig(t)
+	tx := r.pay(t, r.alice, r.bob, 10*Coin, 1000)
+	if err := r.mempool.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if r.mempool.Len() != 1 {
+		t.Fatalf("mempool len = %d", r.mempool.Len())
+	}
+	b := r.mine(t)
+	if len(b.Txs) != 2 {
+		t.Fatalf("block txs = %d", len(b.Txs))
+	}
+	if r.mempool.Len() != 0 {
+		t.Error("confirmed transaction still pending")
+	}
+	if got := r.bob.Balance(r.chain.UTXO()); got != 10*Coin {
+		t.Errorf("bob balance = %v", got)
+	}
+	// Alice got change plus the next coinbase plus the fee.
+	wantAlice := 50*Coin - 10*Coin - 1000 + 50*Coin + 1000
+	if got := r.alice.Balance(r.chain.UTXO()); got != Amount(wantAlice) {
+		t.Errorf("alice balance = %v, want %v", got, Amount(wantAlice))
+	}
+}
+
+func TestTransactionValidationFailures(t *testing.T) {
+	r := newRig(t)
+	utxo := r.chain.UTXO()
+	// Unsigned spend.
+	ops := utxo.ByOwner(r.alice.PubKey())
+	unsigned := NewTransaction([]TxIn{{Prev: ops[0]}},
+		[]TxOut{{Value: Coin, PubKey: r.bob.PubKey()}}).Finalize()
+	if _, err := unsigned.Validate(utxo); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("unsigned spend: %v", err)
+	}
+	// Wrong signer.
+	wrongSigner := NewTransaction([]TxIn{{Prev: ops[0]}},
+		[]TxOut{{Value: Coin, PubKey: r.bob.PubKey()}})
+	r.bob.SignAll(wrongSigner)
+	wrongSigner.Finalize()
+	if _, err := wrongSigner.Validate(utxo); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("wrong signer: %v", err)
+	}
+	// Missing output.
+	missing := NewTransaction([]TxIn{{Prev: OutPoint{Index: 9}}},
+		[]TxOut{{Value: Coin, PubKey: r.bob.PubKey()}})
+	r.alice.SignAll(missing)
+	missing.Finalize()
+	if _, err := missing.Validate(utxo); !errors.Is(err, ErrMissingOutput) {
+		t.Errorf("missing output: %v", err)
+	}
+	// Output exceeds input.
+	overdraw := NewTransaction([]TxIn{{Prev: ops[0]}},
+		[]TxOut{{Value: 100 * Coin, PubKey: r.bob.PubKey()}})
+	r.alice.SignAll(overdraw)
+	overdraw.Finalize()
+	if _, err := overdraw.Validate(utxo); !errors.Is(err, ErrValueOverflow) {
+		t.Errorf("overdraw: %v", err)
+	}
+	// Duplicate input.
+	dup := NewTransaction([]TxIn{{Prev: ops[0]}, {Prev: ops[0]}},
+		[]TxOut{{Value: Coin, PubKey: r.bob.PubKey()}})
+	r.alice.SignAll(dup)
+	dup.Finalize()
+	if _, err := dup.Validate(utxo); !errors.Is(err, ErrDuplicateInput) {
+		t.Errorf("duplicate input: %v", err)
+	}
+	// No outputs.
+	empty := NewTransaction([]TxIn{{Prev: ops[0]}}, nil)
+	r.alice.SignAll(empty)
+	empty.Finalize()
+	if _, err := empty.Validate(utxo); !errors.Is(err, ErrEmpty) {
+		t.Errorf("no outputs: %v", err)
+	}
+}
+
+func TestConflictsWith(t *testing.T) {
+	r := newRig(t)
+	op := r.chain.UTXO().ByOwner(r.alice.PubKey())[0]
+	tx1, err := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := r.alice.SpendOutpoint(r.chain.UTXO(), op, []Payment{{To: r.carol.PubKey(), Amount: Coin}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx1.ConflictsWith(tx2) || !tx2.ConflictsWith(tx1) {
+		t.Error("same-input transactions must conflict")
+	}
+	if tx1.ID() == tx2.ID() {
+		t.Error("different payments share an id")
+	}
+}
+
+func TestSigHashExcludesSignatures(t *testing.T) {
+	// Malleability fix: mutating a signature must not change the
+	// sighash (so the signature stays valid) but must change the id.
+	r := newRig(t)
+	tx := r.pay(t, r.alice, r.bob, Coin, 100)
+	before := tx.SigHash()
+	idBefore := tx.ID()
+	mutated := NewTransaction(append([]TxIn(nil), tx.Ins...), tx.Outs)
+	mutated.Ins[0].Sig = append([]byte(nil), tx.Ins[0].Sig...)
+	mutated.Ins[0].Sig[0] ^= 0xFF
+	mutated.Finalize()
+	if mutated.SigHash() != before {
+		t.Error("sighash must not commit to signatures")
+	}
+	if mutated.ID() == idBefore {
+		t.Error("id must commit to signatures")
+	}
+}
+
+func TestWalletPayErrors(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.bob.Pay(r.chain.UTXO(), []Payment{{To: r.alice.PubKey(), Amount: Coin}}, 0, nil); err == nil {
+		t.Error("broke wallet paid")
+	}
+	if _, err := r.alice.Pay(r.chain.UTXO(), []Payment{{To: r.bob.PubKey(), Amount: -1}}, 0, nil); err == nil {
+		t.Error("negative payment accepted")
+	}
+	if _, err := r.alice.Pay(r.chain.UTXO(), []Payment{{To: r.bob.PubKey(), Amount: 500 * Coin}}, 0, nil); err == nil {
+		t.Error("overdraft accepted")
+	}
+	// Avoid set blocks the only output.
+	ops := r.chain.UTXO().ByOwner(r.alice.PubKey())
+	avoid := map[OutPoint]bool{ops[0]: true}
+	if _, err := r.alice.Pay(r.chain.UTXO(), []Payment{{To: r.bob.PubKey(), Amount: Coin}}, 0, avoid); err == nil {
+		t.Error("avoided outpoint was spent")
+	}
+}
+
+func TestSpendOutpointErrors(t *testing.T) {
+	r := newRig(t)
+	ops := r.chain.UTXO().ByOwner(r.alice.PubKey())
+	if _, err := r.bob.SpendOutpoint(r.chain.UTXO(), ops[0], []Payment{{To: r.carol.PubKey(), Amount: Coin}}, 0); err == nil {
+		t.Error("spent someone else's outpoint")
+	}
+	if _, err := r.alice.SpendOutpoint(r.chain.UTXO(), OutPoint{Index: 7}, nil, 0); err == nil {
+		t.Error("spent a missing outpoint")
+	}
+	if _, err := r.alice.SpendOutpoint(r.chain.UTXO(), ops[0], []Payment{{To: r.bob.PubKey(), Amount: 500 * Coin}}, 0); err == nil {
+		t.Error("overdrew an outpoint")
+	}
+}
+
+func TestFeeRate(t *testing.T) {
+	if FeeRate(1000, 100) != 10000 {
+		t.Errorf("FeeRate = %d", FeeRate(1000, 100))
+	}
+	if FeeRate(1000, 0) != 0 {
+		t.Error("zero size should not divide")
+	}
+}
+
+func TestUnfinalizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTransaction(nil, nil).ID()
+}

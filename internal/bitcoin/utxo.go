@@ -1,0 +1,111 @@
+package bitcoin
+
+// UTXOSet tracks the unspent transaction outputs of the active chain.
+type UTXOSet struct {
+	outs map[OutPoint]TxOut
+}
+
+// NewUTXOSet returns an empty set.
+func NewUTXOSet() *UTXOSet {
+	return &UTXOSet{outs: make(map[OutPoint]TxOut)}
+}
+
+// Output implements OutputSource.
+func (u *UTXOSet) Output(op OutPoint) (TxOut, bool) {
+	out, ok := u.outs[op]
+	return out, ok
+}
+
+// Len returns the number of unspent outputs.
+func (u *UTXOSet) Len() int { return len(u.outs) }
+
+// TotalValue sums every unspent output.
+func (u *UTXOSet) TotalValue() Amount {
+	var sum Amount
+	for _, o := range u.outs {
+		sum += o.Value
+	}
+	return sum
+}
+
+// add registers the outputs of a transaction.
+func (u *UTXOSet) add(t *Transaction) {
+	id := t.ID()
+	for i, o := range t.Outs {
+		u.outs[OutPoint{TxID: id, Index: uint32(i)}] = o
+	}
+}
+
+// spend removes the outpoint, returning the removed output.
+func (u *UTXOSet) spend(op OutPoint) (TxOut, bool) {
+	out, ok := u.outs[op]
+	if ok {
+		delete(u.outs, op)
+	}
+	return out, ok
+}
+
+// restore re-adds a previously spent output (reorg undo).
+func (u *UTXOSet) restore(op OutPoint, out TxOut) { u.outs[op] = out }
+
+// remove deletes an output created by a disconnected block.
+func (u *UTXOSet) remove(op OutPoint) { delete(u.outs, op) }
+
+// ForEach visits every unspent output; f returning false stops early.
+func (u *UTXOSet) ForEach(f func(OutPoint, TxOut) bool) {
+	for op, out := range u.outs {
+		if !f(op, out) {
+			return
+		}
+	}
+}
+
+// ByOwner collects the outpoints locked to the given public key.
+func (u *UTXOSet) ByOwner(pub []byte) []OutPoint {
+	var out []OutPoint
+	for op, o := range u.outs {
+		if string(o.PubKey) == string(pub) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// overlaySource resolves outpoints against a base source plus the
+// outputs of in-flight transactions, minus outpoints they spend. The
+// mempool and block assembly use it to validate dependent chains.
+type overlaySource struct {
+	base    OutputSource
+	created map[OutPoint]TxOut
+	spent   map[OutPoint]bool
+}
+
+func newOverlaySource(base OutputSource) *overlaySource {
+	return &overlaySource{
+		base:    base,
+		created: make(map[OutPoint]TxOut),
+		spent:   make(map[OutPoint]bool),
+	}
+}
+
+// apply layers a transaction's effects onto the overlay.
+func (o *overlaySource) apply(t *Transaction) {
+	for _, in := range t.Ins {
+		o.spent[in.Prev] = true
+	}
+	id := t.ID()
+	for i, out := range t.Outs {
+		o.created[OutPoint{TxID: id, Index: uint32(i)}] = out
+	}
+}
+
+// Output implements OutputSource.
+func (o *overlaySource) Output(op OutPoint) (TxOut, bool) {
+	if o.spent[op] {
+		return TxOut{}, false
+	}
+	if out, ok := o.created[op]; ok {
+		return out, true
+	}
+	return o.base.Output(op)
+}

@@ -1,0 +1,139 @@
+package bitcoin
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Wallet holds one keypair and builds signed payments from the outputs
+// it owns. Deterministic wallets (seeded) keep simulations repeatable.
+type Wallet struct {
+	Name string
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewWallet derives a wallet deterministically from the rng.
+func NewWallet(name string, rng *rand.Rand) *Wallet {
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = byte(rng.Intn(256))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Wallet{Name: name, pub: priv.Public().(ed25519.PublicKey), priv: priv}
+}
+
+// PubKey returns the wallet's public key.
+func (w *Wallet) PubKey() ed25519.PublicKey { return w.pub }
+
+// Sign signs a digest.
+func (w *Wallet) Sign(digest []byte) []byte { return ed25519.Sign(w.priv, digest) }
+
+// Balance sums the wallet's unspent outputs in the source set.
+func (w *Wallet) Balance(utxo *UTXOSet) Amount {
+	var sum Amount
+	for _, op := range utxo.ByOwner(w.pub) {
+		out, _ := utxo.Output(op)
+		sum += out.Value
+	}
+	return sum
+}
+
+// Payment describes one desired output of a payment.
+type Payment struct {
+	To     ed25519.PublicKey
+	Amount Amount
+}
+
+// Pay builds and signs a transaction paying the given outputs plus a
+// fee, selecting coins from the wallet's outputs in src (largest
+// first) and returning change to the wallet — the pattern the paper's
+// Example 3 notes: "users return to their own wallet the remainder of
+// the input not being sent to another user". Outpoints in avoid are
+// skipped (e.g. ones already promised to other in-flight payments).
+func (w *Wallet) Pay(src *UTXOSet, payments []Payment, fee Amount, avoid map[OutPoint]bool) (*Transaction, error) {
+	var need Amount = fee
+	var outs []TxOut
+	for _, p := range payments {
+		if p.Amount <= 0 {
+			return nil, fmt.Errorf("bitcoin: non-positive payment %v", p.Amount)
+		}
+		need += p.Amount
+		outs = append(outs, TxOut{Value: p.Amount, PubKey: p.To})
+	}
+	candidates := src.ByOwner(w.pub)
+	sort.Slice(candidates, func(i, j int) bool {
+		oi, _ := src.Output(candidates[i])
+		oj, _ := src.Output(candidates[j])
+		if oi.Value != oj.Value {
+			return oi.Value > oj.Value
+		}
+		return candidates[i].String() < candidates[j].String()
+	})
+	var selected []OutPoint
+	var have Amount
+	for _, op := range candidates {
+		if avoid[op] {
+			continue
+		}
+		selected = append(selected, op)
+		out, _ := src.Output(op)
+		have += out.Value
+		if have >= need {
+			break
+		}
+	}
+	if have < need {
+		return nil, fmt.Errorf("bitcoin: insufficient funds: have %v, need %v", have, need)
+	}
+	if change := have - need; change > 0 {
+		outs = append(outs, TxOut{Value: change, PubKey: w.pub})
+	}
+	ins := make([]TxIn, len(selected))
+	for i, op := range selected {
+		ins[i] = TxIn{Prev: op}
+	}
+	tx := NewTransaction(ins, outs)
+	w.SignAll(tx)
+	return tx.Finalize(), nil
+}
+
+// SignAll fills every input's signature (all inputs must be owned by
+// this wallet).
+func (w *Wallet) SignAll(tx *Transaction) {
+	sighash := tx.SigHash()
+	for i := range tx.Ins {
+		tx.Ins[i].Sig = w.Sign(sighash[:])
+	}
+}
+
+// SpendOutpoint builds a transaction spending exactly the given owned
+// outpoint to the payments (plus change), used to construct deliberate
+// conflicts: two transactions built from the same outpoint can never
+// coexist.
+func (w *Wallet) SpendOutpoint(src OutputSource, op OutPoint, payments []Payment, fee Amount) (*Transaction, error) {
+	out, ok := src.Output(op)
+	if !ok {
+		return nil, fmt.Errorf("bitcoin: outpoint %v not found", op)
+	}
+	if string(out.PubKey) != string(w.pub) {
+		return nil, fmt.Errorf("bitcoin: outpoint %v not owned by %s", op, w.Name)
+	}
+	var need Amount = fee
+	var outs []TxOut
+	for _, p := range payments {
+		need += p.Amount
+		outs = append(outs, TxOut{Value: p.Amount, PubKey: p.To})
+	}
+	if out.Value < need {
+		return nil, fmt.Errorf("bitcoin: outpoint %v worth %v cannot cover %v", op, out.Value, need)
+	}
+	if change := out.Value - need; change > 0 {
+		outs = append(outs, TxOut{Value: change, PubKey: w.pub})
+	}
+	tx := NewTransaction([]TxIn{{Prev: op}}, outs)
+	w.SignAll(tx)
+	return tx.Finalize(), nil
+}

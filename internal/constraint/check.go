@@ -1,0 +1,200 @@
+package constraint
+
+import (
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// Check verifies that the view satisfies every constraint in the set.
+// It returns nil when satisfied, or the first *Violation found.
+func (c *Set) Check(v relation.View) error {
+	for i, fd := range c.FDs {
+		if err := c.checkFD(v, i, fd); err != nil {
+			return err
+		}
+	}
+	for i, ind := range c.INDs {
+		if err := c.checkIND(v, i, ind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Set) checkFD(v relation.View, i int, fd *FD) error {
+	lhs, rhs := c.fdCols[i].lhs, c.fdCols[i].rhs
+	seen := make(map[string]value.Tuple, v.Count(fd.Rel))
+	var violation *Violation
+	v.Scan(fd.Rel, func(t value.Tuple) bool {
+		lk := t.ProjectKey(lhs)
+		if prev, ok := seen[lk]; ok {
+			if prev.ProjectKey(rhs) != t.ProjectKey(rhs) {
+				violation = &Violation{Constraint: fd, Rel: fd.Rel, Tuple: t, Other: prev}
+				return false
+			}
+			return true
+		}
+		seen[lk] = t
+		return true
+	})
+	if violation != nil {
+		return violation
+	}
+	return nil
+}
+
+func (c *Set) checkIND(v relation.View, i int, ind *IND) error {
+	cols, refCols := c.indCols[i].cols, c.indCols[i].refCols
+	var violation *Violation
+	v.Scan(ind.Rel, func(t value.Tuple) bool {
+		if !hasReferenced(v, ind.RefRel, refCols, t.ProjectKey(cols)) {
+			violation = &Violation{Constraint: ind, Rel: ind.Rel, Tuple: t}
+			return false
+		}
+		return true
+	})
+	if violation != nil {
+		return violation
+	}
+	return nil
+}
+
+// hasReferenced reports whether the view holds a tuple of rel whose
+// projection on cols matches the key.
+func hasReferenced(v relation.View, rel string, cols []int, key string) bool {
+	found := false
+	v.Lookup(rel, cols, key, func(value.Tuple) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// CanAppend reports whether world ∪ tx satisfies the constraint set,
+// assuming the world itself already does. This is the incremental form
+// used by the can-append relation: only the new tuples are examined —
+// an FD can newly break only on a pair involving a new tuple, and an
+// IND can newly break only for a new left-hand-side tuple (adding
+// tuples never invalidates existing references).
+func (c *Set) CanAppend(world relation.View, tx *relation.Transaction) bool {
+	return c.AppendViolation(world, tx) == nil
+}
+
+// AppendViolation is CanAppend returning the first violation found (nil
+// when the transaction can be appended).
+func (c *Set) AppendViolation(world relation.View, tx *relation.Transaction) error {
+	for i, fd := range c.FDs {
+		lhs, rhs := c.fdCols[i].lhs, c.fdCols[i].rhs
+		news := tx.Tuples(fd.Rel)
+		if len(news) == 0 {
+			continue
+		}
+		// Within-transaction pairs.
+		local := make(map[string]value.Tuple, len(news))
+		for _, t := range news {
+			lk := t.ProjectKey(lhs)
+			if prev, ok := local[lk]; ok && prev.ProjectKey(rhs) != t.ProjectKey(rhs) {
+				return &Violation{Constraint: fd, Rel: fd.Rel, Tuple: t, Other: prev}
+			}
+			local[lk] = t
+		}
+		// New tuple against the existing world.
+		for _, t := range news {
+			lk := t.ProjectKey(lhs)
+			rk := t.ProjectKey(rhs)
+			var clash value.Tuple
+			world.Lookup(fd.Rel, lhs, lk, func(existing value.Tuple) bool {
+				if existing.ProjectKey(rhs) != rk {
+					clash = existing
+					return false
+				}
+				return true
+			})
+			if clash != nil {
+				return &Violation{Constraint: fd, Rel: fd.Rel, Tuple: t, Other: clash}
+			}
+		}
+	}
+	for i, ind := range c.INDs {
+		cols, refCols := c.indCols[i].cols, c.indCols[i].refCols
+		for _, t := range tx.Tuples(ind.Rel) {
+			key := t.ProjectKey(cols)
+			if hasReferenced(world, ind.RefRel, refCols, key) {
+				continue
+			}
+			// The reference may be provided by the transaction itself.
+			if txProvides(tx, ind.RefRel, refCols, key) {
+				continue
+			}
+			return &Violation{Constraint: ind, Rel: ind.Rel, Tuple: t}
+		}
+	}
+	return nil
+}
+
+func txProvides(tx *relation.Transaction, rel string, cols []int, key string) bool {
+	for _, t := range tx.Tuples(rel) {
+		if t.ProjectKey(cols) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// FDCompatible reports whether the union of the two transactions
+// satisfies all functional dependencies of the set, ignoring inclusion
+// dependencies. This is the edge predicate of the paper's
+// fd-transaction graph G^fd_T.
+func (c *Set) FDCompatible(a, b *relation.Transaction) bool {
+	for i, fd := range c.FDs {
+		lhs, rhs := c.fdCols[i].lhs, c.fdCols[i].rhs
+		ta, tb := a.Tuples(fd.Rel), b.Tuples(fd.Rel)
+		if len(ta) == 0 && len(tb) == 0 {
+			continue
+		}
+		seen := make(map[string]string, len(ta)+len(tb))
+		conflict := false
+		add := func(ts []value.Tuple) {
+			for _, t := range ts {
+				lk := t.ProjectKey(lhs)
+				rk := t.ProjectKey(rhs)
+				if prev, ok := seen[lk]; ok {
+					if prev != rk {
+						conflict = true
+						return
+					}
+					continue
+				}
+				seen[lk] = rk
+			}
+		}
+		add(ta)
+		if !conflict {
+			add(tb)
+		}
+		if conflict {
+			return false
+		}
+	}
+	return true
+}
+
+// FDSelfConsistent reports whether the transaction alone satisfies the
+// functional dependencies (a transaction that does not can never appear
+// in any possible world).
+func (c *Set) FDSelfConsistent(t *relation.Transaction) bool {
+	return c.FDCompatible(t, relation.NewTransaction(""))
+}
+
+// FDKeys returns, for FD i, the (lhsKey, rhsKey) projection pairs of
+// the transaction's tuples on that dependency's relation. Used to build
+// the fd-transaction graph by hashing rather than by pairwise checks.
+func (c *Set) FDKeys(i int, tx *relation.Transaction) (lhsKeys, rhsKeys []string) {
+	fd := c.FDs[i]
+	lhs, rhs := c.fdCols[i].lhs, c.fdCols[i].rhs
+	for _, t := range tx.Tuples(fd.Rel) {
+		lhsKeys = append(lhsKeys, t.ProjectKey(lhs))
+		rhsKeys = append(rhsKeys, t.ProjectKey(rhs))
+	}
+	return lhsKeys, rhsKeys
+}

@@ -1,0 +1,206 @@
+// Package constraint implements the three classes of integrity
+// constraints of the paper — key constraints, functional dependencies,
+// and inclusion dependencies — together with full and incremental
+// satisfaction checks over relation views.
+//
+// Key constraints are represented as functional dependencies whose
+// right-hand side is the full attribute list, mirroring the paper's
+// "key constraints are a special case of functional dependencies".
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// FD is a functional dependency X → Y over one relation. IsKey marks
+// the dependency as a declared key constraint (Y spans all attributes);
+// the distinction only matters for complexity classification, not for
+// checking.
+type FD struct {
+	Rel   string
+	LHS   []string
+	RHS   []string
+	IsKey bool
+}
+
+// NewFD builds a functional dependency Rel: lhs → rhs.
+func NewFD(rel string, lhs, rhs []string) *FD {
+	return &FD{Rel: rel, LHS: lhs, RHS: rhs}
+}
+
+// NewKey builds a key constraint on the given attributes of the
+// schema: a functional dependency key → all attributes.
+func NewKey(sc *relation.Schema, keyAttrs ...string) *FD {
+	all := make([]string, sc.Arity())
+	for i, a := range sc.Attrs {
+		all[i] = a.Name
+	}
+	return &FD{Rel: sc.Name, LHS: keyAttrs, RHS: all, IsKey: true}
+}
+
+// String renders the dependency as "Rel: a,b -> c,d" (or "key(...)").
+func (fd *FD) String() string {
+	if fd.IsKey {
+		return fmt.Sprintf("key %s(%s)", fd.Rel, strings.Join(fd.LHS, ","))
+	}
+	return fmt.Sprintf("fd %s: %s -> %s", fd.Rel,
+		strings.Join(fd.LHS, ","), strings.Join(fd.RHS, ","))
+}
+
+// IND is an inclusion dependency Rel[Cols] ⊆ RefRel[RefCols].
+type IND struct {
+	Rel     string
+	Cols    []string
+	RefRel  string
+	RefCols []string
+}
+
+// NewIND builds an inclusion dependency rel[cols] ⊆ refRel[refCols].
+func NewIND(rel string, cols []string, refRel string, refCols []string) *IND {
+	return &IND{Rel: rel, Cols: cols, RefRel: refRel, RefCols: refCols}
+}
+
+// String renders the dependency as "Rel[a,b] ⊆ Ref[c,d]".
+func (ind *IND) String() string {
+	return fmt.Sprintf("ind %s[%s] <= %s[%s]", ind.Rel,
+		strings.Join(ind.Cols, ","), ind.RefRel, strings.Join(ind.RefCols, ","))
+}
+
+// Set is a collection of integrity constraints — the "I" of a
+// blockchain database — with column indexes resolved against the
+// schemas they constrain. Build with NewSet; a Set is immutable and
+// safe for concurrent use afterwards.
+type Set struct {
+	FDs  []*FD
+	INDs []*IND
+
+	fdCols  []fdCols
+	indCols []indCols
+}
+
+type fdCols struct {
+	lhs, rhs []int
+}
+
+type indCols struct {
+	cols, refCols []int
+}
+
+// NewSet resolves the constraints against the schemas of the state and
+// returns the compiled set. It validates that every referenced relation
+// and attribute exists and that IND column lists have equal length.
+func NewSet(s *relation.State, fds []*FD, inds []*IND) (*Set, error) {
+	set := &Set{FDs: fds, INDs: inds}
+	for _, fd := range fds {
+		sc := s.Schema(fd.Rel)
+		if sc == nil {
+			return nil, fmt.Errorf("constraint: %v references unknown relation %q", fd, fd.Rel)
+		}
+		var fc fdCols
+		for _, a := range fd.LHS {
+			c, ok := sc.Col(a)
+			if !ok {
+				return nil, fmt.Errorf("constraint: %v references unknown attribute %q", fd, a)
+			}
+			fc.lhs = append(fc.lhs, c)
+		}
+		for _, a := range fd.RHS {
+			c, ok := sc.Col(a)
+			if !ok {
+				return nil, fmt.Errorf("constraint: %v references unknown attribute %q", fd, a)
+			}
+			fc.rhs = append(fc.rhs, c)
+		}
+		set.fdCols = append(set.fdCols, fc)
+	}
+	for _, ind := range inds {
+		if len(ind.Cols) != len(ind.RefCols) {
+			return nil, fmt.Errorf("constraint: %v has mismatched column counts", ind)
+		}
+		sc, ref := s.Schema(ind.Rel), s.Schema(ind.RefRel)
+		if sc == nil || ref == nil {
+			return nil, fmt.Errorf("constraint: %v references unknown relation", ind)
+		}
+		var ic indCols
+		for _, a := range ind.Cols {
+			c, ok := sc.Col(a)
+			if !ok {
+				return nil, fmt.Errorf("constraint: %v references unknown attribute %q", ind, a)
+			}
+			ic.cols = append(ic.cols, c)
+		}
+		for _, a := range ind.RefCols {
+			c, ok := ref.Col(a)
+			if !ok {
+				return nil, fmt.Errorf("constraint: %v references unknown attribute %q", ind, a)
+			}
+			ic.refCols = append(ic.refCols, c)
+		}
+		set.indCols = append(set.indCols, ic)
+	}
+	return set, nil
+}
+
+// MustNewSet is NewSet but panics on error.
+func MustNewSet(s *relation.State, fds []*FD, inds []*IND) *Set {
+	set, err := NewSet(s, fds, inds)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// HasKeys reports whether the set declares at least one key constraint.
+func (c *Set) HasKeys() bool {
+	for _, fd := range c.FDs {
+		if fd.IsKey {
+			return true
+		}
+	}
+	return false
+}
+
+// HasProperFDs reports whether the set declares a functional dependency
+// that is not a key constraint.
+func (c *Set) HasProperFDs() bool {
+	for _, fd := range c.FDs {
+		if !fd.IsKey {
+			return true
+		}
+	}
+	return false
+}
+
+// HasINDs reports whether the set declares inclusion dependencies.
+func (c *Set) HasINDs() bool { return len(c.INDs) > 0 }
+
+// FDColumns returns the resolved (lhs, rhs) column indexes of FDs[i].
+func (c *Set) FDColumns(i int) (lhs, rhs []int) {
+	return c.fdCols[i].lhs, c.fdCols[i].rhs
+}
+
+// INDColumns returns the resolved (cols, refCols) column indexes of
+// INDs[i].
+func (c *Set) INDColumns(i int) (cols, refCols []int) {
+	return c.indCols[i].cols, c.indCols[i].refCols
+}
+
+// Violation describes a constraint violation found by a check.
+type Violation struct {
+	Constraint fmt.Stringer
+	Rel        string
+	Tuple      value.Tuple
+	Other      value.Tuple // second tuple for FD violations; nil for INDs
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	if v.Other != nil {
+		return fmt.Sprintf("violation of %v: tuples %v and %v", v.Constraint, v.Tuple, v.Other)
+	}
+	return fmt.Sprintf("violation of %v: tuple %v has no referenced tuple", v.Constraint, v.Tuple)
+}

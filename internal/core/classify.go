@@ -1,0 +1,120 @@
+package core
+
+import (
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/query"
+)
+
+// Complexity is a data-complexity class for the denial constraint
+// satisfaction problem DCSat(Q, Δ).
+type Complexity string
+
+// The classes appearing in Theorems 1 and 2. CoNP ("in CoNP") is
+// reported for combinations whose exact status the paper does not pin
+// down; Corollary 1 guarantees membership for every combination.
+const (
+	PTime        Complexity = "PTIME"
+	CoNPComplete Complexity = "CoNP-complete"
+	CoNP         Complexity = "in CoNP"
+)
+
+// Classify reports the data complexity of deciding D |= ¬q for the
+// query's class and the constraint types present in the set,
+// implementing the full characterization of Theorems 1 and 2:
+//
+// Conjunctive queries (Theorem 1):
+//   - DCSat(Qc, {key, fd}) and DCSat(Qc, {ind}) are in PTIME;
+//   - DCSat(Q+c, {key, ind}) is CoNP-complete (hardness inherited by
+//     every superclass, membership from Corollary 1).
+//
+// Aggregate queries (Theorem 2), α the aggregate function and θ the
+// head comparison (≤ and ≥ classified with < and >):
+//   - max over {key, fd}: PTIME for every θ;
+//   - count/cntd/sum with θ = < over {key, fd}: PTIME;
+//   - count/cntd/sum with θ ∈ {>, =} over {key}: CoNP-complete;
+//   - positive count/cntd/sum/max with θ = > over {ind}: PTIME, except
+//     that with negation count/cntd/sum become CoNP-complete while
+//     max,> stays PTIME (items 4, 6, 7);
+//   - count/cntd/sum/max with θ ∈ {<, =} over {ind}: CoNP-complete;
+//   - max over {key, ind} together: CoNP-complete.
+//
+// min is classified through its duality with max (the paper's remark):
+// min with θ behaves as max with the mirrored comparison.
+func Classify(q *query.Query, cons *constraint.Set) Complexity {
+	fd := cons.HasKeys() || cons.HasProperFDs()
+	ind := cons.HasINDs()
+	if q.Agg == nil {
+		if fd && ind {
+			return CoNPComplete // Theorem 1.2 hardness, Corollary 1 membership.
+		}
+		return PTime // Theorem 1.1 covers {key,fd}-only, {ind}-only, and no constraints.
+	}
+	fn, op := q.Agg.Func, normalizeOp(q.Agg.Op)
+	if fn == query.AggMin {
+		fn, op = query.AggMax, mirrorOp(op)
+	}
+	switch fn {
+	case query.AggMax:
+		switch {
+		case !ind:
+			return PTime // Theorem 2.1.
+		case ind && !fd:
+			if op == query.OpGt {
+				return PTime // Theorem 2.7 (negation allowed).
+			}
+			return CoNPComplete // Theorem 2.5 with α = max.
+		default:
+			return CoNPComplete // Theorem 2.8.
+		}
+	case query.AggCount, query.AggCntd, query.AggSum:
+		switch {
+		case !ind:
+			if op == query.OpLt {
+				return PTime // Theorem 2.2.
+			}
+			return CoNPComplete // Theorem 2.3 (θ ∈ {>, =}).
+		case ind && !fd:
+			if op == query.OpGt {
+				if q.IsPositive() {
+					return PTime // Theorem 2.4.
+				}
+				return CoNPComplete // Theorem 2.6.
+			}
+			return CoNPComplete // Theorem 2.5 (θ ∈ {<, =}).
+		default:
+			return CoNPComplete // Both constraint kinds: hardness inherited.
+		}
+	default:
+		return CoNP
+	}
+}
+
+// normalizeOp folds ≤ into < and ≥ into > for classification; ≠ is not
+// produced by the parser for aggregate heads but maps to = (its
+// complement class) conservatively as CoNP-complete via the = cases.
+func normalizeOp(op query.CmpOp) query.CmpOp {
+	switch op {
+	case query.OpLe:
+		return query.OpLt
+	case query.OpGe:
+		return query.OpGt
+	case query.OpNe:
+		return query.OpEq
+	default:
+		return op
+	}
+}
+
+// mirrorOp swaps the direction of a comparison (for the min ↔ max
+// duality): min(B) < c holds on the same worlds pattern as the
+// grown-world behaviour of max(B) > c.
+func mirrorOp(op query.CmpOp) query.CmpOp {
+	switch op {
+	case query.OpLt:
+		return query.OpGt
+	case query.OpGt:
+		return query.OpLt
+	default:
+		return op
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+)
+
+// constraint sets exercising each Δ regime over one schema.
+func classifierSets(t *testing.T) (none, fdOnly, indOnly, both *constraint.Set) {
+	t.Helper()
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("R", "a:int", "b:int"))
+	s.MustAddSchema(relation.NewSchema("S", "a:int"))
+	key := constraint.NewKey(s.Schema("R"), "a")
+	ind := constraint.NewIND("S", []string{"a"}, "R", []string{"a"})
+	none = constraint.MustNewSet(s, nil, nil)
+	fdOnly = constraint.MustNewSet(s, []*constraint.FD{key}, nil)
+	indOnly = constraint.MustNewSet(s, nil, []*constraint.IND{ind})
+	both = constraint.MustNewSet(s, []*constraint.FD{key}, []*constraint.IND{ind})
+	return
+}
+
+// TestClassifyTheorem1 checks the conjunctive-query rows of the
+// characterization.
+func TestClassifyTheorem1(t *testing.T) {
+	none, fdOnly, indOnly, both := classifierSets(t)
+	pos := query.MustParse("q() :- R(x, y)")
+	neg := query.MustParse("q() :- R(x, y), !S(x)")
+	for _, q := range []*query.Query{pos, neg} {
+		if got := Classify(q, none); got != PTime {
+			t.Errorf("Classify(%s, ∅) = %v", q, got)
+		}
+		if got := Classify(q, fdOnly); got != PTime {
+			t.Errorf("Classify(%s, {key,fd}) = %v", q, got)
+		}
+		if got := Classify(q, indOnly); got != PTime {
+			t.Errorf("Classify(%s, {ind}) = %v", q, got)
+		}
+		if got := Classify(q, both); got != CoNPComplete {
+			t.Errorf("Classify(%s, {key,ind}) = %v", q, got)
+		}
+	}
+}
+
+// TestClassifyTheorem2 checks every aggregate row of Theorem 2.
+func TestClassifyTheorem2(t *testing.T) {
+	_, fdOnly, indOnly, both := classifierSets(t)
+	cases := []struct {
+		src  string
+		cons *constraint.Set
+		want Complexity
+	}{
+		// (1) max over {key,fd}: PTIME for every θ.
+		{"q(max(x)) > 3 :- R(x, y)", fdOnly, PTime},
+		{"q(max(x)) < 3 :- R(x, y)", fdOnly, PTime},
+		{"q(max(x)) = 3 :- R(x, y)", fdOnly, PTime},
+		// (2) count/cntd/sum with < over {key,fd}: PTIME (negation allowed).
+		{"q(count()) < 3 :- R(x, y)", fdOnly, PTime},
+		{"q(cntd(x)) < 3 :- R(x, y), !S(x)", fdOnly, PTime},
+		{"q(sum(x)) <= 3 :- R(x, y)", fdOnly, PTime},
+		// (3) count/cntd/sum with {>,=} over {key}: CoNP-complete.
+		{"q(count()) > 3 :- R(x, y)", fdOnly, CoNPComplete},
+		{"q(sum(x)) = 3 :- R(x, y)", fdOnly, CoNPComplete},
+		{"q(cntd(x)) >= 3 :- R(x, y)", fdOnly, CoNPComplete},
+		// (4) positive count/cntd/sum/max with > over {ind}: PTIME.
+		{"q(count()) > 3 :- R(x, y)", indOnly, PTime},
+		{"q(sum(x)) > 3 :- R(x, y)", indOnly, PTime},
+		{"q(max(x)) > 3 :- R(x, y)", indOnly, PTime},
+		// (5) count/cntd/sum/max with {<,=} over {ind}: CoNP-complete.
+		{"q(count()) < 3 :- R(x, y)", indOnly, CoNPComplete},
+		{"q(max(x)) = 3 :- R(x, y)", indOnly, CoNPComplete},
+		{"q(sum(x)) < 3 :- R(x, y)", indOnly, CoNPComplete},
+		// (6) non-positive count/cntd/sum with > over {ind}: CoNP-complete.
+		{"q(count()) > 3 :- R(x, y), !S(x)", indOnly, CoNPComplete},
+		// (7) max with > over {ind}: PTIME even with negation.
+		{"q(max(x)) > 3 :- R(x, y), !S(x)", indOnly, PTime},
+		// (8) max over {key, ind}: CoNP-complete.
+		{"q(max(x)) > 3 :- R(x, y)", both, CoNPComplete},
+		// min through duality: min,< ~ max,>; min,> ~ max,<.
+		{"q(min(x)) < 3 :- R(x, y)", indOnly, PTime},
+		{"q(min(x)) > 3 :- R(x, y)", indOnly, CoNPComplete},
+		{"q(min(x)) > 3 :- R(x, y)", fdOnly, PTime},
+		// Both constraint kinds: always CoNP-complete for these α.
+		{"q(count()) < 3 :- R(x, y)", both, CoNPComplete},
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.src)
+		if got := Classify(q, c.cons); got != c.want {
+			t.Errorf("Classify(%s, %s) = %v, want %v", c.src, describe(c.cons), got, c.want)
+		}
+	}
+}
+
+func describe(c *constraint.Set) string {
+	switch {
+	case c.HasINDs() && (c.HasKeys() || c.HasProperFDs()):
+		return "{key,ind}"
+	case c.HasINDs():
+		return "{ind}"
+	case c.HasKeys() || c.HasProperFDs():
+		return "{key,fd}"
+	default:
+		return "∅"
+	}
+}
+
+// TestClassifyBitcoinSchema: the paper's Bitcoin database carries keys
+// and INDs, so conjunctive denial constraints are CoNP-complete — the
+// reason the paper builds NaiveDCSat/OptDCSat rather than a PTIME
+// procedure.
+func TestClassifyBitcoinSchema(t *testing.T) {
+	d := fixture.PaperDB()
+	q := query.MustParse("q() :- TxOut(t, s, 'U8Pk', a)")
+	if got := Classify(q, d.Constraints); got != CoNPComplete {
+		t.Errorf("Classify over Bitcoin constraints = %v", got)
+	}
+}
+
+// TestClassifyUnknownAggregate: an aggregate outside the theorem's
+// table reports the generic CoNP upper bound.
+func TestClassifyUnknownAggregate(t *testing.T) {
+	_, fdOnly, _, _ := classifierSets(t)
+	q := &query.Query{
+		Name:  "q",
+		Atoms: []query.Atom{{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}},
+		Agg:   &query.AggHead{Func: query.AggFunc("median"), Vars: []string{"x"}, Op: query.OpGt},
+	}
+	if got := Classify(q, fdOnly); got != CoNP {
+		t.Errorf("unknown aggregate classified %v", got)
+	}
+}

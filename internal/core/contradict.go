@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// Contradict derives a new insert transaction that can never coexist
+// with the target transaction in any possible world — the paper's
+// future-work problem of "automatically deriving a new transaction
+// that contradicts previous transactions". This is how a user retracts
+// a pending transaction in an append-only blockchain: by issuing a more
+// attractive transaction that conflicts with it.
+//
+// The construction mirrors Bitcoin's conflict rule generalized to
+// arbitrary functional dependencies: pick a tuple of the target on some
+// FD's relation, keep its left-hand-side projection, and change a
+// right-hand-side attribute to a fresh value. The two transactions then
+// jointly violate the FD, so no consistent world contains both. Any
+// inclusion dependencies the new tuple triggers are repaired by
+// synthesizing referenced tuples inside the same transaction.
+//
+// The result is verified before being returned: it conflicts with the
+// target, is internally consistent, and is appendable to the current
+// state (so the contradiction is actually realizable). An error is
+// returned when no FD provides a mutable attribute.
+func Contradict(d *possible.DB, target *relation.Transaction, name string) (*relation.Transaction, error) {
+	for i, fd := range d.Constraints.FDs {
+		lhs, rhs := d.Constraints.FDColumns(i)
+		mutable := mutableColumn(lhs, rhs)
+		if mutable < 0 {
+			continue
+		}
+		for _, t := range target.Tuples(fd.Rel) {
+			candidate := t.Clone()
+			candidate[mutable] = freshValue(d, fd.Rel, mutable)
+			tx := relation.NewTransaction(name)
+			tx.Add(fd.Rel, candidate)
+			if err := repairINDs(d, tx); err != nil {
+				continue
+			}
+			tx, err := d.State.NormalizeTransaction(tx)
+			if err != nil {
+				continue
+			}
+			if d.Constraints.FDCompatible(target, tx) {
+				continue // mutation landed on an identical RHS; try next tuple
+			}
+			if !d.Constraints.CanAppend(d.State, tx) {
+				continue
+			}
+			return tx, nil
+		}
+	}
+	return nil, fmt.Errorf("core: cannot derive a contradiction for %s: no functional dependency "+
+		"with a mutable right-hand-side attribute covers its tuples", target)
+}
+
+// mutableColumn returns a column present in rhs but not in lhs, or -1.
+func mutableColumn(lhs, rhs []int) int {
+	inLHS := make(map[int]bool, len(lhs))
+	for _, c := range lhs {
+		inLHS[c] = true
+	}
+	for _, c := range rhs {
+		if !inLHS[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+// freshValue produces a value of the column's kind that no tuple of the
+// relation currently uses, in the state or in any pending transaction.
+func freshValue(d *possible.DB, rel string, col int) value.Value {
+	sc := d.State.Schema(rel)
+	kind := sc.Attrs[col].Kind
+	switch kind {
+	case value.KindString:
+		used := make(map[string]bool)
+		collectValues(d, rel, func(t value.Tuple) {
+			if t[col].Kind() == value.KindString {
+				used[t[col].AsString()] = true
+			}
+		})
+		for n := 0; ; n++ {
+			cand := fmt.Sprintf("contradict-%d", n)
+			if !used[cand] {
+				return value.Str(cand)
+			}
+		}
+	case value.KindFloat:
+		max := 0.0
+		collectValues(d, rel, func(t value.Tuple) {
+			if t[col].IsNumeric() && t[col].AsFloat() > max {
+				max = t[col].AsFloat()
+			}
+		})
+		return value.Float(max + 1)
+	default: // int and untyped columns
+		var max int64
+		collectValues(d, rel, func(t value.Tuple) {
+			if t[col].Kind() == value.KindInt && t[col].AsInt() > max {
+				max = t[col].AsInt()
+			}
+		})
+		return value.Int(max + 1)
+	}
+}
+
+func collectValues(d *possible.DB, rel string, visit func(value.Tuple)) {
+	d.State.Scan(rel, func(t value.Tuple) bool {
+		visit(t)
+		return true
+	})
+	for _, tx := range d.Pending {
+		for _, t := range tx.Tuples(rel) {
+			visit(t)
+		}
+	}
+}
+
+// repairINDs extends the transaction with synthesized referenced tuples
+// until every inclusion dependency is satisfiable over state ∪ tx.
+// Synthesized tuples carry the required reference projection and nulls
+// elsewhere. A repair that does not converge quickly (cyclic
+// dependencies over fresh values) is reported as an error.
+func repairINDs(d *possible.DB, tx *relation.Transaction) error {
+	for round := 0; round < 8; round++ {
+		world := relation.NewOverlay(d.State, tx)
+		missing := false
+		for i, ind := range d.Constraints.INDs {
+			cols, refCols := d.Constraints.INDColumns(i)
+			for _, t := range tx.Tuples(ind.Rel) {
+				key := t.ProjectKey(cols)
+				found := false
+				world.Lookup(ind.RefRel, refCols, key, func(value.Tuple) bool {
+					found = true
+					return false
+				})
+				if found {
+					continue
+				}
+				missing = true
+				ref := make(value.Tuple, d.State.Schema(ind.RefRel).Arity())
+				for j := range ref {
+					ref[j] = value.Null
+				}
+				for j, c := range refCols {
+					ref[c] = t[cols[j]]
+				}
+				tx.Add(ind.RefRel, ref)
+			}
+		}
+		if !missing {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: inclusion-dependency repair did not converge")
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// Algorithm selects how Check decides denial constraint satisfaction.
+type Algorithm int
+
+// The available algorithms.
+const (
+	// AlgoAuto picks the best applicable algorithm: the PTIME
+	// fd-only solver when the constraints have no inclusion
+	// dependencies and the query is conjunctive; OptDCSat for
+	// connected monotone queries; NaiveDCSat for other monotone
+	// queries; and the exhaustive checker otherwise.
+	AlgoAuto Algorithm = iota
+	// AlgoNaive is the paper's NaiveDCSat: enumerate maximal cliques
+	// of the fd-transaction graph over all pending transactions.
+	// Requires a monotonic query.
+	AlgoNaive
+	// AlgoOpt is the paper's OptDCSat: split pending transactions into
+	// connected components of the ind-q-transaction graph, filter by
+	// constant coverage, and enumerate cliques per component. Requires
+	// a monotonic query; falls back to NaiveDCSat when the query is
+	// not connected (as the paper does for aggregate queries).
+	AlgoOpt
+	// AlgoFDOnly is the PTIME solver family for databases whose
+	// constraints contain no inclusion dependencies: for conjunctive
+	// queries (Theorem 1.1, negation allowed) it enumerates the
+	// query's satisfying assignments over R ∪ ∪T and tests whether
+	// some assignment's supporting transactions are mutually
+	// fd-consistent; for positive aggregate queries with a
+	// small-side comparison — count/cntd/sum/max with < or <=, min
+	// with > or >= (Theorem 2.2 and the min/max duality) — it
+	// evaluates the aggregate on the minimal world of each
+	// assignment's support. Rejects databases with INDs and
+	// aggregate queries outside that fragment.
+	AlgoFDOnly
+	// AlgoExhaustive enumerates every possible world — exponential,
+	// correct for every query class; the ground truth.
+	AlgoExhaustive
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoNaive:
+		return "naive"
+	case AlgoOpt:
+		return "opt"
+	case AlgoFDOnly:
+		return "fdonly"
+	case AlgoExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Check. The zero value requests AlgoAuto with all
+// optimizations enabled.
+type Options struct {
+	Algorithm Algorithm
+	// DisablePrecheck skips the monotone pre-check (evaluate q over
+	// R ∪ ∪T first). Ablation only.
+	DisablePrecheck bool
+	// DisableCoverFilter skips OptDCSat's constant-coverage filter.
+	// Ablation only.
+	DisableCoverFilter bool
+	// DisableLiveFilter keeps fd-dead pending transactions in the
+	// clique graphs. Ablation only.
+	DisableLiveFilter bool
+	// Workers > 1 makes OptDCSat process components concurrently.
+	Workers int
+}
+
+// Stats reports what an invocation of Check did.
+type Stats struct {
+	Algorithm         Algorithm
+	Prechecked        bool // decided by the pre-check alone
+	LivePending       int  // transactions surviving the liveness filter
+	Components        int  // ind-q components (OptDCSat)
+	ComponentsCovered int  // components passing the Covers filter
+	Cliques           int  // maximal cliques enumerated
+	WorldsEvaluated   int  // worlds the query was evaluated on
+	Duration          time.Duration
+}
+
+// Result is the outcome of a denial constraint satisfaction check.
+type Result struct {
+	// Satisfied is true when D |= ¬q: the query is false in every
+	// possible world, so the undesirable outcome cannot occur.
+	Satisfied bool
+	// Witness, when Satisfied is false, lists the indexes (into
+	// D.Pending) of a transaction set whose possible world satisfies
+	// the query. Empty means the current state alone violates the
+	// denial constraint.
+	Witness []int
+	Stats   Stats
+}
+
+// Check decides whether the blockchain database satisfies the denial
+// constraint: D |= ¬q iff q evaluates to false over every possible
+// world. The options select the algorithm; AlgoAuto (the zero value)
+// routes to the cheapest applicable one. Check returns an error when
+// the query does not fit the database's schemas or the requested
+// algorithm cannot handle the query class.
+func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.IsBoolean() {
+		return nil, fmt.Errorf("core: denial constraints are Boolean; use CertainAnswers/PossibleAnswers for %s", q)
+	}
+	if err := q.CheckAgainst(d.State); err != nil {
+		return nil, err
+	}
+	// Rewrite first: constant folding may prove the constraint
+	// trivially satisfied, and pushing constants into atoms sharpens
+	// both the evaluator's index use and OptDCSat's Covers filter.
+	simplified, satisfiable := query.Simplify(q)
+	if !satisfiable {
+		return &Result{Satisfied: true, Stats: Stats{
+			Algorithm:  opts.Algorithm,
+			Prechecked: true,
+		}}, nil
+	}
+	q = simplified
+	algo := opts.Algorithm
+	if algo == AlgoAuto {
+		switch {
+		case !d.Constraints.HasINDs() && (!q.IsAggregate() || aggFDOnlyApplies(q)):
+			algo = AlgoFDOnly
+		case q.IsMonotonic() && q.IsConnected():
+			algo = AlgoOpt
+		case q.IsMonotonic():
+			algo = AlgoNaive
+		default:
+			algo = AlgoExhaustive
+		}
+	}
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch algo {
+	case AlgoNaive:
+		res, err = cliqueDCSat(d, q, opts, false)
+	case AlgoOpt:
+		res, err = cliqueDCSat(d, q, opts, true)
+	case AlgoFDOnly:
+		res, err = fdOnlyDCSat(d, q)
+	case AlgoExhaustive:
+		res, err = exhaustiveDCSat(d, q)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Algorithm = algo
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// cliqueDCSat implements NaiveDCSat (optimized=false) and OptDCSat
+// (optimized=true) for monotonic denial constraints, with the
+// Section 6.3 pre-check: if q is false over R ∪ ∪T it is false over
+// every possible world (all of which are contained in that union), so
+// the denial constraint is satisfied.
+func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (*Result, error) {
+	if !q.IsMonotonic() {
+		return nil, fmt.Errorf("core: %s requires a monotonic denial constraint; %s is not "+
+			"(use AlgoExhaustive, or AlgoFDOnly when the constraints have no inclusion dependencies)",
+			map[bool]string{false: "NaiveDCSat", true: "OptDCSat"}[optimized], q)
+	}
+	res := &Result{Satisfied: true}
+	// Pre-check over the union of everything.
+	if !opts.DisablePrecheck {
+		union := relation.NewOverlay(d.State, d.Pending...)
+		res.Stats.WorldsEvaluated++
+		hit, err := query.Eval(q, union)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			res.Stats.Prechecked = true
+			return res, nil
+		}
+	}
+	// The current state alone is a possible world; check it explicitly
+	// so component filtering below cannot hide an R-only violation.
+	res.Stats.WorldsEvaluated++
+	if hit, err := query.Eval(q, d.State); err != nil {
+		return nil, err
+	} else if hit {
+		res.Satisfied = false
+		res.Witness = []int{}
+		return res, nil
+	}
+	live := allPending(d)
+	if !opts.DisableLiveFilter {
+		live = liveTransactions(d)
+	}
+	res.Stats.LivePending = len(live)
+	var groups [][]int
+	if optimized && q.IsConnected() {
+		groups = indQComponents(d, live, q)
+	} else {
+		groups = [][]int{live}
+	}
+	res.Stats.Components = len(groups)
+	var targets []coverTarget
+	if optimized && !opts.DisableCoverFilter {
+		targets = coverTargets(d, q)
+	}
+	if opts.Workers > 1 && optimized {
+		return res, cliqueDCSatParallel(d, q, opts, groups, targets, res)
+	}
+	for _, comp := range groups {
+		if optimized && !opts.DisableCoverFilter && !covers(d, comp, targets) {
+			continue
+		}
+		res.Stats.ComponentsCovered++
+		violated, witness, err := searchComponent(d, q, comp, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if violated {
+			res.Satisfied = false
+			res.Witness = witness
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// searchComponent enumerates the maximal cliques of the fd-transaction
+// graph over the component and evaluates the query on each maximal
+// world. It reports the first violating world found.
+func searchComponent(d *possible.DB, q *query.Query, comp []int, stats *Stats) (bool, []int, error) {
+	return searchComponentGraph(d, q, comp, buildFDGraph(d, comp), stats)
+}
+
+// searchComponentGraph is searchComponent with a caller-supplied fd
+// graph (the steady-state Monitor derives it from incrementally
+// maintained conflict pairs).
+func searchComponentGraph(d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, stats *Stats) (bool, []int, error) {
+	var (
+		violated bool
+		witness  []int
+		evalErr  error
+	)
+	graph.MaximalCliques(g, func(clique []int) bool {
+		stats.Cliques++
+		subset := make([]int, len(clique))
+		for i, local := range clique {
+			subset[i] = comp[local]
+		}
+		world, included := d.GetMaximal(subset)
+		stats.WorldsEvaluated++
+		hit, err := query.Eval(q, world)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if hit {
+			violated = true
+			witness = append([]int(nil), included...)
+			sort.Ints(witness)
+			return false
+		}
+		return true
+	})
+	return violated, witness, evalErr
+}
+
+// fdOnlyDCSat implements the PTIME algorithm behind Theorem 1.1 for
+// databases whose constraints contain no inclusion dependencies. In
+// such databases a set of transactions forms a possible world exactly
+// when each is fd-consistent internally, with the state, and pairwise
+// (order never matters without INDs). A conjunctive query q is then
+// satisfiable in some world iff some assignment of q's positive atoms
+// into R ∪ ∪T has a support set S of transactions that is
+// fd-compatible, such that the world R ∪ S also satisfies q's negated
+// atoms. Because |S| is bounded by the (constant) number of query
+// atoms, trying every combination of supports is polynomial in the
+// data.
+func fdOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
+	if d.Constraints.HasINDs() {
+		return nil, fmt.Errorf("core: AlgoFDOnly requires a database without inclusion dependencies")
+	}
+	if q.IsAggregate() {
+		return aggFDOnlyDCSat(d, q)
+	}
+	res := &Result{Satisfied: true}
+	live := liveTransactions(d)
+	liveSet := make(map[int]bool, len(live))
+	for _, i := range live {
+		liveSet[i] = true
+	}
+	union := relation.NewOverlay(d.State)
+	for _, i := range live {
+		union.Add(d.Pending[i])
+	}
+	pos := q.Positives()
+	var violated bool
+	var witness []int
+	err := query.Assignments(q, union, false, func(binding map[string]value.Value) bool {
+		res.Stats.WorldsEvaluated++
+		// Ground the positive atoms under the assignment and collect,
+		// per ground tuple not already in R, the live transactions
+		// that could supply it.
+		var suppliers [][]int
+		for _, a := range pos {
+			tup := groundAtom(a, binding)
+			if d.State.Contains(a.Rel, tup) {
+				continue
+			}
+			var cands []int
+			for _, ti := range live {
+				for _, t := range d.Pending[ti].Tuples(a.Rel) {
+					if t.Equal(tup) {
+						cands = append(cands, ti)
+						break
+					}
+				}
+			}
+			if len(cands) == 0 {
+				return true // tuple unavailable; assignment unusable
+			}
+			suppliers = append(suppliers, cands)
+		}
+		if s, ok := compatibleSupport(d, q, suppliers, binding); ok {
+			violated = true
+			witness = s
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if violated {
+		res.Satisfied = false
+		res.Witness = witness
+	}
+	return res, nil
+}
+
+// compatibleSupport searches the cartesian product of supplier choices
+// for a mutually fd-compatible transaction set whose minimal world also
+// satisfies the query's negated atoms.
+func compatibleSupport(d *possible.DB, q *query.Query, suppliers [][]int, binding map[string]value.Value) ([]int, bool) {
+	chosen := make(map[int]bool)
+	var found []int
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(suppliers) {
+			support := make([]int, 0, len(chosen))
+			for ti := range chosen {
+				support = append(support, ti)
+			}
+			sort.Ints(support)
+			if !negationsHoldInMinimalWorld(d, q, support, binding) {
+				return false
+			}
+			found = support
+			return true
+		}
+		for _, cand := range suppliers[i] {
+			if chosen[cand] {
+				if rec(i + 1) {
+					return true
+				}
+				continue
+			}
+			ok := true
+			for other := range chosen {
+				if !d.Constraints.FDCompatible(d.Pending[cand], d.Pending[other]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen[cand] = true
+			if rec(i + 1) {
+				return true
+			}
+			delete(chosen, cand)
+		}
+		return false
+	}
+	if rec(0) {
+		return found, true
+	}
+	return nil, false
+}
+
+// negationsHoldInMinimalWorld re-checks the query's negated atoms and
+// comparisons against the minimal world R ∪ support under the fixed
+// assignment.
+func negationsHoldInMinimalWorld(d *possible.DB, q *query.Query, support []int, binding map[string]value.Value) bool {
+	if len(q.Negatives()) == 0 {
+		return true
+	}
+	world := relation.NewOverlay(d.State)
+	for _, ti := range support {
+		world.Add(d.Pending[ti])
+	}
+	for _, a := range q.Negatives() {
+		if world.Contains(a.Rel, groundAtom(a, binding)) {
+			return false
+		}
+	}
+	return true
+}
+
+func groundAtom(a query.Atom, binding map[string]value.Value) value.Tuple {
+	tup := make(value.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar() {
+			tup[i] = binding[arg.Var]
+		} else {
+			tup[i] = arg.Const
+		}
+	}
+	return tup
+}
+
+// exhaustiveDCSat enumerates every possible world — the definitional
+// semantics of D |= ¬q. Exponential in |T|; correct for every query
+// class, including non-monotonic denial constraints.
+func exhaustiveDCSat(d *possible.DB, q *query.Query) (*Result, error) {
+	res := &Result{Satisfied: true}
+	var evalErr error
+	d.EnumerateWorlds(func(included []int, world *relation.Overlay) bool {
+		res.Stats.WorldsEvaluated++
+		hit, err := query.Eval(q, world)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if hit {
+			res.Satisfied = false
+			res.Witness = append([]int(nil), included...)
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return res, nil
+}
+
+func allPending(d *possible.DB) []int {
+	out := make([]int, len(d.Pending))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

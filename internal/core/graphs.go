@@ -1,0 +1,518 @@
+// Package core implements the paper's contribution: deciding denial
+// constraint satisfaction over a blockchain database. It provides the
+// paper's NaiveDCSat and OptDCSat (Section 6) with the monotone
+// pre-check and the precomputed transaction graphs, a parallel variant
+// of OptDCSat, PTIME solvers for the tractable fragments of Theorems 1
+// and 2, a complexity classifier implementing those theorems, an
+// exhaustive ground-truth checker, and the paper's future-work
+// extensions (contradicting-transaction derivation and Monte-Carlo
+// likelihood estimation).
+package core
+
+import (
+	"sort"
+
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// buildFDGraph constructs the paper's fd-transaction graph G^fd_T
+// restricted to the pending transactions at the given (global) indexes:
+// vertices are those transactions, and {u, v} is an edge iff
+// T_u ∪ T_v satisfies every functional dependency. Vertex i of the
+// returned graph corresponds to subset[i].
+//
+// Rather than testing all O(n²) pairs, conflicts are discovered by
+// hashing: for every FD, transactions are bucketed by the LHS
+// projections of their tuples; only buckets holding two different RHS
+// projections produce conflict edges. The graph is built complete and
+// conflict edges are removed.
+func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
+	g := graph.NewComplete(len(subset))
+	type occupant struct {
+		local  int
+		rhsKey string
+	}
+	for fdIdx := range d.Constraints.FDs {
+		buckets := make(map[string][]occupant)
+		for local, global := range subset {
+			lhsKeys, rhsKeys := d.Constraints.FDKeys(fdIdx, d.Pending[global])
+			for i := range lhsKeys {
+				buckets[lhsKeys[i]] = append(buckets[lhsKeys[i]], occupant{local, rhsKeys[i]})
+			}
+		}
+		for _, occ := range buckets {
+			if len(occ) < 2 {
+				continue
+			}
+			for i := 0; i < len(occ); i++ {
+				for j := i + 1; j < len(occ); j++ {
+					if occ[i].rhsKey != occ[j].rhsKey {
+						g.RemoveEdge(occ[i].local, occ[j].local)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// FDGraph exposes the fd-transaction graph over all pending
+// transactions for tooling and benchmarks; vertex i corresponds to
+// Pending[i].
+func FDGraph(d *possible.DB) *graph.Undirected {
+	return buildFDGraph(d, allPending(d))
+}
+
+// liveTransactions returns the indexes of pending transactions that
+// could appear in some possible world as far as functional dependencies
+// are concerned: internally fd-consistent and fd-compatible with the
+// current state. Transactions failing either test are dead — R is a
+// subset of every world, so they can never be appended — and dropping
+// them shrinks the clique enumeration without changing the answer.
+// (This materializes the paper's precomputed "can T be included in R"
+// status from Section 6.3.)
+func liveTransactions(d *possible.DB) []int {
+	live := make([]int, 0, len(d.Pending))
+	for i, tx := range d.Pending {
+		if !d.Constraints.FDSelfConsistent(tx) {
+			continue
+		}
+		if fdConflictsWithState(d, tx) {
+			continue
+		}
+		live = append(live, i)
+	}
+	return live
+}
+
+// fdConflictsWithState reports whether some tuple of the transaction
+// violates a functional dependency against the current state.
+func fdConflictsWithState(d *possible.DB, tx *relation.Transaction) bool {
+	for i, fd := range d.Constraints.FDs {
+		lhs, rhs := d.Constraints.FDColumns(i)
+		for _, t := range tx.Tuples(fd.Rel) {
+			lk := t.ProjectKey(lhs)
+			rk := t.ProjectKey(rhs)
+			conflict := false
+			d.State.Lookup(fd.Rel, lhs, lk, func(existing value.Tuple) bool {
+				if existing.ProjectKey(rhs) != rk {
+					conflict = true
+					return false
+				}
+				return true
+			})
+			if conflict {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// indQComponents partitions the pending transactions at the given
+// indexes into connected components such that no satisfying assignment
+// of q over any possible world uses tuples from two different
+// components. It refines the paper's ind-q-transaction graph
+// G^{q,ind}_T:
+//
+//   - as in the paper, for every equality constraint θ = R[X̄] = S[Ȳ]
+//     in Θ_I ∪ Θ_q, two pending transactions holding matching tuples on
+//     opposite sides of θ are connected (computed via hash buckets, not
+//     materialized edges);
+//   - additionally, for Θ_q (the query-derived constraints), the
+//     connection is closed through COMMITTED tuples: an assignment may
+//     map an intermediate query atom to a state tuple, bridging two
+//     pending transactions that share no direct θ edge. Proposition 2
+//     as stated in the paper misses this case (see
+//     TestProp2StateBridgeCounterexample); without the closure,
+//     OptDCSat can wrongly report a violated constraint as satisfied.
+//     The closure runs a worklist over state tuples reachable from
+//     pending tuples along Θ_q joins, each becoming a shared node in
+//     the union-find; it is bounded by maxStateBridgeNodes, beyond
+//     which the function degrades soundly to a single component
+//     (NaiveDCSat semantics).
+//
+// The returned components contain global pending indexes, each sorted.
+func indQComponents(d *possible.DB, subset []int, q *query.Query) [][]int {
+	indThetas := equalityConstraints(d, nil)
+	var queryThetas []query.EqualityConstraint
+	if q != nil {
+		queryThetas = q.EqualityConstraints()
+	}
+	bridgeBudget := maxStateBridgeNodes(len(subset))
+
+	uf := newGrowingUnionFind(len(subset))
+	// Pending-side buckets per θ, for both Θ_I and Θ_q.
+	type bucket struct {
+		lhs, rhs []int // local pending indexes, deduplicated
+	}
+	allThetas := append(append([]query.EqualityConstraint(nil), indThetas...), queryThetas...)
+	buckets := make([]map[string]*bucket, len(allThetas))
+	for ti, th := range allThetas {
+		lhsCols, lhsOK := resolveThetaSide(d, th.Rel, th.Cols)
+		rhsCols, rhsOK := resolveThetaSide(d, th.RefRel, th.RefCols)
+		if !lhsOK || !rhsOK {
+			continue
+		}
+		bs := make(map[string]*bucket)
+		buckets[ti] = bs
+		get := func(key string) *bucket {
+			b := bs[key]
+			if b == nil {
+				b = &bucket{}
+				bs[key] = b
+			}
+			return b
+		}
+		for local, global := range subset {
+			tx := d.Pending[global]
+			for _, t := range tx.Tuples(th.Rel) {
+				b := get(t.ProjectKey(lhsCols))
+				b.lhs = appendUnique(b.lhs, local)
+			}
+			for _, t := range tx.Tuples(th.RefRel) {
+				b := get(t.ProjectKey(rhsCols))
+				b.rhs = appendUnique(b.rhs, local)
+			}
+		}
+		// Pending↔pending edges (the paper's graph).
+		for _, b := range bs {
+			if len(b.lhs) == 0 || len(b.rhs) == 0 {
+				continue
+			}
+			anchor := b.rhs[0]
+			for _, l := range b.lhs {
+				uf.union(anchor, l)
+			}
+			for _, r := range b.rhs[1:] {
+				uf.union(anchor, r)
+			}
+		}
+	}
+
+	// State-bridge closure, atom-aware: an assignment may map an
+	// intermediate query atom to a COMMITTED tuple, bridging two pending
+	// transactions that share no direct θ edge — the case Proposition 2
+	// as stated in the paper misses (see
+	// TestProp2StateBridgeCounterexample). The closure explores state
+	// tuples that could stand for a specific query atom (so they must
+	// match that atom's constants) along the atom-pair constraints, to a
+	// depth bounded by the query shape: an assignment has at most
+	// k = |positive atoms| tuples, so a bridge path passes through at
+	// most k-2 committed tuples. Exceeding the node budget degrades
+	// soundly to a single component (NaiveDCSat semantics).
+	overflow := false
+	if q != nil && len(q.Positives()) >= 3 {
+		pos := q.Positives()
+		maxDepth := len(pos) - 2
+		pairs := q.AtomPairs()
+		// Per-atom constant filters, normalized to column kinds.
+		type atomInfo struct {
+			rel       string
+			constCols []int
+			constKey  string
+		}
+		infos := make([]atomInfo, len(pos))
+		for ai, atom := range pos {
+			cols, consts := query.AtomConstants(atom)
+			sc := d.State.Schema(atom.Rel)
+			norm := consts.Clone()
+			for i, c := range cols {
+				norm[i] = sc.NormalizeValue(consts[i], c)
+			}
+			infos[ai] = atomInfo{rel: atom.Rel, constCols: cols, constKey: norm.Key()}
+		}
+		matchesAtom := func(ai int, t value.Tuple) bool {
+			info := infos[ai]
+			return len(info.constCols) == 0 || t.ProjectKey(info.constCols) == info.constKey
+		}
+		// Pending tuples bucketed per (pair, side), filtered by the
+		// side's atom constants, for unions during expansion.
+		type sideMap map[string][]int
+		pendingI := make([]sideMap, len(pairs))
+		pendingJ := make([]sideMap, len(pairs))
+		for pi, pr := range pairs {
+			mi, mj := sideMap{}, sideMap{}
+			pendingI[pi], pendingJ[pi] = mi, mj
+			for local, global := range subset {
+				tx := d.Pending[global]
+				for _, t := range tx.Tuples(infos[pr.I].rel) {
+					if matchesAtom(pr.I, t) {
+						k := t.ProjectKey(pr.Cols)
+						mi[k] = appendUnique(mi[k], local)
+					}
+				}
+				for _, t := range tx.Tuples(infos[pr.J].rel) {
+					if matchesAtom(pr.J, t) {
+						k := t.ProjectKey(pr.RefCols)
+						mj[k] = appendUnique(mj[k], local)
+					}
+				}
+			}
+		}
+		nodeByTuple := make(map[string]int) // rel+tuple key -> node id
+		seen := make(map[string]bool)       // atom|tuple expansion marker
+		type workItem struct {
+			node  int
+			atom  int
+			tup   value.Tuple
+			depth int
+		}
+		var queue []workItem
+		// reach looks up state tuples standing for atom `ai` whose
+		// projection on cols equals key, unioning them with `from` and
+		// scheduling their expansion.
+		reach := func(from, ai int, cols []int, key string, depth int) {
+			d.State.Lookup(infos[ai].rel, cols, key, func(t value.Tuple) bool {
+				if !matchesAtom(ai, t) {
+					return true
+				}
+				tk := infos[ai].rel + "\x00" + t.Key()
+				id, ok := nodeByTuple[tk]
+				if !ok {
+					if len(nodeByTuple) >= bridgeBudget {
+						overflow = true
+						return false
+					}
+					id = uf.add()
+					nodeByTuple[tk] = id
+				}
+				uf.union(from, id)
+				ak := string(rune(ai)) + tk
+				if !seen[ak] {
+					seen[ak] = true
+					queue = append(queue, workItem{node: id, atom: ai, tup: t, depth: depth})
+				}
+				return true
+			})
+		}
+		// Seed: pending tuples standing for one side of a pair reach the
+		// state on the other side (depth 1).
+		for pi, pr := range pairs {
+			for key, members := range pendingI[pi] {
+				for _, l := range members {
+					reach(l, pr.J, pr.RefCols, key, 1)
+				}
+			}
+			for key, members := range pendingJ[pi] {
+				for _, l := range members {
+					reach(l, pr.I, pr.Cols, key, 1)
+				}
+			}
+		}
+		// Close breadth-first along the atom-pair structure.
+		for qi := 0; qi < len(queue) && !overflow; qi++ {
+			item := queue[qi]
+			for pi, pr := range pairs {
+				if pr.I == item.atom {
+					key := item.tup.ProjectKey(pr.Cols)
+					for _, l := range pendingJ[pi][key] {
+						uf.union(item.node, l)
+					}
+					if item.depth < maxDepth {
+						reach(item.node, pr.J, pr.RefCols, key, item.depth+1)
+					}
+				}
+				if pr.J == item.atom {
+					key := item.tup.ProjectKey(pr.RefCols)
+					for _, l := range pendingI[pi][key] {
+						uf.union(item.node, l)
+					}
+					if item.depth < maxDepth {
+						reach(item.node, pr.I, pr.Cols, key, item.depth+1)
+					}
+				}
+			}
+		}
+	}
+	if overflow {
+		// Budget exhausted: collapse to one component (sound — this is
+		// NaiveDCSat's view).
+		all := append([]int(nil), subset...)
+		sort.Ints(all)
+		return [][]int{all}
+	}
+
+	// Project the union-find back onto the pending transactions.
+	groups := make(map[int][]int)
+	for local := range subset {
+		root := uf.find(local)
+		groups[root] = append(groups[root], subset[local])
+	}
+	out := make([][]int, 0, len(groups))
+	for _, comp := range groups {
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// maxStateBridgeNodes bounds the state-bridge closure: generous enough
+// for realistic join fan-outs, small enough that pathological state
+// self-joins degrade to NaiveDCSat instead of stalling.
+func maxStateBridgeNodes(pending int) int {
+	n := 16 * pending
+	if n < 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// growingUnionFind is a union-find that can add nodes after
+// construction (state-bridge nodes are discovered lazily).
+type growingUnionFind struct {
+	parent []int
+	rank   []uint8
+}
+
+func newGrowingUnionFind(n int) *growingUnionFind {
+	uf := &growingUnionFind{parent: make([]int, n), rank: make([]uint8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *growingUnionFind) add() int {
+	id := len(uf.parent)
+	uf.parent = append(uf.parent, id)
+	uf.rank = append(uf.rank, 0)
+	return id
+}
+
+func (uf *growingUnionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *growingUnionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// equalityConstraints assembles Θ = Θ_I ∪ Θ_q: each inclusion
+// dependency contributes R[X̄] = S[Ȳ], and the query contributes its
+// atom-pair constraints. Column indexes of Θ_I come resolved from the
+// constraint set; Θ_q's indexes are argument positions, which coincide
+// with column indexes because atoms list every column.
+func equalityConstraints(d *possible.DB, q *query.Query) []query.EqualityConstraint {
+	var out []query.EqualityConstraint
+	for i, ind := range d.Constraints.INDs {
+		cols, refCols := d.Constraints.INDColumns(i)
+		out = append(out, query.EqualityConstraint{
+			Rel: ind.Rel, Cols: cols, RefRel: ind.RefRel, RefCols: refCols,
+		})
+	}
+	if q != nil {
+		out = append(out, q.EqualityConstraints()...)
+	}
+	return out
+}
+
+// resolveThetaSide validates the columns against the relation's schema.
+func resolveThetaSide(d *possible.DB, rel string, cols []int) ([]int, bool) {
+	sc := d.State.Schema(rel)
+	if sc == nil {
+		return nil, false
+	}
+	for _, c := range cols {
+		if c < 0 || c >= sc.Arity() {
+			return nil, false
+		}
+	}
+	return cols, true
+}
+
+func appendUnique(xs []int, x int) []int {
+	if len(xs) > 0 && xs[len(xs)-1] == x {
+		return xs
+	}
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// coverTarget is one constant-bearing query atom whose constants the
+// current state does not cover: only pending transactions can supply
+// it, so it can discriminate between components.
+type coverTarget struct {
+	rel  string
+	cols []int
+	key  string
+}
+
+// coverTargets prepares the paper's Covers(R, T', q) test: for each
+// positive atom with constants, normalize the constants to the column
+// kinds and probe the state once. Atoms the state already covers pass
+// for every component and are dropped; the remainder must be matched by
+// a component's transactions. This hoists the per-check work out of the
+// per-component loop (the state probe is by far the bigger share when
+// there are hundreds of components).
+func coverTargets(d *possible.DB, q *query.Query) []coverTarget {
+	var targets []coverTarget
+	for _, atom := range q.Positives() {
+		cols, consts := query.AtomConstants(atom)
+		if len(cols) == 0 {
+			continue
+		}
+		sc := d.State.Schema(atom.Rel)
+		norm := consts.Clone()
+		for i, c := range cols {
+			norm[i] = sc.NormalizeValue(consts[i], c)
+		}
+		key := norm.Key()
+		inState := false
+		d.State.Lookup(atom.Rel, cols, key, func(value.Tuple) bool {
+			inState = true
+			return false
+		})
+		if !inState {
+			targets = append(targets, coverTarget{rel: atom.Rel, cols: cols, key: key})
+		}
+	}
+	return targets
+}
+
+// covers reports whether the component's transactions supply every
+// cover target — Covers(R, T', q) with the state-covered atoms already
+// discharged by coverTargets.
+func covers(d *possible.DB, subset []int, targets []coverTarget) bool {
+	for _, tg := range targets {
+		found := false
+		for _, global := range subset {
+			for _, t := range d.Pending[global].Tuples(tg.rel) {
+				if t.ProjectKey(tg.cols) == tg.key {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

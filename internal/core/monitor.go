@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+)
+
+// Monitor maintains a blockchain database in steady state, as a node
+// would (Section 6.3 of the paper): pending transactions arrive, blocks
+// commit some of them, and denial constraints are checked repeatedly.
+// It keeps the paper's precomputed structures incrementally up to date:
+//
+//   - per-transaction status "can T be appended to R" and
+//     fd-liveness (self-consistent, no fd-conflict with the state);
+//   - the fd-conflict pairs backing G^fd_T, via per-FD hash buckets, so
+//     a Check never rescans unrelated transactions;
+//   - the IND-side buckets backing G^ind_T; the query-specific Θ_q
+//     edges are added per Check, as in the paper.
+//
+// Monitor is safe for concurrent use.
+type Monitor struct {
+	mu         sync.RWMutex
+	db         *possible.DB
+	ids        []int // stable external id per pending slot
+	next       int
+	byID       map[int]int               // external id -> slot in db.Pending
+	bucketsFD  []map[string][]fdOccupant // per FD: lhsKey -> occupants
+	conflicts  map[[2]int]int            // unordered id pair -> #conflicting bucket pairs
+	appendable map[int]bool              // id -> can be appended to R directly
+}
+
+type fdOccupant struct {
+	id     int
+	rhsKey string
+}
+
+// NewMonitor wraps the database. The pending transactions already in
+// the database are registered and indexed.
+func NewMonitor(d *possible.DB) *Monitor {
+	m := &Monitor{
+		db:         &possible.DB{State: d.State, Constraints: d.Constraints},
+		byID:       make(map[int]int),
+		conflicts:  make(map[[2]int]int),
+		appendable: make(map[int]bool),
+		bucketsFD:  make([]map[string][]fdOccupant, len(d.Constraints.FDs)),
+	}
+	for i := range m.bucketsFD {
+		m.bucketsFD[i] = make(map[string][]fdOccupant)
+	}
+	for _, tx := range d.Pending {
+		m.addLocked(tx)
+	}
+	return m
+}
+
+// AddPending registers a newly gossiped transaction and returns its
+// stable id. The transaction is normalized against the schemas.
+func (m *Monitor) AddPending(tx *relation.Transaction) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	norm, err := m.db.State.NormalizeTransaction(tx)
+	if err != nil {
+		return 0, err
+	}
+	return m.addLocked(norm), nil
+}
+
+func (m *Monitor) addLocked(tx *relation.Transaction) int {
+	id := m.next
+	m.next++
+	m.byID[id] = len(m.db.Pending)
+	m.db.Pending = append(m.db.Pending, tx)
+	m.ids = append(m.ids, id)
+	// Update fd buckets and conflict pairs.
+	for fdIdx := range m.db.Constraints.FDs {
+		lhsKeys, rhsKeys := m.db.Constraints.FDKeys(fdIdx, tx)
+		for i := range lhsKeys {
+			bucket := m.bucketsFD[fdIdx][lhsKeys[i]]
+			for _, occ := range bucket {
+				if occ.id != id && occ.rhsKey != rhsKeys[i] {
+					m.bumpConflict(occ.id, id, +1)
+				}
+			}
+			m.bucketsFD[fdIdx][lhsKeys[i]] = append(bucket, fdOccupant{id, rhsKeys[i]})
+		}
+	}
+	m.appendable[id] = m.db.Constraints.CanAppend(m.db.State, tx)
+	return id
+}
+
+func (m *Monitor) bumpConflict(a, b int, delta int) {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	m.conflicts[key] += delta
+	if m.conflicts[key] <= 0 {
+		delete(m.conflicts, key)
+	}
+}
+
+// DropPending removes a pending transaction (e.g. evicted from the
+// mempool).
+func (m *Monitor) DropPending(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.removeLocked(id)
+}
+
+func (m *Monitor) removeLocked(id int) error {
+	slot, ok := m.byID[id]
+	if !ok {
+		return fmt.Errorf("core: unknown pending transaction %d", id)
+	}
+	tx := m.db.Pending[slot]
+	for fdIdx := range m.db.Constraints.FDs {
+		lhsKeys, rhsKeys := m.db.Constraints.FDKeys(fdIdx, tx)
+		for i := range lhsKeys {
+			bucket := m.bucketsFD[fdIdx][lhsKeys[i]]
+			kept := bucket[:0]
+			removedOne := false
+			for _, occ := range bucket {
+				if !removedOne && occ.id == id && occ.rhsKey == rhsKeys[i] {
+					removedOne = true
+					continue
+				}
+				kept = append(kept, occ)
+			}
+			for _, occ := range kept {
+				if occ.id != id && occ.rhsKey != rhsKeys[i] {
+					m.bumpConflict(occ.id, id, -1)
+				}
+			}
+			if len(kept) == 0 {
+				delete(m.bucketsFD[fdIdx], lhsKeys[i])
+			} else {
+				m.bucketsFD[fdIdx][lhsKeys[i]] = kept
+			}
+		}
+	}
+	// Compact the pending slice.
+	last := len(m.db.Pending) - 1
+	if slot != last {
+		m.db.Pending[slot] = m.db.Pending[last]
+		m.ids[slot] = m.ids[last]
+		m.byID[m.ids[slot]] = slot
+	}
+	m.db.Pending = m.db.Pending[:last]
+	m.ids = m.ids[:last]
+	delete(m.byID, id)
+	delete(m.appendable, id)
+	return nil
+}
+
+// Commit applies a pending transaction to the current state — a block
+// accepted it — and removes it from the pending set. Committing a
+// transaction that cannot be appended is an error (the chain would be
+// inconsistent). Appendability statuses of the remaining transactions
+// are refreshed against the grown state.
+func (m *Monitor) Commit(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	slot, ok := m.byID[id]
+	if !ok {
+		return fmt.Errorf("core: unknown pending transaction %d", id)
+	}
+	tx := m.db.Pending[slot]
+	if !m.db.Constraints.CanAppend(m.db.State, tx) {
+		return fmt.Errorf("core: transaction %d cannot be appended to the current state", id)
+	}
+	if err := m.removeLocked(id); err != nil {
+		return err
+	}
+	if err := m.db.State.InsertTransaction(tx); err != nil {
+		return err
+	}
+	for oid, slot := range m.byID {
+		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
+	}
+	return nil
+}
+
+// PendingCount returns the number of pending transactions.
+func (m *Monitor) PendingCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.db.Pending)
+}
+
+// Appendable reports the precomputed "can be included in R" status.
+func (m *Monitor) Appendable(id int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.appendable[id]
+}
+
+// ConflictCount returns the number of conflicting pending pairs — the
+// non-edges of G^fd_T maintained incrementally.
+func (m *Monitor) ConflictCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.conflicts)
+}
+
+// Check decides D |= ¬q over the monitored database. Monotone clique
+// algorithms reuse the incrementally maintained conflict pairs; other
+// algorithm choices fall through to the stateless Check.
+func (m *Monitor) Check(q *query.Query, opts Options) (*Result, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snapshot := &possible.DB{
+		State:       m.db.State,
+		Constraints: m.db.Constraints,
+		Pending:     m.db.Pending,
+	}
+	algo := opts.Algorithm
+	if algo == AlgoAuto && q.IsMonotonic() {
+		if q.IsConnected() {
+			opts.Algorithm = AlgoOpt
+		} else {
+			opts.Algorithm = AlgoNaive
+		}
+	}
+	if opts.Algorithm == AlgoNaive || opts.Algorithm == AlgoOpt {
+		return m.checkWithPrecomputed(snapshot, q, opts)
+	}
+	return Check(snapshot, q, opts)
+}
+
+// checkWithPrecomputed mirrors cliqueDCSat but derives the fd graph of
+// each component from the maintained conflict pairs instead of
+// re-hashing the transactions.
+func (m *Monitor) checkWithPrecomputed(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	if !q.IsMonotonic() {
+		return nil, fmt.Errorf("core: monitor check requires a monotonic denial constraint")
+	}
+	res := &Result{Satisfied: true, Stats: Stats{Algorithm: opts.Algorithm}}
+	if !opts.DisablePrecheck {
+		union := relation.NewOverlay(d.State, d.Pending...)
+		res.Stats.WorldsEvaluated++
+		hit, err := query.Eval(q, union)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			res.Stats.Prechecked = true
+			return res, nil
+		}
+	}
+	res.Stats.WorldsEvaluated++
+	if hit, err := query.Eval(q, d.State); err != nil {
+		return nil, err
+	} else if hit {
+		res.Satisfied = false
+		res.Witness = []int{}
+		return res, nil
+	}
+	live := liveTransactions(d)
+	res.Stats.LivePending = len(live)
+	var groups [][]int
+	if opts.Algorithm == AlgoOpt && q.IsConnected() {
+		groups = indQComponents(d, live, q)
+	} else {
+		groups = [][]int{live}
+	}
+	res.Stats.Components = len(groups)
+	var targets []coverTarget
+	if opts.Algorithm == AlgoOpt && !opts.DisableCoverFilter {
+		targets = coverTargets(d, q)
+	}
+	for _, comp := range groups {
+		if opts.Algorithm == AlgoOpt && !opts.DisableCoverFilter && !covers(d, comp, targets) {
+			continue
+		}
+		res.Stats.ComponentsCovered++
+		g := m.fdGraphFromConflicts(comp)
+		violated, witness, err := searchComponentGraph(d, q, comp, g, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if violated {
+			res.Satisfied = false
+			res.Witness = witness
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// fdGraphFromConflicts assembles a component's fd graph from the
+// maintained conflict-pair set: complete graph minus recorded
+// conflicts, O(|comp|²/64 + conflicts).
+func (m *Monitor) fdGraphFromConflicts(comp []int) *graph.Undirected {
+	g := graph.NewComplete(len(comp))
+	pos := make(map[int]int, len(comp)) // id -> local index
+	for local, slot := range comp {
+		pos[m.ids[slot]] = local
+	}
+	for pair := range m.conflicts {
+		u, uok := pos[pair[0]]
+		v, vok := pos[pair[1]]
+		if uok && vok {
+			g.RemoveEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Witnesses returned by Monitor.Check are slots in the snapshot; expose
+// the stable ids for a caller holding the same lock epoch.
+func (m *Monitor) IDsForSlots(slots []int) []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = m.ids[s]
+	}
+	sort.Ints(out)
+	return out
+}

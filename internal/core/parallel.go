@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+)
+
+// cliqueDCSatParallel runs OptDCSat's per-component search across a
+// worker pool — the single-machine form of the paper's "scaling to a
+// distributed environment" future work. Components are independent by
+// Proposition 2, so each worker owns a component end to end: coverage
+// filter, fd-graph construction, clique enumeration, world evaluation.
+// The first violation stops the remaining work. Per-worker stats are
+// merged into res after all workers drain.
+func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, res *Result) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Process large components first so stragglers do not serialize the
+	// tail of the run.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(groups[order[a]]) > len(groups[order[b]]) })
+
+	type outcome struct {
+		stats   Stats
+		witness []int
+		hit     bool
+		err     error
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		merged  []outcome
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local outcome
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					break
+				}
+				comp := groups[order[i]]
+				if !opts.DisableCoverFilter && !covers(d, comp, targets) {
+					continue
+				}
+				local.stats.ComponentsCovered++
+				violated, witness, err := searchComponent(d, q, comp, &local.stats)
+				if err != nil {
+					local.err = err
+					stopped.Store(true)
+					break
+				}
+				if violated {
+					local.hit = true
+					local.witness = witness
+					stopped.Store(true)
+					break
+				}
+			}
+			mu.Lock()
+			merged = append(merged, local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, o := range merged {
+		res.Stats.ComponentsCovered += o.stats.ComponentsCovered
+		res.Stats.Cliques += o.stats.Cliques
+		res.Stats.WorldsEvaluated += o.stats.WorldsEvaluated
+		if o.err != nil {
+			return o.err
+		}
+		if o.hit && res.Satisfied {
+			res.Satisfied = false
+			res.Witness = o.witness
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+)
+
+// InclusionModel assigns each pending transaction an independent
+// probability of being offered for inclusion in the chain. The paper's
+// future work proposes "weighting possible worlds by learning an
+// estimation of their actual likelihood"; this is the simplest such
+// weighting — miners pick transactions independently, e.g. with
+// probability derived from the attached fee.
+type InclusionModel func(i int, tx *relation.Transaction) float64
+
+// UniformInclusion returns a model giving every transaction the same
+// inclusion probability p (clamped to [0, 1]).
+func UniformInclusion(p float64) InclusionModel {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return func(int, *relation.Transaction) float64 { return p }
+}
+
+// Estimate is the outcome of a Monte-Carlo violation estimate.
+type Estimate struct {
+	// Probability is the fraction of sampled worlds violating the
+	// denial constraint.
+	Probability float64
+	// Samples is the number of worlds drawn.
+	Samples int
+	// StdErr is the binomial standard error of Probability.
+	StdErr float64
+}
+
+// EstimateViolation estimates the probability that the denial
+// constraint is violated, under the inclusion model: each sample draws
+// an inclusion offer per pending transaction, then realizes a possible
+// world by appending the offered transactions in random order, skipping
+// any whose addition would violate the constraints (as the consensus
+// layer would). The estimate is the fraction of sampled worlds on which
+// q holds. Sampling is deterministic for a fixed seed.
+//
+// Unlike Check, which answers "can the bad outcome occur at all", the
+// estimate quantifies how likely it is — useful when a violation is
+// possible but the user wants to weigh reissuing against waiting.
+func EstimateViolation(d *possible.DB, q *query.Query, model InclusionModel, samples int, seed int64) (*Estimate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.CheckAgainst(d.State); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("core: samples must be positive, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	violations := 0
+	offered := make([]int, 0, len(d.Pending))
+	for s := 0; s < samples; s++ {
+		offered = offered[:0]
+		for i, tx := range d.Pending {
+			if rng.Float64() < model(i, tx) {
+				offered = append(offered, i)
+			}
+		}
+		rng.Shuffle(len(offered), func(a, b int) { offered[a], offered[b] = offered[b], offered[a] })
+		world := relation.NewOverlay(d.State)
+		// Greedy realization in the drawn order, with one retry pass so
+		// dependency chains offered out of order still land.
+		remaining := offered
+		for pass := 0; pass < 2 && len(remaining) > 0; pass++ {
+			next := remaining[:0]
+			for _, ti := range remaining {
+				if d.Constraints.CanAppend(world, d.Pending[ti]) {
+					world.Add(d.Pending[ti])
+				} else {
+					next = append(next, ti)
+				}
+			}
+			remaining = next
+		}
+		hit, err := query.Eval(q, world)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			violations++
+		}
+	}
+	p := float64(violations) / float64(samples)
+	se := 0.0
+	if samples > 1 {
+		se = math.Sqrt(p * (1 - p) / float64(samples))
+	}
+	return &Estimate{Probability: p, Samples: samples, StdErr: se}, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// TestAutoRoutingConsistentWithClassifier ties the implementation to
+// Theorems 1–2: whenever AlgoAuto selects one of the PTIME solvers, the
+// classifier must agree the instance is tractable — the implementation
+// never claims polynomial behaviour the theory does not grant. (The
+// converse is allowed: some PTIME fragments are served by the general
+// clique algorithms, which are exponential only in the worst case.)
+func TestAutoRoutingConsistentWithClassifier(t *testing.T) {
+	mk := func(withIND bool) *possible.DB {
+		s := relation.NewState()
+		s.MustAddSchema(relation.NewSchema("R", "a:int", "b:int"))
+		s.MustAddSchema(relation.NewSchema("S", "a:int"))
+		s.MustInsert("R", value.NewTuple(value.Int(1), value.Int(2)))
+		fds := []*constraint.FD{constraint.NewKey(s.Schema("R"), "a")}
+		var inds []*constraint.IND
+		if withIND {
+			inds = append(inds, constraint.NewIND("S", []string{"a"}, "R", []string{"a"}))
+		}
+		tx := relation.NewTransaction("T").Add("R", value.NewTuple(value.Int(2), value.Int(3)))
+		return possible.MustNew(s, constraint.MustNewSet(s, fds, inds), []*relation.Transaction{tx})
+	}
+	queries := []string{
+		"q() :- R(x, y)",
+		"q() :- R(x, y), !S(x)",
+		"q() :- R(x, y), S(x)",
+		"q(count()) < 3 :- R(x, y)",
+		"q(count()) > 3 :- R(x, y)",
+		"q(sum(y)) <= 2 :- R(x, y)",
+		"q(sum(y)) > 2 :- R(x, y)",
+		"q(max(y)) < 2 :- R(x, y)",
+		"q(min(y)) > 2 :- R(x, y)",
+		"q(min(y)) < 2 :- R(x, y)",
+		"q(cntd(y)) = 2 :- R(x, y)",
+	}
+	for _, withIND := range []bool{false, true} {
+		d := mk(withIND)
+		for _, src := range queries {
+			q := query.MustParse(src)
+			res, err := Check(d, q, Options{})
+			if err != nil {
+				t.Fatalf("IND=%v %s: %v", withIND, src, err)
+			}
+			cls := Classify(q, d.Constraints)
+			if res.Stats.Algorithm == AlgoFDOnly && cls != PTime {
+				t.Errorf("IND=%v %s: routed to the PTIME solver but classified %v", withIND, src, cls)
+			}
+			if withIND && res.Stats.Algorithm == AlgoFDOnly {
+				t.Errorf("IND=%v %s: fd-only solver selected for an IND database", withIND, src)
+			}
+		}
+	}
+}
+
+// TestRoutingTable pins the exact auto choices for representative
+// query/constraint combinations.
+func TestRoutingTable(t *testing.T) {
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("R", "a:int", "b:int"))
+	s.MustAddSchema(relation.NewSchema("S", "a:int"))
+	fds := []*constraint.FD{constraint.NewKey(s.Schema("R"), "a")}
+	inds := []*constraint.IND{constraint.NewIND("S", []string{"a"}, "R", []string{"a"})}
+	fdOnly := possible.MustNew(s, constraint.MustNewSet(s, fds, nil), nil)
+	withIND := possible.MustNew(s, constraint.MustNewSet(s, fds, inds), nil)
+	cases := []struct {
+		db   *possible.DB
+		src  string
+		want Algorithm
+	}{
+		{fdOnly, "q() :- R(x, y)", AlgoFDOnly},
+		{fdOnly, "q() :- R(x, y), !S(x)", AlgoFDOnly},
+		{fdOnly, "q(count()) < 3 :- R(x, y)", AlgoFDOnly},
+		{fdOnly, "q(count()) > 3 :- R(x, y)", AlgoNaive},       // monotone, unconnected (aggregate)
+		{withIND, "q() :- R(x, y)", AlgoOpt},                   // monotone + connected
+		{withIND, "q() :- R(x, y), S(w)", AlgoNaive},           // monotone, unconnected
+		{withIND, "q() :- R(x, y), !S(x)", AlgoExhaustive},     // non-monotonic
+		{withIND, "q(count()) < 3 :- R(x, y)", AlgoExhaustive}, // non-monotonic aggregate
+		{withIND, "q(sum(y)) > 1 :- R(x, y)", AlgoNaive},       // monotone aggregate
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.src)
+		res, err := Check(c.db, q, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if res.Stats.Algorithm != c.want {
+			t.Errorf("%s: routed to %v, want %v", c.src, res.Stats.Algorithm, c.want)
+		}
+	}
+}

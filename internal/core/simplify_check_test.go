@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/query"
+)
+
+// TestCheckSimplifyIntegration: Check folds trivially unsatisfiable
+// constraints without touching the data, and benefits from constant
+// substitution otherwise.
+func TestCheckSimplifyIntegration(t *testing.T) {
+	d := fixture.PaperDB()
+	trivial := query.MustParse("q() :- TxOut(t, s, pk, a), 1 > 2")
+	res, err := Check(d, trivial, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied || !res.Stats.Prechecked {
+		t.Errorf("trivially unsatisfiable query: %+v", res)
+	}
+	// x = 'U8Pk' behaves exactly like an inlined constant.
+	viaEq := query.MustParse("q() :- TxOut(t, s, pk, a), pk = 'U8Pk'")
+	res2, err := Check(d, viaEq, Options{Algorithm: AlgoOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Satisfied {
+		t.Error("equality-bound constant missed the violation (Example 6)")
+	}
+	inline := query.MustParse("q() :- TxOut(t, s, 'U8Pk', a)")
+	res3, err := Check(d, inline, Options{Algorithm: AlgoOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Satisfied != res3.Satisfied {
+		t.Error("equality form and inline form disagree")
+	}
+}

@@ -1,0 +1,242 @@
+// Package datafile persists blockchain databases as JSON so the
+// command-line tools can hand datasets between generation (bcdbgen)
+// and checking (dcsat). Values are encoded as typed pairs to keep
+// int/float distinctions across the trip.
+package datafile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+type fileJSON struct {
+	// Schemas holds "col:kind" specs per relation, in declaration
+	// order.
+	Schemas []schemaJSON           `json:"schemas"`
+	FDs     []fdJSON               `json:"fds,omitempty"`
+	INDs    []indJSON              `json:"inds,omitempty"`
+	State   map[string][]tupleJSON `json:"state"`
+	Pending []txJSON               `json:"pending,omitempty"`
+}
+
+type schemaJSON struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+}
+
+type fdJSON struct {
+	Rel string   `json:"rel"`
+	LHS []string `json:"lhs"`
+	RHS []string `json:"rhs"`
+	Key bool     `json:"key,omitempty"`
+}
+
+type indJSON struct {
+	Rel     string   `json:"rel"`
+	Cols    []string `json:"cols"`
+	RefRel  string   `json:"refRel"`
+	RefCols []string `json:"refCols"`
+}
+
+type txJSON struct {
+	Name   string                 `json:"name"`
+	Tuples map[string][]tupleJSON `json:"tuples"`
+}
+
+// tupleJSON is a row of typed cells.
+type tupleJSON []cellJSON
+
+// cellJSON is ["i", n] | ["f", x] | ["s", str] | ["b", bool] | ["n"].
+type cellJSON []any
+
+func encodeValue(v value.Value) cellJSON {
+	switch v.Kind() {
+	case value.KindInt:
+		return cellJSON{"i", v.AsInt()}
+	case value.KindFloat:
+		return cellJSON{"f", v.AsFloat()}
+	case value.KindString:
+		return cellJSON{"s", v.AsString()}
+	case value.KindBool:
+		return cellJSON{"b", v.AsBool()}
+	default:
+		return cellJSON{"n"}
+	}
+}
+
+func decodeValue(c cellJSON) (value.Value, error) {
+	if len(c) == 0 {
+		return value.Null, fmt.Errorf("datafile: empty cell")
+	}
+	tag, ok := c[0].(string)
+	if !ok {
+		return value.Null, fmt.Errorf("datafile: cell tag %v", c[0])
+	}
+	if tag == "n" {
+		return value.Null, nil
+	}
+	if len(c) != 2 {
+		return value.Null, fmt.Errorf("datafile: cell %v needs a payload", c)
+	}
+	switch tag {
+	case "i":
+		f, ok := c[1].(float64) // JSON numbers decode as float64
+		if !ok {
+			return value.Null, fmt.Errorf("datafile: int cell %v", c[1])
+		}
+		return value.Int(int64(f)), nil
+	case "f":
+		f, ok := c[1].(float64)
+		if !ok {
+			return value.Null, fmt.Errorf("datafile: float cell %v", c[1])
+		}
+		return value.Float(f), nil
+	case "s":
+		s, ok := c[1].(string)
+		if !ok {
+			return value.Null, fmt.Errorf("datafile: string cell %v", c[1])
+		}
+		return value.Str(s), nil
+	case "b":
+		b, ok := c[1].(bool)
+		if !ok {
+			return value.Null, fmt.Errorf("datafile: bool cell %v", c[1])
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Null, fmt.Errorf("datafile: unknown cell tag %q", tag)
+	}
+}
+
+func encodeTuple(t value.Tuple) tupleJSON {
+	out := make(tupleJSON, len(t))
+	for i, v := range t {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func decodeTuple(t tupleJSON) (value.Tuple, error) {
+	out := make(value.Tuple, len(t))
+	for i, c := range t {
+		v, err := decodeValue(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func kindSpec(a relation.Attribute) string {
+	switch a.Kind {
+	case value.KindInt:
+		return a.Name + ":int"
+	case value.KindFloat:
+		return a.Name + ":float"
+	case value.KindString:
+		return a.Name + ":string"
+	case value.KindBool:
+		return a.Name + ":bool"
+	default:
+		return a.Name
+	}
+}
+
+// Save writes the database as JSON.
+func Save(w io.Writer, db *possible.DB) error {
+	f := fileJSON{State: make(map[string][]tupleJSON)}
+	for _, name := range db.State.Names() {
+		sc := db.State.Schema(name)
+		sj := schemaJSON{Name: name}
+		for _, a := range sc.Attrs {
+			sj.Cols = append(sj.Cols, kindSpec(a))
+		}
+		f.Schemas = append(f.Schemas, sj)
+		var rows []tupleJSON
+		db.State.Scan(name, func(t value.Tuple) bool {
+			rows = append(rows, encodeTuple(t))
+			return true
+		})
+		f.State[name] = rows
+	}
+	for _, fd := range db.Constraints.FDs {
+		f.FDs = append(f.FDs, fdJSON{Rel: fd.Rel, LHS: fd.LHS, RHS: fd.RHS, Key: fd.IsKey})
+	}
+	for _, ind := range db.Constraints.INDs {
+		f.INDs = append(f.INDs, indJSON{Rel: ind.Rel, Cols: ind.Cols, RefRel: ind.RefRel, RefCols: ind.RefCols})
+	}
+	for _, tx := range db.Pending {
+		tj := txJSON{Name: tx.Name, Tuples: make(map[string][]tupleJSON)}
+		for _, rel := range tx.Relations() {
+			for _, t := range tx.Tuples(rel) {
+				tj.Tuples[rel] = append(tj.Tuples[rel], encodeTuple(t))
+			}
+		}
+		f.Pending = append(f.Pending, tj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Load reads a database written by Save, revalidating everything
+// (schemas, constraints, state consistency, pending normalization).
+func Load(r io.Reader) (*possible.DB, error) {
+	var f fileJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("datafile: %w", err)
+	}
+	state := relation.NewState()
+	for _, sj := range f.Schemas {
+		if err := state.AddSchema(relation.NewSchema(sj.Name, sj.Cols...)); err != nil {
+			return nil, err
+		}
+	}
+	for rel, rows := range f.State {
+		for _, row := range rows {
+			t, err := decodeTuple(row)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := state.Insert(rel, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var fds []*constraint.FD
+	for _, fj := range f.FDs {
+		fd := constraint.NewFD(fj.Rel, fj.LHS, fj.RHS)
+		fd.IsKey = fj.Key
+		fds = append(fds, fd)
+	}
+	var inds []*constraint.IND
+	for _, ij := range f.INDs {
+		inds = append(inds, constraint.NewIND(ij.Rel, ij.Cols, ij.RefRel, ij.RefCols))
+	}
+	cons, err := constraint.NewSet(state, fds, inds)
+	if err != nil {
+		return nil, err
+	}
+	var pending []*relation.Transaction
+	for _, tj := range f.Pending {
+		tx := relation.NewTransaction(tj.Name)
+		for rel, rows := range tj.Tuples {
+			for _, row := range rows {
+				t, err := decodeTuple(row)
+				if err != nil {
+					return nil, err
+				}
+				tx.Add(rel, t)
+			}
+		}
+		pending = append(pending, tx)
+	}
+	return possible.New(state, cons, pending)
+}

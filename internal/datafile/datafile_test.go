@@ -1,0 +1,115 @@
+package datafile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/workload"
+)
+
+func TestRoundTripPaperDB(t *testing.T) {
+	orig := fixture.PaperDB()
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.State.Equal(orig.State) {
+		t.Error("state changed across the round trip")
+	}
+	if len(loaded.Pending) != len(orig.Pending) {
+		t.Fatalf("pending count %d != %d", len(loaded.Pending), len(orig.Pending))
+	}
+	for i, tx := range orig.Pending {
+		lt := loaded.Pending[i]
+		if lt.Name != tx.Name || lt.Size() != tx.Size() {
+			t.Errorf("pending[%d] mismatch: %s/%d vs %s/%d",
+				i, lt.Name, lt.Size(), tx.Name, tx.Size())
+		}
+	}
+	if len(loaded.Constraints.FDs) != 2 || len(loaded.Constraints.INDs) != 2 {
+		t.Error("constraints lost")
+	}
+	if !loaded.Constraints.FDs[0].IsKey {
+		t.Error("key flag lost")
+	}
+	// Possible worlds survive: still exactly 9.
+	if n := loaded.CountWorlds(); n != 9 {
+		t.Errorf("round-tripped Poss(D) = %d worlds", n)
+	}
+}
+
+func TestRoundTripGeneratedDataset(t *testing.T) {
+	ds := workload.Generate(workload.Config{
+		Seed: 4, Blocks: 6, TxPerBlock: 5, Users: 20,
+		PendingBlocks: 2, PendingTxPerBlock: 4, Contradictions: 2, ChainProb: 0.3, MaxOuts: 2,
+	})
+	var buf bytes.Buffer
+	if err := Save(&buf, ds.DB); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.State.Equal(ds.DB.State) {
+		t.Error("generated state changed across round trip")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		"{", // truncated JSON
+		`{"schemas":[{"name":"R","cols":["a:int"]},{"name":"R","cols":["a:int"]}]}`,                          // dup schema
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["x",1]]]}}`,                              // bad tag
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["i","x"]]]}}`,                            // bad payload
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[[]]]}}`,                                   // empty cell
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"Q":[[["i",1]]]}}`,                              // unknown relation
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"fds":[{"rel":"R","lhs":["z"],"rhs":["a"]}],"state":{}}`, // bad attr
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["i"]]]}}`,                                // missing payload
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["f","x"]]]}}`,                            // bad float
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["s",5]]]}}`,                              // bad string
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[["b",5]]]}}`,                              // bad bool
+		`{"schemas":[{"name":"R","cols":["a:int"]}],"state":{"R":[[[5,1]]]}}`,                                // non-string tag
+	}
+	for _, src := range bad {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+}
+
+func TestLoadInconsistentStateRejected(t *testing.T) {
+	// A state violating its own key must be rejected by possible.New.
+	src := `{
+		"schemas":[{"name":"R","cols":["a:int","b:int"]}],
+		"fds":[{"rel":"R","lhs":["a"],"rhs":["a","b"],"key":true}],
+		"state":{"R":[[["i",1],["i",1]],[["i",1],["i",2]]]}
+	}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Error("inconsistent state loaded")
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	src := `{
+		"schemas":[{"name":"R","cols":["a"]}],
+		"state":{"R":[[["n"]]]}
+	}`
+	db, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `["n"]`) {
+		t.Errorf("null encoding lost: %s", buf.String())
+	}
+}

@@ -1,0 +1,97 @@
+// Package fixture provides ready-made blockchain databases used by
+// tests, examples, and the command-line demos: the paper's running
+// example (Figure 2) and the simplified Bitcoin schema of Example 1.
+package fixture
+
+import (
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// BitcoinSchema registers the simplified Bitcoin relations of the
+// paper's Example 1 on a fresh state:
+//
+//	TxOut(txId, ser, pk, amount)
+//	TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)
+func BitcoinSchema() *relation.State {
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("TxOut",
+		"txId:int", "ser:int", "pk:string", "amount:float"))
+	s.MustAddSchema(relation.NewSchema("TxIn",
+		"prevTxId:int", "prevSer:int", "pk:string", "amount:float", "newTxId:int", "sig:string"))
+	return s
+}
+
+// BitcoinConstraints builds Example 1's integrity constraints for a
+// state carrying the Bitcoin schema: keys (txId, ser) on TxOut and
+// (prevTxId, prevSer) on TxIn — a shared input is a double spend — and
+// the two inclusion dependencies: every input consumes an existing
+// output, and every new transaction has outputs.
+func BitcoinConstraints(s *relation.State) *constraint.Set {
+	return constraint.MustNewSet(s,
+		[]*constraint.FD{
+			constraint.NewKey(s.Schema("TxOut"), "txId", "ser"),
+			constraint.NewKey(s.Schema("TxIn"), "prevTxId", "prevSer"),
+		},
+		[]*constraint.IND{
+			constraint.NewIND("TxIn", []string{"prevTxId", "prevSer", "pk", "amount"},
+				"TxOut", []string{"txId", "ser", "pk", "amount"}),
+			constraint.NewIND("TxIn", []string{"newTxId"}, "TxOut", []string{"txId"}),
+		})
+}
+
+// TxOut builds a TxOut tuple.
+func TxOut(txID, ser int64, pk string, amount float64) value.Tuple {
+	return value.NewTuple(value.Int(txID), value.Int(ser), value.Str(pk), value.Float(amount))
+}
+
+// TxIn builds a TxIn tuple.
+func TxIn(prevTxID, prevSer int64, pk string, amount float64, newTxID int64, sig string) value.Tuple {
+	return value.NewTuple(value.Int(prevTxID), value.Int(prevSer), value.Str(pk),
+		value.Float(amount), value.Int(newTxID), value.Str(sig))
+}
+
+// PaperDB builds the paper's running example (Figure 2): the current
+// state R holding transactions 1–3 and the pending transactions T1–T5,
+// where T1 and T5 double-spend output (2,2), T2 depends on T1, and T4
+// depends on T2 and T3. Its possible worlds are exactly the nine sets
+// listed in Example 3.
+func PaperDB() *possible.DB {
+	s := BitcoinSchema()
+	cons := BitcoinConstraints(s)
+
+	for _, t := range []value.Tuple{
+		TxOut(1, 1, "U1Pk", 1), TxOut(2, 1, "U1Pk", 1), TxOut(2, 2, "U2Pk", 4),
+		TxOut(3, 1, "U3Pk", 1), TxOut(3, 2, "U4Pk", 0.5), TxOut(3, 3, "U1Pk", 0.5),
+	} {
+		s.MustInsert("TxOut", t)
+	}
+	for _, t := range []value.Tuple{
+		TxIn(1, 1, "U1Pk", 1, 3, "U1Sig"), TxIn(2, 1, "U1Pk", 1, 3, "U1Sig"),
+	} {
+		s.MustInsert("TxIn", t)
+	}
+
+	t1 := relation.NewTransaction("T1").
+		Add("TxIn", TxIn(2, 2, "U2Pk", 4, 4, "U2Sig")).
+		Add("TxOut", TxOut(4, 1, "U5Pk", 1)).
+		Add("TxOut", TxOut(4, 2, "U2Pk", 3))
+	t2 := relation.NewTransaction("T2").
+		Add("TxIn", TxIn(4, 2, "U2Pk", 3, 5, "U2Sig")).
+		Add("TxOut", TxOut(5, 1, "U4Pk", 3))
+	t3 := relation.NewTransaction("T3").
+		Add("TxIn", TxIn(3, 3, "U1Pk", 0.5, 6, "U1Sig")).
+		Add("TxOut", TxOut(6, 1, "U4Pk", 0.5))
+	t4 := relation.NewTransaction("T4").
+		Add("TxIn", TxIn(6, 1, "U4Pk", 0.5, 7, "U4Sig")).
+		Add("TxIn", TxIn(5, 1, "U4Pk", 3, 7, "U4Sig")).
+		Add("TxOut", TxOut(7, 1, "U7Pk", 2.5)).
+		Add("TxOut", TxOut(7, 2, "U8Pk", 1))
+	t5 := relation.NewTransaction("T5").
+		Add("TxIn", TxIn(2, 2, "U2Pk", 4, 8, "U2Sig")).
+		Add("TxOut", TxOut(8, 1, "U7Pk", 4))
+
+	return possible.MustNew(s, cons, []*relation.Transaction{t1, t2, t3, t4, t5})
+}

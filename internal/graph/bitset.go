@@ -1,0 +1,110 @@
+// Package graph provides the graph algorithms the DCSat algorithms
+// rely on: bitset-adjacency undirected graphs, maximal-clique
+// enumeration via Bron–Kerbosch with Tomita pivoting, and union–find
+// for connected components.
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set adds i to the set.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (b Bitset) Has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of elements.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// AndInto stores a ∧ o into dst (which must have the same length) and
+// returns dst.
+func (b Bitset) AndInto(o, dst Bitset) Bitset {
+	for i := range b {
+		dst[i] = b[i] & o[i]
+	}
+	return dst
+}
+
+// And returns a new set a ∧ o.
+func (b Bitset) And(o Bitset) Bitset {
+	return b.AndInto(o, make(Bitset, len(b)))
+}
+
+// AndNot returns a new set a ∧ ¬o.
+func (b Bitset) AndNot(o Bitset) Bitset {
+	c := make(Bitset, len(b))
+	for i := range b {
+		c[i] = b[i] &^ o[i]
+	}
+	return c
+}
+
+// IntersectCount returns |a ∧ o| without allocating.
+func (b Bitset) IntersectCount(o Bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] & o[i])
+	}
+	return n
+}
+
+// ForEach calls f for every element in ascending order.
+func (b Bitset) ForEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			t := w & -w
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w ^= t
+		}
+	}
+}
+
+// Elements returns the members in ascending order.
+func (b Bitset) Elements() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// First returns the smallest element, or -1 when empty.
+func (b Bitset) First() int {
+	for wi, w := range b {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relmap"
+)
+
+// TestDoubleSpendRaceAcrossPartition reproduces the classic
+// double-spend race: an attacker sends conflicting payments to two
+// halves of a partitioned network, each half confirms its own version,
+// and the heal reorganizes one half — exactly the uncertainty the
+// paper's possible-worlds model captures. The denial-constraint layer
+// flags the risk on each half before any reorg happens.
+func TestDoubleSpendRaceAcrossPartition(t *testing.T) {
+	net, alice, bob := testNetwork(t, 4, 31)
+	sim := net.Sim
+	// The attacker (alice) prepares two conflicting payments: one to
+	// bob, one back to herself.
+	utxo := net.Nodes[0].Chain.UTXO()
+	op := utxo.ByOwner(alice.PubKey())[0]
+	toBob, err := alice.SpendOutpoint(utxo, op,
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: 2 * bitcoin.Coin}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toSelf, err := alice.SpendOutpoint(utxo, op,
+		[]bitcoin.Payment{{To: alice.PubKey(), Amount: 2 * bitcoin.Coin}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition {0,1} | {2,3}; feed one version to each side.
+	net.Partition([]int{0, 1})
+	_ = net.Nodes[0].SubmitTx(toBob)
+	_ = net.Nodes[2].SubmitTx(toSelf)
+	sim.Run(sim.Now() + 200)
+	if !net.Nodes[1].Mempool.Has(toBob.ID()) || !net.Nodes[3].Mempool.Has(toSelf.ID()) {
+		t.Fatal("per-side gossip failed")
+	}
+	if net.Nodes[0].Mempool.Has(toSelf.ID()) || net.Nodes[2].Mempool.Has(toBob.ID()) {
+		t.Fatal("partition leaked transactions")
+	}
+
+	// Bob's side can already see the danger before anything confirms:
+	// "bob is paid" is violated in a possible world of side A (good for
+	// bob), but side B's database says bob can never be paid.
+	bobPaid := query.MustParse(fmt.Sprintf("q() :- TxOut(n, s, '%s', a)",
+		relmap.PubKeyString(bob.PubKey())))
+	dbA, err := relmap.Database(net.Nodes[0].Chain, net.Nodes[0].Mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := core.Check(dbA, bobPaid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Satisfied {
+		t.Error("side A: bob's payment should be possible")
+	}
+	dbB, err := relmap.Database(net.Nodes[2].Chain, net.Nodes[2].Mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := core.Check(dbB, bobPaid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Satisfied {
+		t.Error("side B: bob's payment should be impossible there")
+	}
+
+	// Side A confirms bob's payment in one block; side B confirms the
+	// self-spend in two blocks (more work, so B wins the heal).
+	if _, err := net.Nodes[0].MineNow(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(sim.Now() + 100)
+	for i := 0; i < 2; i++ {
+		if _, err := net.Nodes[2].MineNow(); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(sim.Now() + 100)
+	}
+	if got := bob.Balance(net.Nodes[0].Chain.UTXO()); got != 2*bitcoin.Coin {
+		t.Fatalf("bob not paid on side A before heal: %v", got)
+	}
+	net.Heal()
+	sim.Run(sim.Now() + 10_000)
+	if !net.Converged() {
+		t.Fatal("network did not converge after heal")
+	}
+	// The self-spend branch won: bob's confirmed payment evaporated —
+	// the "possible world" where bob was paid did not survive.
+	if got := bob.Balance(net.Nodes[0].Chain.UTXO()); got != 0 {
+		t.Errorf("bob's balance after losing the race = %v, want 0", got)
+	}
+	// And bob's payment is now impossible everywhere: toBob conflicts
+	// with the confirmed self-spend.
+	dbAfter, err := relmap.Database(net.Nodes[0].Chain, net.Nodes[0].Mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAfter, err := core.Check(dbAfter, bobPaid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resAfter.Satisfied {
+		t.Error("after the race, bob's payment should be impossible in every world")
+	}
+}
+
+// TestRBFPropagatesThroughGossip: a higher-fee replacement displaces
+// the original on every node.
+func TestRBFPropagatesThroughGossip(t *testing.T) {
+	net, alice, bob := testNetwork(t, 3, 37)
+	utxo := net.Nodes[0].Chain.UTXO()
+	op := utxo.ByOwner(alice.PubKey())[0]
+	low, err := alice.SpendOutpoint(utxo, op,
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := alice.SpendOutpoint(utxo, op,
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Nodes[0].SubmitTx(low)
+	net.Sim.Run(net.Sim.Now() + 500)
+	_ = net.Nodes[0].SubmitTx(high)
+	net.Sim.Run(net.Sim.Now() + 500)
+	for _, nd := range net.Nodes {
+		if nd.Mempool.Has(low.ID()) {
+			t.Errorf("%s still holds the replaced transaction", nd.Name)
+		}
+		if !nd.Mempool.Has(high.ID()) {
+			t.Errorf("%s missing the replacement", nd.Name)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockchaindb/internal/bitcoin"
+)
+
+func testNetwork(t *testing.T, nodes int, seed int64) (*Network, *bitcoin.Wallet, *bitcoin.Wallet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	alice := bitcoin.NewWallet("alice", rng)
+	bob := bitcoin.NewWallet("bob", rng)
+	minerW := bitcoin.NewWallet("miner", rng)
+	sim := NewSimulator(seed)
+	params := bitcoin.Params{Difficulty: 2, Subsidy: 50 * bitcoin.Coin, MaxBlockSize: 8192}
+	net := NewNetwork(sim, nodes, params, alice.PubKey(), minerW.PubKey())
+	net.ConnectAll(5, 3)
+	return net, alice, bob
+}
+
+func TestSimulatorOrdering(t *testing.T) {
+	sim := NewSimulator(1)
+	var got []int
+	sim.After(10, func() { got = append(got, 2) })
+	sim.After(5, func() { got = append(got, 1) })
+	sim.After(10, func() { got = append(got, 3) }) // same time: FIFO by schedule order
+	sim.After(-1, func() { got = append(got, 0) }) // clamped to now
+	n := sim.Run(100)
+	if n != 4 {
+		t.Fatalf("ran %d events", n)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if sim.Now() != 100 {
+		t.Errorf("Now = %d", sim.Now())
+	}
+	// Events beyond the horizon stay queued.
+	sim.After(50, func() {})
+	if sim.Run(120) != 0 || sim.Pending() != 1 {
+		t.Error("horizon not respected")
+	}
+}
+
+func TestGossipPropagatesTransactions(t *testing.T) {
+	net, alice, bob := testNetwork(t, 4, 7)
+	tx, err := alice.Pay(net.Nodes[0].Chain.UTXO(),
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Nodes[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(1000)
+	for _, nd := range net.Nodes {
+		if !nd.Mempool.Has(tx.ID()) {
+			t.Errorf("%s missing gossiped transaction", nd.Name)
+		}
+	}
+	if net.Nodes[3].TxAccepted != 1 {
+		t.Errorf("accepted count = %d", net.Nodes[3].TxAccepted)
+	}
+}
+
+func TestConflictsAreNotRelayedTwice(t *testing.T) {
+	net, alice, bob := testNetwork(t, 3, 9)
+	utxo := net.Nodes[0].Chain.UTXO()
+	op := utxo.ByOwner(alice.PubKey())[0]
+	tx1, _ := alice.SpendOutpoint(utxo, op, []bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 100)
+	tx2, _ := alice.SpendOutpoint(utxo, op, []bitcoin.Payment{{To: alice.PubKey(), Amount: bitcoin.Coin}}, 100)
+	_ = net.Nodes[0].SubmitTx(tx1)
+	net.Sim.Run(100)
+	// The conflicting tx2 is rejected everywhere (equal fee, no RBF).
+	_ = net.Nodes[1].SubmitTx(tx2)
+	net.Sim.Run(1000)
+	for _, nd := range net.Nodes {
+		if nd.Mempool.Has(tx2.ID()) {
+			t.Errorf("%s relayed a conflicting transaction", nd.Name)
+		}
+	}
+}
+
+func TestMiningConvergence(t *testing.T) {
+	net, alice, bob := testNetwork(t, 5, 11)
+	// Random nodes mine on a schedule; txs flow meanwhile.
+	tx, _ := alice.Pay(net.Nodes[0].Chain.UTXO(),
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 1000, nil)
+	_ = net.Nodes[0].SubmitTx(tx)
+	net.ScheduleMining(50, 1000)
+	net.Sim.Run(5000)
+	if !net.Converged() {
+		t.Fatal("network did not converge")
+	}
+	if net.Nodes[0].Chain.Height() == 0 {
+		t.Fatal("no blocks mined")
+	}
+	// The payment confirmed on every replica.
+	for _, nd := range net.Nodes {
+		if got := bob.Balance(nd.Chain.UTXO()); got != bitcoin.Coin {
+			t.Errorf("%s: bob balance %v", nd.Name, got)
+		}
+	}
+}
+
+func TestPartitionForkAndHeal(t *testing.T) {
+	net, _, _ := testNetwork(t, 4, 13)
+	net.Partition([]int{0, 1})
+	// Each side mines its own blocks: side B mines more work.
+	if _, err := net.Nodes[0].MineNow(); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(net.Sim.Now() + 100)
+	for i := 0; i < 3; i++ {
+		if _, err := net.Nodes[2].MineNow(); err != nil {
+			t.Fatal(err)
+		}
+		net.Sim.Run(net.Sim.Now() + 100)
+	}
+	if net.Converged() {
+		t.Fatal("partitioned network should fork")
+	}
+	aTip := net.Nodes[0].Chain.Tip()
+	bTip := net.Nodes[2].Chain.Tip()
+	if aTip == bTip {
+		t.Fatal("expected divergent tips")
+	}
+	net.Heal()
+	net.Sim.Run(net.Sim.Now() + 10_000)
+	if !net.Converged() {
+		t.Fatal("network did not reconcile after heal")
+	}
+	// The heavier branch wins; the lighter side reorged.
+	if net.Nodes[0].Chain.Tip() != bTip {
+		t.Error("fork choice did not pick the branch with most work")
+	}
+	if net.Nodes[0].Reorgs == 0 {
+		t.Error("losing side should record a reorg")
+	}
+}
+
+func TestOrphanBlocksConnectInOrder(t *testing.T) {
+	net, _, _ := testNetwork(t, 2, 17)
+	// Mine two blocks on node 0 while node 1 is cut off; then deliver
+	// them child-first.
+	net.Partition([]int{0})
+	b1, err := net.Nodes[0].MineNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(net.Sim.Now() + 10)
+	b2, err := net.Nodes[0].MineNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.Run(net.Sim.Now() + 10)
+	if net.Nodes[1].Chain.Height() != 0 {
+		t.Fatal("partition leaked")
+	}
+	net.Nodes[1].ReceiveBlock(b2) // orphan: parent unknown
+	if net.Nodes[1].Chain.Height() != 0 {
+		t.Fatal("orphan connected without parent")
+	}
+	net.Nodes[1].ReceiveBlock(b1) // parent arrives; child unstashes
+	if net.Nodes[1].Chain.Height() != 2 {
+		t.Fatalf("height after unstash = %d", net.Nodes[1].Chain.Height())
+	}
+}
+
+func TestNodeNames(t *testing.T) {
+	if nodeName(0) != "node-A" || nodeName(1) != "node-B" {
+		t.Errorf("names: %s %s", nodeName(0), nodeName(1))
+	}
+	if nodeName(26) != "node-A1" {
+		t.Errorf("wraparound name: %s", nodeName(26))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() bitcoin.Hash {
+		net, alice, bob := testNetwork(t, 4, 23)
+		tx, _ := alice.Pay(net.Nodes[0].Chain.UTXO(),
+			[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 500, nil)
+		_ = net.Nodes[0].SubmitTx(tx)
+		net.ScheduleMining(40, 800)
+		net.Sim.Run(4000)
+		return net.Nodes[0].Chain.Tip()
+	}
+	if run() != run() {
+		t.Error("same seed produced different simulations")
+	}
+}

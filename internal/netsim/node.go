@@ -1,0 +1,263 @@
+package netsim
+
+import (
+	"crypto/ed25519"
+	"errors"
+
+	"blockchaindb/internal/bitcoin"
+)
+
+// Node is one network participant: its own chain replica, mempool,
+// miner, and peer links. Nodes relay what they accept — conflicting
+// transactions and stale blocks "are not propagated and are immediately
+// discarded", exactly the gossip behaviour the paper describes.
+type Node struct {
+	Name    string
+	Chain   *bitcoin.Chain
+	Mempool *bitcoin.Mempool
+	Miner   *bitcoin.Miner
+
+	sim     *Simulator
+	peers   []*link
+	orphans map[bitcoin.Hash][]*bitcoin.Block // prev hash -> waiting blocks
+	seenTx  map[bitcoin.Hash]bool
+
+	// Stats observable by experiments.
+	TxAccepted    int
+	TxRejected    int
+	BlocksMined   int
+	BlocksAdopted int
+	Reorgs        int
+}
+
+type link struct {
+	to      *Node
+	latency int64
+	jitter  int64
+	up      bool
+}
+
+// Network wires nodes over a simulator with identical genesis chains.
+type Network struct {
+	Sim   *Simulator
+	Nodes []*Node
+}
+
+// NewNetwork creates n nodes sharing consensus parameters and a genesis
+// paying the given key. Topology starts empty; call Connect or
+// ConnectAll.
+func NewNetwork(sim *Simulator, n int, params bitcoin.Params, genesisPub ed25519.PublicKey, minerPayout ed25519.PublicKey) *Network {
+	net := &Network{Sim: sim}
+	for i := 0; i < n; i++ {
+		chain := bitcoin.NewChain(params, genesisPub)
+		mempool := bitcoin.NewMempool(chain)
+		node := &Node{
+			Name:    nodeName(i),
+			Chain:   chain,
+			Mempool: mempool,
+			Miner:   bitcoin.NewMiner(chain, mempool, minerPayout),
+			sim:     sim,
+			orphans: make(map[bitcoin.Hash][]*bitcoin.Block),
+			seenTx:  make(map[bitcoin.Hash]bool),
+		}
+		net.Nodes = append(net.Nodes, node)
+	}
+	return net
+}
+
+func nodeName(i int) string {
+	return "node-" + string(rune('A'+i%26)) + suffix(i/26)
+}
+
+func suffix(i int) string {
+	if i == 0 {
+		return ""
+	}
+	digits := ""
+	for i > 0 {
+		digits = string(rune('0'+i%10)) + digits
+		i /= 10
+	}
+	return digits
+}
+
+// Connect links two nodes bidirectionally with the base latency and
+// random jitter bound.
+func (n *Network) Connect(a, b int, latency, jitter int64) {
+	n.Nodes[a].peers = append(n.Nodes[a].peers, &link{to: n.Nodes[b], latency: latency, jitter: jitter, up: true})
+	n.Nodes[b].peers = append(n.Nodes[b].peers, &link{to: n.Nodes[a], latency: latency, jitter: jitter, up: true})
+}
+
+// ConnectAll builds a full mesh.
+func (n *Network) ConnectAll(latency, jitter int64) {
+	for i := range n.Nodes {
+		for j := i + 1; j < len(n.Nodes); j++ {
+			n.Connect(i, j, latency, jitter)
+		}
+	}
+}
+
+// Partition cuts every link between the two node sets (by index);
+// Heal restores all links. Used to manufacture forks.
+func (n *Network) Partition(groupA []int) {
+	inA := make(map[*Node]bool)
+	for _, i := range groupA {
+		inA[n.Nodes[i]] = true
+	}
+	for _, node := range n.Nodes {
+		for _, l := range node.peers {
+			if inA[node] != inA[l.to] {
+				l.up = false
+			}
+		}
+	}
+}
+
+// Heal restores every link.
+func (n *Network) Heal() {
+	for _, node := range n.Nodes {
+		for _, l := range node.peers {
+			l.up = true
+		}
+	}
+	// Let partitions reconcile: every node offers its tip chain to its
+	// peers.
+	for _, node := range n.Nodes {
+		node.announceChain()
+	}
+}
+
+// announceChain relays the node's main-chain blocks to all peers (a
+// simplified headers-first sync after a partition heals).
+func (nd *Node) announceChain() {
+	for _, h := range nd.Chain.MainChain() {
+		b, _ := nd.Chain.Block(h)
+		nd.relayBlock(b)
+	}
+}
+
+// SubmitTx injects a locally created transaction (a user handing it to
+// their node), which validates and gossips it.
+func (nd *Node) SubmitTx(tx *bitcoin.Transaction) error {
+	return nd.receiveTx(tx)
+}
+
+func (nd *Node) receiveTx(tx *bitcoin.Transaction) error {
+	id := tx.ID()
+	if nd.seenTx[id] {
+		return nil
+	}
+	nd.seenTx[id] = true
+	if err := nd.Mempool.Add(tx); err != nil {
+		// Conflicting or invalid: discarded, not propagated.
+		if !errors.Is(err, bitcoin.ErrMempoolDup) {
+			nd.TxRejected++
+		}
+		return err
+	}
+	nd.TxAccepted++
+	nd.relayTx(tx)
+	return nil
+}
+
+func (nd *Node) relayTx(tx *bitcoin.Transaction) {
+	for _, l := range nd.peers {
+		if !l.up {
+			continue
+		}
+		peer := l.to
+		nd.sim.After(l.delay(nd.sim), func() { _ = peer.receiveTx(tx) })
+	}
+}
+
+func (l *link) delay(s *Simulator) int64 {
+	d := l.latency
+	if l.jitter > 0 {
+		d += s.rng.Int63n(l.jitter + 1)
+	}
+	return d
+}
+
+// ReceiveBlock processes a block from the network: stash orphans,
+// connect, adopt reorgs, update the mempool, relay onward, and unstash
+// any children that were waiting.
+func (nd *Node) ReceiveBlock(b *bitcoin.Block) {
+	if !b.CheckSeal() {
+		return
+	}
+	h := b.Hash()
+	if nd.Chain.HasBlock(h) {
+		return
+	}
+	if !nd.Chain.HasBlock(b.PrevHash) {
+		nd.orphans[b.PrevHash] = append(nd.orphans[b.PrevHash], b)
+		return
+	}
+	res, err := nd.Chain.AddBlock(b)
+	if err != nil {
+		return // invalid or duplicate: discard silently
+	}
+	nd.BlocksAdopted++
+	if len(res.Disconnected) > 0 {
+		nd.Reorgs++
+	}
+	nd.Mempool.ApplyConnect(res)
+	nd.relayBlock(b)
+	// Connect any orphans waiting on this block.
+	if children, ok := nd.orphans[h]; ok {
+		delete(nd.orphans, h)
+		for _, child := range children {
+			nd.ReceiveBlock(child)
+		}
+	}
+}
+
+func (nd *Node) relayBlock(b *bitcoin.Block) {
+	for _, l := range nd.peers {
+		if !l.up {
+			continue
+		}
+		peer := l.to
+		nd.sim.After(l.delay(nd.sim), func() { peer.ReceiveBlock(b) })
+	}
+}
+
+// MineNow makes the node mine one block immediately (the simulation's
+// stand-in for winning the PoW race) and gossip it.
+func (nd *Node) MineNow() (*bitcoin.Block, error) {
+	b, _, err := nd.Miner.Mine(nd.sim.Now())
+	if err != nil {
+		return nil, err
+	}
+	nd.BlocksMined++
+	nd.BlocksAdopted++
+	nd.relayBlock(b)
+	return b, nil
+}
+
+// ScheduleMining arranges for a randomly selected node to mine every
+// interval ticks until the simulator clock reaches until — a Poisson
+// block arrival approximated on a grid.
+func (n *Network) ScheduleMining(interval, until int64) {
+	var tick func()
+	tick = func() {
+		if n.Sim.Now() >= until {
+			return
+		}
+		miner := n.Nodes[n.Sim.rng.Intn(len(n.Nodes))]
+		_, _ = miner.MineNow()
+		n.Sim.After(interval, tick)
+	}
+	n.Sim.After(interval, tick)
+}
+
+// Converged reports whether every node agrees on the same tip.
+func (n *Network) Converged() bool {
+	tip := n.Nodes[0].Chain.Tip()
+	for _, nd := range n.Nodes[1:] {
+		if nd.Chain.Tip() != tip {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+// Package netsim is a deterministic discrete-event simulation of a
+// P2P blockchain network: nodes hold their own chain copy and mempool,
+// gossip transactions and blocks with configurable latency, resolve
+// forks by accumulated work, and mine on schedule. It stands in for the
+// live Bitcoin network the paper's experiments observed, while keeping
+// every run reproducible from a seed.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Simulator is the event queue and clock. All node behaviour runs
+// inside scheduled events, so a simulation is fully deterministic given
+// the same schedule and seeds.
+type Simulator struct {
+	queue eventQueue
+	now   int64
+	seq   int
+	rng   *rand.Rand
+}
+
+// NewSimulator creates a simulator with a seeded random source
+// (latency jitter, miner selection).
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Rand exposes the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// After schedules f to run delay ticks from now. Events at equal times
+// run in scheduling order.
+func (s *Simulator) After(delay int64, f func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, run: f})
+	s.seq++
+}
+
+// Run executes events until the queue drains or the clock passes
+// until. It returns the number of events executed.
+func (s *Simulator) Run(until int64) int {
+	n := 0
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.run()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+type event struct {
+	at  int64
+	seq int
+	run func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

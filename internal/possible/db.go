@@ -1,0 +1,271 @@
+// Package possible implements the paper's formal model of a blockchain
+// database: the triple D = (R, I, T) of a current state, integrity
+// constraints, and pending insert transactions; the can-append relation
+// R →(T,I) R'; and the possible worlds Poss(D) it generates. It
+// provides the PTIME possible-world recognition of Proposition 1, the
+// getMaximal fixpoint of Section 6, and an exponential enumerator of
+// all possible worlds used as ground truth in tests.
+package possible
+
+import (
+	"fmt"
+
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// DB is a blockchain database D = (R, I, T). Construct with New, which
+// validates R |= I and normalizes the pending transactions against the
+// state's schemas.
+type DB struct {
+	// State is the current state R: tuples already committed to the
+	// chain.
+	State *relation.State
+	// Constraints is the integrity constraint set I.
+	Constraints *constraint.Set
+	// Pending is the transaction set T, in issue order.
+	Pending []*relation.Transaction
+}
+
+// New assembles a blockchain database. It fails if the current state
+// does not satisfy the constraints (the model requires R |= I) or if a
+// pending transaction does not fit the schemas.
+func New(state *relation.State, cons *constraint.Set, pending []*relation.Transaction) (*DB, error) {
+	if err := cons.Check(state); err != nil {
+		return nil, fmt.Errorf("possible: current state violates constraints: %w", err)
+	}
+	norm := make([]*relation.Transaction, len(pending))
+	for i, tx := range pending {
+		nt, err := state.NormalizeTransaction(tx)
+		if err != nil {
+			return nil, err
+		}
+		norm[i] = nt
+	}
+	return &DB{State: state, Constraints: cons, Pending: norm}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(state *relation.State, cons *constraint.Set, pending []*relation.Transaction) *DB {
+	d, err := New(state, cons, pending)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CanAppend reports whether world ∪ tx satisfies the constraints,
+// i.e. whether world →(T,I) world ∪ tx. world must already satisfy
+// them.
+func (d *DB) CanAppend(world relation.View, tx *relation.Transaction) bool {
+	return d.Constraints.CanAppend(world, tx)
+}
+
+// GetMaximal computes the unique maximal possible world over the
+// transaction subset given by indexes into Pending — the paper's
+// getMaximal: repeatedly append any transaction whose addition
+// preserves the constraints, until a fixpoint. It returns the world as
+// an overlay over the state and the indexes actually included, in
+// inclusion order.
+//
+// For subsets that are pairwise fd-consistent (cliques of G^fd_T) the
+// result is the maximal possible world of (R, I, T'); for arbitrary
+// subsets it is still a valid possible world, just not necessarily one
+// containing every member of the subset.
+func (d *DB) GetMaximal(subset []int) (*relation.Overlay, []int) {
+	world := relation.NewOverlay(d.State)
+	remaining := append([]int(nil), subset...)
+	var included []int
+	for {
+		progressed := false
+		next := remaining[:0]
+		for _, ti := range remaining {
+			tx := d.Pending[ti]
+			if d.Constraints.CanAppend(world, tx) {
+				world.Add(tx)
+				included = append(included, ti)
+				progressed = true
+			} else {
+				next = append(next, ti)
+			}
+		}
+		remaining = next
+		if !progressed || len(remaining) == 0 {
+			return world, included
+		}
+	}
+}
+
+// IsReachable implements Proposition 1 for a chosen transaction subset:
+// it decides in PTIME whether R ∪ (exactly the transactions at the
+// given indexes) is a possible world of D, i.e. whether some ordering
+// of all of them appends successfully.
+func (d *DB) IsReachable(subset []int) bool {
+	world := relation.NewOverlay(d.State)
+	remaining := append([]int(nil), subset...)
+	for len(remaining) > 0 {
+		progressed := false
+		next := remaining[:0]
+		for _, ti := range remaining {
+			tx := d.Pending[ti]
+			if d.Constraints.CanAppend(world, tx) {
+				world.Add(tx)
+				progressed = true
+			} else {
+				next = append(next, ti)
+			}
+		}
+		remaining = next
+		if !progressed {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPossibleWorld decides in PTIME whether an arbitrary set of
+// relations R' is a possible world of D (Proposition 1). R' must use
+// the same schema names as the state.
+//
+// The algorithm: R' must contain R and satisfy I; collect the pending
+// transactions fully contained in R'; greedily append any appendable
+// one (monotone — the greedy closure is order-insensitive because a
+// transaction appendable to a world inside R' stays appendable as the
+// world grows within R'); accept iff the closure reproduces R' exactly.
+func (d *DB) IsPossibleWorld(target *relation.State) bool {
+	// R ⊆ R'.
+	for _, name := range d.State.Names() {
+		contained := d.State.Scan(name, func(t value.Tuple) bool {
+			return target.Contains(name, t)
+		})
+		if !contained {
+			return false
+		}
+	}
+	// R' |= I.
+	if d.Constraints.Check(target) != nil {
+		return false
+	}
+	// Greedy closure over the contained transactions.
+	world := relation.NewOverlay(d.State)
+	var candidates []int
+	for i, tx := range d.Pending {
+		if tx.SubsetOf(target) {
+			candidates = append(candidates, i)
+		}
+	}
+	for {
+		progressed := false
+		next := candidates[:0]
+		for _, ti := range candidates {
+			if d.Constraints.CanAppend(world, d.Pending[ti]) {
+				world.Add(d.Pending[ti])
+				progressed = true
+			} else {
+				next = append(next, ti)
+			}
+		}
+		candidates = next
+		if !progressed {
+			break
+		}
+	}
+	// The closure must cover R' exactly; ⊆ holds by construction.
+	for _, name := range target.Names() {
+		covered := target.Scan(name, func(t value.Tuple) bool {
+			return world.Contains(name, t)
+		})
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateWorlds enumerates every reachable transaction subset (each a
+// possible world), calling yield with the included indexes (sorted) and
+// the world view. Exponential in |Pending|; intended for tests, small
+// interactive demos, and as the ground truth the DCSat algorithms are
+// validated against. yield returning false stops the enumeration. The
+// empty subset — the current state itself — is always yielded first.
+func (d *DB) EnumerateWorlds(yield func(included []int, world *relation.Overlay) bool) {
+	type node struct {
+		included []int
+		world    *relation.Overlay
+	}
+	seen := map[string]bool{"": true}
+	queue := []node{{nil, relation.NewOverlay(d.State)}}
+	if !yield(nil, queue[0].world) {
+		return
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for ti := range d.Pending {
+			if containsInt(cur.included, ti) {
+				continue
+			}
+			if !d.Constraints.CanAppend(cur.world, d.Pending[ti]) {
+				continue
+			}
+			next := insertSorted(cur.included, ti)
+			key := subsetKey(next)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			w := relation.NewOverlay(d.State)
+			for _, i := range next {
+				w.Add(d.Pending[i])
+			}
+			if !yield(next, w) {
+				return
+			}
+			queue = append(queue, node{next, w})
+		}
+	}
+}
+
+// CountWorlds returns the number of reachable transaction subsets.
+func (d *DB) CountWorlds() int {
+	n := 0
+	d.EnumerateWorlds(func([]int, *relation.Overlay) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(xs []int, x int) []int {
+	out := make([]int, 0, len(xs)+1)
+	placed := false
+	for _, v := range xs {
+		if !placed && x < v {
+			out = append(out, x)
+			placed = true
+		}
+		out = append(out, v)
+	}
+	if !placed {
+		out = append(out, x)
+	}
+	return out
+}
+
+func subsetKey(xs []int) string {
+	b := make([]byte, 0, len(xs)*3)
+	for _, v := range xs {
+		b = append(b, byte(v>>16), byte(v>>8), byte(v), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,10 @@
+package possible_test
+
+import (
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/possible"
+)
+
+// paperDB returns the paper's running example (Figure 2) from the
+// shared fixture package.
+func paperDB() *possible.DB { return fixture.PaperDB() }

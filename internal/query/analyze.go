@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+)
+
+// Validate checks that the query is well-formed and safe: at least one
+// positive atom; every variable appearing in a negated atom, a
+// comparison, or the aggregate head also appears in a positive atom;
+// and aggregate arities are correct (sum, max, min take exactly one
+// variable, cntd at least one).
+func (q *Query) Validate() error {
+	pos := q.Positives()
+	if len(pos) == 0 {
+		return fmt.Errorf("query: no positive relational atoms")
+	}
+	bound := make(map[string]bool)
+	for _, a := range pos {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	for _, a := range q.Negatives() {
+		for _, t := range a.Args {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("query: unsafe variable %q in negated atom %v", t.Var, a)
+			}
+		}
+	}
+	for _, c := range q.Comparisons {
+		for _, t := range []Term{c.Left, c.Right} {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("query: unsafe variable %q in comparison %v", t.Var, c)
+			}
+		}
+	}
+	for _, v := range q.HeadVars {
+		if !bound[v] {
+			return fmt.Errorf("query: unsafe head variable %q", v)
+		}
+	}
+	if q.Agg != nil {
+		if len(q.HeadVars) > 0 {
+			return fmt.Errorf("query: a query cannot have both head variables and an aggregate")
+		}
+		for _, v := range q.Agg.Vars {
+			if !bound[v] {
+				return fmt.Errorf("query: unsafe aggregate variable %q", v)
+			}
+		}
+		switch q.Agg.Func {
+		case AggSum, AggMax, AggMin:
+			if len(q.Agg.Vars) != 1 {
+				return fmt.Errorf("query: %s takes exactly one variable", q.Agg.Func)
+			}
+		case AggCntd:
+			if len(q.Agg.Vars) == 0 {
+				return fmt.Errorf("query: cntd takes at least one variable")
+			}
+		case AggCount:
+			// count() over empty tuples is allowed.
+		default:
+			return fmt.Errorf("query: unknown aggregate %q", q.Agg.Func)
+		}
+	}
+	return nil
+}
+
+// IsPositive reports whether the query has no negated atoms (the Q+
+// classes of the paper).
+func (q *Query) IsPositive() bool { return len(q.Negatives()) == 0 }
+
+// IsAggregate reports whether the query has an aggregate head.
+func (q *Query) IsAggregate() bool { return q.Agg != nil }
+
+// IsMonotonic reports whether the query is monotonic: whenever it holds
+// on R it holds on every superset of R. Conjunctive queries are
+// monotonic iff positive (comparisons do not hurt). Aggregate queries
+// are monotonic when positive and the aggregate value cannot decrease
+// as the relation grows and the comparison is > or >=; this holds for
+// count, cntd, and max unconditionally, and for sum under the
+// assumption that aggregated values are non-negative (true for
+// quantities such as bitcoin amounts — callers aggregating possibly
+// negative values must not rely on monotonicity).
+//
+// NaiveDCSat and OptDCSat are complete only for monotonic denial
+// constraints, which is why this predicate gates them.
+func (q *Query) IsMonotonic() bool {
+	if !q.IsPositive() {
+		return false
+	}
+	if q.Agg == nil {
+		return true
+	}
+	if q.Agg.Op != OpGt && q.Agg.Op != OpGe {
+		return false
+	}
+	switch q.Agg.Func {
+	case AggCount, AggCntd, AggSum, AggMax:
+		return true
+	default:
+		return false
+	}
+}
+
+// termKey canonicalizes a term for graph-node identity: variables by
+// name, constants by value encoding (identical constants in different
+// atoms are the same node, which only merges components — safe).
+func termKey(t Term) string {
+	if t.IsVar() {
+		return "v\x00" + t.Var
+	}
+	return "c\x00" + t.Const.String()
+}
+
+// IsConnected reports whether the query is connected in the paper's
+// sense: it is conjunctive (no aggregate head) and the Gaifman graph —
+// nodes are the terms of the relational atoms, edges join terms
+// co-occurring in an atom — has a single connected component.
+// Comparisons do not contribute edges (the paper's example
+// "q() ← R(x,y), S(w,v), y < v" is not connected).
+func (q *Query) IsConnected() bool {
+	if q.Agg != nil {
+		return false
+	}
+	if len(q.Atoms) == 0 {
+		return false
+	}
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, a := range q.Atoms {
+		var firstKey string
+		for _, t := range a.Args {
+			k := termKey(t)
+			if _, ok := parent[k]; !ok {
+				parent[k] = k
+			}
+			if firstKey == "" {
+				firstKey = k
+			} else {
+				union(firstKey, k)
+			}
+		}
+	}
+	roots := make(map[string]bool)
+	for k := range parent {
+		roots[find(k)] = true
+	}
+	// A query whose atoms are all zero-ary is vacuously connected only
+	// if there is one atom.
+	if len(parent) == 0 {
+		return len(q.Atoms) == 1
+	}
+	return len(roots) == 1
+}
+
+// eqClasses returns a class identifier per term, merging variables (and
+// constants) related by '=' comparisons. Terms not mentioned in any
+// equality comparison are their own class.
+func (q *Query) eqClasses() map[string]string {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	add := func(k string) {
+		if _, ok := parent[k]; !ok {
+			parent[k] = k
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(termKey(t))
+		}
+	}
+	for _, c := range q.Comparisons {
+		if c.Op != OpEq {
+			continue
+		}
+		lk, rk := termKey(c.Left), termKey(c.Right)
+		add(lk)
+		add(rk)
+		ra, rb := find(lk), find(rk)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	out := make(map[string]string, len(parent))
+	for k := range parent {
+		out[k] = find(k)
+	}
+	return out
+}

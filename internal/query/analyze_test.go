@@ -1,0 +1,178 @@
+package query
+
+import (
+	"testing"
+
+	"blockchaindb/internal/value"
+)
+
+func TestIsConnected(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		// Paper's examples.
+		{"q() :- R(x, y), S(w, v), T(x, v)", true},
+		{"q() :- R(x, y), S(w, v), y < v", false},
+		{"q() :- R(x, y)", true},
+		{"q() :- R(x, y), S(y, z)", true},
+		{"q() :- R(x, y), S(w, v)", false},
+		// Connection through a shared constant.
+		{"q() :- R(x, 'k'), S('k', y)", true},
+		// Aggregates are never connected.
+		{"q(count()) > 1 :- R(x, y), S(y, z)", false},
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		if got := q.IsConnected(); got != c.want {
+			t.Errorf("IsConnected(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIsMonotonic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"q() :- R(x, y)", true},
+		{"q() :- R(x, y), x < y", true}, // comparisons keep monotonicity
+		{"q() :- R(x, y), !S(x)", false},
+		{"q(count()) > 3 :- R(x, y)", true},
+		{"q(cntd(x)) >= 3 :- R(x, y)", true},
+		{"q(sum(x)) > 3 :- R(x, y)", true},
+		{"q(max(x)) > 3 :- R(x, y)", true},
+		{"q(min(x)) > 3 :- R(x, y)", false}, // min decreases as worlds grow
+		{"q(count()) < 3 :- R(x, y)", false},
+		{"q(sum(x)) = 3 :- R(x, y)", false},
+		{"q(count()) > 3 :- R(x, y), !S(x)", false},
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		if got := q.IsMonotonic(); got != c.want {
+			t.Errorf("IsMonotonic(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEqualityConstraintsPaperExample7(t *testing.T) {
+	// Example 7: q() ← R(w,x,u), S(x,w,z), T(y,x) over R(A1,A2,A3),
+	// S(B1,B2,B3), T(C1,C2) implies R[A1,A2]=S[B2,B1], R[A2]=T[C2],
+	// S[B1]=T[C2].
+	q := MustParse("q() :- R(w, x, u), S(x, w, z), T(y, x)")
+	thetas := q.EqualityConstraints()
+	if len(thetas) != 3 {
+		t.Fatalf("got %d constraints: %v", len(thetas), thetas)
+	}
+	want := map[string]bool{
+		"R[0,1] = S[1,0]": true, // w at R0↔S1, x at R1↔S0
+		"R[1] = T[1]":     true,
+		"S[0] = T[1]":     true,
+	}
+	for _, th := range thetas {
+		if !want[th.String()] {
+			t.Errorf("unexpected constraint %v", th)
+		}
+		delete(want, th.String())
+	}
+	for w := range want {
+		t.Errorf("missing constraint %v", w)
+	}
+}
+
+func TestEqualityConstraintsViaComparison(t *testing.T) {
+	// x = y links R's first column with S's first column.
+	q := MustParse("q() :- R(x, a), S(y, b), x = y")
+	thetas := q.EqualityConstraints()
+	if len(thetas) != 1 || thetas[0].String() != "R[0] = S[0]" {
+		t.Fatalf("thetas = %v", thetas)
+	}
+	// Non-equality comparisons do not link.
+	q2 := MustParse("q() :- R(x, a), S(y, b), x < y")
+	if len(q2.EqualityConstraints()) != 0 {
+		t.Errorf("x < y should not imply an equality constraint")
+	}
+}
+
+func TestEqualityConstraintsSharedConstant(t *testing.T) {
+	q := MustParse("q() :- R(x, 'k'), S('k', y)")
+	thetas := q.EqualityConstraints()
+	if len(thetas) != 1 || thetas[0].String() != "R[1] = S[0]" {
+		t.Fatalf("thetas = %v", thetas)
+	}
+}
+
+func TestEqualityConstraintsNoLink(t *testing.T) {
+	q := MustParse("q() :- R(x, y), S(w, v)")
+	if got := q.EqualityConstraints(); len(got) != 0 {
+		t.Errorf("unrelated atoms produced constraints: %v", got)
+	}
+}
+
+func TestEqualityConstraintsSameRelation(t *testing.T) {
+	// Self-join: the paper's path queries join TxOut with TxIn on ntx.
+	q := MustParse("q() :- TxOut(n1, s1, p, a), TxOut(n1, s2, p2, a2)")
+	thetas := q.EqualityConstraints()
+	if len(thetas) != 1 {
+		t.Fatalf("thetas = %v", thetas)
+	}
+	if thetas[0].Rel != "TxOut" || thetas[0].RefRel != "TxOut" {
+		t.Errorf("self-join constraint: %v", thetas[0])
+	}
+}
+
+func TestAtomConstants(t *testing.T) {
+	q := MustParse("q() :- TxOut(t, s, 'U8Pk', a)")
+	cols, consts := AtomConstants(q.Atoms[0])
+	if len(cols) != 1 || cols[0] != 2 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if !consts.Equal(value.NewTuple(value.Str("U8Pk"))) {
+		t.Errorf("consts = %v", consts)
+	}
+	// No constants.
+	cols2, consts2 := AtomConstants(MustParse("q() :- R(x, y)").Atoms[0])
+	if len(cols2) != 0 || len(consts2) != 0 {
+		t.Errorf("no-constant atom: cols=%v consts=%v", cols2, consts2)
+	}
+}
+
+func TestValidateDirect(t *testing.T) {
+	// Construct ASTs directly to cover Validate paths the parser
+	// cannot reach.
+	q := &Query{Atoms: []Atom{{Rel: "R", Args: []Term{V("x")}}},
+		Agg: &AggHead{Func: AggFunc("median"), Vars: []string{"x"}, Op: OpGt, Bound: value.Int(1)}}
+	if err := q.Validate(); err == nil {
+		t.Error("unknown aggregate function accepted")
+	}
+	empty := &Query{}
+	if err := empty.Validate(); err == nil {
+		t.Error("query with no positive atoms accepted")
+	}
+}
+
+func TestAtomPairs(t *testing.T) {
+	// Example 7's pairs, at atom granularity.
+	q := MustParse("q() :- R(w, x, u), S(x, w, z), T(y, x)")
+	pairs := q.AtomPairs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	// (R,S): w at R0<->S1, x at R1<->S0.
+	if pairs[0].I != 0 || pairs[0].J != 1 ||
+		len(pairs[0].Cols) != 2 || pairs[0].Cols[0] != 0 || pairs[0].RefCols[0] != 1 {
+		t.Errorf("pair R-S: %+v", pairs[0])
+	}
+	// Unlike EqualityConstraints, identical shapes are NOT deduplicated.
+	q2 := MustParse("q() :- R(x, a), R(x, b), R(x, c)")
+	if got := len(q2.AtomPairs()); got != 3 {
+		t.Errorf("triangle pairs = %d, want 3", got)
+	}
+	if got := len(q2.EqualityConstraints()); got != 1 {
+		t.Errorf("deduped constraints = %d, want 1", got)
+	}
+	// No pairs for unrelated atoms.
+	if got := MustParse("q() :- R(x, y), S(w, v)").AtomPairs(); len(got) != 0 {
+		t.Errorf("unrelated pairs = %+v", got)
+	}
+}

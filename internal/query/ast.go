@@ -1,0 +1,263 @@
+// Package query implements the denial-constraint language of the
+// paper: Boolean conjunctive queries with negated atoms and
+// comparisons, plus aggregate queries [q(α(x̄)) ← body] θ c for
+// α ∈ {count, cntd, sum, max, min}. It provides a text parser, static
+// analysis (safety, positivity, monotonicity, Gaifman connectivity,
+// equality-constraint extraction), and an index-backed evaluator over
+// relation views, with a naive reference evaluator for testing.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"blockchaindb/internal/value"
+)
+
+// Term is a variable or a constant appearing in an atom or comparison.
+type Term struct {
+	// Var is the variable name; empty when the term is a constant.
+	Var string
+	// Const is the constant value; meaningful only when Var == "".
+	Const value.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v value.Value) Term { return Term{Const: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Atom is a (possibly negated) relational atom Rel(args...).
+type Atom struct {
+	Rel     string
+	Args    []Term
+	Negated bool
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	var b strings.Builder
+	if a.Negated {
+		b.WriteByte('!')
+	}
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// The comparison operators. The paper uses {=, <, >, ≠} in bodies and
+// {=, <, >} on aggregate heads; ≤ and ≥ are supported as conveniences.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Eval applies the operator to a three-way comparison result.
+func (op CmpOp) Eval(cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Comparison is a body condition "Left op Right".
+type Comparison struct {
+	Left  Term
+	Op    CmpOp
+	Right Term
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// The aggregate functions of the paper (min is the dual of max).
+const (
+	AggCount AggFunc = "count"
+	AggCntd  AggFunc = "cntd" // count distinct
+	AggSum   AggFunc = "sum"
+	AggMax   AggFunc = "max"
+	AggMin   AggFunc = "min"
+)
+
+// AggHead is the head of an aggregate query: α(x̄) θ c. For count, Vars
+// may be empty (count of satisfying assignments). For sum, max, and
+// min exactly one variable is required.
+type AggHead struct {
+	Func  AggFunc
+	Vars  []string
+	Op    CmpOp
+	Bound value.Value
+}
+
+// String renders the head condition, e.g. "sum(a) > 5".
+func (h AggHead) String() string {
+	return fmt.Sprintf("%s(%s) %s %s", h.Func, strings.Join(h.Vars, ", "), h.Op, h.Bound)
+}
+
+// Query is a denial constraint: a Boolean conjunctive or aggregate
+// query that the user desires to remain unsatisfied in every possible
+// world.
+type Query struct {
+	// Name is the head predicate name (informational).
+	Name string
+	// HeadVars are the head's distinguished variables; empty for
+	// Boolean queries. Non-Boolean queries support the certain/possible
+	// answer semantics of the paper's Section 5 rather than denial
+	// constraint checking.
+	HeadVars []string
+	// Atoms are the relational atoms, positive and negated.
+	Atoms []Atom
+	// Comparisons are the body comparison conditions.
+	Comparisons []Comparison
+	// Agg is non-nil for aggregate queries.
+	Agg *AggHead
+}
+
+// IsBoolean reports whether the query has no head variables (denial
+// constraints are Boolean).
+func (q *Query) IsBoolean() bool { return len(q.HeadVars) == 0 }
+
+// Positives returns the positive relational atoms in body order.
+func (q *Query) Positives() []Atom {
+	var out []Atom
+	for _, a := range q.Atoms {
+		if !a.Negated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Negatives returns the negated relational atoms in body order.
+func (q *Query) Negatives() []Atom {
+	var out []Atom
+	for _, a := range q.Atoms {
+		if a.Negated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Vars returns the distinct variables of the query in first-occurrence
+// order (relational atoms first, then comparisons).
+func (q *Query) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, c := range q.Comparisons {
+		add(c.Left)
+		add(c.Right)
+	}
+	return out
+}
+
+// String renders the query in the parser's input syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+	b.WriteString(name)
+	b.WriteByte('(')
+	if q.Agg != nil {
+		fmt.Fprintf(&b, "%s(%s)", q.Agg.Func, strings.Join(q.Agg.Vars, ", "))
+	} else {
+		b.WriteString(strings.Join(q.HeadVars, ", "))
+	}
+	b.WriteByte(')')
+	if q.Agg != nil {
+		fmt.Fprintf(&b, " %s %s", q.Agg.Op, q.Agg.Bound)
+	}
+	b.WriteString(" :- ")
+	first := true
+	for _, a := range q.Atoms {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(a.String())
+	}
+	for _, c := range q.Comparisons {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"blockchaindb/internal/relation"
+)
+
+// Explain renders the evaluator's plan for the query against the view:
+// the join order chosen for the positive atoms, which argument
+// positions each step binds through an index lookup versus a full scan,
+// the conditions checked along the way, and the query's static
+// properties. Intended for debugging slow denial constraints and for
+// teaching what the evaluator does.
+func Explain(q *Query, v relation.View) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	if err := q.CheckAgainst(v); err != nil {
+		return "", err
+	}
+	ev := newEvaluator(q, v)
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", q)
+	fmt.Fprintf(&b, "properties: positive=%v monotonic=%v connected=%v aggregate=%v\n",
+		q.IsPositive(), q.IsMonotonic(), q.IsConnected(), q.IsAggregate())
+	bound := make(map[string]bool)
+	for step, idx := range ev.order {
+		atom := ev.pos[idx]
+		var lookupCols, freeVars []string
+		sc := v.Schema(atom.Rel)
+		for i, t := range atom.Args {
+			name := sc.Attrs[i].Name
+			switch {
+			case !t.IsVar():
+				lookupCols = append(lookupCols, fmt.Sprintf("%s=%s", name, t.Const))
+			case bound[t.Var]:
+				lookupCols = append(lookupCols, fmt.Sprintf("%s=%s", name, t.Var))
+			default:
+				freeVars = append(freeVars, t.Var)
+			}
+		}
+		access := "scan"
+		if len(lookupCols) > 0 {
+			access = "index lookup on " + strings.Join(lookupCols, ", ")
+		}
+		fmt.Fprintf(&b, "step %d: %s (%d rows) via %s", step+1, atom.Rel, v.Count(atom.Rel), access)
+		if len(freeVars) > 0 {
+			fmt.Fprintf(&b, ", binding %s", strings.Join(freeVars, ", "))
+		}
+		b.WriteByte('\n')
+		for _, t := range atom.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	for _, a := range q.Negatives() {
+		fmt.Fprintf(&b, "then: check %s absent\n", a)
+	}
+	for _, c := range q.Comparisons {
+		fmt.Fprintf(&b, "then: check %s\n", c)
+	}
+	if q.Agg != nil {
+		fmt.Fprintf(&b, "fold: %s over all assignments", q.Agg)
+		if q.IsMonotonic() {
+			b.WriteString(" (early exit once the threshold is crossed)")
+		}
+		b.WriteByte('\n')
+	}
+	if len(q.HeadVars) > 0 {
+		fmt.Fprintf(&b, "project: distinct (%s)\n", strings.Join(q.HeadVars, ", "))
+	}
+	return b.String(), nil
+}

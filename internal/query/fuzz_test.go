@@ -1,0 +1,60 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the parser: arbitrary input must either fail
+// cleanly or produce a query that re-parses to the same rendering
+// (round-trip stability), never panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"q() :- TxOut(ntx, s, 'U8Pk', a)",
+		"q1() :- TxIn(pt1, ps1, 'A', 1, n1, 'S'), TxOut(n1, o, 'B', 1), n1 != n2, TxOut(n2, o2, 'B', 1)",
+		"q2() :- R(x, y), !S(x), x < 3.5",
+		"q3(sum(a)) > 5 :- TxIn(t, s, 'P', a, nt, 'S')",
+		"q4(cntd(n)) >= 10 :- R(n)",
+		"q5(x, y) :- R(x, y), S(y)",
+		"q(count()) < 7 :- R(a, -2, \"dq\", null, true)",
+		"q() :- R('it\\'s', x), x = 'y'.",
+		"q(", "q() :-", ":-", "q() :- R(", "q(x y) :- R(x)", "((((",
+		"q() :- R(x), not S(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // clean rejection
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", input, rendered, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, rendered, got)
+		}
+	})
+}
+
+// TestParseNoPanicOnControlChars runs a deterministic sweep of nasty
+// single-byte mutations over a valid query.
+func TestParseNoPanicOnControlChars(t *testing.T) {
+	base := "q(sum(a)) > 5 :- TxIn(t, s, 'P', a, nt, 'S'), t != nt"
+	for i := 0; i < len(base); i++ {
+		for _, c := range []byte{0, '\'', '"', '\\', '!', ':', '(', ')', 0xFF} {
+			mutated := base[:i] + string(c) + base[i+1:]
+			q, err := Parse(mutated)
+			if err == nil && q == nil {
+				t.Fatalf("nil query without error for %q", mutated)
+			}
+		}
+	}
+	// Long inputs.
+	if _, err := Parse("q() :- R(" + strings.Repeat("x, ", 500) + "y)"); err != nil {
+		t.Log("wide atom rejected (acceptable):", err)
+	}
+}

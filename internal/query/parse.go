@@ -1,0 +1,389 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"blockchaindb/internal/value"
+)
+
+// Parse parses a denial constraint from its textual form.
+//
+// Grammar (whitespace-insensitive; a trailing '.' is permitted):
+//
+//	query  := head ":-" body
+//	head   := name "(" [var {"," var}] ")"
+//	        | name "(" agg "(" [var {"," var}] ")" ")" cmp literal
+//	body   := item {"," item}
+//	item   := ["!" | "not"] name "(" term {"," term} ")"
+//	        | term cmp term
+//	term   := variable | literal
+//	cmp    := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Identifiers are variables inside atom arguments; quoted strings
+// ('...' or "...") and numbers are constants. Aggregate names are
+// count, cntd, sum, max, min. Examples:
+//
+//	q() :- TxOut(ntx, s, 'U8Pk', a)
+//	q(sum(a)) > 5 :- TxIn(t, s, 'AlcPK', a, nt, 'AlcSig')
+//	q() :- TxIn(pt, ps, 'A', a, ntx, 'ASig'), TxOut(ntx, s, pk, a2), !Trusted(pk)
+func Parse(input string) (*Query, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokNumber
+	tokPunct // ( ) , :- . ! and comparison operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func tokenize(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.':
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		case c == ':':
+			if i+1 < n && input[i+1] == '-' {
+				toks = append(toks, token{tokPunct, ":-", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray ':' at %d", i)
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokPunct, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPunct, "!", i})
+				i++
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokPunct, string(c) + "=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPunct, string(c), i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokPunct, "=", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				(input[j] == '-' || input[j] == '+') && (input[j-1] == 'e' || input[j-1] == 'E')) {
+				// Stop a trailing '.' that is the query terminator.
+				if input[j] == '.' && (j+1 >= n || input[j+1] < '0' || input[j+1] > '9') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return fmt.Errorf("query: expected %q at %d, got %q", text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(text string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "cntd": AggCntd, "sum": AggSum, "max": AggMax, "min": AggMin,
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected head name at %d", name.pos)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	q := &Query{Name: name.text}
+	if !p.acceptPunct(")") {
+		// Either an aggregate head "agg(vars...)" or distinguished head
+		// variables "x, y, ...". An identifier followed by '(' selects
+		// the aggregate form.
+		if first := p.peek(); first.kind == tokIdent &&
+			p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			return p.parseAggregateHead(q)
+		}
+		for {
+			v := p.next()
+			if v.kind != tokIdent {
+				return nil, fmt.Errorf("query: expected head variable at %d, got %q", v.pos, v.text)
+			}
+			q.HeadVars = append(q.HeadVars, v.text)
+			if p.acceptPunct(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.parseBody(q)
+}
+
+// parseAggregateHead continues after "name(" when the head is an
+// aggregate: agg "(" vars ")" ")" cmp literal ":-" body.
+func (p *parser) parseAggregateHead(q *Query) (*Query, error) {
+	fn := p.next()
+	agg, ok := aggFuncs[strings.ToLower(fn.text)]
+	if fn.kind != tokIdent || !ok {
+		return nil, fmt.Errorf("query: unknown aggregate %q at %d", fn.text, fn.pos)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	head := &AggHead{Func: agg}
+	for !p.acceptPunct(")") {
+		if len(head.Vars) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		v := p.next()
+		if v.kind != tokIdent {
+			return nil, fmt.Errorf("query: expected aggregate variable at %d", v.pos)
+		}
+		head.Vars = append(head.Vars, v.text)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	op := p.next()
+	cmp, ok := cmpOps[op.text]
+	if op.kind != tokPunct || !ok {
+		return nil, fmt.Errorf("query: expected comparison after aggregate head at %d", op.pos)
+	}
+	head.Op = cmp
+	bound := p.next()
+	bv, err := literal(bound)
+	if err != nil {
+		return nil, err
+	}
+	head.Bound = bv
+	q.Agg = head
+	return p.parseBody(q)
+}
+
+// parseBody parses ":-" item {"," item} ["."] EOF.
+func (p *parser) parseBody(q *Query) (*Query, error) {
+	if err := p.expect(":-"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseItem(q); err != nil {
+			return nil, err
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.acceptPunct(".")
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseItem(q *Query) error {
+	negated := false
+	if p.acceptPunct("!") {
+		negated = true
+	} else if t := p.peek(); t.kind == tokIdent && t.text == "not" {
+		// "not" is a keyword only when followed by an atom.
+		if nt := p.toks[p.pos+1]; nt.kind == tokIdent {
+			p.pos++
+			negated = true
+		}
+	}
+	start := p.pos
+	first := p.next()
+	if first.kind == tokIdent && p.acceptPunct("(") {
+		// Relational atom.
+		atom := Atom{Rel: first.text, Negated: negated}
+		for !p.acceptPunct(")") {
+			if len(atom.Args) > 0 {
+				if err := p.expect(","); err != nil {
+					return err
+				}
+			}
+			t, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			atom.Args = append(atom.Args, t)
+		}
+		q.Atoms = append(q.Atoms, atom)
+		return nil
+	}
+	if negated {
+		return fmt.Errorf("query: negation must precede a relational atom at %d", first.pos)
+	}
+	// Comparison: rewind and reparse as term cmp term.
+	p.pos = start
+	left, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	cmp, ok := cmpOps[op.text]
+	if op.kind != tokPunct || !ok {
+		return fmt.Errorf("query: expected comparison operator at %d, got %q", op.pos, op.text)
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	q.Comparisons = append(q.Comparisons, Comparison{Left: left, Op: cmp, Right: right})
+	return nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		switch t.text {
+		case "null":
+			return C(value.Null), nil
+		case "true":
+			return C(value.Bool(true)), nil
+		case "false":
+			return C(value.Bool(false)), nil
+		}
+		return V(t.text), nil
+	case tokString, tokNumber:
+		v, err := literal(t)
+		if err != nil {
+			return Term{}, err
+		}
+		return C(v), nil
+	default:
+		return Term{}, fmt.Errorf("query: expected term at %d, got %q", t.pos, t.text)
+	}
+}
+
+func literal(t token) (value.Value, error) {
+	switch t.kind {
+	case tokString:
+		return value.Str(t.text), nil
+	case tokNumber:
+		if !strings.ContainsAny(t.text, ".eE") {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return value.Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("query: bad number %q at %d", t.text, t.pos)
+		}
+		return value.Float(f), nil
+	default:
+		return value.Null, fmt.Errorf("query: expected literal at %d, got %q", t.pos, t.text)
+	}
+}

@@ -1,0 +1,203 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"blockchaindb/internal/value"
+)
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse("q() :- TxOut(ntx, s, 'U8Pk', a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "q" || len(q.Atoms) != 1 || q.Agg != nil {
+		t.Fatalf("unexpected query: %+v", q)
+	}
+	a := q.Atoms[0]
+	if a.Rel != "TxOut" || a.Negated || len(a.Args) != 4 {
+		t.Fatalf("atom: %+v", a)
+	}
+	if !a.Args[0].IsVar() || a.Args[0].Var != "ntx" {
+		t.Errorf("arg0: %+v", a.Args[0])
+	}
+	if a.Args[2].IsVar() || a.Args[2].Const.AsString() != "U8Pk" {
+		t.Errorf("arg2: %+v", a.Args[2])
+	}
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	// Example 4 of the paper: two distinct payments from Alice to Bob.
+	src := `q1() :- TxIn(pt1, ps1, 'AlicePK', 1, ntx1, 'AliceSig'),
+		TxOut(ntx1, ns1, 'BobPK', 1),
+		TxIn(pt2, ps2, 'AlicePK', 1, ntx2, 'AliceSig'),
+		TxOut(ntx2, ns2, 'BobPK', 1), ntx1 != ntx2`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 4 || len(q.Comparisons) != 1 {
+		t.Fatalf("atoms=%d cmps=%d", len(q.Atoms), len(q.Comparisons))
+	}
+	c := q.Comparisons[0]
+	if c.Op != OpNe || c.Left.Var != "ntx1" || c.Right.Var != "ntx2" {
+		t.Errorf("comparison: %+v", c)
+	}
+	if !q.IsPositive() || !q.IsMonotonic() || !q.IsConnected() {
+		t.Error("q1 should be positive, monotonic, and connected")
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	for _, src := range []string{
+		"q2() :- TxIn(pt, ps, 'A', a, ntx, 'ASig'), TxOut(ntx, s, pk, a2), !Trusted(pk)",
+		"q2() :- TxIn(pt, ps, 'A', a, ntx, 'ASig'), TxOut(ntx, s, pk, a2), not Trusted(pk)",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(q.Negatives()) != 1 || q.Negatives()[0].Rel != "Trusted" {
+			t.Fatalf("negatives: %+v", q.Negatives())
+		}
+		if q.IsPositive() || q.IsMonotonic() {
+			t.Error("negated query should be neither positive nor monotonic")
+		}
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	q, err := Parse("q3(sum(a)) > 5 :- TxIn(t, s, 'AlcPK', a, nt, 'AlcSig')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg == nil || q.Agg.Func != AggSum || q.Agg.Op != OpGt {
+		t.Fatalf("agg: %+v", q.Agg)
+	}
+	if !q.Agg.Bound.Equal(value.Int(5)) {
+		t.Errorf("bound: %v", q.Agg.Bound)
+	}
+	if !q.IsMonotonic() {
+		t.Error("sum > c should be monotonic")
+	}
+	if q.IsConnected() {
+		t.Error("aggregate queries are not connected by definition")
+	}
+
+	q4, err := Parse("q4(cntd(ntx)) > 10 :- TxIn(pt, ps, 'A', a, ntx, 'ASig'), TxOut(ntx, s, 'B', a2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4.Agg.Func != AggCntd || len(q4.Agg.Vars) != 1 {
+		t.Fatalf("agg: %+v", q4.Agg)
+	}
+	qc, err := Parse("qc(count()) >= 3 :- TxOut(a, b, c, d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.Agg.Func != AggCount || len(qc.Agg.Vars) != 0 || qc.Agg.Op != OpGe {
+		t.Fatalf("agg: %+v", qc.Agg)
+	}
+}
+
+func TestParseLiteralsAndKeywords(t *testing.T) {
+	q, err := Parse(`q() :- R(x, -3, 2.5, "dq", null, true, false), x > 0.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := q.Atoms[0].Args
+	if !args[1].Const.Equal(value.Int(-3)) {
+		t.Errorf("int literal: %v", args[1])
+	}
+	if !args[2].Const.Equal(value.Float(2.5)) {
+		t.Errorf("float literal: %v", args[2])
+	}
+	if args[3].Const.AsString() != "dq" {
+		t.Errorf("double-quoted string: %v", args[3])
+	}
+	if !args[4].Const.IsNull() {
+		t.Errorf("null literal: %v", args[4])
+	}
+	if !args[5].Const.AsBool() || args[6].Const.AsBool() {
+		t.Errorf("bool literals: %v %v", args[5], args[6])
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	q, err := Parse(`q() :- R('it\'s')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Atoms[0].Args[0].Const.AsString(); got != "it's" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                               // empty
+		"q(",                             // truncated
+		"q() :-",                         // no body
+		"q() :- R(x",                     // unterminated atom
+		"q() :- R(x) extra",              // trailing tokens
+		"q(avg(a)) > 5 :- R(a)",          // unknown aggregate
+		"q(sum(a)) ? 5 :- R(a)",          // bad comparison
+		"q(sum(a)) > :- R(a)",            // missing bound
+		"q() :- R(x), !(y)",              // negation of non-atom
+		"q() :- x > 1",                   // no positive atom (unsafe)
+		"q() :- R(x), y > 1",             // unsafe comparison variable
+		"q() :- R(x), !S(y)",             // unsafe negated variable
+		"q(sum(a, b)) > 1 :- R(a), S(b)", // sum arity
+		"q(cntd()) > 1 :- R(a)",          // cntd arity
+		"q(sum(z)) > 1 :- R(a)",          // unsafe aggregate variable
+		"q() :- R('unterminated",         // unterminated string
+		"q() : R(x)",                     // stray colon
+		"q() :- R(x), S(y) S(z)",         // missing comma
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParse("q(")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"q() :- TxOut(ntx, s, 'U8Pk', a)",
+		"q1() :- TxIn(pt1, ps1, 'A', 1, ntx1, 'AS'), TxOut(ntx1, ns1, 'B', 1), ntx1 != ntx2, TxOut(ntx2, x, 'B', 1)",
+		"q2() :- TxIn(pt, ps, 'A', a, ntx, 'AS'), TxOut(ntx, s, pk, a2), !Trusted(pk)",
+		"q3(sum(a)) > 5 :- TxIn(t, s, 'P', a, nt, 'S')",
+		"q4(cntd(ntx)) >= 10 :- TxIn(pt, ps, 'P', a, ntx, 'S')",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	q := MustParse("q() :- R(x, y), S(y, z), x != w, T(w)")
+	got := strings.Join(q.Vars(), ",")
+	if got != "x,y,z,w" {
+		t.Errorf("Vars = %s", got)
+	}
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"blockchaindb/internal/value"
+)
+
+// EqualityConstraint is the paper's θ: an expression R[X̄] = S[Ȳ]
+// stating that a tuple of Rel projected on Cols equals a tuple of
+// RefRel projected on RefCols. Equality constraints drive the
+// ind-q-transaction graph G^{q,ind}_T: two pending transactions are
+// linked when some θ is satisfied by a tuple from each.
+type EqualityConstraint struct {
+	Rel     string
+	Cols    []int
+	RefRel  string
+	RefCols []int
+}
+
+// String renders the constraint as "R[0,2] = S[1,3]".
+func (e EqualityConstraint) String() string {
+	var b strings.Builder
+	b.WriteString(e.Rel)
+	b.WriteString(idxList(e.Cols))
+	b.WriteString(" = ")
+	b.WriteString(e.RefRel)
+	b.WriteString(idxList(e.RefCols))
+	return b.String()
+}
+
+func idxList(cols []int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itoa(c))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}
+
+// key returns a canonical form for deduplication.
+func (e EqualityConstraint) key() string {
+	return e.Rel + idxList(e.Cols) + "=" + e.RefRel + idxList(e.RefCols)
+}
+
+// EqualityConstraints computes Θ_q: for every pair of positive atoms
+// R(x̄), S(ȳ), the maximal matching of argument positions whose terms
+// are identical or implied equal by the query's '=' comparisons
+// (identical constants count as equal terms). Pairs with no matching
+// positions contribute nothing. The result is deduplicated.
+func (q *Query) EqualityConstraints() []EqualityConstraint {
+	classes := q.eqClasses()
+	pos := q.Positives()
+	seen := make(map[string]bool)
+	var out []EqualityConstraint
+	for ai := 0; ai < len(pos); ai++ {
+		for bi := ai + 1; bi < len(pos); bi++ {
+			a, b := pos[ai], pos[bi]
+			cols, refCols := matchPositions(a, b, classes)
+			if len(cols) == 0 {
+				continue
+			}
+			e := EqualityConstraint{Rel: a.Rel, Cols: cols, RefRel: b.Rel, RefCols: refCols}
+			if !seen[e.key()] {
+				seen[e.key()] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// matchPositions greedily pairs argument positions of a with positions
+// of b whose terms fall in the same equality class; each position is
+// used at most once, and i-indexes ascend (the paper's maximal
+// distinct-index sequences).
+func matchPositions(a, b Atom, classes map[string]string) (cols, refCols []int) {
+	usedJ := make(map[int]bool)
+	for i, ta := range a.Args {
+		ca := classes[termKey(ta)]
+		for j, tb := range b.Args {
+			if usedJ[j] {
+				continue
+			}
+			if classes[termKey(tb)] == ca {
+				cols = append(cols, i)
+				refCols = append(refCols, j)
+				usedJ[j] = true
+				break
+			}
+		}
+	}
+	return cols, refCols
+}
+
+// AtomPair is an equality constraint between two specific positive
+// atoms (indexes into Positives()): assignments must map them to tuples
+// agreeing on the matched argument positions. Unlike
+// EqualityConstraints, pairs are not deduplicated across atoms, so
+// callers can apply per-atom constant filters.
+type AtomPair struct {
+	I, J    int
+	Cols    []int // positions in atom I
+	RefCols []int // positions in atom J
+}
+
+// AtomPairs computes the Θ_q constraints at atom granularity: for every
+// pair of positive atoms with terms identical or implied equal by '='
+// comparisons, the matched position lists. Pairs with no matches are
+// omitted.
+func (q *Query) AtomPairs() []AtomPair {
+	classes := q.eqClasses()
+	pos := q.Positives()
+	var out []AtomPair
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			cols, refCols := matchPositions(pos[i], pos[j], classes)
+			if len(cols) == 0 {
+				continue
+			}
+			out = append(out, AtomPair{I: i, J: j, Cols: cols, RefCols: refCols})
+		}
+	}
+	return out
+}
+
+// AtomConstants returns the argument positions of the atom that hold
+// constants, in ascending order, together with those constant values.
+// Callers implementing the paper's Covers test must normalize the
+// values to the relation's column kinds before comparing projections
+// (see relation.Schema.NormalizeValue).
+func AtomConstants(a Atom) (cols []int, consts value.Tuple) {
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			cols = append(cols, i)
+			consts = append(consts, t.Const)
+		}
+	}
+	sort.Ints(cols) // already ascending by construction, but be explicit
+	return cols, consts
+}

@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockchaindb/internal/value"
+)
+
+// TestOverlayEquivalentToMaterialized: every View operation on an
+// overlay must agree with the same operation on the materialized union
+// — the core guarantee that lets possible worlds be evaluated without
+// copying the state.
+func TestOverlayEquivalentToMaterialized(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := NewState()
+		base.MustAddSchema(NewSchema("R", "a:int", "b:int"))
+		base.MustAddSchema(NewSchema("S", "a:int"))
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			base.MustInsert("R", value.NewTuple(value.Int(int64(r.Intn(4))), value.Int(int64(r.Intn(4)))))
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			base.MustInsert("S", value.NewTuple(value.Int(int64(r.Intn(4)))))
+		}
+		var txs []*Transaction
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			tx := NewTransaction(fmt.Sprintf("T%d", i))
+			for j, m := 0, 1+r.Intn(3); j < m; j++ {
+				tx.Add("R", value.NewTuple(value.Int(int64(r.Intn(4))), value.Int(int64(r.Intn(4)))))
+			}
+			txs = append(txs, tx)
+		}
+		overlay := NewOverlay(base, txs...)
+		materialized := overlay.Materialize()
+
+		for _, rel := range []string{"R", "S"} {
+			if overlay.Count(rel) != materialized.Count(rel) {
+				t.Logf("seed %d: Count(%s) overlay %d, materialized %d",
+					seed, rel, overlay.Count(rel), materialized.Count(rel))
+				return false
+			}
+			// Scan sets agree.
+			scanSet := func(v View) map[string]bool {
+				out := map[string]bool{}
+				v.Scan(rel, func(tp value.Tuple) bool {
+					out[tp.Key()] = true
+					return true
+				})
+				return out
+			}
+			a, b := scanSet(overlay), scanSet(materialized)
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+		}
+		// Contains and Lookup agree on random probes.
+		for i := 0; i < 10; i++ {
+			probe := value.NewTuple(value.Int(int64(r.Intn(5))), value.Int(int64(r.Intn(5))))
+			if overlay.Contains("R", probe) != materialized.Contains("R", probe) {
+				return false
+			}
+			key := value.NewTuple(value.Int(int64(r.Intn(5)))).Key()
+			count := func(v View) int {
+				n := 0
+				v.Lookup("R", []int{0}, key, func(value.Tuple) bool {
+					n++
+					return true
+				})
+				return n
+			}
+			if count(overlay) != count(materialized) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizeProperty: Normalize is idempotent and preserves
+// Compare-equality.
+func TestNormalizeProperty(t *testing.T) {
+	sc := NewSchema("R", "i:int", "f:float", "s:string", "any")
+	f := func(a int64, b float64, s string) bool {
+		if b != b || b > 1e15 || b < -1e15 {
+			return true // NaN / out of lossless int range: not coercible anyway
+		}
+		tup := value.NewTuple(value.Int(a), value.Float(float64(a)), value.Str(s), value.Int(a))
+		_ = b
+		once, err := sc.Normalize(tup)
+		if err != nil {
+			return false
+		}
+		twice, err := sc.Normalize(once)
+		if err != nil {
+			return false
+		}
+		if !once.Equal(twice) {
+			return false
+		}
+		// Normalization preserves value equality position-wise.
+		for i := range tup {
+			if !tup[i].Equal(once[i]) {
+				return false
+			}
+		}
+		// Float column got a float, int column kept int.
+		return once[0].Kind() == value.KindInt && once[1].Kind() == value.KindFloat
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

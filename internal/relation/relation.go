@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"blockchaindb/internal/value"
+)
+
+// Relation is a set of tuples over a schema, with optional hash indexes
+// over column sets. Insertion preserves set semantics: duplicate tuples
+// are ignored. Tuples keep their insertion order for deterministic
+// iteration.
+type Relation struct {
+	schema  *Schema
+	tuples  []value.Tuple
+	byKey   map[string]int        // full-tuple key -> position in tuples
+	indexes map[string]*hashIndex // colSignature -> index
+}
+
+type hashIndex struct {
+	cols    []int
+	buckets map[string][]int // projection key -> positions
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{
+		schema:  schema,
+		byKey:   make(map[string]int),
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// At returns the i-th tuple in insertion order.
+func (r *Relation) At(i int) value.Tuple { return r.tuples[i] }
+
+// Insert adds the tuple, returning false if an identical tuple is
+// already present. The tuple is validated against the schema and
+// numeric values are normalized to the declared column kinds; an
+// invalid tuple returns an error.
+func (r *Relation) Insert(t value.Tuple) (bool, error) {
+	t, err := r.schema.Normalize(t)
+	if err != nil {
+		return false, err
+	}
+	key := t.Key()
+	if _, dup := r.byKey[key]; dup {
+		return false, nil
+	}
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	r.byKey[key] = pos
+	for _, idx := range r.indexes {
+		pk := t.ProjectKey(idx.cols)
+		idx.buckets[pk] = append(idx.buckets[pk], pos)
+	}
+	return true, nil
+}
+
+// MustInsert is Insert but panics on schema violation; for internal
+// callers that construct tuples programmatically.
+func (r *Relation) MustInsert(t value.Tuple) bool {
+	ok, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Contains reports whether an identical tuple (after normalization) is
+// present.
+func (r *Relation) Contains(t value.Tuple) bool {
+	nt, err := r.schema.Normalize(t)
+	if err != nil {
+		return false
+	}
+	_, ok := r.byKey[nt.Key()]
+	return ok
+}
+
+// EnsureIndex builds (once) a hash index over the column set and
+// returns its signature for use with Lookup.
+func (r *Relation) EnsureIndex(cols []int) string {
+	sig := colSignature(cols)
+	if _, ok := r.indexes[sig]; ok {
+		return sig
+	}
+	idx := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	for pos, t := range r.tuples {
+		pk := t.ProjectKey(idx.cols)
+		idx.buckets[pk] = append(idx.buckets[pk], pos)
+	}
+	r.indexes[sig] = idx
+	return sig
+}
+
+// Lookup returns the positions of tuples whose projection on cols has
+// the given key. It builds the index on first use. The returned slice
+// must not be modified.
+func (r *Relation) Lookup(cols []int, projKey string) []int {
+	sig := r.EnsureIndex(cols)
+	return r.indexes[sig].buckets[projKey]
+}
+
+// LookupTuples iterates the tuples matching the projection key, calling
+// f for each; f returning false stops iteration early. It reports
+// whether iteration ran to completion.
+func (r *Relation) LookupTuples(cols []int, projKey string, f func(value.Tuple) bool) bool {
+	for _, pos := range r.Lookup(cols, projKey) {
+		if !f(r.tuples[pos]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan iterates all tuples in insertion order; f returning false stops
+// early. It reports whether iteration ran to completion.
+func (r *Relation) Scan(f func(value.Tuple) bool) bool {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep-enough copy: tuples are shared (they are
+// immutable) but all bookkeeping is fresh, so inserts into the clone do
+// not affect the original. Indexes are not copied; they rebuild lazily.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	c.tuples = append([]value.Tuple(nil), r.tuples...)
+	for k, v := range r.byKey {
+		c.byKey[k] = v
+	}
+	return c
+}

@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"testing"
+
+	"blockchaindb/internal/value"
+)
+
+func baseWithR(vals ...int64) *State {
+	s := NewState()
+	s.MustAddSchema(NewSchema("R", "a:int", "b:string"))
+	for _, v := range vals {
+		s.MustInsert("R", value.NewTuple(value.Int(v), value.Str("base")))
+	}
+	return s
+}
+
+func TestOverlayScanSetSemantics(t *testing.T) {
+	base := baseWithR(1, 2)
+	tx := NewTransaction("T").
+		Add("R", value.NewTuple(value.Int(2), value.Str("base"))). // dup of base
+		Add("R", value.NewTuple(value.Int(3), value.Str("tx")))
+	o := NewOverlay(base, tx)
+	var seen []int64
+	o.Scan("R", func(tp value.Tuple) bool {
+		seen = append(seen, tp[0].AsInt())
+		return true
+	})
+	if len(seen) != 3 {
+		t.Fatalf("scan saw %d tuples (%v), want 3 — base dup must not double-count", len(seen), seen)
+	}
+	if o.Count("R") != 3 {
+		t.Errorf("Count = %d, want 3", o.Count("R"))
+	}
+	if o.ExtraSize() != 1 {
+		t.Errorf("ExtraSize = %d, want 1", o.ExtraSize())
+	}
+}
+
+func TestOverlayLookupAndContains(t *testing.T) {
+	base := baseWithR(1)
+	tx := NewTransaction("T").Add("R", value.NewTuple(value.Int(1), value.Str("tx")))
+	o := NewOverlay(base, tx)
+	key := value.NewTuple(value.Int(1)).Key()
+	var got []string
+	o.Lookup("R", []int{0}, key, func(tp value.Tuple) bool {
+		got = append(got, tp[1].AsString())
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("Lookup found %d, want 2 (base + overlay)", len(got))
+	}
+	if !o.Contains("R", value.NewTuple(value.Int(1), value.Str("tx"))) {
+		t.Error("Contains missed overlay tuple")
+	}
+	if !o.Contains("R", value.NewTuple(value.Int(1), value.Str("base"))) {
+		t.Error("Contains missed base tuple")
+	}
+	if o.Contains("R", value.NewTuple(value.Int(9), value.Str("no"))) {
+		t.Error("Contains invented a tuple")
+	}
+}
+
+func TestOverlayDoesNotMutateBase(t *testing.T) {
+	base := baseWithR(1)
+	tx := NewTransaction("T").Add("R", value.NewTuple(value.Int(7), value.Str("tx")))
+	o := NewOverlay(base, tx)
+	if base.Count("R") != 1 {
+		t.Fatalf("overlay construction mutated base: %d", base.Count("R"))
+	}
+	_ = o
+}
+
+func TestOverlayAddIncremental(t *testing.T) {
+	base := baseWithR(1)
+	o := NewOverlay(base)
+	if o.Count("R") != 1 {
+		t.Fatalf("empty overlay Count = %d", o.Count("R"))
+	}
+	o.Add(NewTransaction("T").Add("R", value.NewTuple(value.Int(2), value.Str("tx"))))
+	if o.Count("R") != 2 {
+		t.Errorf("after Add Count = %d", o.Count("R"))
+	}
+}
+
+func TestOverlayMaterialize(t *testing.T) {
+	base := baseWithR(1)
+	tx := NewTransaction("T").Add("R", value.NewTuple(value.Int(2), value.Str("tx")))
+	o := NewOverlay(base, tx)
+	m := o.Materialize()
+	if m.Count("R") != 2 {
+		t.Fatalf("materialized Count = %d", m.Count("R"))
+	}
+	// Materialized state is independent of the base.
+	m.MustInsert("R", value.NewTuple(value.Int(3), value.Str("x")))
+	if base.Count("R") != 1 {
+		t.Error("Materialize shares storage with base")
+	}
+}
+
+func TestOverlayScanEarlyStop(t *testing.T) {
+	base := baseWithR(1, 2, 3)
+	o := NewOverlay(base, NewTransaction("T").Add("R", value.NewTuple(value.Int(4), value.Str("tx"))))
+	n := 0
+	completed := o.Scan("R", func(value.Tuple) bool {
+		n++
+		return n < 2
+	})
+	if completed || n != 2 {
+		t.Errorf("early stop: completed=%v n=%d", completed, n)
+	}
+}
+
+func TestViewOnUnknownRelation(t *testing.T) {
+	base := baseWithR(1)
+	o := NewOverlay(base)
+	for _, v := range []View{base, o} {
+		if !v.Scan("Unknown", func(value.Tuple) bool { return false }) {
+			t.Error("Scan of unknown relation should complete vacuously")
+		}
+		if v.Count("Unknown") != 0 {
+			t.Error("Count of unknown relation should be 0")
+		}
+		if v.Contains("Unknown", value.NewTuple()) {
+			t.Error("Contains on unknown relation should be false")
+		}
+	}
+}
+
+func TestOverlayNames(t *testing.T) {
+	base := baseWithR(1)
+	o := NewOverlay(base)
+	if n := o.Names(); len(n) != 1 || n[0] != "R" {
+		t.Errorf("Names = %v", n)
+	}
+	if o.Base() != base {
+		t.Error("Base() should return the wrapped state")
+	}
+	if o.Schema("R") == nil {
+		t.Error("Schema(R) nil")
+	}
+}

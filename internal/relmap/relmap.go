@@ -1,0 +1,207 @@
+// Package relmap maps the Bitcoin substrate onto the paper's
+// relational schema (Example 1): the active chain's transactions become
+// the current state R, the mempool's become the pending set T, and the
+// keys and inclusion dependencies of the paper's running example hold
+// by construction. This is the bridge the paper implements at a Bitcoin
+// node: parse the blockchain into relations, then reason about denial
+// constraints over them.
+package relmap
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// Schema registers the paper's two relations on a fresh state, with
+// string transaction ids (hex hashes) and integer amounts (satoshis):
+//
+//	TxOut(txId, ser, pk, amount)
+//	TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)
+func Schema() *relation.State {
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("TxOut",
+		"txId:string", "ser:int", "pk:string", "amount:int"))
+	s.MustAddSchema(relation.NewSchema("TxIn",
+		"prevTxId:string", "prevSer:int", "pk:string", "amount:int", "newTxId:string", "sig:string"))
+	return s
+}
+
+// Constraints builds the paper's integrity constraints over the schema:
+// keys (txId, ser) and (prevTxId, prevSer) — sharing an input is a
+// double spend — plus the two inclusion dependencies.
+func Constraints(s *relation.State) *constraint.Set {
+	return constraint.MustNewSet(s,
+		[]*constraint.FD{
+			constraint.NewKey(s.Schema("TxOut"), "txId", "ser"),
+			constraint.NewKey(s.Schema("TxIn"), "prevTxId", "prevSer"),
+		},
+		[]*constraint.IND{
+			constraint.NewIND("TxIn", []string{"prevTxId", "prevSer", "pk", "amount"},
+				"TxOut", []string{"txId", "ser", "pk", "amount"}),
+			constraint.NewIND("TxIn", []string{"newTxId"}, "TxOut", []string{"txId"}),
+		})
+}
+
+// PubKeyString renders a public key as the pk attribute value.
+func PubKeyString(pub []byte) string { return hex.EncodeToString(pub) }
+
+// outTuple builds a TxOut row.
+func outTuple(txID bitcoin.Hash, ser int, out bitcoin.TxOut) value.Tuple {
+	return value.NewTuple(
+		value.Str(txID.String()),
+		value.Int(int64(ser)),
+		value.Str(PubKeyString(out.PubKey)),
+		value.Int(int64(out.Value)),
+	)
+}
+
+// inTuple builds a TxIn row; prev is the consumed output.
+func inTuple(in bitcoin.TxIn, prev bitcoin.TxOut, newTxID bitcoin.Hash) value.Tuple {
+	return value.NewTuple(
+		value.Str(in.Prev.TxID.String()),
+		value.Int(int64(in.Prev.Index)),
+		value.Str(PubKeyString(prev.PubKey)),
+		value.Int(int64(prev.Value)),
+		value.Str(newTxID.String()),
+		value.Str(hex.EncodeToString(in.Sig)),
+	)
+}
+
+// MapTransaction converts one Bitcoin transaction into an insert
+// transaction over the relational schema. The paper's TxIn relation
+// denormalizes the consumed output's pk and amount, so inputs are
+// resolved against src (chain UTXO plus, for pending chains, the
+// mempool view).
+func MapTransaction(tx *bitcoin.Transaction, src bitcoin.OutputSource) (*relation.Transaction, error) {
+	id := tx.ID()
+	rt := relation.NewTransaction(id.Short())
+	for _, in := range tx.Ins {
+		prev, ok := src.Output(in.Prev)
+		if !ok {
+			return nil, fmt.Errorf("relmap: cannot resolve input %v of %s", in.Prev, id.Short())
+		}
+		rt.Add("TxIn", inTuple(in, prev, id))
+	}
+	for i, out := range tx.Outs {
+		rt.Add("TxOut", outTuple(id, i, out))
+	}
+	return rt, nil
+}
+
+// MapChain materializes the active chain into the current state R,
+// block by block in chain order. Input resolution uses a replayed
+// output index so spent outputs still resolve (the relational state is
+// append-only history, unlike the UTXO set).
+func MapChain(chain *bitcoin.Chain) (*relation.State, error) {
+	s := Schema()
+	history := newHistorySource()
+	for _, h := range chain.MainChain() {
+		b, _ := chain.Block(h)
+		for _, tx := range b.Txs {
+			rt, err := MapTransaction(tx, history)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.InsertTransaction(rt); err != nil {
+				return nil, err
+			}
+			history.apply(tx)
+		}
+	}
+	return s, nil
+}
+
+// historySource resolves outpoints against everything ever created,
+// ignoring spent-ness: the relational mapping wants historical rows.
+type historySource struct {
+	outs map[bitcoin.OutPoint]bitcoin.TxOut
+}
+
+func newHistorySource() *historySource {
+	return &historySource{outs: make(map[bitcoin.OutPoint]bitcoin.TxOut)}
+}
+
+func (h *historySource) apply(tx *bitcoin.Transaction) {
+	id := tx.ID()
+	for i, out := range tx.Outs {
+		h.outs[bitcoin.OutPoint{TxID: id, Index: uint32(i)}] = out
+	}
+}
+
+func (h *historySource) Output(op bitcoin.OutPoint) (bitcoin.TxOut, bool) {
+	out, ok := h.outs[op]
+	return out, ok
+}
+
+// HistoryResolver returns an output source that resolves outpoints
+// against the full active-chain history plus every mempool output,
+// ignoring spent-ness — what MapTransaction needs for pending
+// transactions, whose inputs are by definition outpoints they spend.
+func HistoryResolver(chain *bitcoin.Chain, mempool *bitcoin.Mempool) bitcoin.OutputSource {
+	history := newHistorySource()
+	for _, h := range chain.MainChain() {
+		b, _ := chain.Block(h)
+		for _, tx := range b.Txs {
+			history.apply(tx)
+		}
+	}
+	if mempool != nil {
+		for _, tx := range mempool.Transactions() {
+			history.apply(tx)
+		}
+	}
+	return history
+}
+
+// Database assembles the paper's blockchain database D = (R, I, T) from
+// a node's chain and mempool: R is the mapped active chain, I the
+// Example 1 constraints, and T the mapped pending transactions (fee
+// order, deterministic). The state is verified to satisfy I.
+func Database(chain *bitcoin.Chain, mempool *bitcoin.Mempool) (*possible.DB, error) {
+	return DatabaseFromPending(chain, mempool.Transactions())
+}
+
+// DatabaseFromPending is Database with an explicit pending set — e.g.
+// the union of several nodes' mempools, which (unlike a single
+// mempool) may contain conflicting transactions, exactly the
+// contradictions the paper's model reasons about. Duplicates (by id)
+// are collapsed.
+func DatabaseFromPending(chain *bitcoin.Chain, txs []*bitcoin.Transaction) (*possible.DB, error) {
+	state, err := MapChain(chain)
+	if err != nil {
+		return nil, err
+	}
+	cons := Constraints(state)
+	history := newHistorySource()
+	for _, h := range chain.MainChain() {
+		b, _ := chain.Block(h)
+		for _, tx := range b.Txs {
+			history.apply(tx)
+		}
+	}
+	seen := make(map[bitcoin.Hash]bool, len(txs))
+	var distinct []*bitcoin.Transaction
+	for _, tx := range txs {
+		if seen[tx.ID()] {
+			continue
+		}
+		seen[tx.ID()] = true
+		distinct = append(distinct, tx)
+		history.apply(tx)
+	}
+	var pending []*relation.Transaction
+	for _, tx := range distinct {
+		rt, err := MapTransaction(tx, history)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, rt)
+	}
+	return possible.New(state, cons, pending)
+}

@@ -1,0 +1,225 @@
+package relmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/value"
+)
+
+type rig struct {
+	chain   *bitcoin.Chain
+	mempool *bitcoin.Mempool
+	miner   *bitcoin.Miner
+	alice   *bitcoin.Wallet
+	bob     *bitcoin.Wallet
+	now     int64
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	alice := bitcoin.NewWallet("alice", rng)
+	bob := bitcoin.NewWallet("bob", rng)
+	params := bitcoin.Params{Difficulty: 2, Subsidy: 50 * bitcoin.Coin, MaxBlockSize: 8192}
+	chain := bitcoin.NewChain(params, alice.PubKey())
+	mempool := bitcoin.NewMempool(chain)
+	miner := bitcoin.NewMiner(chain, mempool, alice.PubKey())
+	return &rig{chain: chain, mempool: mempool, miner: miner, alice: alice, bob: bob}
+}
+
+func (r *rig) mine(t *testing.T) {
+	t.Helper()
+	r.now++
+	if _, _, err := r.miner.Mine(r.now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapChainSatisfiesConstraints(t *testing.T) {
+	r := newRig(t)
+	// A few blocks with real payments.
+	for i := 0; i < 3; i++ {
+		tx, err := r.alice.Pay(r.chain.UTXO(),
+			[]bitcoin.Payment{{To: r.bob.PubKey(), Amount: bitcoin.Coin}}, 100, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mempool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+		r.mine(t)
+	}
+	state, err := MapChain(r.chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints(state)
+	if err := cons.Check(state); err != nil {
+		t.Fatalf("mapped chain violates paper constraints: %v", err)
+	}
+	// Row counts: every tx contributes its ins and outs.
+	var wantIns, wantOuts int
+	for _, h := range r.chain.MainChain() {
+		b, _ := r.chain.Block(h)
+		for _, tx := range b.Txs {
+			wantIns += len(tx.Ins)
+			wantOuts += len(tx.Outs)
+		}
+	}
+	if got := state.Count("TxIn"); got != wantIns {
+		t.Errorf("TxIn rows = %d, want %d", got, wantIns)
+	}
+	if got := state.Count("TxOut"); got != wantOuts {
+		t.Errorf("TxOut rows = %d, want %d", got, wantOuts)
+	}
+}
+
+func TestDatabaseWithPending(t *testing.T) {
+	r := newRig(t)
+	r.mine(t)
+	// One pending payment, plus a dependent child spending its change.
+	pay, err := r.alice.Pay(r.chain.UTXO(),
+		[]bitcoin.Payment{{To: r.bob.PubKey(), Amount: bitcoin.Coin}}, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(pay); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.bob.SpendOutpoint(r.mempool.View(),
+		bitcoin.OutPoint{TxID: pay.ID(), Index: 0},
+		[]bitcoin.Payment{{To: r.alice.PubKey(), Amount: bitcoin.Coin / 2}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(child); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Database(r.chain, r.mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pending) != 2 {
+		t.Fatalf("pending = %d", len(d.Pending))
+	}
+	// The dependency is visible to the possible-world semantics: the
+	// child alone is not reachable, parent+child is.
+	childIdx, parentIdx := -1, -1
+	for i, tx := range d.Pending {
+		switch tx.Name {
+		case child.ID().Short():
+			childIdx = i
+		case pay.ID().Short():
+			parentIdx = i
+		}
+	}
+	if childIdx < 0 || parentIdx < 0 {
+		t.Fatal("pending names not mapped")
+	}
+	if d.IsReachable([]int{childIdx}) {
+		t.Error("child reachable without parent")
+	}
+	if !d.IsReachable([]int{parentIdx, childIdx}) {
+		t.Error("parent+child not reachable")
+	}
+}
+
+// TestDoubleSpendBecomesKeyConflict: the relational image of two
+// transactions spending the same outpoint violates the TxIn key — the
+// paper's modelling of Bitcoin conflicts.
+func TestDoubleSpendBecomesKeyConflict(t *testing.T) {
+	r := newRig(t)
+	op := r.chain.UTXO().ByOwner(r.alice.PubKey())[0]
+	tx1, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op,
+		[]bitcoin.Payment{{To: r.bob.PubKey(), Amount: bitcoin.Coin}}, 100)
+	tx2, _ := r.alice.SpendOutpoint(r.chain.UTXO(), op,
+		[]bitcoin.Payment{{To: r.alice.PubKey(), Amount: bitcoin.Coin}}, 100)
+	state, err := MapChain(r.chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints(state)
+	rt1, err := MapTransaction(tx1, r.chain.UTXO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := MapTransaction(tx2, r.chain.UTXO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.FDCompatible(rt1, rt2) {
+		t.Error("double spend mapped to compatible transactions")
+	}
+}
+
+// TestEndToEndDCSat: mine a chain, leave a pending payment to Bob, and
+// check the paper's qs-style denial constraint over the mapped
+// database.
+func TestEndToEndDCSat(t *testing.T) {
+	r := newRig(t)
+	r.mine(t)
+	pay, err := r.alice.Pay(r.chain.UTXO(),
+		[]bitcoin.Payment{{To: r.bob.PubKey(), Amount: 2 * bitcoin.Coin}}, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mempool.Add(pay); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Database(r.chain, r.mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobPk := PubKeyString(r.bob.PubKey())
+	qs := query.MustParse("qs() :- TxOut(t, s, '" + bobPk + "', a)")
+	res, err := core.Check(d, qs, core.Options{Algorithm: core.AlgoOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("pending payment to Bob must violate the denial constraint")
+	}
+	// An unknown key is never paid.
+	qNone := query.MustParse("q() :- TxOut(t, s, 'deadbeef', a)")
+	res2, err := core.Check(d, qNone, core.Options{Algorithm: core.AlgoOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Satisfied {
+		t.Error("unknown key satisfied a payment constraint")
+	}
+}
+
+func TestMapTransactionUnresolvable(t *testing.T) {
+	r := newRig(t)
+	ghost := bitcoin.NewTransaction(
+		[]bitcoin.TxIn{{Prev: bitcoin.OutPoint{Index: 5}}},
+		[]bitcoin.TxOut{{Value: 1, PubKey: r.bob.PubKey()}}).Finalize()
+	if _, err := MapTransaction(ghost, r.chain.UTXO()); err == nil {
+		t.Error("unresolvable input mapped")
+	}
+}
+
+func TestTupleShapes(t *testing.T) {
+	r := newRig(t)
+	state, err := MapChain(r.chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The genesis coinbase output row exists with the full 64-char id.
+	found := false
+	state.Scan("TxOut", func(tp value.Tuple) bool {
+		if len(tp[0].AsString()) == 64 && tp[3].AsInt() == int64(50*bitcoin.Coin) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("genesis coinbase row missing or misshapen")
+	}
+}

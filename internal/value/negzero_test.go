@@ -1,0 +1,25 @@
+package value
+
+import "testing"
+
+// TestNegativeZeroNormalized pins the fuzz-found invariant: Float(-0)
+// and Float(0) must be identical values (same key encoding, same
+// rendering), since they compare equal.
+func TestNegativeZeroNormalized(t *testing.T) {
+	neg := Float(negZero())
+	pos := Float(0)
+	if neg != pos {
+		t.Error("Float(-0) != Float(0)")
+	}
+	if neg.String() != "0" {
+		t.Errorf("Float(-0).String() = %q", neg.String())
+	}
+	if NewTuple(neg).Key() != NewTuple(pos).Key() {
+		t.Error("key encodings differ for ±0")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

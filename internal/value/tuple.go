@@ -1,0 +1,91 @@
+package value
+
+import "strings"
+
+// Tuple is an ordered sequence of values — one row of a relation.
+// Tuples are treated as immutable once constructed; code that needs a
+// modified copy should use Clone.
+type Tuple []Value
+
+// NewTuple builds a tuple from the given values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Key returns a string that uniquely identifies the tuple's contents.
+// It is suitable as a map key: two tuples have equal keys iff they are
+// element-wise == (see Value.appendKey).
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = v.appendKey(buf)
+	}
+	return string(buf)
+}
+
+// Project returns the subtuple at the given column indexes, in order.
+// It panics if an index is out of range.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+// ProjectKey returns Key() of the projection without allocating the
+// intermediate tuple.
+func (t Tuple) ProjectKey(cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = t[c].appendKey(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports element-wise equality under the values' total order.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; shorter tuples sort first on
+// ties. It gives a total order used for deterministic iteration.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt64(int64(len(t)), int64(len(o)))
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

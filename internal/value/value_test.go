@@ -1,0 +1,208 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Str("abc").AsString(); got != "abc" {
+		t.Errorf("Str(abc).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round trip failed")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if got := Int(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int widening AsFloat = %g", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AsInt on string", func() { Str("x").AsInt() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on int", func() { Int(1).AsBool() }},
+		{"AsFloat on string", func() { Str("x").AsFloat() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestCompareWithinKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Int(1).Compare(Float(1.0)) != 0 {
+		t.Error("Int(1) should equal Float(1.0) under the order")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Int(2) should sort before Float(2.5)")
+	}
+	if Float(3.5).Compare(Int(3)) != 1 {
+		t.Error("Float(3.5) should sort after Int(3)")
+	}
+	if !Int(1).Equal(Float(1)) {
+		t.Error("Equal should agree with Compare==0")
+	}
+}
+
+func TestCompareHeterogeneous(t *testing.T) {
+	// Null < Bool < numerics < String by kind ordering.
+	if Null.Compare(Int(-100)) != -1 {
+		t.Error("Null should sort before any int")
+	}
+	if Bool(true).Compare(Int(0)) != -1 {
+		t.Error("Bool should sort before Int by kind")
+	}
+	if Str("").Compare(Float(1e18)) != 1 {
+		t.Error("String should sort after Float by kind")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN should equal NaN under the total order")
+	}
+	if nan.Compare(Float(0)) != -1 || Float(0).Compare(nan) != 1 {
+		t.Error("NaN should sort before numbers")
+	}
+	if nan.Compare(Int(0)) != -1 {
+		t.Error("NaN should sort before ints too")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(21) - 10))
+	case 3:
+		return Float(float64(r.Intn(21)-10) / 2)
+	default:
+		return Str(string(rune('a' + r.Intn(5))))
+	}
+}
+
+// TestCompareIsTotalOrder checks antisymmetry and transitivity on random
+// triples of values.
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity: sort three and verify pairwise consistency.
+		vs := []Value{a, b, c}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+		return vs[0].Compare(vs[1]) <= 0 && vs[1].Compare(vs[2]) <= 0 && vs[0].Compare(vs[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyInjective verifies that distinct values produce distinct key
+// encodings and equal values produce equal encodings.
+func TestKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		ka := string(a.appendKey(nil))
+		kb := string(b.appendKey(nil))
+		if a == b {
+			return ka == kb
+		}
+		return ka != kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyNoPrefixConfusion(t *testing.T) {
+	// ("ab","c") and ("a","bc") must encode differently.
+	t1 := NewTuple(Str("ab"), Str("c"))
+	t2 := NewTuple(Str("a"), Str("bc"))
+	if t1.Key() == t2.Key() {
+		t.Error("tuple key encoding is ambiguous across string boundaries")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "'hi'"},
+		{Str("it's"), `'it\'s'`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

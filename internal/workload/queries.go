@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"blockchaindb/internal/query"
+)
+
+// QueryKind enumerates the paper's four denial-constraint families
+// (Section 7).
+type QueryKind int
+
+// The families: qs (simple), qp_i (path), qr_i (star), qa_n
+// (aggregate).
+const (
+	QuerySimple QueryKind = iota
+	QueryPath
+	QueryStar
+	QueryAggregate
+)
+
+// String names the kind.
+func (k QueryKind) String() string {
+	switch k {
+	case QuerySimple:
+		return "qs"
+	case QueryPath:
+		return "qp"
+	case QueryStar:
+		return "qr"
+	case QueryAggregate:
+		return "qa"
+	default:
+		return fmt.Sprintf("query(%d)", int(k))
+	}
+}
+
+// SimpleQuery builds qs() ← TxOut(ntx, s, X, a): address X received
+// bitcoins in some transaction.
+func SimpleQuery(x string) *query.Query {
+	return query.MustParse(fmt.Sprintf("qs() :- TxOut(ntx, s, '%s', a)", x))
+}
+
+// PathQuery builds the paper's qp_i: a series of i transactions
+// transferring bitcoins, starting from an output owned by X and ending
+// with a spend by Y. Size 3 reproduces the paper's qp3 shape exactly:
+//
+//	qp3() ← TxOut(ntx1, s1, X, a1), TxIn(ntx1, s1, pk2, a2, ntx2, sig2),
+//	        TxOut(ntx2, s2, pk3, a3), TxIn(ntx2, s2, Y, a3, ntx4, sig3)
+//
+// Size i has i-1 TxOut/TxIn hops. Sizes below 2 are rejected.
+func PathQuery(size int, x, y string) (*query.Query, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("workload: path query size %d < 2", size)
+	}
+	hops := size - 1
+	var parts []string
+	for h := 1; h <= hops; h++ {
+		owner := fmt.Sprintf("pk%d", h)
+		if h == 1 {
+			owner = "'" + x + "'"
+		}
+		spender := fmt.Sprintf("spk%d", h)
+		if h == hops {
+			spender = "'" + y + "'"
+		}
+		parts = append(parts,
+			fmt.Sprintf("TxOut(ntx%d, s%d, %s, a%d)", h, h, owner, h),
+			fmt.Sprintf("TxIn(ntx%d, s%d, %s, a%d, ntx%d, sig%d)", h, h, spender, h, h+1, h),
+		)
+	}
+	return query.Parse(fmt.Sprintf("qp%d() :- %s", size, strings.Join(parts, ", ")))
+}
+
+// MustPathQuery is PathQuery but panics on error.
+func MustPathQuery(size int, x, y string) *query.Query {
+	q, err := PathQuery(size, x, y)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// StarQuery builds the paper's qr_i: address X transferred bitcoins to
+// i different addresses — i TxIn/TxOut pairs with pairwise-distinct new
+// transaction ids. The paper's qr3 is StarQuery(3, X).
+func StarQuery(size int, x string) (*query.Query, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("workload: star query size %d < 1", size)
+	}
+	var parts []string
+	for j := 1; j <= size; j++ {
+		parts = append(parts,
+			fmt.Sprintf("TxIn(pntx%d, s%d, '%s', a%d, ntx%d, sig%d)", j, j, x, j, j, j),
+			fmt.Sprintf("TxOut(ntx%d, os%d, pk%d, oa%d)", j, j, j, j),
+		)
+	}
+	for i := 1; i <= size; i++ {
+		for j := i + 1; j <= size; j++ {
+			parts = append(parts, fmt.Sprintf("ntx%d != ntx%d", i, j))
+		}
+	}
+	return query.Parse(fmt.Sprintf("qr%d() :- %s", size, strings.Join(parts, ", ")))
+}
+
+// MustStarQuery is StarQuery but panics on error.
+func MustStarQuery(size int, x string) *query.Query {
+	q, err := StarQuery(size, x)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// AggregateQuery builds the paper's qa_n: address X received at least n
+// in total — [qa(sum(a)) ← TxOut(ntx, s, X, a)] >= n.
+func AggregateQuery(x string, n int64) *query.Query {
+	return query.MustParse(fmt.Sprintf("qa(sum(a)) >= %d :- TxOut(ntx, s, '%s', a)", n, x))
+}
+
+// Query instantiates one of the paper's query families against this
+// dataset's plants. satisfied selects constants that keep the denial
+// constraint satisfied (the pattern cannot occur in any world); its
+// negation selects planted constants making it violated. size applies
+// to path (2–6) and star (1–6) queries and is ignored otherwise.
+func (d *Dataset) Query(kind QueryKind, size int, satisfied bool) (*query.Query, error) {
+	p := d.Plant
+	switch kind {
+	case QuerySimple:
+		if satisfied {
+			return SimpleQuery(p.AbsentPk), nil
+		}
+		return SimpleQuery(p.SimplePk), nil
+	case QueryPath:
+		if size < 2 || size > len(p.PathPks) {
+			return nil, fmt.Errorf("workload: path size %d outside planted range", size)
+		}
+		if satisfied {
+			return PathQuery(size, p.AbsentPk, p.AbsentPk)
+		}
+		// The planted chain: hop h consumes the output owned by
+		// PathPks[h-1]; the final spender is PathPks[size-2].
+		return PathQuery(size, p.PathPks[0], p.PathPks[size-2])
+	case QueryStar:
+		if size < 1 || size > p.StarSize {
+			return nil, fmt.Errorf("workload: star size %d outside planted range", size)
+		}
+		if satisfied {
+			return StarQuery(size, p.AbsentPk)
+		}
+		return StarQuery(size, p.StarPk)
+	case QueryAggregate:
+		if satisfied {
+			return AggregateQuery(p.AggPk, p.AggUnionTotal+1), nil
+		}
+		return AggregateQuery(p.AggPk, p.AggReachable), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown query kind %v", kind)
+	}
+}
+
+// MustQuery is Query but panics on error.
+func (d *Dataset) MustQuery(kind QueryKind, size int, satisfied bool) *query.Query {
+	q, err := d.Query(kind, size, satisfied)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,325 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/netsim"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/relmap"
+	"blockchaindb/internal/value"
+)
+
+// SimConfig configures simulation-backed dataset generation: instead of
+// synthesizing relational tuples directly, a full network of nodes
+// mines a chain of signed transactions, and the dataset is the
+// relational image of one node's replica. Contradictions arise the way
+// they do in reality — conflicting transactions gossiped to different
+// sides of a partitioned network — rather than by injection.
+type SimConfig struct {
+	Seed    int64
+	Nodes   int
+	Wallets int
+	// Blocks to mine for the committed state.
+	Blocks int
+	// TxPerBlock payments injected between blocks.
+	TxPerBlock int
+	// Pending payments left unconfirmed at the end, beyond the plants.
+	Pending int
+	// DoubleSpends conflicting pairs fed to opposite partition sides.
+	DoubleSpends int
+}
+
+// DefaultSimConfig is a laptop-quick simulation.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{Seed: 1, Nodes: 4, Wallets: 8, Blocks: 12, TxPerBlock: 4, Pending: 24, DoubleSpends: 3}
+}
+
+// GenerateFromSimulation builds a Dataset by running the Bitcoin
+// substrate end to end: fund wallets, mine a history, leave a pending
+// workload (including dependent chains, a spend star, and partitioned
+// double spends), and map the result through relmap. The Plant records
+// hex public keys, so Dataset.Query works exactly as with the synthetic
+// generator (path plants support sizes 2–4, star plants sizes 1–3).
+func GenerateFromSimulation(cfg SimConfig) (*Dataset, error) {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	if cfg.Wallets < 4 {
+		cfg.Wallets = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wallets := make([]*bitcoin.Wallet, cfg.Wallets)
+	for i := range wallets {
+		wallets[i] = bitcoin.NewWallet(fmt.Sprintf("w%d", i), rng)
+	}
+	miner := bitcoin.NewWallet("miner", rng)
+	params := bitcoin.Params{Difficulty: 2, Subsidy: 1000 * bitcoin.Coin, MaxBlockSize: 1 << 16}
+	sim := netsim.NewSimulator(cfg.Seed)
+	net := netsim.NewNetwork(sim, cfg.Nodes, params, wallets[0].PubKey(), miner.PubKey())
+	net.ConnectAll(3, 2)
+	home := net.Nodes[0]
+	settle := func() { sim.Run(sim.Now() + 200) }
+	mine := func() error {
+		if _, err := net.Nodes[rng.Intn(len(net.Nodes))].MineNow(); err != nil {
+			return err
+		}
+		settle()
+		return nil
+	}
+
+	// Fund every wallet from the genesis coin.
+	var fanout []bitcoin.Payment
+	for _, w := range wallets[1:] {
+		fanout = append(fanout, bitcoin.Payment{To: w.PubKey(), Amount: 80 * bitcoin.Coin})
+	}
+	seedTx, err := wallets[0].Pay(home.Chain.UTXO(), fanout, 1000, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := home.SubmitTx(seedTx); err != nil {
+		return nil, err
+	}
+	settle()
+	if err := mine(); err != nil {
+		return nil, err
+	}
+
+	promised := func() map[bitcoin.OutPoint]bool {
+		avoid := make(map[bitcoin.OutPoint]bool)
+		for _, tx := range home.Mempool.Transactions() {
+			for _, in := range tx.Ins {
+				avoid[in.Prev] = true
+			}
+		}
+		return avoid
+	}
+	randomPayment := func() {
+		from := wallets[rng.Intn(len(wallets))]
+		to := wallets[rng.Intn(len(wallets))]
+		amt := bitcoin.Amount(rng.Intn(3)+1) * bitcoin.Coin
+		tx, err := from.Pay(home.Chain.UTXO(), []bitcoin.Payment{{To: to.PubKey(), Amount: amt}},
+			bitcoin.Amount(rng.Intn(2000)+100), promised())
+		if err != nil {
+			return
+		}
+		_ = home.SubmitTx(tx)
+	}
+
+	// History: blocks of random payments.
+	for b := 0; b < cfg.Blocks; b++ {
+		for i := 0; i < cfg.TxPerBlock; i++ {
+			randomPayment()
+		}
+		settle()
+		if err := mine(); err != nil {
+			return nil, err
+		}
+	}
+
+	plant := Plant{AbsentPk: "deadbeef"}
+
+	// Plant: simple — a fresh wallet paid only in a pending tx.
+	simple := bitcoin.NewWallet("plant-simple", rng)
+	plant.SimplePk = relmap.PubKeyString(simple.PubKey())
+	if tx, err := wallets[1].Pay(home.Chain.UTXO(),
+		[]bitcoin.Payment{{To: simple.PubKey(), Amount: bitcoin.Coin}}, 500, promised()); err == nil {
+		if err := home.SubmitTx(tx); err != nil {
+			return nil, err
+		}
+	}
+	settle()
+
+	// Plant: path — a dependent chain of pending spends through fresh
+	// wallets (each spends the previous unconfirmed output).
+	pathWallets := make([]*bitcoin.Wallet, 4)
+	for i := range pathWallets {
+		pathWallets[i] = bitcoin.NewWallet(fmt.Sprintf("plant-path%d", i), rng)
+	}
+	head, err := wallets[2].Pay(home.Chain.UTXO(),
+		[]bitcoin.Payment{{To: pathWallets[0].PubKey(), Amount: 8 * bitcoin.Coin}}, 500, promised())
+	if err != nil {
+		return nil, fmt.Errorf("workload: path plant head: %w", err)
+	}
+	if err := home.SubmitTx(head); err != nil {
+		return nil, err
+	}
+	settle()
+	plant.PathPks = append(plant.PathPks, relmap.PubKeyString(pathWallets[0].PubKey()))
+	prev := head
+	for i := 1; i < len(pathWallets); i++ {
+		amount := bitcoin.Amount(8-2*i) * bitcoin.Coin
+		if amount <= 0 {
+			amount = bitcoin.Coin / 2
+		}
+		next, err := pathWallets[i-1].SpendOutpoint(home.Mempool.View(),
+			bitcoin.OutPoint{TxID: prev.ID(), Index: 0},
+			[]bitcoin.Payment{{To: pathWallets[i].PubKey(), Amount: amount}}, 200)
+		if err != nil {
+			return nil, fmt.Errorf("workload: path plant hop %d: %w", i, err)
+		}
+		if err := home.SubmitTx(next); err != nil {
+			return nil, err
+		}
+		settle()
+		plant.PathPks = append(plant.PathPks, relmap.PubKeyString(pathWallets[i].PubKey()))
+		prev = next
+	}
+
+	// Plant: star — one wallet spends three distinct confirmed outputs
+	// in three compatible pending transactions. Fund it with a
+	// confirmed fanout first.
+	star := bitcoin.NewWallet("plant-star", rng)
+	plant.StarPk = relmap.PubKeyString(star.PubKey())
+	starFund, err := wallets[3].Pay(home.Chain.UTXO(), []bitcoin.Payment{
+		{To: star.PubKey(), Amount: 2 * bitcoin.Coin},
+		{To: star.PubKey(), Amount: 2 * bitcoin.Coin},
+		{To: star.PubKey(), Amount: 2 * bitcoin.Coin},
+	}, 500, promised())
+	if err != nil {
+		return nil, fmt.Errorf("workload: star plant funding: %w", err)
+	}
+	if err := home.SubmitTx(starFund); err != nil {
+		return nil, err
+	}
+	settle()
+	if err := mine(); err != nil { // confirm the star funding
+		return nil, err
+	}
+	plant.StarSize = 0
+	for _, op := range home.Chain.UTXO().ByOwner(star.PubKey()) {
+		dst := bitcoin.NewWallet(fmt.Sprintf("plant-star-dst%d", plant.StarSize), rng)
+		tx, err := star.SpendOutpoint(home.Chain.UTXO(), op,
+			[]bitcoin.Payment{{To: dst.PubKey(), Amount: bitcoin.Coin}}, 300)
+		if err != nil {
+			continue
+		}
+		if err := home.SubmitTx(tx); err == nil {
+			plant.StarSize++
+		}
+	}
+	settle()
+
+	// Plant: aggregate — reuse the star wallet's received outputs. Its
+	// confirmed funding (3 × 2 coins) is the floor; pending payments to
+	// it raise the reachable total.
+	plant.AggPk = plant.StarPk
+	aggExtra, err := wallets[4%len(wallets)].Pay(home.Chain.UTXO(),
+		[]bitcoin.Payment{{To: star.PubKey(), Amount: 3 * bitcoin.Coin}}, 400, promised())
+	if err == nil {
+		if err := home.SubmitTx(aggExtra); err != nil {
+			return nil, err
+		}
+	}
+	settle()
+
+	// Background pending traffic.
+	for i := 0; i < cfg.Pending; i++ {
+		randomPayment()
+	}
+	settle()
+
+	// Double spends: partition the network and feed conflicting
+	// payments to each side; the dataset's pending set is the union of
+	// two mempools, which therefore contains real contradictions.
+	other := net.Nodes[len(net.Nodes)-1]
+	half := make([]int, 0, len(net.Nodes)/2)
+	for i := 0; i < len(net.Nodes)/2; i++ {
+		half = append(half, i)
+	}
+	net.Partition(half)
+	injected := 0
+	for attempt := 0; injected < cfg.DoubleSpends && attempt < cfg.DoubleSpends*8; attempt++ {
+		w := wallets[attempt%len(wallets)]
+		avoid := promised()
+		for _, tx := range other.Mempool.Transactions() {
+			for _, in := range tx.Ins {
+				avoid[in.Prev] = true
+			}
+		}
+		for _, op := range home.Chain.UTXO().ByOwner(w.PubKey()) {
+			if avoid[op] {
+				continue
+			}
+			out, _ := home.Chain.UTXO().Output(op)
+			if out.Value < bitcoin.Coin {
+				continue
+			}
+			amount := out.Value / 2
+			a, errA := w.SpendOutpoint(home.Chain.UTXO(), op,
+				[]bitcoin.Payment{{To: wallets[rng.Intn(len(wallets))].PubKey(), Amount: amount}}, 300)
+			b, errB := w.SpendOutpoint(home.Chain.UTXO(), op,
+				[]bitcoin.Payment{{To: w.PubKey(), Amount: amount}}, 400)
+			if errA != nil || errB != nil {
+				continue
+			}
+			if home.SubmitTx(a) != nil || other.SubmitTx(b) != nil {
+				continue
+			}
+			settle()
+			injected++
+			break
+		}
+	}
+
+	// The dataset: home's chain, plus the union of both sides' pools.
+	union := append(home.Mempool.Transactions(), other.Mempool.Transactions()...)
+	db, err := relmap.DatabaseFromPending(home.Chain, union)
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate plant bookkeeping from the mapped database.
+	plant.AggReachable, plant.AggUnionTotal = aggTotals(db, plant.AggPk)
+
+	ds := &Dataset{DB: db, Plant: plant}
+	ds.Stats = Stats{
+		Blocks:              home.Chain.Height() + 1,
+		Transactions:        countChainTxs(home),
+		Inputs:              db.State.Count("TxIn"),
+		Outputs:             db.State.Count("TxOut"),
+		PendingTransactions: len(db.Pending),
+	}
+	for _, tx := range db.Pending {
+		ds.Stats.PendingInputs += len(tx.Tuples("TxIn"))
+		ds.Stats.PendingOutputs += len(tx.Tuples("TxOut"))
+	}
+	return ds, nil
+}
+
+func countChainTxs(nd *netsim.Node) int {
+	n := 0
+	for _, h := range nd.Chain.MainChain() {
+		b, _ := nd.Chain.Block(h)
+		n += len(b.Txs)
+	}
+	return n
+}
+
+// aggTotals computes the aggregate plant's totals over the mapped
+// database: the union total sums every TxOut row to the key across
+// R ∪ ∪T (no world exceeds it), and the reachable total sums the rows
+// in one genuine possible world — the greedy maximal world over all
+// pending transactions (conflicting double-spends drop out during the
+// fixpoint, so the world is valid).
+func aggTotals(db *possible.DB, pk string) (reachable, union int64) {
+	sumTo := func(v relation.View) int64 {
+		var total int64
+		cols := []int{db.State.Schema("TxOut").MustCol("pk")}
+		key := value.NewTuple(value.Str(pk)).Key()
+		v.Lookup("TxOut", cols, key, func(t value.Tuple) bool {
+			total += t[3].AsInt()
+			return true
+		})
+		return total
+	}
+	all := make([]int, len(db.Pending))
+	for i := range all {
+		all[i] = i
+	}
+	world, _ := db.GetMaximal(all)
+	reachable = sumTo(world)
+	union = sumTo(relation.NewOverlay(db.State, db.Pending...))
+	return reachable, union
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"blockchaindb/internal/core"
+)
+
+func smallSimConfig(seed int64) SimConfig {
+	return SimConfig{Seed: seed, Nodes: 4, Wallets: 6, Blocks: 5, TxPerBlock: 3, Pending: 10, DoubleSpends: 2}
+}
+
+func TestGenerateFromSimulation(t *testing.T) {
+	ds, err := GenerateFromSimulation(smallSimConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats
+	if st.Transactions == 0 || st.Outputs == 0 || st.PendingTransactions == 0 {
+		t.Fatalf("empty simulation stats: %+v", st)
+	}
+	if len(ds.DB.Pending) != st.PendingTransactions {
+		t.Errorf("pending stat mismatch: %d vs %d", len(ds.DB.Pending), st.PendingTransactions)
+	}
+	// The union of two mempools contains genuine contradictions.
+	conflicts := 0
+	for i := range ds.DB.Pending {
+		for j := i + 1; j < len(ds.DB.Pending); j++ {
+			if !ds.DB.Constraints.FDCompatible(ds.DB.Pending[i], ds.DB.Pending[j]) {
+				conflicts++
+			}
+		}
+	}
+	if conflicts == 0 {
+		t.Error("partitioned double spends produced no contradictions")
+	}
+	// Plants recorded.
+	if ds.Plant.SimplePk == "" || len(ds.Plant.PathPks) != 4 || ds.Plant.StarSize == 0 {
+		t.Fatalf("plants incomplete: %+v", ds.Plant)
+	}
+	if ds.Plant.AggReachable <= 0 || ds.Plant.AggUnionTotal < ds.Plant.AggReachable {
+		t.Errorf("aggregate totals inconsistent: %+v", ds.Plant)
+	}
+}
+
+// TestSimulationPlantedQueriesBehave is the simulation counterpart of
+// the synthetic generator's contract: satisfied instantiations check
+// out satisfied, unsatisfied ones violated, across the query families.
+func TestSimulationPlantedQueriesBehave(t *testing.T) {
+	ds, err := GenerateFromSimulation(smallSimConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind QueryKind
+		size int
+	}{
+		{QuerySimple, 0},
+		{QueryPath, 2}, {QueryPath, 3}, {QueryPath, 4},
+		{QueryStar, 1}, {QueryStar, ds.Plant.StarSize},
+		{QueryAggregate, 0},
+	}
+	for _, cs := range cases {
+		for _, satisfied := range []bool{true, false} {
+			q, err := ds.Query(cs.kind, cs.size, satisfied)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
+			}
+			algo := core.AlgoOpt
+			if !q.IsConnected() {
+				algo = core.AlgoNaive
+			}
+			res, err := core.Check(ds.DB, q, core.Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
+			}
+			if res.Satisfied != satisfied {
+				t.Errorf("%v size %d satisfied=%v: Check returned %v",
+					cs.kind, cs.size, satisfied, res.Satisfied)
+			}
+		}
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	a, err := GenerateFromSimulation(smallSimConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFromSimulation(smallSimConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.DB.State.Equal(b.DB.State) {
+		t.Error("same seed produced different simulated states")
+	}
+	if len(a.DB.Pending) != len(b.DB.Pending) {
+		t.Error("same seed produced different pending sets")
+	}
+}

@@ -1,0 +1,433 @@
+// Package workload synthesizes blockchain databases with the
+// structural statistics of the paper's experimental datasets: a
+// committed current state of Bitcoin-shaped transactions (D100/D200/
+// D300 analogues), a pending set drawn from subsequent "blocks",
+// injected functional-dependency contradictions (double spends), and
+// planted patterns that the paper's four denial-constraint families
+// (qs, qp_i, qr_i, qa_n) can be aimed at with satisfied or unsatisfied
+// constant choices.
+//
+// The paper used the first 100k–300k real Bitcoin blocks; we have no
+// network, so this generator reproduces the drivers of algorithm cost
+// instead: relation sizes, pending-transaction counts, conflict
+// density, and the dependency / connectivity structure among pending
+// transactions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// Config controls dataset generation. All sizes are exact except where
+// noted. The zero value is not valid; use DefaultConfig or a preset.
+type Config struct {
+	Seed int64
+	// Blocks and TxPerBlock shape the committed state R.
+	Blocks     int
+	TxPerBlock int
+	// Users is the size of the address population.
+	Users int
+	// PendingBlocks and PendingTxPerBlock shape the pending set T.
+	PendingBlocks     int
+	PendingTxPerBlock int
+	// Contradictions is the number of extra pending transactions that
+	// deliberately double-spend another pending transaction's input.
+	Contradictions int
+	// ChainProb is the probability a pending transaction spends the
+	// output of an earlier pending transaction (dependency chains).
+	ChainProb float64
+	// MaxOuts bounds outputs per transaction (at least 1).
+	MaxOuts int
+}
+
+// DefaultConfig mirrors the paper's default setting at laptop scale:
+// the D200-analogue state, ~20 pending blocks, 20 contradictions.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Blocks:            200,
+		TxPerBlock:        36,
+		Users:             500,
+		PendingBlocks:     20,
+		PendingTxPerBlock: 12,
+		Contradictions:    20,
+		ChainProb:         0.3,
+		MaxOuts:           3,
+	}
+}
+
+// Stats summarizes a generated dataset, matching the columns of the
+// paper's Table 1.
+type Stats struct {
+	Blocks       int
+	Transactions int
+	Inputs       int
+	Outputs      int
+
+	PendingBlocks       int
+	PendingTransactions int
+	PendingInputs       int
+	PendingOutputs      int
+}
+
+// Plant records the constants deliberately embedded in the pending set
+// so each query family has both violated ("unsatisfied constraint")
+// and safe ("satisfied") instantiations.
+type Plant struct {
+	// SimplePk receives an output only inside a pending transaction:
+	// qs over it is violated; over AbsentPk it is satisfied.
+	SimplePk string
+	AbsentPk string
+	// PathPks are the owners along a planted spend chain of pending
+	// transactions: PathPks[0] owns the output consumed by the chain's
+	// second transaction, etc. A path query of size i uses PathPks[0]
+	// and PathPks[i-2].
+	PathPks []string
+	// StarPk spends, in StarSize mutually compatible pending
+	// transactions, to distinct recipients.
+	StarPk   string
+	StarSize int
+	// AggPk receives outputs in state and compatible pending
+	// transactions. AggReachable is a total achievable in some possible
+	// world; AggUnionTotal is the total over R ∪ ∪T (no world exceeds
+	// it).
+	AggPk         string
+	AggReachable  int64
+	AggUnionTotal int64
+}
+
+// Dataset is a generated blockchain database plus its bookkeeping.
+type Dataset struct {
+	DB    *possible.DB
+	Stats Stats
+	Plant Plant
+}
+
+// Schema registers the Example 1 relations with integer transaction
+// ids and satoshi amounts.
+func Schema() *relation.State {
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("TxOut",
+		"txId:int", "ser:int", "pk:string", "amount:int"))
+	s.MustAddSchema(relation.NewSchema("TxIn",
+		"prevTxId:int", "prevSer:int", "pk:string", "amount:int", "newTxId:int", "sig:string"))
+	return s
+}
+
+// Constraints builds the paper's keys and inclusion dependencies.
+func Constraints(s *relation.State) *constraint.Set {
+	return constraint.MustNewSet(s,
+		[]*constraint.FD{
+			constraint.NewKey(s.Schema("TxOut"), "txId", "ser"),
+			constraint.NewKey(s.Schema("TxIn"), "prevTxId", "prevSer"),
+		},
+		[]*constraint.IND{
+			constraint.NewIND("TxIn", []string{"prevTxId", "prevSer", "pk", "amount"},
+				"TxOut", []string{"txId", "ser", "pk", "amount"}),
+			constraint.NewIND("TxIn", []string{"newTxId"}, "TxOut", []string{"txId"}),
+		})
+}
+
+type outRef struct {
+	tx     int64
+	ser    int64
+	pk     string
+	amount int64
+}
+
+type generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	state  *relation.State
+	nextTx int64
+	// unspent is the state's spendable pool during state generation,
+	// then the base pool for pending generation.
+	unspent []outRef
+	stats   Stats
+}
+
+func user(i int) string { return fmt.Sprintf("U%dPk", i) }
+
+func sig(pk string) string { return pk + "Sig" }
+
+// Generate builds a dataset from the configuration. Generation is
+// deterministic per seed. The result's database always satisfies its
+// constraints (contradictions live only among pending transactions,
+// never inside the state).
+func Generate(cfg Config) *Dataset {
+	if cfg.MaxOuts < 1 {
+		cfg.MaxOuts = 1
+	}
+	if cfg.Users < 10 {
+		cfg.Users = 10
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), state: Schema(), nextTx: 1}
+	g.mintGenesis()
+	g.generateState()
+	ds := &Dataset{}
+	pending, plant := g.generatePending(ds)
+	ds.Stats = g.stats
+	ds.Plant = plant
+	cons := Constraints(g.state)
+	db, err := possible.New(g.state, cons, pending)
+	if err != nil {
+		// Generation guarantees consistency; a failure is a bug.
+		panic(fmt.Sprintf("workload: generated inconsistent dataset: %v", err))
+	}
+	ds.DB = db
+	return ds
+}
+
+// mintGenesis creates origin outputs (transactions with no inputs,
+// like coinbases) so the economy has funds.
+func (g *generator) mintGenesis() {
+	for u := 0; u < g.cfg.Users; u++ {
+		txID := g.nextTx
+		g.nextTx++
+		amount := int64(g.rng.Intn(900) + 100)
+		g.emitOut(txID, 1, user(u), amount, nil)
+		g.stats.Transactions++
+	}
+	g.stats.Blocks++ // the genesis "block"
+}
+
+// emitOut inserts a TxOut row into the state (tx == nil) or adds it to
+// the pending transaction, and registers it in the unspent pool when
+// pool is wanted (state rows only; pending outputs are pooled by the
+// caller).
+func (g *generator) emitOut(txID, ser int64, pk string, amount int64, tx *relation.Transaction) {
+	row := value.NewTuple(value.Int(txID), value.Int(ser), value.Str(pk), value.Int(amount))
+	if tx == nil {
+		g.state.MustInsert("TxOut", row)
+		g.stats.Outputs++
+		g.unspent = append(g.unspent, outRef{txID, ser, pk, amount})
+		return
+	}
+	tx.Add("TxOut", row)
+	g.stats.PendingOutputs++
+}
+
+// emitIn inserts a TxIn row consuming ref and creating newTx.
+func (g *generator) emitIn(ref outRef, newTx int64, tx *relation.Transaction) {
+	row := value.NewTuple(value.Int(ref.tx), value.Int(ref.ser), value.Str(ref.pk),
+		value.Int(ref.amount), value.Int(newTx), value.Str(sig(ref.pk)))
+	if tx == nil {
+		g.state.MustInsert("TxIn", row)
+		g.stats.Inputs++
+		return
+	}
+	tx.Add("TxIn", row)
+	g.stats.PendingInputs++
+}
+
+// takeUnspent removes and returns a random pool entry.
+func (g *generator) takeUnspent() (outRef, bool) {
+	if len(g.unspent) == 0 {
+		return outRef{}, false
+	}
+	i := g.rng.Intn(len(g.unspent))
+	ref := g.unspent[i]
+	g.unspent[i] = g.unspent[len(g.unspent)-1]
+	g.unspent = g.unspent[:len(g.unspent)-1]
+	return ref, true
+}
+
+// splitAmount divides total into n positive parts.
+func (g *generator) splitAmount(total int64, n int) []int64 {
+	if int64(n) > total {
+		n = int(total)
+		if n == 0 {
+			n = 1
+		}
+	}
+	parts := make([]int64, n)
+	remaining := total
+	for i := 0; i < n-1; i++ {
+		max := remaining - int64(n-1-i)
+		share := int64(1)
+		if max > 1 {
+			share = 1 + g.rng.Int63n(max)
+		}
+		parts[i] = share
+		remaining -= share
+	}
+	parts[n-1] = remaining
+	return parts
+}
+
+// generateState commits Blocks × TxPerBlock transactions.
+func (g *generator) generateState() {
+	for b := 0; b < g.cfg.Blocks; b++ {
+		g.stats.Blocks++
+		for t := 0; t < g.cfg.TxPerBlock; t++ {
+			ref, ok := g.takeUnspent()
+			if !ok {
+				return
+			}
+			txID := g.nextTx
+			g.nextTx++
+			g.emitIn(ref, txID, nil)
+			nOuts := 1 + g.rng.Intn(g.cfg.MaxOuts)
+			for i, amt := range g.splitAmount(ref.amount, nOuts) {
+				g.emitOut(txID, int64(i+1), user(g.rng.Intn(g.cfg.Users)), amt, nil)
+			}
+			g.stats.Transactions++
+		}
+	}
+}
+
+// pendingTx builds one pending transaction consuming the refs and
+// paying the recipients; it returns the transaction and the outputs it
+// created.
+func (g *generator) pendingTx(refs []outRef, recipients []string) (*relation.Transaction, []outRef, int64) {
+	txID := g.nextTx
+	g.nextTx++
+	tx := relation.NewTransaction(fmt.Sprintf("P%d", txID))
+	var total int64
+	for _, ref := range refs {
+		g.emitIn(ref, txID, tx)
+		total += ref.amount
+	}
+	parts := g.splitAmount(total, len(recipients))
+	var created []outRef
+	for i, amt := range parts {
+		pk := recipients[i%len(recipients)]
+		g.emitOut(txID, int64(i+1), pk, amt, tx)
+		created = append(created, outRef{txID, int64(i + 1), pk, amt})
+	}
+	g.stats.PendingTransactions++
+	return tx, created, txID
+}
+
+// generatePending builds the pending set: plants first (so they exist
+// at every configuration), then random traffic, then contradictions.
+func (g *generator) generatePending(ds *Dataset) ([]*relation.Transaction, Plant) {
+	var pending []*relation.Transaction
+	var pendingPool []outRef // outputs created by pending txs, spendable by later pending txs
+	plant := Plant{AbsentPk: "NoSuchPk"}
+
+	// --- Plant: simple. A fresh address paid only in a pending tx.
+	plant.SimplePk = "PlantSimplePk"
+	if ref, ok := g.takeUnspent(); ok {
+		tx, _, _ := g.pendingTx([]outRef{ref}, []string{plant.SimplePk})
+		pending = append(pending, tx)
+	}
+
+	// --- Plant: path. A chain of 6 pending transactions; the paper
+	// varies path queries over sizes 2–5, which need up to 5 hops.
+	const pathLen = 6
+	if ref, ok := g.takeUnspent(); ok {
+		cur := ref
+		for h := 0; h < pathLen; h++ {
+			owner := fmt.Sprintf("PlantPath%dPk", h)
+			tx, created, _ := g.pendingTx([]outRef{cur}, []string{owner})
+			pending = append(pending, tx)
+			plant.PathPks = append(plant.PathPks, owner)
+			cur = created[0]
+		}
+	}
+
+	// --- Plant: star. One address spends in 6 compatible pending
+	// transactions to distinct recipients. Fund it with committed
+	// outputs first (mint if needed).
+	plant.StarPk = "PlantStarPk"
+	plant.StarSize = 6
+	for sIdx := 0; sIdx < plant.StarSize; sIdx++ {
+		starRef := g.mintTo(plant.StarPk, int64(g.rng.Intn(400)+100))
+		recipient := fmt.Sprintf("PlantStarDst%dPk", sIdx)
+		tx, _, _ := g.pendingTx([]outRef{starRef}, []string{recipient})
+		pending = append(pending, tx)
+	}
+
+	// --- Plant: aggregate. An address receiving committed and pending
+	// outputs; all its pending receipts are mutually compatible.
+	plant.AggPk = "PlantAggPk"
+	aggState := g.mintTo(plant.AggPk, 500)
+	plant.AggReachable = aggState.amount
+	plant.AggUnionTotal = aggState.amount
+	for i := 0; i < 4; i++ {
+		ref, ok := g.takeUnspent()
+		if !ok {
+			break
+		}
+		tx, created, _ := g.pendingTx([]outRef{ref}, []string{plant.AggPk})
+		pending = append(pending, tx)
+		for _, c := range created {
+			plant.AggReachable += c.amount
+			plant.AggUnionTotal += c.amount
+		}
+	}
+
+	// --- Random pending traffic.
+	target := g.cfg.PendingBlocks * g.cfg.PendingTxPerBlock
+	for len(pending) < target {
+		var ref outRef
+		if len(pendingPool) > 0 && g.rng.Float64() < g.cfg.ChainProb {
+			i := g.rng.Intn(len(pendingPool))
+			ref = pendingPool[i]
+			pendingPool[i] = pendingPool[len(pendingPool)-1]
+			pendingPool = pendingPool[:len(pendingPool)-1]
+		} else {
+			var ok bool
+			ref, ok = g.takeUnspent()
+			if !ok {
+				break
+			}
+		}
+		nOuts := 1 + g.rng.Intn(g.cfg.MaxOuts)
+		recipients := make([]string, nOuts)
+		for i := range recipients {
+			recipients[i] = user(g.rng.Intn(g.cfg.Users))
+		}
+		tx, created, _ := g.pendingTx([]outRef{ref}, recipients)
+		pending = append(pending, tx)
+		pendingPool = append(pendingPool, created...)
+	}
+
+	// --- Contradictions: double-spend the input of a random existing
+	// pending transaction (skipping plants so planted paths stay
+	// reachable in at least one world... conflicts with plants would
+	// still be sound, but keeping them separate makes the experiments'
+	// "satisfied vs unsatisfied" framing stable).
+	plantCount := 1 + pathLen + plant.StarSize + 4
+	if plantCount > len(pending) {
+		plantCount = len(pending)
+	}
+	randoms := pending[plantCount:]
+	for c := 0; c < g.cfg.Contradictions && len(randoms) > 0; c++ {
+		victim := randoms[g.rng.Intn(len(randoms))]
+		ins := victim.Tuples("TxIn")
+		if len(ins) == 0 {
+			continue
+		}
+		src := ins[0]
+		ref := outRef{
+			tx:     src[0].AsInt(),
+			ser:    src[1].AsInt(),
+			pk:     src[2].AsString(),
+			amount: src[3].AsInt(),
+		}
+		tx, _, _ := g.pendingTx([]outRef{ref}, []string{user(g.rng.Intn(g.cfg.Users))})
+		pending = append(pending, tx)
+	}
+
+	g.stats.PendingBlocks = g.cfg.PendingBlocks
+	return pending, plant
+}
+
+// mintTo inserts a fresh no-input output owned by pk into the state.
+func (g *generator) mintTo(pk string, amount int64) outRef {
+	txID := g.nextTx
+	g.nextTx++
+	row := value.NewTuple(value.Int(txID), value.Int(1), value.Str(pk), value.Int(amount))
+	g.state.MustInsert("TxOut", row)
+	g.stats.Outputs++
+	g.stats.Transactions++
+	return outRef{txID, 1, pk, amount}
+}

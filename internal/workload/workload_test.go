@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/query"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Blocks:            10,
+		TxPerBlock:        8,
+		Users:             40,
+		PendingBlocks:     4,
+		PendingTxPerBlock: 6,
+		Contradictions:    5,
+		ChainProb:         0.3,
+		MaxOuts:           3,
+	}
+}
+
+func TestGenerateConsistent(t *testing.T) {
+	ds := Generate(smallConfig(1))
+	// possible.New inside Generate already verified R |= I; check the
+	// stats add up.
+	st := ds.Stats
+	if st.Transactions == 0 || st.Inputs == 0 || st.Outputs == 0 {
+		t.Errorf("empty state stats: %+v", st)
+	}
+	if st.PendingTransactions != len(ds.DB.Pending) {
+		t.Errorf("pending stat %d != actual %d", st.PendingTransactions, len(ds.DB.Pending))
+	}
+	if st.Outputs != ds.DB.State.Count("TxOut") {
+		t.Errorf("outputs stat %d != rows %d", st.Outputs, ds.DB.State.Count("TxOut"))
+	}
+	if st.Inputs != ds.DB.State.Count("TxIn") {
+		t.Errorf("inputs stat %d != rows %d", st.Inputs, ds.DB.State.Count("TxIn"))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	if !a.DB.State.Equal(b.DB.State) {
+		t.Error("same seed produced different states")
+	}
+	if len(a.DB.Pending) != len(b.DB.Pending) {
+		t.Error("same seed produced different pending sets")
+	}
+	c := Generate(smallConfig(8))
+	if a.DB.State.Equal(c.DB.State) {
+		t.Error("different seeds produced identical states")
+	}
+}
+
+func TestContradictionCount(t *testing.T) {
+	for _, want := range []int{0, 5, 15} {
+		cfg := smallConfig(3)
+		cfg.Contradictions = want
+		ds := Generate(cfg)
+		// Count conflicting pairs via the constraint set.
+		conflicts := 0
+		for i := range ds.DB.Pending {
+			for j := i + 1; j < len(ds.DB.Pending); j++ {
+				if !ds.DB.Constraints.FDCompatible(ds.DB.Pending[i], ds.DB.Pending[j]) {
+					conflicts++
+				}
+			}
+		}
+		if conflicts < want {
+			t.Errorf("Contradictions=%d produced only %d conflicting pairs", want, conflicts)
+		}
+		// Without injected contradictions the generator produces none.
+		if want == 0 && conflicts != 0 {
+			t.Errorf("spontaneous conflicts: %d", conflicts)
+		}
+	}
+}
+
+// TestPlantedQueriesBehave is the generator's core contract: for every
+// query family, the "satisfied" instantiation must be satisfied and the
+// "unsatisfied" one violated, as decided by the paper's algorithms.
+func TestPlantedQueriesBehave(t *testing.T) {
+	ds := Generate(smallConfig(11))
+	type c struct {
+		kind QueryKind
+		size int
+	}
+	cases := []c{
+		{QuerySimple, 0},
+		{QueryPath, 2}, {QueryPath, 3}, {QueryPath, 4}, {QueryPath, 5}, {QueryPath, 6},
+		{QueryStar, 1}, {QueryStar, 3}, {QueryStar, 6},
+		{QueryAggregate, 0},
+	}
+	for _, cs := range cases {
+		for _, satisfied := range []bool{true, false} {
+			q, err := ds.Query(cs.kind, cs.size, satisfied)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
+			}
+			algo := core.AlgoOpt
+			if !q.IsConnected() {
+				algo = core.AlgoNaive
+			}
+			res, err := core.Check(ds.DB, q, core.Options{Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
+			}
+			if res.Satisfied != satisfied {
+				t.Errorf("%v size %d satisfied=%v: Check returned %v",
+					cs.kind, cs.size, satisfied, res.Satisfied)
+			}
+		}
+	}
+}
+
+func TestQueryShapes(t *testing.T) {
+	// qp3 shape: 2 TxOut + 2 TxIn atoms, connected, monotone.
+	q := MustPathQuery(3, "X", "Y")
+	if len(q.Atoms) != 4 {
+		t.Errorf("qp3 atoms = %d", len(q.Atoms))
+	}
+	if !q.IsConnected() || !q.IsMonotonic() {
+		t.Error("qp3 must be connected and monotonic")
+	}
+	// qr3: 3 pairs + 3 inequalities.
+	qr := MustStarQuery(3, "X")
+	if len(qr.Atoms) != 6 || len(qr.Comparisons) != 3 {
+		t.Errorf("qr3 shape: %d atoms, %d comparisons", len(qr.Atoms), len(qr.Comparisons))
+	}
+	if !qr.IsConnected() {
+		t.Error("qr3 must be connected (all TxIn atoms share X)")
+	}
+	// qa: aggregate, monotone, not connected.
+	qa := AggregateQuery("X", 100)
+	if !qa.IsAggregate() || !qa.IsMonotonic() || qa.IsConnected() {
+		t.Error("qa flags wrong")
+	}
+	// Errors.
+	if _, err := PathQuery(1, "X", "Y"); err == nil {
+		t.Error("path size 1 accepted")
+	}
+	if _, err := StarQuery(0, "X"); err == nil {
+		t.Error("star size 0 accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ds := Generate(smallConfig(2))
+	if _, err := ds.Query(QueryPath, 1, false); err == nil {
+		t.Error("path size below range accepted")
+	}
+	if _, err := ds.Query(QueryPath, 99, false); err == nil {
+		t.Error("path size above range accepted")
+	}
+	if _, err := ds.Query(QueryStar, 99, false); err == nil {
+		t.Error("star size above range accepted")
+	}
+	if _, err := ds.Query(QueryKind(42), 0, false); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if MustPathQuery(2, "a", "b") == nil || MustStarQuery(1, "a") == nil {
+		t.Error("must-builders returned nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[QueryKind]string{
+		QuerySimple: "qs", QueryPath: "qp", QueryStar: "qr",
+		QueryAggregate: "qa", QueryKind(9): "query(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestScalingConfigs(t *testing.T) {
+	// Dataset sizes scale with the block counts.
+	small := Generate(smallConfig(5))
+	cfg := smallConfig(5)
+	cfg.Blocks *= 3
+	big := Generate(cfg)
+	if big.Stats.Transactions <= small.Stats.Transactions {
+		t.Error("tripling blocks did not grow the state")
+	}
+}
+
+// TestPlantedPathIsRealPath sanity-checks that the planted chain really
+// forms dependent transactions (each unreachable without the previous).
+func TestPlantedPathIsRealPath(t *testing.T) {
+	ds := Generate(smallConfig(13))
+	// The plants are the first transactions: index 0 is the simple
+	// plant, 1..6 the path chain.
+	if !ds.DB.IsReachable([]int{1}) {
+		t.Fatal("path head unreachable")
+	}
+	if ds.DB.IsReachable([]int{2}) {
+		t.Error("second path hop reachable without the first")
+	}
+	if !ds.DB.IsReachable([]int{1, 2, 3, 4, 5, 6}) {
+		t.Error("full planted chain unreachable")
+	}
+}
+
+// TestDefaultConfigRuns exercises the default (laptop-scale) dataset
+// once and checks a path query end to end; kept moderate so the suite
+// stays fast.
+func TestDefaultConfigRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default dataset generation in -short mode")
+	}
+	ds := Generate(DefaultConfig())
+	if ds.Stats.Transactions < 1000 {
+		t.Errorf("default dataset too small: %+v", ds.Stats)
+	}
+	q := ds.MustQuery(QueryPath, 3, true)
+	res, err := core.Check(ds.DB, q, core.Options{Algorithm: core.AlgoOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Error("satisfied qp3 reported violated on default dataset")
+	}
+	var _ *query.Query = q
+}
