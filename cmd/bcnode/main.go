@@ -17,22 +17,43 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"blockchaindb/internal/bitcoin"
 	"blockchaindb/internal/core"
 	"blockchaindb/internal/netsim"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relmap"
 )
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 5, "network size")
-		blocks = flag.Int("blocks", 6, "blocks to mine after the reissue")
-		seed   = flag.Int64("seed", 1, "simulation seed")
+		nodes    = flag.Int("nodes", 5, "network size")
+		blocks   = flag.Int("blocks", 6, "blocks to mine after the reissue")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address, and keep serving after the scenario until interrupted")
+		snap     = flag.Int("snap", 1, "log a chain/mempool snapshot every N checkpoints (0 disables)")
+		logLevel = flag.String("log", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger := obs.NewStderrLogger(obs.ParseLevel(*logLevel))
+	heightGauge := obs.Default.Gauge("bcnode_chain_height", "best chain height at the home node")
+	if *listen != "" {
+		obs.PublishExpvar("blockchaindb", obs.Default)
+		srv := &http.Server{Addr: *listen, Handler: obs.NewIntrospectionMux(obs.Default)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(err)
+			}
+		}()
+		logger.Info("introspection listening", "addr", *listen)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	payer := bitcoin.NewWallet("payer", rng)
@@ -70,6 +91,7 @@ func main() {
 		         TxIn(pt2, ps2, '%s', a2, ntx2, sg2), TxOut(ntx2, ns2, '%s', 100000000), ntx1 != ntx2`,
 		payerPk, victimPk, payerPk, victimPk))
 
+	checkpoints := 0
 	check := func(stage string) {
 		db, err := relmap.Database(home.Chain, home.Mempool)
 		if err != nil {
@@ -86,7 +108,18 @@ func main() {
 		fmt.Printf("%-34s height=%d pending=%d victim=%v  q1=%s (%v, %v)\n",
 			stage, home.Chain.Height(), home.Mempool.Len(),
 			victim.Balance(home.Chain.UTXO()), verdict,
-			res.Stats.Algorithm, res.Stats.Duration.Round(10e3))
+			res.Stats.Algorithm, res.Stats.Duration.Round(10*time.Microsecond))
+		heightGauge.Set(int64(home.Chain.Height()))
+		checkpoints++
+		if *snap > 0 && checkpoints%*snap == 0 {
+			logger.Info("snapshot",
+				"stage", stage,
+				"height", home.Chain.Height(),
+				"mempool", home.Mempool.Len(),
+				"utxo", home.Chain.UTXO().Len(),
+				"verdict", verdict,
+				"check_ms", float64(res.Stats.Duration.Microseconds())/1000)
+		}
 	}
 
 	check("after setup")
@@ -152,6 +185,13 @@ func main() {
 	}
 	fmt.Printf("\nfinal: the victim holds %v — the careless reissue paid twice.\n",
 		victim.Balance(home.Chain.UTXO()))
+
+	if *listen != "" {
+		logger.Info("scenario complete; serving introspection until interrupted", "addr", *listen)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 }
 
 // promised collects outpoints already spent by mempool transactions so

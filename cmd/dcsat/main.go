@@ -17,13 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"blockchaindb/internal/core"
 	"blockchaindb/internal/datafile"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/query"
 )
 
@@ -38,6 +41,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "sampling seed for -estimate")
 		verbose  = flag.Bool("v", false, "print stats and classification")
 		explain  = flag.Bool("explain", false, "print the evaluator's plan before checking")
+		stats    = flag.Bool("stats", false, "print the per-stage time breakdown and instrument counters")
+		trace    = flag.Bool("trace", false, "print the span tree of the check")
 	)
 	flag.Parse()
 	if *dataPath == "" || *qSrc == "" {
@@ -83,6 +88,12 @@ func main() {
 		for _, t := range possible {
 			fmt.Println("  ", t)
 		}
+		if *trace {
+			fmt.Fprintln(os.Stderr, "dcsat: -trace applies to boolean constraint checks only; ignored in answer mode")
+		}
+		if *stats {
+			fmt.Printf("\ninstruments:\n%s", obs.Default.Snapshot().Format())
+		}
 		return
 	}
 
@@ -95,16 +106,22 @@ func main() {
 		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
 	}
 
-	res, err := core.Check(db, q, core.Options{Algorithm: algo, Workers: *workers})
+	ctx := context.Background()
+	var root *obs.Span
+	if *trace {
+		ctx, root = obs.StartTrace(ctx, "dcsat")
+	}
+	res, err := core.CheckContext(ctx, db, q, core.Options{Algorithm: algo, Workers: *workers})
+	root.End()
 	if err != nil {
 		fatal(err)
 	}
 	if res.Satisfied {
 		fmt.Printf("SATISFIED: %s holds in every possible world (checked in %v)\n",
-			"¬"+q.Name, res.Stats.Duration.Round(10e3))
+			"¬"+q.Name, res.Stats.Duration.Round(10*time.Microsecond))
 	} else {
 		fmt.Printf("VIOLATED: a possible world satisfies %s (found in %v)\n",
-			q.Name, res.Stats.Duration.Round(10e3))
+			q.Name, res.Stats.Duration.Round(10*time.Microsecond))
 		if len(res.Witness) == 0 {
 			fmt.Println("witness: the current state alone")
 		} else {
@@ -122,6 +139,17 @@ func main() {
 			st.ComponentsCovered, st.Cliques, st.WorldsEvaluated)
 		fmt.Printf("complexity: DCSat for this query class and constraint types is %s (Theorems 1–2)\n",
 			core.Classify(q, db.Constraints))
+	}
+	if *trace {
+		fmt.Printf("\ntrace:\n%s", root.Render())
+	}
+	if *stats {
+		fmt.Printf("\nstage breakdown (total %v):\n", res.Stats.Duration.Round(10*time.Microsecond))
+		for _, st := range res.Stats.StageBreakdown() {
+			pct := 100 * float64(st.Duration) / float64(res.Stats.Duration)
+			fmt.Printf("  %-18s %12v %5.1f%%\n", st.Name, st.Duration.Round(time.Microsecond), pct)
+		}
+		fmt.Printf("\ninstruments:\n%s", obs.Default.Snapshot().Format())
 	}
 	if *estimate > 0 {
 		est, err := core.EstimateViolation(db, q, core.UniformInclusion(*inclP), *estimate, *seed)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"blockchaindb/internal/bench"
+	"blockchaindb/internal/obs"
 )
 
 func main() {
@@ -27,10 +28,20 @@ func main() {
 		repeats = flag.Int("repeats", 3, "timed repetitions per cell (paper used 3)")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
 		report  = flag.String("report", "", "write a self-contained markdown report to this file and exit")
+		stats   = flag.Bool("stats", false, "print the instrument registry snapshot after the runs")
+		trace   = flag.Bool("trace", false, "print a span tree per timed cell")
 	)
 	flag.Parse()
 
 	opts := bench.RunOptions{Scale: *scale, Seed: *seed, Repeats: *repeats}
+	if *trace {
+		opts.TraceWriter = os.Stdout
+	}
+	defer func() {
+		if *stats {
+			fmt.Printf("instruments:\n%s", obs.Default.Snapshot().Format())
+		}
+	}()
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"blockchaindb/internal/bitcoin"
 	"blockchaindb/internal/core"
@@ -128,7 +129,7 @@ func main() {
 		}
 		fmt.Printf("round %d: pending=%d conflictPairs=%d -> %s (%v)\n",
 			round, mon.PendingCount(), mon.ConflictCount(), verdict,
-			res.Stats.Duration.Round(10e3))
+			res.Stats.Duration.Round(10*time.Microsecond))
 
 		// A block confirms some of the pool.
 		b, err := home.MineNow()

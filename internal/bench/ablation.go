@@ -35,11 +35,11 @@ func runAblationPrecheck(o RunOptions) (*Table, error) {
 	}
 	// NaiveDCSat isolates the pre-check: OptDCSat's covers filter would
 	// skip the uncovered components on its own.
-	on, err := timeCheck(ds, q, core.Options{Algorithm: core.AlgoNaive}, true, o.Repeats)
+	on, err := timeCheck(ds, q, core.Options{Algorithm: core.AlgoNaive}, true, o)
 	if err != nil {
 		return nil, err
 	}
-	off, err := timeCheck(ds, q, core.Options{Algorithm: core.AlgoNaive, DisablePrecheck: true}, true, o.Repeats)
+	off, err := timeCheck(ds, q, core.Options{Algorithm: core.AlgoNaive, DisablePrecheck: true}, true, o)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func runAblationCovers(o RunOptions) (*Table, error) {
 	}
 	for _, off := range []bool{false, true} {
 		opts := core.Options{Algorithm: core.AlgoOpt, DisableCoverFilter: off}
-		ms, err := timeCheck(ds, q, opts, false, o.Repeats)
+		ms, err := timeCheck(ds, q, opts, false, o)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +162,7 @@ func runAblationParallel(o RunOptions) (*Table, error) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		opts := core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: workers}
-		ms, err := timeCheck(ds, q, opts, true, o.Repeats)
+		ms, err := timeCheck(ds, q, opts, true, o)
 		if err != nil {
 			return nil, err
 		}

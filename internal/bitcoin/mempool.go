@@ -113,8 +113,10 @@ func (m *Mempool) Add(tx *Transaction) error {
 	fee, err := tx.Validate(view)
 	if err != nil {
 		if errors.Is(err, ErrMissingOutput) {
+			mMempoolRejectOrphan.Inc()
 			return fmt.Errorf("%w: %v", ErrMempoolOrphanTx, err)
 		}
+		mMempoolRejectInvalid.Inc()
 		return err
 	}
 	if len(conflicted) > 0 {
@@ -122,17 +124,21 @@ func (m *Mempool) Add(tx *Transaction) error {
 		for _, h := range conflicted {
 			e := m.txs[h]
 			if rate*100 < FeeRate(e.fee, e.tx.Size())*m.RBFFactor {
+				mMempoolRejectConflict.Inc()
 				return fmt.Errorf("%w: %v (replacement fee rate too low)", ErrMempoolConflict, h.Short())
 			}
 		}
 		for _, h := range conflicted {
 			m.evict(h)
 		}
+		mMempoolRBF.Inc()
 	}
 	m.txs[id] = &mempoolEntry{tx: tx, fee: fee}
 	for _, in := range tx.Ins {
 		m.spenders[in.Prev] = id
 	}
+	mMempoolAccept.Inc()
+	mMempoolSize.Set(int64(len(m.txs)))
 	return nil
 }
 
@@ -144,6 +150,8 @@ func (m *Mempool) evict(id Hash) {
 		return
 	}
 	delete(m.txs, id)
+	mMempoolEvict.Inc()
+	mMempoolSize.Set(int64(len(m.txs)))
 	for _, in := range e.tx.Ins {
 		if m.spenders[in.Prev] == id {
 			delete(m.spenders, in.Prev)
@@ -216,6 +224,7 @@ func (m *Mempool) ApplyConnect(res *ConnectResult) {
 				// valid (their parent is now in the chain).
 				e := m.txs[id]
 				delete(m.txs, id)
+				mMempoolSize.Set(int64(len(m.txs)))
 				for _, in := range e.tx.Ins {
 					if m.spenders[in.Prev] == id {
 						delete(m.spenders, in.Prev)

@@ -1,0 +1,34 @@
+package bitcoin
+
+import "blockchaindb/internal/obs"
+
+// Node-level instruments on the default registry. These map onto the
+// paper's model of pending transactions T: accepts grow T, conflict
+// rejections are the denials the future-reasoning machinery must
+// anticipate, and RBF replacements are the revisions of T the monitor
+// re-checks against.
+//
+// The gauges are last-writer-wins: in multi-node simulations they
+// reflect the most recently active node, which is what single-node
+// processes (cmd/bcnode) want and multi-node experiments should read
+// from per-node Stats instead.
+var (
+	mMempoolAccept = obs.Default.Counter("bitcoin_mempool_accept_total",
+		"transactions admitted to the mempool")
+	mMempoolRejectConflict = obs.Default.Counter("bitcoin_mempool_reject_conflict_total",
+		"transactions rejected for double-spending a promised outpoint")
+	mMempoolRejectOrphan = obs.Default.Counter("bitcoin_mempool_reject_orphan_total",
+		"transactions rejected with unavailable inputs")
+	mMempoolRejectInvalid = obs.Default.Counter("bitcoin_mempool_reject_invalid_total",
+		"transactions rejected as invalid (bad signature, value, etc.)")
+	mMempoolEvict = obs.Default.Counter("bitcoin_mempool_evict_total",
+		"pending transactions evicted (RBF losers, confirmed double-spends, and their descendants)")
+	mMempoolRBF = obs.Default.Counter("bitcoin_mempool_rbf_total",
+		"successful replace-by-fee admissions")
+	mMempoolSize = obs.Default.Gauge("bitcoin_mempool_size",
+		"pending transactions currently in the mempool")
+	mUTXOOutputs = obs.Default.Gauge("bitcoin_utxo_outputs",
+		"unspent outputs in the chain UTXO set")
+	mBlockAssembly = obs.Default.Histogram("bitcoin_block_assembly_ns",
+		"miner block-template assembly latency")
+)

@@ -2,6 +2,7 @@ package bitcoin
 
 import (
 	"crypto/ed25519"
+	"time"
 )
 
 // Miner assembles and seals blocks from a mempool. Transaction
@@ -64,7 +65,9 @@ func (m *Miner) BuildTemplate() ([]*Transaction, Amount) {
 // performs the proof of work, connects the block to the chain, and
 // updates the mempool. It returns the sealed block.
 func (m *Miner) Mine(now int64) (*Block, *ConnectResult, error) {
+	assemblyStart := time.Now()
 	txs, fees := m.BuildTemplate()
+	mBlockAssembly.ObserveDuration(time.Since(assemblyStart))
 	coinbase := NewTransaction(nil, []TxOut{{
 		Value:  m.chain.Params().Subsidy + fees,
 		PubKey: m.Payout,
@@ -78,6 +81,7 @@ func (m *Miner) Mine(now int64) (*Block, *ConnectResult, error) {
 		return nil, nil, err
 	}
 	m.mempool.ApplyConnect(res)
+	mUTXOOutputs.Set(int64(m.chain.UTXO().Len()))
 	return b, res, nil
 }
 
@@ -96,5 +100,6 @@ func (m *Miner) MineEmpty(now int64) (*Block, error) {
 		return nil, err
 	}
 	m.mempool.ApplyConnect(res)
+	mUTXOOutputs.Set(int64(m.chain.UTXO().Len()))
 	return b, nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"blockchaindb/internal/graph"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
@@ -85,7 +87,11 @@ type Options struct {
 	Workers int
 }
 
-// Stats reports what an invocation of Check did.
+// Stats reports what an invocation of Check did, including the
+// per-stage durations the paper's evaluation section (Fig 6, Table 1)
+// breaks runtime into. In parallel runs the stage durations are summed
+// across workers, so they measure work, not wall clock; WorkerBusy
+// relates the two.
 type Stats struct {
 	Algorithm         Algorithm
 	Prechecked        bool // decided by the pre-check alone
@@ -95,6 +101,66 @@ type Stats struct {
 	Cliques           int  // maximal cliques enumerated
 	WorldsEvaluated   int  // worlds the query was evaluated on
 	Duration          time.Duration
+
+	// Per-stage durations (the Section 6/7 cost model).
+	PrecheckDur   time.Duration // monotone pre-check over R ∪ ∪T
+	LiveFilterDur time.Duration // fd-liveness filter over the pending set
+	ClosureDur    time.Duration // ind-q component split + state-bridge closure
+	GraphBuildDur time.Duration // fd-transaction graph construction
+	CliqueDur     time.Duration // Bron–Kerbosch enumeration (excluding evaluation)
+	EvalDur       time.Duration // per-world query evaluation (incl. world materialization)
+
+	// Parallel execution: workers used and their summed busy time
+	// (WorkerBusy/(Duration*WorkersUsed) is the pool utilization).
+	WorkersUsed int
+	WorkerBusy  time.Duration
+}
+
+// Merge folds another invocation's (or worker's) stats into s: counts
+// and durations add; booleans or. Every additive field must be listed
+// here — cliqueDCSatParallel relies on Merge to not drop stats.
+func (s *Stats) Merge(o Stats) {
+	s.Prechecked = s.Prechecked || o.Prechecked
+	s.LivePending += o.LivePending
+	s.Components += o.Components
+	s.ComponentsCovered += o.ComponentsCovered
+	s.Cliques += o.Cliques
+	s.WorldsEvaluated += o.WorldsEvaluated
+	s.Duration += o.Duration
+	s.PrecheckDur += o.PrecheckDur
+	s.LiveFilterDur += o.LiveFilterDur
+	s.ClosureDur += o.ClosureDur
+	s.GraphBuildDur += o.GraphBuildDur
+	s.CliqueDur += o.CliqueDur
+	s.EvalDur += o.EvalDur
+	s.WorkersUsed += o.WorkersUsed
+	s.WorkerBusy += o.WorkerBusy
+}
+
+// StageBreakdown lists the nonzero per-stage durations in pipeline
+// order, for reports and trace rendering.
+func (s *Stats) StageBreakdown() []Stage {
+	all := []Stage{
+		{"precheck", s.PrecheckDur},
+		{"live_filter", s.LiveFilterDur},
+		{"component_split", s.ClosureDur},
+		{"fd_graph_build", s.GraphBuildDur},
+		{"clique_enum", s.CliqueDur},
+		{"world_eval", s.EvalDur},
+	}
+	out := all[:0]
+	for _, st := range all {
+		if st.Duration > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Stage is one named pipeline stage with its accumulated duration.
+type Stage struct {
+	Name     string
+	Duration time.Duration
 }
 
 // Result is the outcome of a denial constraint satisfaction check.
@@ -117,6 +183,16 @@ type Result struct {
 // the query does not fit the database's schemas or the requested
 // algorithm cannot handle the query class.
 func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	return CheckContext(context.Background(), d, q, opts)
+}
+
+// CheckContext is Check with a context for observability: when the
+// context carries an active obs trace, every pipeline stage (precheck,
+// component split, graph build, clique enumeration, evaluation)
+// records a span under it. Without a trace the instrumentation
+// degrades to the obs no-op path plus the per-stage duration counters
+// in Stats.
+func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,11 +202,14 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	if err := q.CheckAgainst(d.State); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "dcsat_check")
+	defer span.End()
 	// Rewrite first: constant folding may prove the constraint
 	// trivially satisfied, and pushing constants into atoms sharpens
 	// both the evaluator's index use and OptDCSat's Covers filter.
 	simplified, satisfiable := query.Simplify(q)
 	if !satisfiable {
+		span.SetAttr("verdict", "satisfied_by_rewrite")
 		return &Result{Satisfied: true, Stats: Stats{
 			Algorithm:  opts.Algorithm,
 			Prechecked: true,
@@ -150,6 +229,7 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 			algo = AlgoExhaustive
 		}
 	}
+	span.SetAttr("algorithm", algo.String())
 	start := time.Now()
 	var (
 		res *Result
@@ -157,9 +237,9 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	)
 	switch algo {
 	case AlgoNaive:
-		res, err = cliqueDCSat(d, q, opts, false)
+		res, err = cliqueDCSat(ctx, d, q, opts, false)
 	case AlgoOpt:
-		res, err = cliqueDCSat(d, q, opts, true)
+		res, err = cliqueDCSat(ctx, d, q, opts, true)
 	case AlgoFDOnly:
 		res, err = fdOnlyDCSat(d, q)
 	case AlgoExhaustive:
@@ -172,6 +252,8 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	}
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
+	span.SetAttr("satisfied", res.Satisfied)
+	recordCheckMetrics(res)
 	return res, nil
 }
 
@@ -180,7 +262,7 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 // Section 6.3 pre-check: if q is false over R ∪ ∪T it is false over
 // every possible world (all of which are contained in that union), so
 // the denial constraint is satisfied.
-func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (*Result, error) {
+func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Options, optimized bool) (*Result, error) {
 	if !q.IsMonotonic() {
 		return nil, fmt.Errorf("core: %s requires a monotonic denial constraint; %s is not "+
 			"(use AlgoExhaustive, or AlgoFDOnly when the constraints have no inclusion dependencies)",
@@ -189,9 +271,14 @@ func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (
 	res := &Result{Satisfied: true}
 	// Pre-check over the union of everything.
 	if !opts.DisablePrecheck {
+		_, preSpan := obs.Start(ctx, "precheck")
+		preStart := time.Now()
 		union := relation.NewOverlay(d.State, d.Pending...)
 		res.Stats.WorldsEvaluated++
 		hit, err := query.Eval(q, union)
+		res.Stats.PrecheckDur = time.Since(preStart)
+		preSpan.SetAttr("hit", hit)
+		preSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -212,12 +299,23 @@ func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (
 	}
 	live := allPending(d)
 	if !opts.DisableLiveFilter {
+		_, liveSpan := obs.Start(ctx, "live_filter")
+		liveStart := time.Now()
 		live = liveTransactions(d)
+		res.Stats.LiveFilterDur = time.Since(liveStart)
+		liveSpan.SetAttr("live", len(live))
+		liveSpan.SetAttr("pending", len(d.Pending))
+		liveSpan.End()
 	}
 	res.Stats.LivePending = len(live)
 	var groups [][]int
 	if optimized && q.IsConnected() {
-		groups = indQComponents(d, live, q)
+		splitCtx, splitSpan := obs.Start(ctx, "component_split")
+		splitStart := time.Now()
+		groups = indQComponents(splitCtx, d, live, q)
+		res.Stats.ClosureDur = time.Since(splitStart)
+		splitSpan.SetAttr("components", len(groups))
+		splitSpan.End()
 	} else {
 		groups = [][]int{live}
 	}
@@ -226,6 +324,37 @@ func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (
 	if optimized && !opts.DisableCoverFilter {
 		targets = coverTargets(d, q)
 	}
+	// The search region interleaves graph build, clique enumeration,
+	// and world evaluation per component; the stage durations
+	// accumulated in Stats are attached as aggregate child spans when
+	// the region ends (however it ends).
+	searchCtx, searchSpan := obs.Start(ctx, "search")
+	_ = searchCtx
+	defer func() {
+		for _, st := range []Stage{
+			{"fd_graph_build", res.Stats.GraphBuildDur},
+			{"clique_enum", res.Stats.CliqueDur},
+			{"world_eval", res.Stats.EvalDur},
+		} {
+			if st.Duration > 0 {
+				searchSpan.AddStage(st.Name, st.Duration)
+			}
+		}
+		searchSpan.SetAttr("components_covered", res.Stats.ComponentsCovered)
+		searchSpan.SetAttr("cliques", res.Stats.Cliques)
+		searchSpan.SetAttr("worlds", res.Stats.WorldsEvaluated)
+		if res.Stats.WorkersUsed > 1 && res.Stats.Duration == 0 {
+			// Duration is set by CheckContext after we return; report
+			// utilization from the span's own wall clock.
+			wall := searchSpan.Duration()
+			if wall > 0 {
+				searchSpan.SetAttr("utilization",
+					fmt.Sprintf("%.0f%%", 100*float64(res.Stats.WorkerBusy)/
+						(float64(wall)*float64(res.Stats.WorkersUsed))))
+			}
+		}
+		searchSpan.End()
+	}()
 	if opts.Workers > 1 && optimized {
 		return res, cliqueDCSatParallel(d, q, opts, groups, targets, res)
 	}
@@ -251,20 +380,28 @@ func cliqueDCSat(d *possible.DB, q *query.Query, opts Options, optimized bool) (
 // graph over the component and evaluates the query on each maximal
 // world. It reports the first violating world found.
 func searchComponent(d *possible.DB, q *query.Query, comp []int, stats *Stats) (bool, []int, error) {
-	return searchComponentGraph(d, q, comp, buildFDGraph(d, comp), stats)
+	buildStart := time.Now()
+	g := buildFDGraph(d, comp)
+	stats.GraphBuildDur += time.Since(buildStart)
+	return searchComponentGraph(d, q, comp, g, stats)
 }
 
 // searchComponentGraph is searchComponent with a caller-supplied fd
 // graph (the steady-state Monitor derives it from incrementally
-// maintained conflict pairs).
+// maintained conflict pairs). Time inside the clique callback —
+// materializing and evaluating the world — accrues to EvalDur; the
+// remainder of the enumeration accrues to CliqueDur.
 func searchComponentGraph(d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, stats *Stats) (bool, []int, error) {
 	var (
 		violated bool
 		witness  []int
 		evalErr  error
+		evalDur  time.Duration
 	)
+	enumStart := time.Now()
 	graph.MaximalCliques(g, func(clique []int) bool {
 		stats.Cliques++
+		evalStart := time.Now()
 		subset := make([]int, len(clique))
 		for i, local := range clique {
 			subset[i] = comp[local]
@@ -272,18 +409,22 @@ func searchComponentGraph(d *possible.DB, q *query.Query, comp []int, g *graph.U
 		world, included := d.GetMaximal(subset)
 		stats.WorldsEvaluated++
 		hit, err := query.Eval(q, world)
-		if err != nil {
+		keepGoing := true
+		switch {
+		case err != nil:
 			evalErr = err
-			return false
-		}
-		if hit {
+			keepGoing = false
+		case hit:
 			violated = true
 			witness = append([]int(nil), included...)
 			sort.Ints(witness)
-			return false
+			keepGoing = false
 		}
-		return true
+		evalDur += time.Since(evalStart)
+		return keepGoing
 	})
+	stats.CliqueDur += time.Since(enumStart) - evalDur
+	stats.EvalDur += evalDur
 	return violated, witness, evalErr
 }
 

@@ -10,9 +10,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"blockchaindb/internal/graph"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
@@ -137,7 +139,9 @@ func fdConflictsWithState(d *possible.DB, tx *relation.Transaction) bool {
 //     (NaiveDCSat semantics).
 //
 // The returned components contain global pending indexes, each sorted.
-func indQComponents(d *possible.DB, subset []int, q *query.Query) [][]int {
+// The context is observability-only: when it carries an active trace,
+// the state-bridge closure records a child span.
+func indQComponents(ctx context.Context, d *possible.DB, subset []int, q *query.Query) [][]int {
 	indThetas := equalityConstraints(d, nil)
 	var queryThetas []query.EqualityConstraint
 	if q != nil {
@@ -207,6 +211,11 @@ func indQComponents(d *possible.DB, subset []int, q *query.Query) [][]int {
 	// soundly to a single component (NaiveDCSat semantics).
 	overflow := false
 	if q != nil && len(q.Positives()) >= 3 {
+		_, bridgeSpan := obs.Start(ctx, "state_bridge_closure")
+		defer func() {
+			bridgeSpan.SetAttr("overflow", overflow)
+			bridgeSpan.End()
+		}()
 		pos := q.Positives()
 		maxDepth := len(pos) - 2
 		pairs := q.AtomPairs()

@@ -1,0 +1,57 @@
+package core
+
+import "blockchaindb/internal/obs"
+
+// Registry instruments for the DCSat pipeline. Counters are process
+// lifetime aggregates across every Check invocation; the per-stage
+// histograms record nanoseconds, so a /metrics scrape shows where time
+// goes without tracing individual checks.
+var (
+	mChecks     = obs.Default.Counter("dcsat_checks_total", "denial-constraint checks executed")
+	mViolations = obs.Default.Counter("dcsat_violations_total", "checks that found a violating possible world")
+	mPrechecked = obs.Default.Counter("dcsat_prechecked_total", "checks decided by the monotone pre-check alone")
+	mCliques    = obs.Default.Counter("dcsat_cliques_total", "maximal cliques enumerated")
+	mWorlds     = obs.Default.Counter("dcsat_worlds_total", "possible worlds the query was evaluated on")
+
+	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency")
+	hPrecheck   = obs.Default.Histogram("dcsat_precheck_ns", "monotone pre-check stage latency")
+	hLiveFilter = obs.Default.Histogram("dcsat_live_filter_ns", "fd-liveness filter stage latency")
+	hClosure    = obs.Default.Histogram("dcsat_component_split_ns", "ind-q component split + state-bridge closure latency")
+	hGraph      = obs.Default.Histogram("dcsat_fd_graph_build_ns", "fd-transaction graph build time per check")
+	hClique     = obs.Default.Histogram("dcsat_clique_enum_ns", "Bron-Kerbosch enumeration time per check (excl. evaluation)")
+	hEval       = obs.Default.Histogram("dcsat_world_eval_ns", "per-world evaluation time per check")
+)
+
+// recordCheckMetrics publishes one completed Check into the default
+// registry.
+func recordCheckMetrics(res *Result) {
+	st := &res.Stats
+	mChecks.Inc()
+	if !res.Satisfied {
+		mViolations.Inc()
+	}
+	if st.Prechecked {
+		mPrechecked.Inc()
+	}
+	mCliques.Add(int64(st.Cliques))
+	mWorlds.Add(int64(st.WorldsEvaluated))
+	hCheck.ObserveDuration(st.Duration)
+	if st.PrecheckDur > 0 {
+		hPrecheck.ObserveDuration(st.PrecheckDur)
+	}
+	if st.LiveFilterDur > 0 {
+		hLiveFilter.ObserveDuration(st.LiveFilterDur)
+	}
+	if st.ClosureDur > 0 {
+		hClosure.ObserveDuration(st.ClosureDur)
+	}
+	if st.GraphBuildDur > 0 {
+		hGraph.ObserveDuration(st.GraphBuildDur)
+	}
+	if st.CliqueDur > 0 {
+		hClique.ObserveDuration(st.CliqueDur)
+	}
+	if st.EvalDur > 0 {
+		hEval.ObserveDuration(st.EvalDur)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -265,7 +266,7 @@ func (m *Monitor) checkWithPrecomputed(d *possible.DB, q *query.Query, opts Opti
 	res.Stats.LivePending = len(live)
 	var groups [][]int
 	if opts.Algorithm == AlgoOpt && q.IsConnected() {
-		groups = indQComponents(d, live, q)
+		groups = indQComponents(context.Background(), d, live, q)
 	} else {
 		groups = [][]int{live}
 	}

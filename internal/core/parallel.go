@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
@@ -15,13 +16,16 @@ import (
 // distributed environment" future work. Components are independent by
 // Proposition 2, so each worker owns a component end to end: coverage
 // filter, fd-graph construction, clique enumeration, world evaluation.
-// The first violation stops the remaining work. Per-worker stats are
-// merged into res after all workers drain.
+// The first violation stops the remaining work. Per-worker stats —
+// every additive field, via Stats.Merge — are folded into res after
+// all workers drain, and each worker's busy wall time accumulates into
+// WorkerBusy so callers can compute pool utilization.
 func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, res *Result) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	res.Stats.WorkersUsed = workers
 	// Process large components first so stragglers do not serialize the
 	// tail of the run.
 	order := make([]int, len(groups))
@@ -48,6 +52,7 @@ func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups []
 		go func() {
 			defer wg.Done()
 			var local outcome
+			busyStart := time.Now()
 			for !stopped.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(order) {
@@ -71,6 +76,7 @@ func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups []
 					break
 				}
 			}
+			local.stats.WorkerBusy = time.Since(busyStart)
 			mu.Lock()
 			merged = append(merged, local)
 			mu.Unlock()
@@ -78,9 +84,7 @@ func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups []
 	}
 	wg.Wait()
 	for _, o := range merged {
-		res.Stats.ComponentsCovered += o.stats.ComponentsCovered
-		res.Stats.Cliques += o.stats.Cliques
-		res.Stats.WorldsEvaluated += o.stats.WorldsEvaluated
+		res.Stats.Merge(o.stats)
 		if o.err != nil {
 			return o.err
 		}

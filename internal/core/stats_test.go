@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"blockchaindb/internal/obs"
+	"blockchaindb/internal/workload"
+)
+
+// TestStatsMergeCoversEveryField sets every Stats field to a nonzero
+// value via reflection and merges it into a zero Stats: any field left
+// at zero means Merge silently drops it — the exact bug the old
+// hand-copied parallel merge had.
+func TestStatsMergeCoversEveryField(t *testing.T) {
+	var src Stats
+	v := reflect.ValueOf(&src).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(7)
+		default:
+			t.Fatalf("unhandled Stats field kind %v (%s): extend this test and Merge",
+				f.Kind(), v.Type().Field(i).Name)
+		}
+	}
+	var dst Stats
+	dst.Merge(src)
+	dv := reflect.ValueOf(dst)
+	for i := 0; i < dv.NumField(); i++ {
+		name := dv.Type().Field(i).Name
+		if name == "Algorithm" {
+			continue // identity, set by Check, deliberately not merged
+		}
+		if dv.Field(i).IsZero() {
+			t.Errorf("Stats.Merge drops field %s", name)
+		}
+	}
+}
+
+func statsTestDataset(t *testing.T) *workload.Dataset {
+	t.Helper()
+	return workload.Generate(workload.Config{
+		Seed: 3, Users: 60, Blocks: 30, TxPerBlock: 6,
+		PendingBlocks: 10, PendingTxPerBlock: 8, Contradictions: 12,
+		ChainProb: 0.3, MaxOuts: 3,
+	})
+}
+
+// TestSequentialParallelStatsConsistent checks that OptDCSat with one
+// worker and with a pool report identical work counts on a satisfied
+// constraint (where both must exhaust the search space), and that the
+// parallel run populates the worker fields.
+func TestSequentialParallelStatsConsistent(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable the pre-check so the clique search actually runs.
+	seq, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Satisfied != par.Satisfied {
+		t.Fatalf("verdicts differ: sequential=%v parallel=%v", seq.Satisfied, par.Satisfied)
+	}
+	if !seq.Satisfied {
+		t.Fatal("test needs a satisfied constraint so both runs exhaust the space")
+	}
+	if seq.Stats.LivePending != par.Stats.LivePending {
+		t.Errorf("LivePending: seq=%d par=%d", seq.Stats.LivePending, par.Stats.LivePending)
+	}
+	if seq.Stats.Components != par.Stats.Components {
+		t.Errorf("Components: seq=%d par=%d", seq.Stats.Components, par.Stats.Components)
+	}
+	if seq.Stats.ComponentsCovered != par.Stats.ComponentsCovered {
+		t.Errorf("ComponentsCovered: seq=%d par=%d", seq.Stats.ComponentsCovered, par.Stats.ComponentsCovered)
+	}
+	if seq.Stats.Cliques != par.Stats.Cliques {
+		t.Errorf("Cliques: seq=%d par=%d", seq.Stats.Cliques, par.Stats.Cliques)
+	}
+	if seq.Stats.WorldsEvaluated != par.Stats.WorldsEvaluated {
+		t.Errorf("WorldsEvaluated: seq=%d par=%d", seq.Stats.WorldsEvaluated, par.Stats.WorldsEvaluated)
+	}
+	if par.Stats.WorkersUsed != 4 {
+		t.Errorf("WorkersUsed = %d, want 4", par.Stats.WorkersUsed)
+	}
+	if par.Stats.WorkerBusy <= 0 {
+		t.Error("WorkerBusy not populated by parallel run")
+	}
+	if seq.Stats.Cliques > 0 && par.Stats.GraphBuildDur <= 0 {
+		t.Error("parallel run dropped GraphBuildDur — Merge incomplete?")
+	}
+	// Both verdicts agree on a violated constraint too (counts may
+	// differ because the first hit stops the search at different
+	// points).
+	qv, err := ds.Query(workload.QueryPath, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqV, err := Check(ds.DB, qv, Options{Algorithm: AlgoOpt, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parV, err := Check(ds.DB, qv, Options{Algorithm: AlgoOpt, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqV.Satisfied != parV.Satisfied {
+		t.Errorf("violated-case verdicts differ: seq=%v par=%v", seqV.Satisfied, parV.Satisfied)
+	}
+}
+
+// TestStageDurationsSumWithinTotal checks the trace invariant the
+// dcsat CLI prints: in a sequential run the per-stage durations are
+// disjoint slices of the wall clock, so their sum cannot exceed the
+// reported total (modulo clock granularity), and a nontrivial run
+// records nonzero stages.
+func TestStageDurationsSumWithinTotal(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	for _, st := range res.Stats.StageBreakdown() {
+		sum += st.Duration
+	}
+	if sum <= 0 {
+		t.Fatal("no stage durations recorded")
+	}
+	if slack := res.Stats.Duration + time.Millisecond; sum > slack {
+		t.Errorf("stage sum %v exceeds total %v", sum, res.Stats.Duration)
+	}
+}
+
+// TestCheckContextTrace drives CheckContext under an active trace and
+// checks the span tree has the pipeline stages.
+func TestCheckContextTrace(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, root := obs.StartTrace(context.Background(), "test")
+	res, err := CheckContext(ctx, ds.DB, q, Options{Algorithm: AlgoOpt})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatal("expected a violated constraint")
+	}
+	tree := root.Render()
+	for _, want := range []string{"dcsat_check", "precheck", "search", "algorithm=opt"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "dcsat_check" {
+		t.Fatalf("root children = %v", kids)
+	}
+	// Child spans may not exceed the root's wall clock.
+	if kids[0].Duration() > root.Duration() {
+		t.Errorf("child %v longer than root %v", kids[0].Duration(), root.Duration())
+	}
+}
+
+// TestCheckUntracedNoSpans confirms the no-op path: a plain Check must
+// not leak spans anywhere (nothing to assert beyond it not panicking
+// and the stats still being populated).
+func TestCheckUntracedNoSpans(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CliqueDur <= 0 && res.Stats.Cliques > 0 {
+		t.Error("stage durations must be recorded even without a trace")
+	}
+}

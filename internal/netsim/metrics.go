@@ -1,0 +1,16 @@
+package netsim
+
+import "blockchaindb/internal/obs"
+
+// Gossip instruments on the default registry, aggregated across every
+// node in the simulation: message counts measure relay fan-out, the
+// delay histogram the per-hop propagation latency (in simulator ticks,
+// not wall time).
+var (
+	mGossipTx = obs.Default.Counter("netsim_gossip_tx_total",
+		"transaction gossip messages sent over links")
+	mGossipBlock = obs.Default.Counter("netsim_gossip_block_total",
+		"block gossip messages sent over links")
+	mLinkDelay = obs.Default.Histogram("netsim_link_delay_ticks",
+		"per-hop propagation delay in simulator ticks (latency + jitter)")
+)

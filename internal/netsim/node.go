@@ -166,7 +166,10 @@ func (nd *Node) relayTx(tx *bitcoin.Transaction) {
 			continue
 		}
 		peer := l.to
-		nd.sim.After(l.delay(nd.sim), func() { _ = peer.receiveTx(tx) })
+		d := l.delay(nd.sim)
+		mGossipTx.Inc()
+		mLinkDelay.Observe(d)
+		nd.sim.After(d, func() { _ = peer.receiveTx(tx) })
 	}
 }
 
@@ -218,7 +221,10 @@ func (nd *Node) relayBlock(b *bitcoin.Block) {
 			continue
 		}
 		peer := l.to
-		nd.sim.After(l.delay(nd.sim), func() { peer.ReceiveBlock(b) })
+		d := l.delay(nd.sim)
+		mGossipBlock.Inc()
+		mLinkDelay.Observe(d)
+		nd.sim.After(d, func() { peer.ReceiveBlock(b) })
 	}
 }
 

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkStartNoop measures the untraced hot path — the cost every
+// instrumented call site pays when no collector is attached. This must
+// stay in the low-nanosecond range to satisfy the ≤5% pipeline
+// overhead budget.
+func BenchmarkStartNoop(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "stage")
+		s.SetAttr("k", 1)
+		s.End()
+	}
+}
+
+// BenchmarkStartTraced is the comparison point with a live trace.
+func BenchmarkStartTraced(b *testing.B) {
+	ctx, root := StartTrace(context.Background(), "root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "stage")
+		s.End()
+	}
+	b.StopTimer()
+	root.End()
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_ns", "")
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*2862933555777941757 + 3037000493 // cheap LCG spread
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+func BenchmarkObserveDuration(b *testing.B) {
+	h := NewRegistry().Histogram("bench_dur_ns", "")
+	d := 1500 * time.Nanosecond
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(d)
+	}
+}

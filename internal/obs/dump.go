@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Format renders the snapshot as an aligned human-readable block:
+// counters, gauges, then histograms with count/mean/p50/p95/p99/max.
+// Histogram names ending in "_ns" are formatted as durations.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		val := func(v int64) string {
+			if strings.HasSuffix(name, "_ns") {
+				return formatDur(time.Duration(v))
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "%-40s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+			name, h.Count, val(int64(h.Mean())), val(h.P50), val(h.P95), val(h.P99), val(h.Max))
+	}
+	return b.String()
+}

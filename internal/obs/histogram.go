@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram records non-negative int64 observations (latencies in
+// nanoseconds, sizes, counts) into log-scale buckets: values below
+// 2^histSubBits are exact, and each power-of-two octave above that is
+// split into 2^histSubBits linear sub-buckets, bounding the relative
+// quantile error at 2^-histSubBits (~3%). All operations are lock-free
+// atomics, so concurrent observers never contend on a mutex.
+//
+// This is the bucketing scheme of HdrHistogram (and of the runtime's
+// internal metrics histograms), sized for full int64 range.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets []atomic.Int64
+}
+
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32 linear sub-buckets per octave
+	// Octaves above the exact range: exponents histSubBits..62, plus
+	// one leading block for the exact small values.
+	histNumBuckets = (64 - histSubBits) * histSubBuckets
+)
+
+func newHistogram() *Histogram {
+	h := &Histogram{buckets: make([]atomic.Int64, histNumBuckets)}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel
+	return h
+}
+
+// bucketIndex maps a value to its bucket. Values < 2^histSubBits map
+// to themselves; larger values map to (octave, sub-bucket).
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v) >= histSubBits
+	sub := int((uint64(v) >> uint(exp-histSubBits)) & (histSubBuckets - 1))
+	return (exp-histSubBits+1)*histSubBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to the bucket (the
+// inverse of bucketIndex on bucket lower bounds).
+func bucketLow(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	block := idx / histSubBuckets
+	sub := idx % histSubBuckets
+	exp := block + histSubBits - 1
+	return int64(1)<<uint(exp) | int64(sub)<<uint(exp-histSubBits)
+}
+
+// bucketMid returns the midpoint of the bucket, used as the
+// representative value for quantiles.
+func bucketMid(idx int) int64 {
+	low := bucketLow(idx)
+	if idx < histSubBuckets {
+		return low
+	}
+	if idx+1 >= histNumBuckets {
+		return low // top bucket: its upper bound would overflow int64
+	}
+	width := bucketLow(idx+1) - low
+	return low + width/2
+}
+
+// Observe records a value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view (buckets
+// are read without a global lock, so a snapshot taken mid-Observe may
+// be off by the in-flight observation — fine for monitoring).
+type HistogramSnapshot struct {
+	Count         int64
+	Sum           int64
+	Min, Max      int64
+	P50, P95, P99 int64
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot captures count, sum, min, max, and the p50/p95/p99
+// quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	counts := make([]int64, histNumBuckets)
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	// Use the summed bucket mass as the denominator so concurrent
+	// observers cannot push a quantile past the last bucket.
+	s.P50 = quantile(counts, total, 0.50)
+	s.P95 = quantile(counts, total, 0.95)
+	s.P99 = quantile(counts, total, 0.99)
+	// Clamp the bucket representatives to the observed range: bucket
+	// midpoints can overshoot the true extremes by the bucket width.
+	if s.P50 < s.Min {
+		s.P50 = s.Min
+	}
+	if s.Max > 0 {
+		if s.P50 > s.Max {
+			s.P50 = s.Max
+		}
+		if s.P95 > s.Max {
+			s.P95 = s.Max
+		}
+		if s.P99 > s.Max {
+			s.P99 = s.Max
+		}
+	}
+	return s
+}
+
+// Quantile returns the value at quantile q in [0, 1], or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	counts := make([]int64, histNumBuckets)
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantile(counts, total, q)
+}
+
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(len(counts) - 1)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketIndexRoundTrip checks that every bucket's lower bound maps
+// back to that bucket, and that indexes are monotone in the value.
+func TestBucketIndexRoundTrip(t *testing.T) {
+	for idx := 0; idx < histNumBuckets; idx++ {
+		low := bucketLow(idx)
+		if got := bucketIndex(low); got != idx {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", idx, low, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		if idx >= histNumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+	}
+}
+
+// TestHistogramRelativeError verifies the core bucketing guarantee:
+// any recorded value's representative (the midpoint of its bucket) is
+// within 2^-histSubBits of the true value.
+func TestHistogramRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 40)
+		mid := bucketMid(bucketIndex(v))
+		if v == 0 {
+			if mid != 0 {
+				t.Fatalf("bucketMid(bucketIndex(0)) = %d", mid)
+			}
+			continue
+		}
+		relErr := math.Abs(float64(mid)-float64(v)) / float64(v)
+		if relErr > 1.0/histSubBuckets {
+			t.Fatalf("value %d: representative %d, relative error %.4f > %.4f",
+				v, mid, relErr, 1.0/histSubBuckets)
+		}
+	}
+}
+
+// TestHistogramQuantilesUniform checks quantile accuracy on a known
+// uniform distribution: p50/p95/p99 of 1..N must land within the
+// bucketing error of the true order statistics.
+func TestHistogramQuantilesUniform(t *testing.T) {
+	h := newHistogram()
+	const n = 100000
+	for i := int64(1); i <= n; i++ {
+		h.Observe(i)
+	}
+	snap := h.Snapshot()
+	if snap.Count != n {
+		t.Fatalf("count = %d, want %d", snap.Count, n)
+	}
+	if snap.Sum != n*(n+1)/2 {
+		t.Fatalf("sum = %d, want %d", snap.Sum, int64(n*(n+1)/2))
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want float64
+	}{
+		{"p50", snap.P50, 0.50 * n},
+		{"p95", snap.P95, 0.95 * n},
+		{"p99", snap.P99, 0.99 * n},
+	}
+	for _, c := range checks {
+		relErr := math.Abs(float64(c.got)-c.want) / c.want
+		// Bucket relative width plus a bucket of rank slack.
+		if relErr > 2.0/histSubBuckets {
+			t.Errorf("%s = %d, want ≈%.0f (relative error %.4f)", c.name, c.got, c.want, relErr)
+		}
+	}
+	if snap.Min != 1 || snap.Max != n {
+		t.Errorf("min/max = %d/%d, want 1/%d", snap.Min, snap.Max, int64(n))
+	}
+}
+
+// TestHistogramQuantilesExponential repeats the accuracy check on a
+// heavily skewed distribution, where log-scale bucketing must still
+// track the tail.
+func TestHistogramQuantilesExponential(t *testing.T) {
+	h := newHistogram()
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	vals := make([]int64, n)
+	for i := range vals {
+		v := int64(rng.ExpFloat64() * 1e6) // mean 1ms in nanoseconds
+		vals[i] = v
+		h.Observe(v)
+	}
+	// True quantiles by sorting.
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	snap := h.Snapshot()
+	for _, c := range []struct {
+		name string
+		got  int64
+		p    float64
+	}{
+		{"p50", snap.P50, 0.50},
+		{"p95", snap.P95, 0.95},
+		{"p99", snap.P99, 0.99},
+	} {
+		want := float64(sorted[int(c.p*float64(n))])
+		relErr := math.Abs(float64(c.got)-want) / want
+		if relErr > 2.0/histSubBuckets {
+			t.Errorf("%s = %d, want ≈%.0f (relative error %.4f)", c.name, c.got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.P99 != 0 || snap.Min != 0 || snap.Max != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+	if snap.Mean() != 0 {
+		t.Errorf("empty mean = %v", snap.Mean())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Min != 0 || snap.Sum != 0 {
+		t.Errorf("negative observation should clamp to 0: %+v", snap)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewIntrospectionMux builds the runtime introspection surface
+// cmd/bcnode serves behind -listen:
+//
+//	/metrics       the registry in Prometheus text exposition format
+//	/debug/vars    expvar JSON (the registry is published as "obs")
+//	/debug/pprof/  the standard pprof index, plus cmdline/profile/
+//	               symbol/trace
+//	/              a plain-text index of the above
+//
+// Everything is stdlib: expvar and net/http/pprof register on their
+// own private handlers here rather than http.DefaultServeMux, so
+// importing obs never pollutes the global mux.
+func NewIntrospectionMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("blockchaindb introspection\n\n" +
+			"  /metrics       Prometheus text format\n" +
+			"  /debug/vars    expvar JSON\n" +
+			"  /debug/pprof/  pprof profiles\n"))
+	})
+	return mux
+}
+
+// PublishExpvar exposes the registry's snapshot under the given expvar
+// name (visible at /debug/vars). Publishing the same name twice panics
+// per expvar's contract, so callers do it once at startup.
+func PublishExpvar(name string, reg *Registry) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return reg.Snapshot()
+	}))
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Levels in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int(l))
+	}
+}
+
+// ParseLevel parses a level name (case-insensitive); unknown names
+// default to info.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is a leveled structured logger emitting logfmt lines:
+//
+//	2026-08-06T12:00:00.000Z INFO mempool snapshot size=12 height=6
+//
+// Key/value pairs are appended sorted by key for stable output. The
+// zero value is unusable; construct with NewLogger. Loggers are safe
+// for concurrent use; With derives a child logger carrying bound
+// fields.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	fields []field
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+}
+
+type field struct {
+	key string
+	val any
+}
+
+// NewLogger creates a logger writing at or above the level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// NewStderrLogger is the conventional CLI logger.
+func NewStderrLogger(level Level) *Logger { return NewLogger(os.Stderr, level) }
+
+// With returns a child logger that prepends the key/value pairs to
+// every record. Pairs are (string, any) alternating; a trailing odd
+// key gets the value "(MISSING)".
+func (l *Logger) With(kvs ...any) *Logger {
+	child := *l
+	child.fields = append(append([]field(nil), l.fields...), pairs(kvs)...)
+	return &child
+}
+
+// Enabled reports whether the level would be emitted.
+func (l *Logger) Enabled(level Level) bool { return level >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func (l *Logger) log(level Level, msg string, kvs []any) {
+	if l == nil || level < l.level {
+		return
+	}
+	fs := append(append([]field(nil), l.fields...), pairs(kvs)...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].key < fs[j].key })
+	var b strings.Builder
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for _, f := range fs {
+		b.WriteByte(' ')
+		b.WriteString(f.key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(f.val))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func pairs(kvs []any) []field {
+	out := make([]field, 0, (len(kvs)+1)/2)
+	for i := 0; i < len(kvs); i += 2 {
+		key, ok := kvs[i].(string)
+		if !ok {
+			key = fmt.Sprintf("%v", kvs[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kvs) {
+			val = kvs[i+1]
+		}
+		out = append(out, field{key, val})
+	}
+	return out
+}
+
+func formatValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

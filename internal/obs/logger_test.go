@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.now = fixedClock
+	l.Info("mempool snapshot", "size", 12, "height", 6, "note", "two words")
+	got := buf.String()
+	want := "2026-08-06T12:00:00.000Z INFO mempool snapshot height=6 note=\"two words\" size=12\n"
+	if got != want {
+		t.Errorf("log line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Errorf("below-threshold lines emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Errorf("threshold lines missing:\n%s", out)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelDebug) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo).With("node", "node-A")
+	l.now = fixedClock
+	l.Info("tick", "height", 3)
+	if !strings.Contains(buf.String(), "height=3 node=node-A") {
+		t.Errorf("bound fields missing: %q", buf.String())
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("x", "key")
+	if !strings.Contains(buf.String(), "key=(MISSING)") {
+		t.Errorf("odd trailing key not marked: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	l := NewLogger(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.With("g", i).Info("line", "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if lines != 8*50 {
+		t.Errorf("got %d lines, want %d", lines, 8*50)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

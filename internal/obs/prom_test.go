@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte-for-byte: the
+// scrape endpoint is an external contract, so any change here must be
+// deliberate.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mempool_accept_total", "transactions admitted").Add(42)
+	reg.Counter("aaa_first_total", "").Inc()
+	reg.Gauge("chain_height", "best chain height").Set(7)
+	h := reg.Histogram("dcsat_check_ns", "check latency")
+	for _, v := range []int64{10, 20, 30} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# TYPE aaa_first_total counter
+aaa_first_total 1
+# HELP mempool_accept_total transactions admitted
+# TYPE mempool_accept_total counter
+mempool_accept_total 42
+# HELP chain_height best chain height
+# TYPE chain_height gauge
+chain_height 7
+# HELP dcsat_check_ns check latency
+# TYPE dcsat_check_ns summary
+dcsat_check_ns{quantile="0.5"} 20
+dcsat_check_ns{quantile="0.95"} 30
+dcsat_check_ns{quantile="0.99"} 30
+dcsat_check_ns_sum 60
+dcsat_check_ns_count 3
+`
+	if b.String() != golden {
+		t.Errorf("exposition format drifted.\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestIntrospectionMux drives the HTTP surface end to end.
+func TestIntrospectionMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("probe_total", "").Add(3)
+	srv := httptest.NewServer(NewIntrospectionMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "probe_total 3") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars: code=%d body=%q", code, body[:min(len(body), 80)])
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ := get("/"); code != 200 {
+		t.Errorf("/: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope: code=%d, want 404", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers one counter, gauge, and histogram
+// from many goroutines; run under -race this doubles as the registry's
+// data-race validation.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			// Instruments fetched inside the goroutine: creation must be
+			// race-free too.
+			c := reg.Counter("hammer_total", "test")
+			ga := reg.Gauge("hammer_gauge", "test")
+			h := reg.Histogram("hammer_hist", "test")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Set(int64(i))
+				ga.Add(1)
+				h.Observe(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Counter("hammer_total", "").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	snap := reg.Histogram("hammer_hist", "").Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.Min != 0 {
+		t.Errorf("histogram min = %d, want 0", snap.Min)
+	}
+	if snap.Max != goroutines*perG-1 {
+		t.Errorf("histogram max = %d, want %d", snap.Max, goroutines*perG-1)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5 (negative adds ignored)", c.Value())
+	}
+}
+
+func TestRegistryIdempotentCreation(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "first help")
+	b := reg.Counter("x_total", "second help ignored")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# HELP x_total first help") {
+		t.Errorf("help not from first registration:\n%s", buf.String())
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(7)
+	reg.Gauge("b_size", "").Set(3)
+	reg.Histogram("c_ns", "").Observe(1500)
+	out := reg.Snapshot().Format()
+	for _, want := range []string{"a_total", "7", "b_size", "c_ns", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	// The _ns suffix renders as a duration.
+	if !strings.Contains(out, "µs") {
+		t.Errorf("Format() should render _ns histograms as durations:\n%s", out)
+	}
+}

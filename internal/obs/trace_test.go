@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "check")
+	ctx1, pre := Start(ctx, "precheck")
+	if pre == nil {
+		t.Fatal("Start under an active trace must return a real span")
+	}
+	pre.SetAttr("worlds", 1)
+	pre.End()
+	// A sibling, with its own child.
+	ctx2, search := Start(ctx, "search")
+	_, inner := Start(ctx2, "clique_enum")
+	inner.End()
+	search.AddStage("eval", 3*time.Millisecond)
+	search.End()
+	root.End()
+	_ = ctx1
+
+	kids := root.Children()
+	if len(kids) != 2 {
+		t.Fatalf("root has %d children, want 2", len(kids))
+	}
+	if kids[0].Name() != "precheck" || kids[1].Name() != "search" {
+		t.Errorf("children = %q, %q", kids[0].Name(), kids[1].Name())
+	}
+	grand := kids[1].Children()
+	if len(grand) != 2 || grand[0].Name() != "clique_enum" || grand[1].Name() != "eval" {
+		t.Fatalf("search children wrong: %v", grand)
+	}
+	if grand[1].Duration() != 3*time.Millisecond {
+		t.Errorf("synthetic stage duration = %v", grand[1].Duration())
+	}
+	if v, ok := kids[0].Attr("worlds"); !ok || v != 1 {
+		t.Errorf("attr worlds = %v, %v", v, ok)
+	}
+}
+
+func TestStartWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "anything")
+	if s != nil {
+		t.Fatal("Start without a trace must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a trace must not derive a new context")
+	}
+	// All methods must be nil-safe.
+	s.End()
+	s.SetAttr("k", "v")
+	s.AddStage("x", time.Second)
+	if s.Render() != "" || s.Name() != "" || s.Duration() != 0 || s.Children() != nil {
+		t.Error("nil span accessors must return zero values")
+	}
+	if _, ok := s.Attr("k"); ok {
+		t.Error("nil span has no attrs")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on a bare context must be nil")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "parallel")
+	var wg sync.WaitGroup
+	const n = 32
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			_, s := Start(ctx, "worker")
+			s.SetAttr("k", 1)
+			root.AddStage("stage", time.Microsecond)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 2*n {
+		t.Errorf("root has %d children, want %d", got, 2*n)
+	}
+}
+
+func TestRender(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "check")
+	_, a := Start(ctx, "precheck")
+	a.End()
+	ctx2, b := Start(ctx, "search")
+	b.SetAttr("components", 4)
+	_, c := Start(ctx2, "clique_enum")
+	c.End()
+	b.End()
+	root.End()
+
+	out := root.Render()
+	for _, want := range []string{"check", "├─ precheck", "└─ search", "   └─ clique_enum", "components=4", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("Render() has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	_, s := StartTrace(context.Background(), "x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Error("second End must not change the duration")
+	}
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	_, s := StartTrace(context.Background(), "x")
+	s.SetAttr("k", 1)
+	s.SetAttr("k", 2)
+	if v, _ := s.Attr("k"); v != 2 {
+		t.Errorf("attr = %v, want 2", v)
+	}
+	s.End()
+}

@@ -99,6 +99,12 @@ type evaluator struct {
 	order        []int
 	binding      map[string]value.Value
 	skipNegation bool
+
+	// Local instrument counts, flushed to the registry once per run —
+	// keeps the per-tuple hot path free of atomics.
+	lookups int64
+	scans   int64
+	probes  int64
 }
 
 func newEvaluator(q *Query, v relation.View) *evaluator {
@@ -149,6 +155,11 @@ func (ev *evaluator) planOrder() []int {
 // returning false stops the enumeration.
 func (ev *evaluator) run(yield func() bool) {
 	ev.step(0, yield)
+	mEvals.Inc()
+	mIndexLookups.Add(ev.lookups)
+	mScans.Add(ev.scans)
+	mTuplesProbed.Add(ev.probes)
+	ev.lookups, ev.scans, ev.probes = 0, 0, 0
 }
 
 // step processes the atom at position depth in the plan; at the bottom
@@ -184,6 +195,7 @@ func (ev *evaluator) step(depth int, yield func() bool) bool {
 		}
 	}
 	tryTuple := func(tup value.Tuple) bool {
+		ev.probes++
 		// Verify repeated new variables agree across positions.
 		for i, t := range atom.Args {
 			if t.IsVar() {
@@ -209,8 +221,10 @@ func (ev *evaluator) step(depth int, yield func() bool) bool {
 		return keepGoing
 	}
 	if len(boundCols) > 0 {
+		ev.lookups++
 		return ev.v.Lookup(atom.Rel, boundCols, boundVals.Key(), tryTuple)
 	}
+	ev.scans++
 	return ev.v.Scan(atom.Rel, tryTuple)
 }
 

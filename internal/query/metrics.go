@@ -1,0 +1,17 @@
+package query
+
+import "blockchaindb/internal/obs"
+
+// Evaluator instruments on the default registry. The evaluator counts
+// locally (plain struct fields on the hot path) and flushes once per
+// evaluation, so the per-tuple cost is a non-atomic increment.
+var (
+	mEvals = obs.Default.Counter("query_evals_total",
+		"query evaluations (one per world or candidate check)")
+	mIndexLookups = obs.Default.Counter("query_index_lookups_total",
+		"atoms resolved through indexed hash lookups")
+	mScans = obs.Default.Counter("query_scans_total",
+		"atoms resolved through full relation scans")
+	mTuplesProbed = obs.Default.Counter("query_tuples_probed_total",
+		"candidate tuples tested during join backtracking")
+)
