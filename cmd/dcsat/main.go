@@ -13,11 +13,14 @@
 //
 // The exit status is 0 when the constraint is satisfied (the
 // undesirable outcome cannot occur), 1 when it is violated in some
-// possible world, and 2 on errors. Answer mode always exits 0.
+// possible world, 2 on errors, and 3 when -timeout expired before the
+// check reached a verdict (the constraint is undecided — nothing is
+// known either way). Answer mode always exits 0.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +38,8 @@ func main() {
 		dataPath = flag.String("data", "", "dataset JSON (required)")
 		qSrc     = flag.String("q", "", "denial constraint (required), e.g. \"q() :- TxOut(n, s, 'Pk', a)\"")
 		algoName = flag.String("algo", "auto", "algorithm: auto, naive, opt, fdonly, exhaustive")
-		workers  = flag.Int("workers", 1, "parallel workers for opt")
+		workers  = flag.Int("workers", 1, "parallel workers (components and clique-tree branches)")
+		timeout  = flag.Duration("timeout", 0, "abort the check after this long and exit 3 (undecided)")
 		estimate = flag.Int("estimate", 0, "also Monte-Carlo estimate the violation probability with this many samples")
 		inclP    = flag.Float64("p", 0.5, "per-transaction inclusion probability for -estimate")
 		seed     = flag.Int64("seed", 1, "sampling seed for -estimate")
@@ -111,8 +115,16 @@ func main() {
 	if *trace {
 		ctx, root = obs.StartTrace(ctx, "dcsat")
 	}
-	res, err := core.CheckContext(ctx, db, q, core.Options{Algorithm: algo, Workers: *workers})
+	opts := core.Options{Algorithm: algo, Workers: *workers}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
+	}
+	res, err := core.CheckContext(ctx, db, q, opts)
 	root.End()
+	if errors.Is(err, core.ErrUndecided) {
+		fmt.Printf("UNDECIDED: %v (timeout %v)\n", err, *timeout)
+		os.Exit(3)
+	}
 	if err != nil {
 		fatal(err)
 	}

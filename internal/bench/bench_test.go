@@ -34,7 +34,7 @@ func TestTableFormatting(t *testing.T) {
 
 func TestGetAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
+	if len(all) != 15 {
 		t.Fatalf("experiments = %d", len(all))
 	}
 	seen := map[string]bool{}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,7 +40,7 @@ func aggFDOnlyApplies(q *query.Query) bool {
 // that world. The solver therefore enumerates assignments of the body
 // over R ∪ ∪T, enumerates each assignment's fd-compatible supports, and
 // evaluates the full aggregate on each minimal world.
-func aggFDOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
+func aggFDOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Result, error) {
 	if d.Constraints.HasINDs() {
 		return nil, fmt.Errorf("core: aggregate fd-only solver requires a database without inclusion dependencies")
 	}
@@ -56,8 +57,15 @@ func aggFDOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
 	pos := q.Positives()
 	var violated bool
 	var witness []int
+	var ctxErr error
+	assignments := 0
 	seenWorld := make(map[string]bool)
 	err := query.Assignments(q, union, true, func(binding map[string]value.Value) bool {
+		if assignments++; assignments%ctxCheckEvery == 0 {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				return false
+			}
+		}
 		suppliers, usable := supportSuppliers(d, live, pos, binding)
 		if !usable {
 			return true
@@ -93,6 +101,9 @@ func aggFDOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if violated {
 		res.Satisfied = false

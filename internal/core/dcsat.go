@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -70,6 +71,29 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ErrUndecided is the sentinel wrapped into the error a Check returns
+// when cancellation — Options.Deadline, a context deadline, or an
+// explicit cancel — cut the search short before either verdict was
+// reached. It is a third outcome, distinct from "satisfied" and
+// "violated": nothing is known about the constraint. Callers test for
+// it with errors.Is(err, ErrUndecided); the wrapped cause (typically
+// context.DeadlineExceeded) is preserved.
+var ErrUndecided = errors.New("undecided")
+
+// undecided wraps a context error into the ErrUndecided chain. Both
+// ErrUndecided and the cause stay reachable through errors.Is, so
+// callers can distinguish a deadline from an explicit cancellation.
+func undecided(cause error) error {
+	return fmt.Errorf("core: %w: %w", ErrUndecided, cause)
+}
+
+// isCtxErr reports whether err is a context cancellation rather than a
+// real evaluation failure. The parallel schedulers use it to tell a
+// worker that was cut short apart from one that hit a genuine error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Options configures Check. The zero value requests AlgoAuto with all
 // optimizations enabled.
 type Options struct {
@@ -83,8 +107,20 @@ type Options struct {
 	// DisableLiveFilter keeps fd-dead pending transactions in the
 	// clique graphs. Ablation only.
 	DisableLiveFilter bool
-	// Workers > 1 makes OptDCSat process components concurrently.
+	// Workers > 1 enables the parallel search: components of the
+	// ind-q graph are processed concurrently when there are several,
+	// and the first-level branches of the Bron–Kerbosch clique tree
+	// are fanned out across the pool when the search has a single
+	// component (AlgoNaive, non-connected queries, or one giant
+	// ind-q component).
 	Workers int
+	// Deadline, when nonzero, bounds the check's wall clock: past it
+	// the search is cancelled cooperatively and Check returns an
+	// error wrapping ErrUndecided instead of a verdict. A violation
+	// found before the deadline fires is still reported (one
+	// violating world is definitive); only "satisfied" requires the
+	// exhausted search the deadline may interrupt.
+	Deadline time.Time
 }
 
 // Stats reports what an invocation of Check did, including the
@@ -118,7 +154,7 @@ type Stats struct {
 
 // Merge folds another invocation's (or worker's) stats into s: counts
 // and durations add; booleans or. Every additive field must be listed
-// here — cliqueDCSatParallel relies on Merge to not drop stats.
+// here — the parallel schedulers rely on Merge to not drop stats.
 func (s *Stats) Merge(o Stats) {
 	s.Prechecked = s.Prechecked || o.Prechecked
 	s.LivePending += o.LivePending
@@ -176,6 +212,12 @@ type Result struct {
 	Stats   Stats
 }
 
+// fdGraphFn builds the fd-transaction graph of one component (global
+// pending indexes; vertex i of the result corresponds to comp[i]). The
+// Monitor injects its incrementally maintained conflict pairs through
+// this hook; nil means buildFDGraph from scratch.
+type fdGraphFn func(comp []int) *graph.Undirected
+
 // Check decides whether the blockchain database satisfies the denial
 // constraint: D |= ¬q iff q evaluates to false over every possible
 // world. The options select the algorithm; AlgoAuto (the zero value)
@@ -186,13 +228,23 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	return CheckContext(context.Background(), d, q, opts)
 }
 
-// CheckContext is Check with a context for observability: when the
-// context carries an active obs trace, every pipeline stage (precheck,
-// component split, graph build, clique enumeration, evaluation)
-// records a span under it. Without a trace the instrumentation
-// degrades to the obs no-op path plus the per-stage duration counters
-// in Stats.
+// CheckContext is Check with a context for cancellation and
+// observability: cancelling the context (or setting Options.Deadline)
+// aborts the search cooperatively with an error wrapping ErrUndecided,
+// and when the context carries an active obs trace, every pipeline
+// stage (precheck, component split, graph build, clique enumeration,
+// evaluation) records a span under it. Without a trace the
+// instrumentation degrades to the obs no-op path plus the per-stage
+// duration counters in Stats.
 func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	return checkContext(ctx, d, q, opts, nil)
+}
+
+// checkContext is the shared pipeline behind CheckContext and
+// Monitor.CheckContext: the validation front door, the Simplify
+// rewrite, algorithm routing, deadline handling, dispatch, and the
+// closing bookkeeping (duration, metrics, undecided translation).
+func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options, fdGraph fdGraphFn) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,6 +256,18 @@ func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	}
 	ctx, span := obs.Start(ctx, "dcsat_check")
 	defer span.End()
+	if !opts.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
+	// An already-expired deadline (or cancelled caller) must come back
+	// undecided immediately, before any data-sized work runs.
+	if err := ctx.Err(); err != nil {
+		span.SetAttr("verdict", "undecided")
+		mUndecided.Inc()
+		return nil, undecided(err)
+	}
 	// Rewrite first: constant folding may prove the constraint
 	// trivially satisfied, and pushing constants into atoms sharpens
 	// both the evaluator's index use and OptDCSat's Covers filter.
@@ -237,17 +301,22 @@ func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	)
 	switch algo {
 	case AlgoNaive:
-		res, err = cliqueDCSat(ctx, d, q, opts, false)
+		res, err = cliqueDCSat(ctx, d, q, opts, false, fdGraph)
 	case AlgoOpt:
-		res, err = cliqueDCSat(ctx, d, q, opts, true)
+		res, err = cliqueDCSat(ctx, d, q, opts, true, fdGraph)
 	case AlgoFDOnly:
-		res, err = fdOnlyDCSat(d, q)
+		res, err = fdOnlyDCSat(ctx, d, q)
 	case AlgoExhaustive:
-		res, err = exhaustiveDCSat(d, q)
+		res, err = exhaustiveDCSat(ctx, d, q)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 	if err != nil {
+		if isCtxErr(err) {
+			span.SetAttr("verdict", "undecided")
+			mUndecided.Inc()
+			return nil, undecided(err)
+		}
 		return nil, err
 	}
 	res.Stats.Algorithm = algo
@@ -262,11 +331,14 @@ func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 // Section 6.3 pre-check: if q is false over R ∪ ∪T it is false over
 // every possible world (all of which are contained in that union), so
 // the denial constraint is satisfied.
-func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Options, optimized bool) (*Result, error) {
+func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Options, optimized bool, fdGraph fdGraphFn) (*Result, error) {
 	if !q.IsMonotonic() {
 		return nil, fmt.Errorf("core: %s requires a monotonic denial constraint; %s is not "+
 			"(use AlgoExhaustive, or AlgoFDOnly when the constraints have no inclusion dependencies)",
 			map[bool]string{false: "NaiveDCSat", true: "OptDCSat"}[optimized], q)
+	}
+	if fdGraph == nil {
+		fdGraph = func(comp []int) *graph.Undirected { return buildFDGraph(d, comp) }
 	}
 	res := &Result{Satisfied: true}
 	// Pre-check over the union of everything.
@@ -286,6 +358,12 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			res.Stats.Prechecked = true
 			return res, nil
 		}
+	}
+	// The polynomial stages below can take milliseconds on large
+	// pending sets; poll between them so a deadline does not have to
+	// wait for the first in-search poll point.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// The current state alone is a possible world; check it explicitly
 	// so component filtering below cannot hide an R-only violation.
@@ -308,6 +386,9 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		liveSpan.End()
 	}
 	res.Stats.LivePending = len(live)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var groups [][]int
 	if optimized && q.IsConnected() {
 		splitCtx, splitSpan := obs.Start(ctx, "component_split")
@@ -320,6 +401,9 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		groups = [][]int{live}
 	}
 	res.Stats.Components = len(groups)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var targets []coverTarget
 	if optimized && !opts.DisableCoverFilter {
 		targets = coverTargets(d, q)
@@ -329,7 +413,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 	// accumulated in Stats are attached as aggregate child spans when
 	// the region ends (however it ends).
 	searchCtx, searchSpan := obs.Start(ctx, "search")
-	_ = searchCtx
+	ctx = searchCtx
 	defer func() {
 		for _, st := range []Stage{
 			{"fd_graph_build", res.Stats.GraphBuildDur},
@@ -344,7 +428,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		searchSpan.SetAttr("cliques", res.Stats.Cliques)
 		searchSpan.SetAttr("worlds", res.Stats.WorldsEvaluated)
 		if res.Stats.WorkersUsed > 1 && res.Stats.Duration == 0 {
-			// Duration is set by CheckContext after we return; report
+			// Duration is set by checkContext after we return; report
 			// utilization from the span's own wall clock.
 			wall := searchSpan.Duration()
 			if wall > 0 {
@@ -355,15 +439,34 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		}
 		searchSpan.End()
 	}()
-	if opts.Workers > 1 && optimized {
-		return res, cliqueDCSatParallel(d, q, opts, groups, targets, res)
+	if opts.Workers > 1 {
+		if len(groups) == 1 {
+			// One component — AlgoNaive, a non-connected query, or a
+			// single giant ind-q component. Component-level parallelism
+			// has nothing to fan out; split inside the clique tree.
+			comp := groups[0]
+			if optimized && !opts.DisableCoverFilter && !covers(d, comp, targets) {
+				return res, nil
+			}
+			res.Stats.ComponentsCovered++
+			violated, witness, err := searchComponentParallel(ctx, d, q, comp, opts, fdGraph, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			if violated {
+				res.Satisfied = false
+				res.Witness = witness
+			}
+			return res, nil
+		}
+		return res, cliqueDCSatParallel(ctx, d, q, opts, groups, targets, fdGraph, res)
 	}
 	for _, comp := range groups {
 		if optimized && !opts.DisableCoverFilter && !covers(d, comp, targets) {
 			continue
 		}
 		res.Stats.ComponentsCovered++
-		violated, witness, err := searchComponent(d, q, comp, &res.Stats)
+		violated, witness, err := searchComponent(ctx, d, q, comp, fdGraph, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
@@ -373,59 +476,89 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			return res, nil
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // searchComponent enumerates the maximal cliques of the fd-transaction
 // graph over the component and evaluates the query on each maximal
 // world. It reports the first violating world found.
-func searchComponent(d *possible.DB, q *query.Query, comp []int, stats *Stats) (bool, []int, error) {
+func searchComponent(ctx context.Context, d *possible.DB, q *query.Query, comp []int, fdGraph fdGraphFn, stats *Stats) (bool, []int, error) {
 	buildStart := time.Now()
-	g := buildFDGraph(d, comp)
+	g := fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
-	return searchComponentGraph(d, q, comp, g, stats)
+	return searchComponentGraph(ctx, d, q, comp, g, stats)
+}
+
+// cliqueSearch is the per-clique evaluation shared by the serial,
+// component-parallel, and clique-branch-parallel searches: materialize
+// the maximal world of the clique, evaluate the query, and record the
+// outcome. Not safe for concurrent use — parallel searches give each
+// worker its own instance (and its own Stats, merged afterwards).
+type cliqueSearch struct {
+	ctx      context.Context
+	d        *possible.DB
+	q        *query.Query
+	comp     []int
+	stats    *Stats
+	violated bool
+	witness  []int
+	err      error // evaluation error, or the context's error
+	evalDur  time.Duration
+}
+
+// yield is the graph.MaximalCliques callback. Time spent here —
+// materializing and evaluating the world — accrues to EvalDur; the
+// remainder of the enumeration accrues to CliqueDur.
+func (s *cliqueSearch) yield(clique []int) bool {
+	// Worlds can take milliseconds each; poll between them so a
+	// deadline interrupts the evaluation loop, not just the tree walk.
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	s.stats.Cliques++
+	evalStart := time.Now()
+	subset := make([]int, len(clique))
+	for i, local := range clique {
+		subset[i] = s.comp[local]
+	}
+	world, included := s.d.GetMaximal(subset)
+	s.stats.WorldsEvaluated++
+	hit, err := query.Eval(s.q, world)
+	keepGoing := true
+	switch {
+	case err != nil:
+		s.err = err
+		keepGoing = false
+	case hit:
+		s.violated = true
+		s.witness = append([]int(nil), included...)
+		sort.Ints(s.witness)
+		keepGoing = false
+	}
+	s.evalDur += time.Since(evalStart)
+	return keepGoing
 }
 
 // searchComponentGraph is searchComponent with a caller-supplied fd
-// graph (the steady-state Monitor derives it from incrementally
-// maintained conflict pairs). Time inside the clique callback —
-// materializing and evaluating the world — accrues to EvalDur; the
-// remainder of the enumeration accrues to CliqueDur.
-func searchComponentGraph(d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, stats *Stats) (bool, []int, error) {
-	var (
-		violated bool
-		witness  []int
-		evalErr  error
-		evalDur  time.Duration
-	)
+// graph. A context cancellation surfaces as that context's error, which
+// checkContext translates into ErrUndecided.
+func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, stats *Stats) (bool, []int, error) {
+	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: comp, stats: stats}
 	enumStart := time.Now()
-	graph.MaximalCliques(g, func(clique []int) bool {
-		stats.Cliques++
-		evalStart := time.Now()
-		subset := make([]int, len(clique))
-		for i, local := range clique {
-			subset[i] = comp[local]
-		}
-		world, included := d.GetMaximal(subset)
-		stats.WorldsEvaluated++
-		hit, err := query.Eval(q, world)
-		keepGoing := true
-		switch {
-		case err != nil:
-			evalErr = err
-			keepGoing = false
-		case hit:
-			violated = true
-			witness = append([]int(nil), included...)
-			sort.Ints(witness)
-			keepGoing = false
-		}
-		evalDur += time.Since(evalStart)
-		return keepGoing
-	})
-	stats.CliqueDur += time.Since(enumStart) - evalDur
-	stats.EvalDur += evalDur
-	return violated, witness, evalErr
+	ctxErr := graph.MaximalCliquesCtx(ctx, g, cs.yield)
+	stats.CliqueDur += time.Since(enumStart) - cs.evalDur
+	stats.EvalDur += cs.evalDur
+	if cs.violated {
+		return true, cs.witness, nil
+	}
+	if cs.err != nil {
+		return false, nil, cs.err
+	}
+	return false, nil, ctxErr
 }
 
 // fdOnlyDCSat implements the PTIME algorithm behind Theorem 1.1 for
@@ -439,12 +572,12 @@ func searchComponentGraph(d *possible.DB, q *query.Query, comp []int, g *graph.U
 // atoms. Because |S| is bounded by the (constant) number of query
 // atoms, trying every combination of supports is polynomial in the
 // data.
-func fdOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
+func fdOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Result, error) {
 	if d.Constraints.HasINDs() {
 		return nil, fmt.Errorf("core: AlgoFDOnly requires a database without inclusion dependencies")
 	}
 	if q.IsAggregate() {
-		return aggFDOnlyDCSat(d, q)
+		return aggFDOnlyDCSat(ctx, d, q)
 	}
 	res := &Result{Satisfied: true}
 	live := liveTransactions(d)
@@ -459,7 +592,14 @@ func fdOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
 	pos := q.Positives()
 	var violated bool
 	var witness []int
+	var ctxErr error
+	assignments := 0
 	err := query.Assignments(q, union, false, func(binding map[string]value.Value) bool {
+		if assignments++; assignments%ctxCheckEvery == 0 {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				return false
+			}
+		}
 		res.Stats.WorldsEvaluated++
 		// Ground the positive atoms under the assignment and collect,
 		// per ground tuple not already in R, the live transactions
@@ -494,12 +634,19 @@ func fdOnlyDCSat(d *possible.DB, q *query.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	if violated {
 		res.Satisfied = false
 		res.Witness = witness
 	}
 	return res, nil
 }
+
+// ctxCheckEvery is how many assignments/worlds the PTIME and
+// exhaustive solvers process between context polls.
+const ctxCheckEvery = 64
 
 // compatibleSupport searches the cartesian product of supplier choices
 // for a mutually fd-compatible transaction set whose minimal world also
@@ -586,10 +733,10 @@ func groundAtom(a query.Atom, binding map[string]value.Value) value.Tuple {
 // exhaustiveDCSat enumerates every possible world — the definitional
 // semantics of D |= ¬q. Exponential in |T|; correct for every query
 // class, including non-monotonic denial constraints.
-func exhaustiveDCSat(d *possible.DB, q *query.Query) (*Result, error) {
+func exhaustiveDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Result, error) {
 	res := &Result{Satisfied: true}
 	var evalErr error
-	d.EnumerateWorlds(func(included []int, world *relation.Overlay) bool {
+	err := d.EnumerateWorldsCtx(ctx, func(included []int, world *relation.Overlay) bool {
 		res.Stats.WorldsEvaluated++
 		hit, err := query.Eval(q, world)
 		if err != nil {
@@ -605,6 +752,9 @@ func exhaustiveDCSat(d *possible.DB, q *query.Query) (*Result, error) {
 	})
 	if evalErr != nil {
 		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -274,8 +274,13 @@ func indQComponents(ctx context.Context, d *possible.DB, subset []int, q *query.
 		var queue []workItem
 		// reach looks up state tuples standing for atom `ai` whose
 		// projection on cols equals key, unioning them with `from` and
-		// scheduling their expansion.
+		// scheduling their expansion. Once the node budget overflows the
+		// result is already decided (single component), so further state
+		// scans are pure waste — every call degrades to a no-op.
 		reach := func(from, ai int, cols []int, key string, depth int) {
+			if overflow {
+				return
+			}
 			d.State.Lookup(infos[ai].rel, cols, key, func(t value.Tuple) bool {
 				if !matchesAtom(ai, t) {
 					return true
@@ -300,16 +305,24 @@ func indQComponents(ctx context.Context, d *possible.DB, subset []int, q *query.
 			})
 		}
 		// Seed: pending tuples standing for one side of a pair reach the
-		// state on the other side (depth 1).
+		// state on the other side (depth 1). The loops stop as soon as
+		// overflow fires — the verdict is final at that point.
+	seed:
 		for pi, pr := range pairs {
 			for key, members := range pendingI[pi] {
 				for _, l := range members {
 					reach(l, pr.J, pr.RefCols, key, 1)
+					if overflow {
+						break seed
+					}
 				}
 			}
 			for key, members := range pendingJ[pi] {
 				for _, l := range members {
 					reach(l, pr.I, pr.Cols, key, 1)
+					if overflow {
+						break seed
+					}
 				}
 			}
 		}

@@ -12,6 +12,7 @@ var (
 	mPrechecked = obs.Default.Counter("dcsat_prechecked_total", "checks decided by the monotone pre-check alone")
 	mCliques    = obs.Default.Counter("dcsat_cliques_total", "maximal cliques enumerated")
 	mWorlds     = obs.Default.Counter("dcsat_worlds_total", "possible worlds the query was evaluated on")
+	mUndecided  = obs.Default.Counter("dcsat_undecided_total", "checks cut short by a deadline or cancellation before reaching a verdict")
 
 	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency")
 	hPrecheck   = obs.Default.Histogram("dcsat_precheck_ns", "monotone pre-check stage latency")

@@ -211,8 +211,20 @@ func (m *Monitor) ConflictCount() int {
 
 // Check decides D |= ¬q over the monitored database. Monotone clique
 // algorithms reuse the incrementally maintained conflict pairs; other
-// algorithm choices fall through to the stateless Check.
+// algorithm choices fall through to the stateless pipeline. Either way
+// the check runs through the same front door and instrumentation as
+// the stateless Check: query validation, the Boolean guard, schema
+// checking, Simplify, per-stage spans and durations, and the registry
+// metrics.
 func (m *Monitor) Check(q *query.Query, opts Options) (*Result, error) {
+	return m.CheckContext(context.Background(), q, opts)
+}
+
+// CheckContext is Check with cancellation and tracing, mirroring the
+// package-level CheckContext: Options.Deadline and context
+// cancellation end the search with an error wrapping ErrUndecided, and
+// an active obs trace on the context records the stage spans.
+func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	snapshot := &possible.DB{
@@ -220,78 +232,27 @@ func (m *Monitor) Check(q *query.Query, opts Options) (*Result, error) {
 		Constraints: m.db.Constraints,
 		Pending:     m.db.Pending,
 	}
+	// Resolve auto-routing for monotonic queries here rather than in
+	// checkContext: the monitor prefers the clique algorithms even when
+	// the fd-only solver would apply, because only they can reuse the
+	// incrementally maintained conflict pairs.
 	algo := opts.Algorithm
 	if algo == AlgoAuto && q.IsMonotonic() {
 		if q.IsConnected() {
-			opts.Algorithm = AlgoOpt
+			algo = AlgoOpt
 		} else {
-			opts.Algorithm = AlgoNaive
+			algo = AlgoNaive
 		}
 	}
-	if opts.Algorithm == AlgoNaive || opts.Algorithm == AlgoOpt {
-		return m.checkWithPrecomputed(snapshot, q, opts)
+	var fdGraph fdGraphFn
+	if algo == AlgoNaive || algo == AlgoOpt {
+		opts.Algorithm = algo
+		// The hook reads m.ids and m.conflicts; the read lock held for
+		// the duration of the check keeps them stable, including for
+		// the parallel workers (all of which finish inside this call).
+		fdGraph = m.fdGraphFromConflicts
 	}
-	return Check(snapshot, q, opts)
-}
-
-// checkWithPrecomputed mirrors cliqueDCSat but derives the fd graph of
-// each component from the maintained conflict pairs instead of
-// re-hashing the transactions.
-func (m *Monitor) checkWithPrecomputed(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
-	if !q.IsMonotonic() {
-		return nil, fmt.Errorf("core: monitor check requires a monotonic denial constraint")
-	}
-	res := &Result{Satisfied: true, Stats: Stats{Algorithm: opts.Algorithm}}
-	if !opts.DisablePrecheck {
-		union := relation.NewOverlay(d.State, d.Pending...)
-		res.Stats.WorldsEvaluated++
-		hit, err := query.Eval(q, union)
-		if err != nil {
-			return nil, err
-		}
-		if !hit {
-			res.Stats.Prechecked = true
-			return res, nil
-		}
-	}
-	res.Stats.WorldsEvaluated++
-	if hit, err := query.Eval(q, d.State); err != nil {
-		return nil, err
-	} else if hit {
-		res.Satisfied = false
-		res.Witness = []int{}
-		return res, nil
-	}
-	live := liveTransactions(d)
-	res.Stats.LivePending = len(live)
-	var groups [][]int
-	if opts.Algorithm == AlgoOpt && q.IsConnected() {
-		groups = indQComponents(context.Background(), d, live, q)
-	} else {
-		groups = [][]int{live}
-	}
-	res.Stats.Components = len(groups)
-	var targets []coverTarget
-	if opts.Algorithm == AlgoOpt && !opts.DisableCoverFilter {
-		targets = coverTargets(d, q)
-	}
-	for _, comp := range groups {
-		if opts.Algorithm == AlgoOpt && !opts.DisableCoverFilter && !covers(d, comp, targets) {
-			continue
-		}
-		res.Stats.ComponentsCovered++
-		g := m.fdGraphFromConflicts(comp)
-		violated, witness, err := searchComponentGraph(d, q, comp, g, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		if violated {
-			res.Satisfied = false
-			res.Witness = witness
-			return res, nil
-		}
-	}
-	return res, nil
+	return checkContext(ctx, snapshot, q, opts, fdGraph)
 }
 
 // fdGraphFromConflicts assembles a component's fd graph from the

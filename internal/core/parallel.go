@@ -1,97 +1,226 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blockchaindb/internal/graph"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 )
+
+// parOutcome is a stopping result from one unit of parallel work: a
+// violating world or a real evaluation error. Units that finish clean,
+// are filtered out, or are cut short by cancellation produce none.
+type parOutcome struct {
+	hit     bool
+	witness []int
+	err     error
+}
+
+// runDeterministic fans n independent units of work over a pool of
+// workers and resolves them to a schedule-independent outcome. The
+// naive approach — first goroutine to find anything wins — returns
+// whichever violation or error the scheduler happened to finish first;
+// two runs on the same data could report different witnesses, or an
+// error on one run and a witness on the next. Instead the pool
+// maintains an atomic bound: the lowest unit index that produced a
+// stopping outcome so far. A new stopping outcome at index p lowers the
+// bound and cancels only units *above* p, so every unit below the final
+// bound runs to completion and the final bound — hence the winning
+// outcome — depends only on the data, never on goroutine timing.
+//
+// Per-worker stats are folded into stats (under a mutex) via
+// Stats.Merge, including each worker's busy wall time. A nil return
+// means every unit completed without a stopping outcome; a parOutcome
+// holding a context error means the parent ctx was cancelled before the
+// units could decide.
+func runDeterministic(ctx context.Context, n, workers int, stats *Stats, statsMu *sync.Mutex, run func(ctx context.Context, i int, local *Stats) *parOutcome) *parOutcome {
+	ctxs := make([]context.Context, n)
+	cancels := make([]context.CancelFunc, n)
+	for i := range ctxs {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	outcomes := make([]*parOutcome, n)
+	var next, bound atomic.Int64
+	bound.Store(int64(n))
+	lower := func(p int) {
+		for {
+			cur := bound.Load()
+			if int64(p) >= cur {
+				return
+			}
+			if bound.CompareAndSwap(cur, int64(p)) {
+				for j := p + 1; j < n; j++ {
+					cancels[j]()
+				}
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local Stats
+			busyStart := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				if int64(i) > bound.Load() {
+					continue // above the bound: cannot affect the result
+				}
+				if o := run(ctxs[i], i, &local); o != nil {
+					outcomes[i] = o
+					lower(i)
+				}
+			}
+			local.WorkerBusy = time.Since(busyStart)
+			statsMu.Lock()
+			stats.Merge(local)
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// The first recorded outcome in index order sits exactly at the
+	// final bound: everything below it completed without stopping.
+	for _, o := range outcomes {
+		if o != nil {
+			return o
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return &parOutcome{err: err}
+	}
+	return nil
+}
+
+// poolSize resolves Options.Workers (non-positive means one per CPU).
+func poolSize(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return runtime.NumCPU()
+}
 
 // cliqueDCSatParallel runs OptDCSat's per-component search across a
 // worker pool — the single-machine form of the paper's "scaling to a
 // distributed environment" future work. Components are independent by
 // Proposition 2, so each worker owns a component end to end: coverage
 // filter, fd-graph construction, clique enumeration, world evaluation.
-// The first violation stops the remaining work. Per-worker stats —
-// every additive field, via Stats.Merge — are folded into res after
-// all workers drain, and each worker's busy wall time accumulates into
-// WorkerBusy so callers can compute pool utilization.
-func cliqueDCSatParallel(d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, res *Result) error {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+// Components are ordered largest-first (index ascending on ties) so
+// stragglers do not serialize the tail, and the outcome is resolved by
+// runDeterministic: the violation or error from the lowest-ordered
+// component wins regardless of which goroutine finished first, with a
+// real error beating a violation at any higher-ordered component.
+func cliqueDCSatParallel(ctx context.Context, d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, fdGraph fdGraphFn, res *Result) error {
+	workers := poolSize(opts)
 	res.Stats.WorkersUsed = workers
-	// Process large components first so stragglers do not serialize the
-	// tail of the run.
 	order := make([]int, len(groups))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return len(groups[order[a]]) > len(groups[order[b]]) })
-
-	type outcome struct {
-		stats   Stats
-		witness []int
-		hit     bool
-		err     error
-	}
-	var (
-		next    atomic.Int64
-		stopped atomic.Bool
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		merged  []outcome
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			var local outcome
-			busyStart := time.Now()
-			for !stopped.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(order) {
-					break
-				}
-				comp := groups[order[i]]
-				if !opts.DisableCoverFilter && !covers(d, comp, targets) {
-					continue
-				}
-				local.stats.ComponentsCovered++
-				violated, witness, err := searchComponent(d, q, comp, &local.stats)
-				if err != nil {
-					local.err = err
-					stopped.Store(true)
-					break
-				}
-				if violated {
-					local.hit = true
-					local.witness = witness
-					stopped.Store(true)
-					break
-				}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(groups[order[a]]), len(groups[order[b]])
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	var statsMu sync.Mutex
+	o := runDeterministic(ctx, len(order), workers, &res.Stats, &statsMu,
+		func(cctx context.Context, i int, local *Stats) *parOutcome {
+			comp := groups[order[i]]
+			if !opts.DisableCoverFilter && !covers(d, comp, targets) {
+				return nil
 			}
-			local.stats.WorkerBusy = time.Since(busyStart)
-			mu.Lock()
-			merged = append(merged, local)
-			mu.Unlock()
-		}()
+			local.ComponentsCovered++
+			violated, witness, err := searchComponent(cctx, d, q, comp, fdGraph, local)
+			switch {
+			case err != nil && isCtxErr(err):
+				return nil // cut short by a sibling's cancellation (or the parent's)
+			case err != nil:
+				return &parOutcome{err: err}
+			case violated:
+				return &parOutcome{hit: true, witness: witness}
+			}
+			return nil
+		})
+	if o == nil {
+		return nil
 	}
-	wg.Wait()
-	for _, o := range merged {
-		res.Stats.Merge(o.stats)
-		if o.err != nil {
-			return o.err
-		}
-		if o.hit && res.Satisfied {
-			res.Satisfied = false
-			res.Witness = o.witness
-		}
+	if o.err != nil {
+		return o.err
 	}
+	res.Satisfied = false
+	res.Witness = o.witness
 	return nil
+}
+
+// branchesPerWorker oversizes the branch split relative to the pool so
+// uneven subtrees rebalance: with several branches per worker, a
+// goroutine finishing a small subtree picks up another instead of
+// idling behind the largest.
+const branchesPerWorker = 4
+
+// searchComponentParallel is searchComponent with the Bron–Kerbosch
+// tree itself fanned out across the worker pool: CliqueBranches splits
+// the pivoted recursion into independent subtrees that partition the
+// component's maximal cliques, and each worker enumerates whole
+// subtrees with its own cliqueSearch and Stats. This is what makes
+// Workers > 1 effective for AlgoNaive, non-connected queries, and a
+// single giant ind-q component — the cases where component-level
+// parallelism has exactly one unit of work. When the tree never widens
+// (a component whose fd graph has essentially one maximal clique,
+// where there is nothing to parallelize) the search falls back to the
+// serial path on the calling goroutine.
+func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query, comp []int, opts Options, fdGraph fdGraphFn, stats *Stats) (bool, []int, error) {
+	workers := poolSize(opts)
+	buildStart := time.Now()
+	g := fdGraph(comp)
+	stats.GraphBuildDur += time.Since(buildStart)
+	splitStart := time.Now()
+	branches := graph.CliqueBranches(g, workers*branchesPerWorker)
+	stats.CliqueDur += time.Since(splitStart)
+	if len(branches) <= 1 {
+		return searchComponentGraph(ctx, d, q, comp, g, stats)
+	}
+	stats.WorkersUsed = workers
+	var statsMu sync.Mutex
+	o := runDeterministic(ctx, len(branches), workers, stats, &statsMu,
+		func(cctx context.Context, i int, local *Stats) *parOutcome {
+			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: comp, stats: local}
+			enumStart := time.Now()
+			ctxErr := graph.MaximalCliquesBranch(cctx, g, branches[i], cs.yield)
+			local.CliqueDur += time.Since(enumStart) - cs.evalDur
+			local.EvalDur += cs.evalDur
+			switch {
+			case cs.violated:
+				return &parOutcome{hit: true, witness: cs.witness}
+			case cs.err != nil && !isCtxErr(cs.err):
+				return &parOutcome{err: cs.err}
+			case cs.err != nil || ctxErr != nil:
+				return nil // cancelled mid-subtree
+			}
+			return nil
+		})
+	if o == nil {
+		return false, nil, nil
+	}
+	if o.err != nil {
+		return false, nil, o.err
+	}
+	return true, o.witness, nil
 }

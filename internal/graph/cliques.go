@@ -1,6 +1,69 @@
 package graph
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
+
+// ctxCheckInterval is the number of Bron–Kerbosch recursion nodes
+// between context polls: frequent enough that a cancelled enumeration
+// stops within microseconds, rare enough that the poll is invisible in
+// profiles.
+const ctxCheckInterval = 64
+
+// cliqueEnum carries one enumeration's state: the graph, the yield
+// callback, and the cooperative-cancellation bookkeeping.
+type cliqueEnum struct {
+	g     *Undirected
+	yield func([]int) bool
+	ctx   context.Context
+	steps int
+	err   error // the context's error once observed
+}
+
+// cancelled polls the context every ctxCheckInterval recursion nodes
+// and latches its error.
+func (e *cliqueEnum) cancelled() bool {
+	if e.err != nil {
+		return true
+	}
+	if e.steps++; e.steps%ctxCheckInterval == 0 {
+		e.err = e.ctx.Err()
+	}
+	return e.err != nil
+}
+
+// recurse is Bron–Kerbosch with Tomita pivoting. It reports false when
+// the enumeration was stopped, either by yield or by cancellation. The
+// base case also covers the empty graph (P and X both empty at the
+// root), whose single maximal clique is the empty set, and honors
+// yield's stop signal there like everywhere else.
+func (e *cliqueEnum) recurse(r []int, p, x Bitset) bool {
+	if e.cancelled() {
+		return false
+	}
+	if p.Empty() && x.Empty() {
+		c := append([]int(nil), r...)
+		sort.Ints(c)
+		return e.yield(c)
+	}
+	pivot := choosePivot(e.g, p, x)
+	candidates := p.AndNot(e.g.Neighbors(pivot))
+	cont := true
+	candidates.ForEach(func(v int) {
+		if !cont {
+			return
+		}
+		nv := e.g.Neighbors(v)
+		if !e.recurse(append(r, v), p.And(nv), x.And(nv)) {
+			cont = false
+			return
+		}
+		p.Clear(v)
+		x.Set(v)
+	})
+	return cont
+}
 
 // MaximalCliques enumerates every maximal clique of the graph, calling
 // yield with the members of each (ascending order). yield returning
@@ -14,44 +77,25 @@ import "sort"
 // The paper's NaiveDCSat and OptDCSat both iterate "for each maximal
 // clique in G^fd_T"; this is that iterator.
 func MaximalCliques(g *Undirected, yield func(clique []int) bool) {
-	n := g.Len()
-	if n == 0 {
-		// The empty graph has exactly one maximal clique: the empty set.
-		yield(nil)
-		return
+	_ = MaximalCliquesCtx(context.Background(), g, yield)
+}
+
+// MaximalCliquesCtx is MaximalCliques with cooperative cancellation:
+// the context is polled every few recursion nodes, and a cancelled
+// enumeration stops and returns the context's error. A complete
+// enumeration (or one stopped by yield) returns nil.
+func MaximalCliquesCtx(ctx context.Context, g *Undirected, yield func(clique []int) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	n := g.Len()
 	p := NewBitset(n)
 	for i := 0; i < n; i++ {
 		p.Set(i)
 	}
-	x := NewBitset(n)
-	var r []int
-	bronKerbosch(g, r, p, x, yield)
-}
-
-// bronKerbosch reports false if the enumeration was stopped by yield.
-func bronKerbosch(g *Undirected, r []int, p, x Bitset, yield func([]int) bool) bool {
-	if p.Empty() && x.Empty() {
-		c := append([]int(nil), r...)
-		sort.Ints(c)
-		return yield(c)
-	}
-	pivot := choosePivot(g, p, x)
-	candidates := p.AndNot(g.Neighbors(pivot))
-	cont := true
-	candidates.ForEach(func(v int) {
-		if !cont {
-			return
-		}
-		nv := g.Neighbors(v)
-		if !bronKerbosch(g, append(r, v), p.And(nv), x.And(nv), yield) {
-			cont = false
-			return
-		}
-		p.Clear(v)
-		x.Set(v)
-	})
-	return cont
+	e := &cliqueEnum{g: g, yield: yield, ctx: ctx}
+	e.recurse(nil, p, NewBitset(n))
+	return e.err
 }
 
 // choosePivot returns the vertex of P ∪ X with the most neighbors in P.
@@ -67,15 +111,108 @@ func choosePivot(g *Undirected, p, x Bitset) int {
 	return best
 }
 
+// CliqueBranch is one independent subtree of the pivoted Bron–Kerbosch
+// recursion: partial clique R with candidate set P and exclusion set X.
+// The subtrees rooted at the branches returned by CliqueBranches
+// partition the graph's maximal cliques — enumerating each branch once
+// (in any order, on any goroutine) yields every maximal clique exactly
+// once.
+type CliqueBranch struct {
+	r    []int
+	p, x Bitset
+}
+
+// Size returns |P|, a proxy for the branch subtree's remaining work
+// (schedulers run large branches first).
+func (b CliqueBranch) Size() int { return b.p.Count() }
+
+// expandBranch splits one recursion node into its pivot branches. A
+// node with empty P is terminal: it is itself a maximal clique when X
+// is also empty (leaf=true), or a dead subtree otherwise. A node whose
+// candidate set is empty while P is not (some excluded vertex dominates
+// P) contains no maximal clique and returns no children.
+func expandBranch(g *Undirected, b CliqueBranch) (children []CliqueBranch, leaf bool) {
+	if b.p.Empty() {
+		return nil, b.x.Empty()
+	}
+	pivot := choosePivot(g, b.p, b.x)
+	p, x := b.p.Clone(), b.x.Clone()
+	candidates := p.AndNot(g.Neighbors(pivot))
+	candidates.ForEach(func(v int) {
+		nv := g.Neighbors(v)
+		r := make([]int, len(b.r), len(b.r)+1)
+		copy(r, b.r)
+		children = append(children, CliqueBranch{
+			r: append(r, v),
+			p: p.And(nv),
+			x: x.And(nv),
+		})
+		p.Clear(v)
+		x.Set(v)
+	})
+	return children, false
+}
+
+// CliqueBranches splits the Bron–Kerbosch tree of the graph into at
+// least min independent branches when the tree is that wide: starting
+// from the root, the widest branch (largest P) is repeatedly replaced
+// by its pivot children. Dense graphs with few conflicts have narrow
+// roots — a complete graph's tree is a single chain — so the split
+// descends as far as needed; if the tree never widens (few maximal
+// cliques, nothing to parallelize) fewer branches come back. The
+// result is deterministic for a given graph.
+func CliqueBranches(g *Undirected, min int) []CliqueBranch {
+	n := g.Len()
+	p := NewBitset(n)
+	for i := 0; i < n; i++ {
+		p.Set(i)
+	}
+	branches := []CliqueBranch{{p: p, x: NewBitset(n)}}
+	// Each expansion replaces an interior node with its children; the
+	// cap bounds pathological chains (complete graphs) where expansion
+	// never widens the frontier.
+	for expansions := 0; len(branches) < min && expansions < 8*min+n; expansions++ {
+		widest, size := -1, 1
+		for i, b := range branches {
+			if s := b.p.Count(); s > size {
+				widest, size = i, s
+			}
+		}
+		if widest < 0 {
+			break // every branch is a leaf or trivially small
+		}
+		b := branches[widest]
+		children, leaf := expandBranch(g, b)
+		if leaf {
+			break // unreachable: leaves have empty P
+		}
+		branches = append(branches[:widest], branches[widest+1:]...)
+		branches = append(branches, children...)
+		if len(branches) == 0 {
+			break // lone dead subtree: no maximal cliques at all
+		}
+	}
+	return branches
+}
+
+// MaximalCliquesBranch enumerates the maximal cliques of one branch's
+// subtree, with the same yield and cancellation contract as
+// MaximalCliquesCtx. The branch is not consumed; enumerating it again
+// repeats the same cliques.
+func MaximalCliquesBranch(ctx context.Context, g *Undirected, b CliqueBranch, yield func(clique []int) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e := &cliqueEnum{g: g, yield: yield, ctx: ctx}
+	e.recurse(b.r, b.p.Clone(), b.x.Clone())
+	return e.err
+}
+
 // MaximalCliquesNoPivot is Bron–Kerbosch without pivoting. It exists
 // for the ablation benchmark that quantifies what pivoting buys; use
 // MaximalCliques everywhere else.
 func MaximalCliquesNoPivot(g *Undirected, yield func(clique []int) bool) {
 	n := g.Len()
-	if n == 0 {
-		yield(nil)
-		return
-	}
 	p := NewBitset(n)
 	for i := 0; i < n; i++ {
 		p.Set(i)
@@ -84,6 +221,9 @@ func MaximalCliquesNoPivot(g *Undirected, yield func(clique []int) bool) {
 	var rec func(r []int, p, x Bitset) bool
 	rec = func(r []int, p, x Bitset) bool {
 		if p.Empty() && x.Empty() {
+			// Covers the empty graph too: its one maximal clique is the
+			// empty set, and yield's stop signal is honored like on
+			// every other clique.
 			c := append([]int(nil), r...)
 			sort.Ints(c)
 			return yield(c)

@@ -8,6 +8,7 @@
 package possible
 
 import (
+	"context"
 	"fmt"
 
 	"blockchaindb/internal/constraint"
@@ -190,16 +191,31 @@ func (d *DB) IsPossibleWorld(target *relation.State) bool {
 // validated against. yield returning false stops the enumeration. The
 // empty subset — the current state itself — is always yielded first.
 func (d *DB) EnumerateWorlds(yield func(included []int, world *relation.Overlay) bool) {
+	_ = d.EnumerateWorldsCtx(context.Background(), yield)
+}
+
+// EnumerateWorldsCtx is EnumerateWorlds with cooperative cancellation:
+// the context is polled once per dequeued world, so even the
+// exponential enumeration stops within one expansion step of a
+// deadline or cancel. A cancelled enumeration returns the context's
+// error; a complete one (or one stopped by yield) returns nil.
+func (d *DB) EnumerateWorldsCtx(ctx context.Context, yield func(included []int, world *relation.Overlay) bool) error {
 	type node struct {
 		included []int
 		world    *relation.Overlay
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	seen := map[string]bool{"": true}
 	queue := []node{{nil, relation.NewOverlay(d.State)}}
 	if !yield(nil, queue[0].world) {
-		return
+		return nil
 	}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		for ti := range d.Pending {
@@ -220,11 +236,12 @@ func (d *DB) EnumerateWorlds(yield func(included []int, world *relation.Overlay)
 				w.Add(d.Pending[i])
 			}
 			if !yield(next, w) {
-				return
+				return nil
 			}
 			queue = append(queue, node{next, w})
 		}
 	}
+	return nil
 }
 
 // CountWorlds returns the number of reachable transaction subsets.

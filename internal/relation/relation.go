@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"sync"
+
 	"blockchaindb/internal/value"
 )
 
@@ -8,10 +10,16 @@ import (
 // over column sets. Insertion preserves set semantics: duplicate tuples
 // are ignored. Tuples keep their insertion order for deterministic
 // iteration.
+//
+// Reads — including the lazy index build on first Lookup — are safe
+// from concurrent goroutines; the parallel DCSat workers and concurrent
+// Monitor checks all evaluate queries over shared relations. Mutation
+// (Insert) still requires external exclusion against readers.
 type Relation struct {
 	schema  *Schema
 	tuples  []value.Tuple
-	byKey   map[string]int        // full-tuple key -> position in tuples
+	byKey   map[string]int // full-tuple key -> position in tuples
+	idxMu   sync.RWMutex
 	indexes map[string]*hashIndex // colSignature -> index
 }
 
@@ -83,9 +91,18 @@ func (r *Relation) Contains(t value.Tuple) bool {
 }
 
 // EnsureIndex builds (once) a hash index over the column set and
-// returns its signature for use with Lookup.
+// returns its signature for use with Lookup. Concurrent callers are
+// safe: the first one in builds, the rest wait and reuse it.
 func (r *Relation) EnsureIndex(cols []int) string {
 	sig := colSignature(cols)
+	r.idxMu.RLock()
+	_, ok := r.indexes[sig]
+	r.idxMu.RUnlock()
+	if ok {
+		return sig
+	}
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
 	if _, ok := r.indexes[sig]; ok {
 		return sig
 	}
@@ -103,7 +120,10 @@ func (r *Relation) EnsureIndex(cols []int) string {
 // must not be modified.
 func (r *Relation) Lookup(cols []int, projKey string) []int {
 	sig := r.EnsureIndex(cols)
-	return r.indexes[sig].buckets[projKey]
+	r.idxMu.RLock()
+	idx := r.indexes[sig]
+	r.idxMu.RUnlock()
+	return idx.buckets[projKey]
 }
 
 // LookupTuples iterates the tuples matching the projection key, calling
