@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"blockchaindb/internal/datafile"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/workload"
 )
 
@@ -42,6 +43,17 @@ func main() {
 		ChainProb:         *chainProb,
 		MaxOuts:           *maxOuts,
 	})
+
+	// Record the generation in the flight recorder like every other
+	// producer of pending transactions, so a harness embedding the
+	// generator sees dataset builds interleaved with the checks they
+	// feed.
+	obs.DefaultJournal.Append("dataset_generated", obs.NextTraceID(), "",
+		obs.F("seed", *seed),
+		obs.F("blocks", ds.Stats.Blocks),
+		obs.F("transactions", ds.Stats.Transactions),
+		obs.F("pending", ds.Stats.PendingTransactions),
+		obs.F("contradictions", *contradictions))
 
 	w := os.Stdout
 	if *out != "" {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -38,11 +39,31 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address, and keep serving after the scenario until interrupted")
 		snap     = flag.Int("snap", 1, "log a chain/mempool snapshot every N checkpoints (0 disables)")
+		journal  = flag.String("journal", "", "write flight-recorder snapshots (journal + slow-check exemplars, JSON) to this file")
+		journalN = flag.Duration("journal-every", 2*time.Second, "how often to rewrite the -journal snapshot while serving")
 		logLevel = flag.String("log", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
 	logger := obs.NewStderrLogger(obs.ParseLevel(*logLevel))
+	if *journal != "" {
+		// Periodic flight-recorder snapshots: the journal ring and the
+		// slow/undecided exemplars, rewritten in place so the file always
+		// holds the freshest window (a post-mortem reads the last one).
+		writeSnap := func() {
+			if err := writeJournalSnapshot(*journal); err != nil {
+				logger.Warn("journal snapshot failed", "err", err)
+			}
+		}
+		go func() {
+			t := time.NewTicker(*journalN)
+			defer t.Stop()
+			for range t.C {
+				writeSnap()
+			}
+		}()
+		defer writeSnap()
+	}
 	heightGauge := obs.Default.Gauge("bcnode_chain_height", "best chain height at the home node")
 	if *listen != "" {
 		obs.PublishExpvar("blockchaindb", obs.Default)
@@ -192,6 +213,35 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+}
+
+// journalSnapshot is the on-disk flight-recorder snapshot format: the
+// event ring plus the slow/undecided exemplars, stamped with the wall
+// clock.
+type journalSnapshot struct {
+	WrittenAt time.Time       `json:"written_at"`
+	Journal   obs.JournalDump `json:"journal"`
+	Slow      obs.SlowDump    `json:"slow"`
+}
+
+// writeJournalSnapshot dumps the default journal and exemplar store to
+// path atomically (write to a temp file, then rename) so a reader never
+// sees a torn snapshot.
+func writeJournalSnapshot(path string) error {
+	snap := journalSnapshot{
+		WrittenAt: time.Now(),
+		Journal:   obs.DumpJournal(obs.DefaultJournal, 0),
+		Slow:      obs.DumpSlow(obs.DefaultExemplars),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // promised collects outpoints already spent by mempool transactions so

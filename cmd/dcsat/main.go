@@ -30,6 +30,7 @@ import (
 	"blockchaindb/internal/core"
 	"blockchaindb/internal/datafile"
 	"blockchaindb/internal/obs"
+	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 )
 
@@ -44,7 +45,7 @@ func main() {
 		inclP    = flag.Float64("p", 0.5, "per-transaction inclusion probability for -estimate")
 		seed     = flag.Int64("seed", 1, "sampling seed for -estimate")
 		verbose  = flag.Bool("v", false, "print stats and classification")
-		explain  = flag.Bool("explain", false, "print the evaluator's plan before checking")
+		explain  = flag.Bool("explain", false, "print the evaluator's plan, then the decision path and per-stage cost breakdown of the check (decided or undecided)")
 		stats    = flag.Bool("stats", false, "print the per-stage time breakdown and instrument counters")
 		trace    = flag.Bool("trace", false, "print the span tree of the check")
 	)
@@ -123,6 +124,14 @@ func main() {
 	root.End()
 	if errors.Is(err, core.ErrUndecided) {
 		fmt.Printf("UNDECIDED: %v (timeout %v)\n", err, *timeout)
+		// The partial Result still carries the stages that did run, so
+		// -explain shows where the interrupted check spent its budget.
+		if *explain && res != nil {
+			explainCheck(q, db, res, true)
+		}
+		if *trace {
+			fmt.Printf("\ntrace:\n%s", root.Render())
+		}
 		os.Exit(3)
 	}
 	if err != nil {
@@ -152,15 +161,14 @@ func main() {
 		fmt.Printf("complexity: DCSat for this query class and constraint types is %s (Theorems 1–2)\n",
 			core.Classify(q, db.Constraints))
 	}
+	if *explain {
+		explainCheck(q, db, res, false)
+	}
 	if *trace {
 		fmt.Printf("\ntrace:\n%s", root.Render())
 	}
 	if *stats {
-		fmt.Printf("\nstage breakdown (total %v):\n", res.Stats.Duration.Round(10*time.Microsecond))
-		for _, st := range res.Stats.StageBreakdown() {
-			pct := 100 * float64(st.Duration) / float64(res.Stats.Duration)
-			fmt.Printf("  %-18s %12v %5.1f%%\n", st.Name, st.Duration.Round(time.Microsecond), pct)
-		}
+		printBreakdown(&res.Stats)
 		fmt.Printf("\ninstruments:\n%s", obs.Default.Snapshot().Format())
 	}
 	if *estimate > 0 {
@@ -173,6 +181,47 @@ func main() {
 	}
 	if !res.Satisfied {
 		os.Exit(1)
+	}
+}
+
+// explainCheck renders the decision path the check took and where its
+// time went. For an undecided check the breakdown covers the stages
+// that ran before the deadline or cancellation cut the search short.
+func explainCheck(q *query.Query, db *possible.DB, res *core.Result, cut bool) {
+	st := res.Stats
+	fmt.Printf("\ndecision path:\n")
+	fmt.Printf("  class      %s (Theorems 1-2 data complexity)\n", core.Classify(q, db.Constraints))
+	fmt.Printf("  algorithm  %v\n", st.Algorithm)
+	switch {
+	case st.Prechecked:
+		fmt.Printf("  route      decided by the monotone pre-check over R ∪ ∪T\n")
+	case cut:
+		fmt.Printf("  route      cut short after %d/%d components, %d cliques, %d worlds\n",
+			st.ComponentsCovered, st.Components, st.Cliques, st.WorldsEvaluated)
+	default:
+		fmt.Printf("  route      %d live pending → %d components (%d covered) → %d cliques → %d worlds\n",
+			st.LivePending, st.Components, st.ComponentsCovered, st.Cliques, st.WorldsEvaluated)
+	}
+	if st.WorkersUsed > 1 {
+		fmt.Printf("  parallel   %d workers, %v summed busy time\n", st.WorkersUsed, st.WorkerBusy.Round(time.Microsecond))
+	}
+	printBreakdown(&st)
+}
+
+// printBreakdown prints the per-stage cost table in pipeline order.
+func printBreakdown(st *core.Stats) {
+	fmt.Printf("\nstage breakdown (total %v):\n", st.Duration.Round(10*time.Microsecond))
+	stages := st.StageBreakdown()
+	if len(stages) == 0 {
+		fmt.Println("  (no stage ran before the check ended)")
+		return
+	}
+	for _, stage := range stages {
+		pct := 0.0
+		if st.Duration > 0 {
+			pct = 100 * float64(stage.Duration) / float64(st.Duration)
+		}
+		fmt.Printf("  %-18s %12v %5.1f%%\n", stage.Name, stage.Duration.Round(time.Microsecond), pct)
 	}
 }
 

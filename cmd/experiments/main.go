@@ -40,6 +40,7 @@ func main() {
 	defer func() {
 		if *stats {
 			fmt.Printf("instruments:\n%s", obs.Default.Snapshot().Format())
+			fmt.Printf("\nflight recorder:\n%s", bench.JournalSummary())
 		}
 	}()
 	if *report != "" {

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blockchaindb/internal/obs"
+)
+
+// JournalSummary renders a flight-recorder summary for an experiment
+// run: journal event counts by type and the slowest captured check
+// exemplar. Experiments drive thousands of checks, so the per-event
+// journal itself is too noisy to print; the counts say what ran and
+// the exemplar says where the worst of the time went.
+func JournalSummary() string {
+	var b strings.Builder
+	d := obs.DumpJournal(obs.DefaultJournal, 0)
+	fmt.Fprintf(&b, "journal: %d events retained of %d appended (%d rolled off the ring)\n",
+		len(d.Events), d.TotalAppended, d.Dropped)
+	types := make([]string, 0, len(d.CountsByType))
+	for typ := range d.CountsByType {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		fmt.Fprintf(&b, "  %-18s %d\n", typ, d.CountsByType[typ])
+	}
+	if slow := obs.DefaultExemplars.Slowest(); len(slow) > 0 {
+		fmt.Fprintf(&b, "slowest check:\n")
+		for _, line := range strings.Split(strings.TrimRight(slow[0].Format(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	if und := obs.DefaultExemplars.Undecided(); len(und) > 0 {
+		fmt.Fprintf(&b, "undecided checks captured: %d (newest trace=%d)\n",
+			len(und), und[len(und)-1].TraceID)
+	}
+	return b.String()
+}

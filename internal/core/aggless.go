@@ -103,7 +103,7 @@ func aggFDOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Resul
 		return nil, err
 	}
 	if ctxErr != nil {
-		return nil, ctxErr
+		return res, ctxErr // partial world count for the flight recorder
 	}
 	if violated {
 		res.Satisfied = false

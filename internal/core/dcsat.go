@@ -236,6 +236,12 @@ func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 // evaluation) records a span under it. Without a trace the
 // instrumentation degrades to the obs no-op path plus the per-stage
 // duration counters in Stats.
+//
+// When the returned error wraps ErrUndecided the Result is still
+// non-nil: it carries the partial Stats (stage durations, clique and
+// world counts) accumulated before the cut-off, so callers can report
+// where an interrupted check spent its time. Its Satisfied field is
+// meaningless — always test the error first.
 func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
 	return checkContext(ctx, d, q, opts, nil)
 }
@@ -256,28 +262,48 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	}
 	ctx, span := obs.Start(ctx, "dcsat_check")
 	defer span.End()
+	// Process-unique check ID: the trace ID when running under an obs
+	// trace (so journal events and the span tree correlate), a fresh ID
+	// otherwise.
+	checkID := span.TraceID()
+	if checkID == 0 {
+		checkID = obs.NextTraceID()
+	}
+	gInflight.Add(1)
+	defer gInflight.Add(-1)
+	start := time.Now()
+	vChecksByClass.With(string(Classify(q, d.Constraints))).Inc()
+	obs.DefaultJournal.Append("check_start", checkID, "",
+		obs.F("query", q.String()),
+		obs.F("algorithm", opts.Algorithm.String()),
+		obs.F("pending", len(d.Pending)))
 	if !opts.Deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
 		defer cancel()
 	}
 	// An already-expired deadline (or cancelled caller) must come back
-	// undecided immediately, before any data-sized work runs.
+	// undecided immediately, before any data-sized work runs. The
+	// Result still flows through the flight recorder so the cut-off is
+	// visible in the journal and the undecided exemplar ring.
 	if err := ctx.Err(); err != nil {
-		span.SetAttr("verdict", "undecided")
-		mUndecided.Inc()
-		return nil, undecided(err)
+		res := &Result{Stats: Stats{Algorithm: opts.Algorithm, Duration: time.Since(start)}}
+		finishCheck(checkID, span, start, res, opts, q, verdictUndecided)
+		return res, undecided(err)
 	}
 	// Rewrite first: constant folding may prove the constraint
 	// trivially satisfied, and pushing constants into atoms sharpens
 	// both the evaluator's index use and OptDCSat's Covers filter.
 	simplified, satisfiable := query.Simplify(q)
 	if !satisfiable {
-		span.SetAttr("verdict", "satisfied_by_rewrite")
-		return &Result{Satisfied: true, Stats: Stats{
+		span.SetAttr("rewrite", "unsatisfiable")
+		res := &Result{Satisfied: true, Stats: Stats{
 			Algorithm:  opts.Algorithm,
 			Prechecked: true,
-		}}, nil
+			Duration:   time.Since(start),
+		}}
+		finishCheck(checkID, span, start, res, opts, q, verdictSatisfied)
+		return res, nil
 	}
 	q = simplified
 	algo := opts.Algorithm
@@ -294,7 +320,6 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 		}
 	}
 	span.SetAttr("algorithm", algo.String())
-	start := time.Now()
 	var (
 		res *Result
 		err error
@@ -313,17 +338,36 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	}
 	if err != nil {
 		if isCtxErr(err) {
-			span.SetAttr("verdict", "undecided")
-			mUndecided.Inc()
-			return nil, undecided(err)
+			// The solvers return their partial Result alongside a
+			// context error; close its books so the interrupted work
+			// is still accounted for (satellite of the cost model:
+			// deadline pressure must not vanish from the metrics).
+			if res == nil {
+				res = &Result{}
+			}
+			res.Stats.Algorithm = algo
+			res.Stats.Duration = time.Since(start)
+			finishCheck(checkID, span, start, res, opts, q, verdictUndecided)
+			return res, undecided(err)
 		}
 		return nil, err
 	}
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
 	span.SetAttr("satisfied", res.Satisfied)
-	recordCheckMetrics(res)
+	finishCheck(checkID, span, start, res, opts, q, verdictOf(res))
 	return res, nil
+}
+
+// finishCheck is the closing bookkeeping shared by every checkContext
+// exit that produced a Result — decided, rewritten, or cut short:
+// metrics (aggregate and labeled), journal events, and exemplar
+// capture.
+func finishCheck(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q *query.Query, verdict string) {
+	span.SetAttr("verdict", verdict)
+	recordCheckMetrics(res, verdict)
+	journalCheckEvents(checkID, res, verdict)
+	offerExemplar(checkID, span, start, res, opts, q, verdict)
 }
 
 // cliqueDCSat implements NaiveDCSat (optimized=false) and OptDCSat
@@ -361,9 +405,10 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 	}
 	// The polynomial stages below can take milliseconds on large
 	// pending sets; poll between them so a deadline does not have to
-	// wait for the first in-search poll point.
+	// wait for the first in-search poll point. Cancellation returns the
+	// partial res so the stages already run stay accounted for.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return res, err
 	}
 	// The current state alone is a possible world; check it explicitly
 	// so component filtering below cannot hide an R-only violation.
@@ -387,7 +432,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 	}
 	res.Stats.LivePending = len(live)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return res, err
 	}
 	var groups [][]int
 	if optimized && q.IsConnected() {
@@ -402,7 +447,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 	}
 	res.Stats.Components = len(groups)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return res, err
 	}
 	var targets []coverTarget
 	if optimized && !opts.DisableCoverFilter {
@@ -451,7 +496,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			res.Stats.ComponentsCovered++
 			violated, witness, err := searchComponentParallel(ctx, d, q, comp, opts, fdGraph, &res.Stats)
 			if err != nil {
-				return nil, err
+				return res, err
 			}
 			if violated {
 				res.Satisfied = false
@@ -468,7 +513,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		res.Stats.ComponentsCovered++
 		violated, witness, err := searchComponent(ctx, d, q, comp, fdGraph, &res.Stats)
 		if err != nil {
-			return nil, err
+			return res, err
 		}
 		if violated {
 			res.Satisfied = false
@@ -477,7 +522,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return res, err
 	}
 	return res, nil
 }
@@ -635,7 +680,7 @@ func fdOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Result, 
 		return nil, err
 	}
 	if ctxErr != nil {
-		return nil, ctxErr
+		return res, ctxErr
 	}
 	if violated {
 		res.Satisfied = false
@@ -754,7 +799,7 @@ func exhaustiveDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Resu
 		return nil, evalErr
 	}
 	if err != nil {
-		return nil, err
+		return res, err // ctx error: keep the partial world count
 	}
 	return res, nil
 }

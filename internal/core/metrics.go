@@ -1,35 +1,79 @@
 package core
 
-import "blockchaindb/internal/obs"
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blockchaindb/internal/obs"
+)
 
 // Registry instruments for the DCSat pipeline. Counters are process
 // lifetime aggregates across every Check invocation; the per-stage
 // histograms record nanoseconds, so a /metrics scrape shows where time
-// goes without tracing individual checks.
+// goes without tracing individual checks. The labeled families break
+// the same totals down by algorithm, verdict, and constraint class —
+// the dimensions along which the paper's cost model predicts skew.
 var (
-	mChecks     = obs.Default.Counter("dcsat_checks_total", "denial-constraint checks executed")
+	mChecks     = obs.Default.Counter("dcsat_checks_total", "denial-constraint checks executed (including undecided)")
 	mViolations = obs.Default.Counter("dcsat_violations_total", "checks that found a violating possible world")
 	mPrechecked = obs.Default.Counter("dcsat_prechecked_total", "checks decided by the monotone pre-check alone")
 	mCliques    = obs.Default.Counter("dcsat_cliques_total", "maximal cliques enumerated")
 	mWorlds     = obs.Default.Counter("dcsat_worlds_total", "possible worlds the query was evaluated on")
 	mUndecided  = obs.Default.Counter("dcsat_undecided_total", "checks cut short by a deadline or cancellation before reaching a verdict")
 
-	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency")
+	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency (undecided checks record their cut-short wall time)")
 	hPrecheck   = obs.Default.Histogram("dcsat_precheck_ns", "monotone pre-check stage latency")
 	hLiveFilter = obs.Default.Histogram("dcsat_live_filter_ns", "fd-liveness filter stage latency")
 	hClosure    = obs.Default.Histogram("dcsat_component_split_ns", "ind-q component split + state-bridge closure latency")
 	hGraph      = obs.Default.Histogram("dcsat_fd_graph_build_ns", "fd-transaction graph build time per check")
 	hClique     = obs.Default.Histogram("dcsat_clique_enum_ns", "Bron-Kerbosch enumeration time per check (excl. evaluation)")
 	hEval       = obs.Default.Histogram("dcsat_world_eval_ns", "per-world evaluation time per check")
+
+	// Labeled families: where the aggregates above hide skew, these
+	// expose it per Prometheus scrape.
+	vChecksBy = obs.Default.CounterVec("dcsat_checks_by",
+		"checks by algorithm and verdict (satisfied/violated/undecided)", "algorithm", "verdict")
+	vChecksByClass = obs.Default.CounterVec("dcsat_checks_by_class",
+		"checks by the Theorems 1-2 data-complexity class of (query, constraints)", "class")
+	vCheckNsBy = obs.Default.HistogramVec("dcsat_check_ns_by",
+		"end-to-end check latency by algorithm", "algorithm")
+
+	// In-flight and pool instruments. The inflight gauge is decremented
+	// on every exit path (defer), including panics and cancellations.
+	gInflight = obs.Default.Gauge("dcsat_inflight_checks", "checks currently executing")
+	gPoolBusy = obs.Default.Gauge("dcsat_pool_workers_busy", "parallel search workers currently running")
+	gPoolUtil = obs.Default.Gauge("dcsat_pool_utilization_permille",
+		"busy-time/(wall*workers) of the most recent parallel search, in permille")
 )
 
-// recordCheckMetrics publishes one completed Check into the default
-// registry.
-func recordCheckMetrics(res *Result) {
+// Verdict strings for the labeled families and journal events.
+const (
+	verdictSatisfied = "satisfied"
+	verdictViolated  = "violated"
+	verdictUndecided = obs.VerdictUndecided
+)
+
+// verdictOf names a decided result's outcome.
+func verdictOf(res *Result) string {
+	if res.Satisfied {
+		return verdictSatisfied
+	}
+	return verdictViolated
+}
+
+// recordCheckMetrics publishes one finished Check — decided or cut
+// short — into the default registry. Undecided checks record their
+// partial stage durations and wall time too, so deadline pressure is
+// visible in the latency percentiles rather than vanishing from them.
+func recordCheckMetrics(res *Result, verdict string) {
 	st := &res.Stats
 	mChecks.Inc()
-	if !res.Satisfied {
+	switch verdict {
+	case verdictViolated:
 		mViolations.Inc()
+	case verdictUndecided:
+		mUndecided.Inc()
 	}
 	if st.Prechecked {
 		mPrechecked.Inc()
@@ -55,4 +99,97 @@ func recordCheckMetrics(res *Result) {
 	if st.EvalDur > 0 {
 		hEval.ObserveDuration(st.EvalDur)
 	}
+	algo := st.Algorithm.String()
+	vChecksBy.With(algo, verdict).Inc()
+	vCheckNsBy.With(algo).ObserveDuration(st.Duration)
+}
+
+// journalCheckEvents appends one check's flight-recorder record: the
+// finish event with its headline numbers, then one event per nonzero
+// pipeline stage. The caller already appended check_start.
+func journalCheckEvents(checkID uint64, res *Result, verdict string) {
+	st := &res.Stats
+	typ := "check_finish"
+	if verdict == verdictUndecided {
+		typ = "check_undecided"
+	}
+	obs.DefaultJournal.Append(typ, checkID, "",
+		obs.F("verdict", verdict),
+		obs.F("algorithm", st.Algorithm.String()),
+		obs.F("duration_ns", int64(st.Duration)),
+		obs.F("cliques", st.Cliques),
+		obs.F("worlds", st.WorldsEvaluated),
+		obs.F("prechecked", st.Prechecked))
+	for _, stage := range st.StageBreakdown() {
+		obs.DefaultJournal.Append("stage", checkID, "",
+			obs.F("stage", stage.Name),
+			obs.F("ns", int64(stage.Duration)))
+	}
+}
+
+// offerExemplar submits the check to the slow/undecided exemplar store:
+// identity, options, verdict, per-stage breakdown, witness summary, and
+// the rendered span tree when the check ran under a trace.
+func offerExemplar(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q fmt.Stringer, verdict string) {
+	st := &res.Stats
+	// Cheap pre-test: most checks are faster than the slow-list floor
+	// and not undecided, so skip building the exemplar at all.
+	if verdict != verdictUndecided && time.Duration(st.Duration) < obs.DefaultExemplars.Threshold() {
+		return
+	}
+	stages := make([]obs.StageNS, 0, 6)
+	for _, stage := range st.StageBreakdown() {
+		stages = append(stages, obs.StageNS{Name: stage.Name, NS: int64(stage.Duration)})
+	}
+	ex := obs.Exemplar{
+		TraceID:   checkID,
+		Name:      q.String(),
+		Start:     start,
+		Duration:  int64(st.Duration),
+		Verdict:   verdict,
+		Algorithm: st.Algorithm.String(),
+		Options:   optionsSummary(opts),
+		Stages:    stages,
+		Witness:   witnessSummary(res, verdict),
+		SpanTree:  span.Render(),
+	}
+	obs.DefaultExemplars.Offer(ex)
+}
+
+// optionsSummary renders the check options that affect cost.
+func optionsSummary(opts Options) string {
+	var parts []string
+	if opts.Workers > 1 {
+		parts = append(parts, fmt.Sprintf("workers=%d", opts.Workers))
+	}
+	if !opts.Deadline.IsZero() {
+		parts = append(parts, "deadline=set")
+	}
+	if opts.DisablePrecheck {
+		parts = append(parts, "precheck=off")
+	}
+	if opts.DisableCoverFilter {
+		parts = append(parts, "covers=off")
+	}
+	if opts.DisableLiveFilter {
+		parts = append(parts, "livefilter=off")
+	}
+	return strings.Join(parts, " ")
+}
+
+// witnessSummary compresses a violation witness for the exemplar store
+// (the full pending transactions stay in the database, not the
+// recorder).
+func witnessSummary(res *Result, verdict string) string {
+	if verdict != verdictViolated {
+		return ""
+	}
+	if len(res.Witness) == 0 {
+		return "current state alone"
+	}
+	const keep = 8
+	if len(res.Witness) <= keep {
+		return fmt.Sprintf("pending %v", res.Witness)
+	}
+	return fmt.Sprintf("pending %v… (%d total)", res.Witness[:keep], len(res.Witness))
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"blockchaindb/internal/graph"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
@@ -69,7 +70,12 @@ func (m *Monitor) AddPending(tx *relation.Transaction) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.addLocked(norm), nil
+	id := m.addLocked(norm)
+	obs.DefaultJournal.Append("monitor_add", 0, "",
+		obs.F("id", id),
+		obs.F("pending", len(m.db.Pending)),
+		obs.F("appendable", m.appendable[id]))
+	return id, nil
 }
 
 func (m *Monitor) addLocked(tx *relation.Transaction) int {
@@ -111,7 +117,13 @@ func (m *Monitor) bumpConflict(a, b int, delta int) {
 func (m *Monitor) DropPending(id int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.removeLocked(id)
+	if err := m.removeLocked(id); err != nil {
+		return err
+	}
+	obs.DefaultJournal.Append("monitor_drop", 0, "",
+		obs.F("id", id),
+		obs.F("pending", len(m.db.Pending)))
+	return nil
 }
 
 func (m *Monitor) removeLocked(id int) error {
@@ -184,6 +196,9 @@ func (m *Monitor) Commit(id int) error {
 	for oid, slot := range m.byID {
 		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
 	}
+	obs.DefaultJournal.Append("monitor_commit", 0, "",
+		obs.F("id", id),
+		obs.F("pending", len(m.db.Pending)))
 	return nil
 }
 

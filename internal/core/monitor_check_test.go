@@ -115,8 +115,8 @@ func TestMonitorCheckDeadline(t *testing.T) {
 	mon := NewMonitor(fixture.PaperDB())
 	q := query.MustParse("q() :- TxOut(t, s, pk, a)")
 	res, err := mon.Check(q, Options{Deadline: time.Now().Add(-time.Second)})
-	if res != nil || !errors.Is(err, ErrUndecided) {
-		t.Fatalf("res=%v err=%v, want ErrUndecided", res, err)
+	if res == nil || !errors.Is(err, ErrUndecided) {
+		t.Fatalf("res=%v err=%v, want partial Result with ErrUndecided", res, err)
 	}
 }
 

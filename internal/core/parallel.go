@@ -69,8 +69,14 @@ func runDeterministic(ctx context.Context, n, workers int, stats *Stats, statsMu
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	runStart := time.Now()
+	var busyNS atomic.Int64
 	for w := 0; w < workers; w++ {
 		go func() {
+			// Busy gauge: decremented on every exit path, panic
+			// included, so a crashed worker cannot leave it stuck high.
+			gPoolBusy.Add(1)
+			defer gPoolBusy.Add(-1)
 			defer wg.Done()
 			var local Stats
 			busyStart := time.Now()
@@ -88,12 +94,18 @@ func runDeterministic(ctx context.Context, n, workers int, stats *Stats, statsMu
 				}
 			}
 			local.WorkerBusy = time.Since(busyStart)
+			busyNS.Add(int64(local.WorkerBusy))
 			statsMu.Lock()
 			stats.Merge(local)
 			statsMu.Unlock()
 		}()
 	}
 	wg.Wait()
+	// Utilization of the pool that just drained: summed busy time over
+	// wall × workers, in permille (a gauge holds integers).
+	if wall := time.Since(runStart); wall > 0 {
+		gPoolUtil.Set(busyNS.Load() * 1000 / (int64(wall) * int64(workers)))
+	}
 	// The first recorded outcome in index order sits exactly at the
 	// final bound: everything below it completed without stopping.
 	for _, o := range outcomes {

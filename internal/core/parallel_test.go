@@ -149,8 +149,8 @@ func TestExpiredDeadlineUndecidedFast(t *testing.T) {
 		start := time.Now()
 		res, err := Check(d, q, Options{Algorithm: algo, Deadline: time.Now().Add(-time.Second)})
 		elapsed := time.Since(start)
-		if res != nil || !errors.Is(err, ErrUndecided) {
-			t.Fatalf("%v: res=%v err=%v, want ErrUndecided", algo, res, err)
+		if res == nil || !errors.Is(err, ErrUndecided) {
+			t.Fatalf("%v: res=%v err=%v, want partial Result with ErrUndecided", algo, res, err)
 		}
 		if !errors.Is(err, context.DeadlineExceeded) {
 			t.Fatalf("%v: cause %v, want context.DeadlineExceeded in the chain", algo, err)
@@ -195,8 +195,11 @@ func TestMidFlightDeadline(t *testing.T) {
 		start := time.Now()
 		res, err := Check(d, q, opts)
 		elapsed := time.Since(start)
-		if res != nil || !errors.Is(err, ErrUndecided) {
-			t.Fatalf("opts %+v: res=%v err=%v, want ErrUndecided", opts, res, err)
+		if res == nil || !errors.Is(err, ErrUndecided) {
+			t.Fatalf("opts %+v: res=%v err=%v, want partial Result with ErrUndecided", opts, res, err)
+		}
+		if res.Stats.Duration <= 0 {
+			t.Fatalf("opts %+v: undecided Result lost its wall time: %+v", opts, res.Stats)
 		}
 		if elapsed > 2*time.Second {
 			t.Fatalf("opts %+v: deadline ignored for %v", opts, elapsed)
@@ -218,8 +221,8 @@ func TestContextCancelUndecided(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err := CheckContext(ctx, d, q, Options{Algorithm: AlgoOpt})
-	if res != nil || !errors.Is(err, ErrUndecided) || !errors.Is(err, context.Canceled) {
-		t.Fatalf("res=%v err=%v, want ErrUndecided wrapping context.Canceled", res, err)
+	if res == nil || !errors.Is(err, ErrUndecided) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("res=%v err=%v, want partial Result with ErrUndecided wrapping context.Canceled", res, err)
 	}
 }
 

@@ -199,3 +199,157 @@ func TestCheckUntracedNoSpans(t *testing.T) {
 		t.Error("stage durations must be recorded even without a trace")
 	}
 }
+
+// TestStageBreakdownEdgeCases: zero-duration stages are omitted, order
+// is pipeline order, and an all-zero Stats yields an empty breakdown.
+func TestStageBreakdownEdgeCases(t *testing.T) {
+	var zero Stats
+	if got := zero.StageBreakdown(); len(got) != 0 {
+		t.Errorf("zero Stats breakdown = %v, want empty", got)
+	}
+	st := Stats{
+		PrecheckDur: 2 * time.Millisecond,
+		// LiveFilterDur deliberately zero: must be skipped.
+		ClosureDur: 1 * time.Millisecond,
+		EvalDur:    3 * time.Millisecond,
+	}
+	got := st.StageBreakdown()
+	wantNames := []string{"precheck", "component_split", "world_eval"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("breakdown = %v, want stages %v", got, wantNames)
+	}
+	for i, name := range wantNames {
+		if got[i].Name != name {
+			t.Errorf("stage[%d] = %q, want %q (pipeline order)", i, got[i].Name, name)
+		}
+		if got[i].Duration <= 0 {
+			t.Errorf("stage[%d] %q has zero duration", i, name)
+		}
+	}
+}
+
+// TestStatsMergePrecheckedUndecided: merging a prechecked worker's
+// stats into an interrupted (partial) one keeps the boolean and adds
+// the partial durations — the combination produced when a parallel
+// component finishes by pre-check while a sibling is cut short.
+func TestStatsMergePrecheckedUndecided(t *testing.T) {
+	partial := Stats{PrecheckDur: 5 * time.Millisecond, WorldsEvaluated: 2}
+	prechecked := Stats{Prechecked: true, WorldsEvaluated: 1, PrecheckDur: 1 * time.Millisecond}
+	partial.Merge(prechecked)
+	if !partial.Prechecked {
+		t.Error("Merge dropped Prechecked=true")
+	}
+	if partial.WorldsEvaluated != 3 {
+		t.Errorf("WorldsEvaluated = %d, want 3", partial.WorldsEvaluated)
+	}
+	if partial.PrecheckDur != 6*time.Millisecond {
+		t.Errorf("PrecheckDur = %v, want 6ms", partial.PrecheckDur)
+	}
+	// Or-semantics both ways: false into true stays true.
+	prechecked.Merge(Stats{})
+	if !prechecked.Prechecked {
+		t.Error("merging a zero Stats cleared Prechecked")
+	}
+}
+
+// TestStatsDoubleMerge: merging the same source twice adds twice —
+// Merge is plain accumulation, so callers must merge each worker
+// exactly once. The test pins that contract (a dedupe inside Merge
+// would silently change parallel accounting).
+func TestStatsDoubleMerge(t *testing.T) {
+	src := Stats{Cliques: 3, CliqueDur: 2 * time.Millisecond, WorkersUsed: 1, Prechecked: true}
+	var dst Stats
+	dst.Merge(src)
+	dst.Merge(src)
+	if dst.Cliques != 6 || dst.CliqueDur != 4*time.Millisecond || dst.WorkersUsed != 2 {
+		t.Errorf("double merge = %+v, want exactly doubled counts", dst)
+	}
+	if !dst.Prechecked {
+		t.Error("double merge lost Prechecked")
+	}
+}
+
+// TestUndecidedRecordsMetrics: an undecided check must still observe
+// dcsat_check_ns and return its partial Stats (it used to vanish from
+// the latency percentiles entirely), and the in-flight gauge must be
+// back to zero afterwards.
+func TestUndecidedRecordsMetrics(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default.Snapshot()
+	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, Deadline: time.Now().Add(-time.Second)})
+	if res == nil || err == nil {
+		t.Fatalf("res=%v err=%v, want partial Result with error", res, err)
+	}
+	if res.Stats.Duration <= 0 {
+		t.Errorf("undecided Result lost its wall time: %+v", res.Stats)
+	}
+	after := obs.Default.Snapshot()
+	if d := after.Histograms["dcsat_check_ns"].Count - before.Histograms["dcsat_check_ns"].Count; d != 1 {
+		t.Errorf("dcsat_check_ns count delta = %d, want 1 (undecided must record latency)", d)
+	}
+	if d := after.Counters["dcsat_undecided_total"] - before.Counters["dcsat_undecided_total"]; d != 1 {
+		t.Errorf("dcsat_undecided_total delta = %d, want 1", d)
+	}
+	if d := after.Counters["dcsat_checks_total"] - before.Counters["dcsat_checks_total"]; d != 1 {
+		t.Errorf("dcsat_checks_total delta = %d, want 1 (undecided checks count)", d)
+	}
+	if got := after.Gauges["dcsat_inflight_checks"]; got != 0 {
+		t.Errorf("dcsat_inflight_checks = %d after all checks returned, want 0", got)
+	}
+	found := false
+	for labels := range after.CounterVecs["dcsat_checks_by"] {
+		if strings.Contains(labels, `verdict="undecided"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dcsat_checks_by has no undecided child: %v", after.CounterVecs["dcsat_checks_by"])
+	}
+}
+
+// TestCheckEmitsJournalEvents: one decided check appends check_start,
+// a finish event, and its stage events, all under one check ID.
+func TestCheckEmitsJournalEvents(t *testing.T) {
+	ds := statsTestDataset(t)
+	q, err := ds.Query(workload.QueryPath, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeTotal := obs.DefaultJournal.TotalAppended()
+	if _, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt}); err != nil {
+		t.Fatal(err)
+	}
+	events := obs.DefaultJournal.Snapshot()
+	var start, finish *obs.Event
+	for i := range events {
+		e := &events[i]
+		if e.Seq < beforeTotal {
+			continue
+		}
+		switch e.Type {
+		case "check_start":
+			start = e
+		case "check_finish":
+			finish = e
+		}
+	}
+	if start == nil || finish == nil {
+		t.Fatalf("missing check events after Check (start=%v finish=%v)", start, finish)
+	}
+	if start.Trace == 0 || start.Trace != finish.Trace {
+		t.Errorf("check events not correlated: start trace=%d finish trace=%d", start.Trace, finish.Trace)
+	}
+	stages := 0
+	for _, e := range events {
+		if e.Type == "stage" && e.Trace == start.Trace {
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Error("no stage events recorded for the check")
+	}
+}

@@ -63,3 +63,52 @@ func BenchmarkObserveDuration(b *testing.B) {
 		h.ObserveDuration(d)
 	}
 }
+
+// BenchmarkJournalAppend measures the flight recorder's hot path at
+// default capacity — the cost the always-on journal adds per event.
+// The ≤5% budget on the parallel-modes table allows roughly a
+// microsecond per check (~8 events), so this must stay well under
+// 100ns/op.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := NewJournal(DefaultJournalCapacity)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j.Append("check_finish", 42, "", F("verdict", "satisfied"), F("cliques", 17))
+		}
+	})
+}
+
+// BenchmarkJournalAppendDisabled is the disabled comparison point.
+func BenchmarkJournalAppendDisabled(b *testing.B) {
+	j := NewJournal(DefaultJournalCapacity)
+	j.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Append("check_finish", 42, "", F("verdict", "satisfied"))
+	}
+}
+
+// BenchmarkCounterVecWith measures the labeled-family lookup that the
+// per-check metrics pay per verdict.
+func BenchmarkCounterVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_by", "", "algorithm", "verdict")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("opt", "satisfied").Inc()
+	}
+}
+
+// BenchmarkExemplarOfferRejected measures the fast path for checks that
+// do not make the slow list — the common case once the list fills.
+func BenchmarkExemplarOfferRejected(b *testing.B) {
+	s := NewExemplarStore(4, 4)
+	for i := 0; i < 8; i++ {
+		s.Offer(Exemplar{Name: "warm", Duration: int64(time.Second) + int64(i), Verdict: "satisfied"})
+	}
+	e := Exemplar{Name: "fast", Duration: int64(time.Microsecond), Verdict: "satisfied"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Offer(e)
+	}
+}

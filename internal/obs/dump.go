@@ -17,6 +17,12 @@ func (s Snapshot) Format() string {
 	for _, name := range sortedKeys(s.Gauges) {
 		fmt.Fprintf(&b, "%-40s %d\n", name, s.Gauges[name])
 	}
+	for _, name := range sortedKeys(s.CounterVecs) {
+		children := s.CounterVecs[name]
+		for _, labels := range sortedKeys(children) {
+			fmt.Fprintf(&b, "%-40s %d\n", name+labels, children[labels])
+		}
+	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		if h.Count == 0 {
@@ -30,6 +36,23 @@ func (s Snapshot) Format() string {
 		}
 		fmt.Fprintf(&b, "%-40s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
 			name, h.Count, val(int64(h.Mean())), val(h.P50), val(h.P95), val(h.P99), val(h.Max))
+	}
+	for _, name := range sortedKeys(s.HistogramVecs) {
+		children := s.HistogramVecs[name]
+		for _, labels := range sortedKeys(children) {
+			h := children[labels]
+			if h.Count == 0 {
+				continue
+			}
+			val := func(v int64) string {
+				if strings.HasSuffix(name, "_ns") || strings.Contains(name, "_ns_") {
+					return formatDur(time.Duration(v))
+				}
+				return fmt.Sprintf("%d", v)
+			}
+			fmt.Fprintf(&b, "%-40s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+				name+labels, h.Count, val(int64(h.Mean())), val(h.P50), val(h.P95), val(h.P99), val(h.Max))
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar is the post-mortem record of one interesting operation —
+// here, one DCSat check: identity, timing, verdict, the per-stage cost
+// breakdown, and (when the check ran under a trace) the rendered span
+// tree. The store below keeps the N slowest plus every undecided one,
+// so the check that blew a deadline can be explained hours later from
+// /debug/slow without having had tracing enabled in advance.
+type Exemplar struct {
+	TraceID   uint64    `json:"trace_id"`
+	Name      string    `json:"name"`
+	Start     time.Time `json:"start"`
+	Duration  int64     `json:"duration_ns"`
+	Verdict   string    `json:"verdict"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Options   string    `json:"options,omitempty"`
+	Stages    []StageNS `json:"stages,omitempty"`
+	Witness   string    `json:"witness,omitempty"`
+	SpanTree  string    `json:"span_tree,omitempty"`
+}
+
+// StageNS is one pipeline stage's accumulated nanoseconds.
+type StageNS struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
+// ExemplarStore retains the slowN slowest exemplars (by duration) ever
+// offered, plus a ring of the most recent undecidedN exemplars whose
+// verdict is "undecided". Offering is cheap on the fast path: once the
+// slow list is full, a check faster than the current threshold skips
+// the lock entirely via one atomic load.
+type ExemplarStore struct {
+	slowN      int
+	undecidedN int
+	floor      atomic.Int64 // admission threshold once slow is full
+
+	mu        sync.Mutex
+	slow      []Exemplar // sorted by Duration descending
+	undecided []Exemplar // append-order ring, oldest first after trim
+}
+
+// VerdictUndecided is the verdict string that routes an exemplar into
+// the undecided ring (and that the core layer reports for checks cut
+// short by a deadline or cancellation).
+const VerdictUndecided = "undecided"
+
+// NewExemplarStore creates a store keeping the slowN slowest and the
+// most recent undecidedN undecided exemplars.
+func NewExemplarStore(slowN, undecidedN int) *ExemplarStore {
+	if slowN < 1 {
+		slowN = 1
+	}
+	if undecidedN < 1 {
+		undecidedN = 1
+	}
+	return &ExemplarStore{slowN: slowN, undecidedN: undecidedN}
+}
+
+// DefaultExemplars is the process-wide store internal/core offers every
+// completed or cut-short check into; /debug/slow serves it.
+var DefaultExemplars = NewExemplarStore(16, 64)
+
+// Offer considers the exemplar for retention.
+func (s *ExemplarStore) Offer(e Exemplar) {
+	if e.Verdict != VerdictUndecided && e.Duration < s.floor.Load() {
+		return // slow list is full and this is faster than its tail
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Verdict == VerdictUndecided {
+		s.undecided = append(s.undecided, e)
+		if len(s.undecided) > s.undecidedN {
+			s.undecided = append(s.undecided[:0], s.undecided[len(s.undecided)-s.undecidedN:]...)
+		}
+	}
+	if len(s.slow) == s.slowN && e.Duration <= s.slow[len(s.slow)-1].Duration {
+		return
+	}
+	pos := sort.Search(len(s.slow), func(i int) bool { return s.slow[i].Duration < e.Duration })
+	s.slow = append(s.slow, Exemplar{})
+	copy(s.slow[pos+1:], s.slow[pos:])
+	s.slow[pos] = e
+	if len(s.slow) > s.slowN {
+		s.slow = s.slow[:s.slowN]
+	}
+	if len(s.slow) == s.slowN {
+		s.floor.Store(s.slow[len(s.slow)-1].Duration)
+	}
+}
+
+// Slowest returns the retained slowest exemplars, slowest first.
+func (s *ExemplarStore) Slowest() []Exemplar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Exemplar(nil), s.slow...)
+}
+
+// Undecided returns the retained undecided exemplars, oldest first.
+func (s *ExemplarStore) Undecided() []Exemplar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Exemplar(nil), s.undecided...)
+}
+
+// Threshold returns the duration a new exemplar must exceed to enter
+// the slow list (0 until the list fills).
+func (s *ExemplarStore) Threshold() time.Duration {
+	return time.Duration(s.floor.Load())
+}
+
+// Format renders the exemplar as a human-readable block.
+func (e Exemplar) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  trace=%d  %s", e.Name, e.TraceID, formatDur(time.Duration(e.Duration)))
+	if e.Algorithm != "" {
+		fmt.Fprintf(&b, "  algorithm=%s", e.Algorithm)
+	}
+	fmt.Fprintf(&b, "  verdict=%s", e.Verdict)
+	if e.Options != "" {
+		fmt.Fprintf(&b, "  %s", e.Options)
+	}
+	b.WriteByte('\n')
+	for _, st := range e.Stages {
+		pct := 0.0
+		if e.Duration > 0 {
+			pct = 100 * float64(st.NS) / float64(e.Duration)
+		}
+		fmt.Fprintf(&b, "  %-18s %10s %5.1f%%\n", st.Name, formatDur(time.Duration(st.NS)), pct)
+	}
+	if e.Witness != "" {
+		fmt.Fprintf(&b, "  witness: %s\n", e.Witness)
+	}
+	if e.SpanTree != "" {
+		for _, line := range strings.Split(strings.TrimRight(e.SpanTree, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

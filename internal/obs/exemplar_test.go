@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ex(name string, dur time.Duration, verdict string) Exemplar {
+	return Exemplar{Name: name, Duration: int64(dur), Verdict: verdict}
+}
+
+func TestExemplarStoreKeepsSlowest(t *testing.T) {
+	s := NewExemplarStore(3, 4)
+	for i, d := range []time.Duration{5, 50, 10, 40, 30, 20} {
+		s.Offer(ex(string(rune('a'+i)), d*time.Millisecond, "satisfied"))
+	}
+	slow := s.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("kept %d, want 3", len(slow))
+	}
+	wantOrder := []time.Duration{50, 40, 30}
+	for i, want := range wantOrder {
+		if got := time.Duration(slow[i].Duration); got != want*time.Millisecond {
+			t.Errorf("slow[%d] = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	if s.Threshold() != 30*time.Millisecond {
+		t.Errorf("threshold = %v, want 30ms", s.Threshold())
+	}
+	// Faster than the floor: rejected without changing the list.
+	s.Offer(ex("fast", 1*time.Millisecond, "violated"))
+	if got := s.Slowest(); len(got) != 3 || time.Duration(got[2].Duration) != 30*time.Millisecond {
+		t.Error("fast exemplar displaced a slower one")
+	}
+}
+
+func TestExemplarStoreUndecidedRing(t *testing.T) {
+	s := NewExemplarStore(2, 3)
+	// Undecided exemplars are always retained (newest 3), even when
+	// faster than everything in the slow list.
+	s.Offer(ex("slow1", time.Second, "satisfied"))
+	s.Offer(ex("slow2", time.Second, "satisfied"))
+	for i := 0; i < 5; i++ {
+		s.Offer(ex("u", time.Duration(i)*time.Microsecond, VerdictUndecided))
+	}
+	und := s.Undecided()
+	if len(und) != 3 {
+		t.Fatalf("undecided kept %d, want 3", len(und))
+	}
+	// Oldest first: the two earliest were dropped.
+	if time.Duration(und[0].Duration) != 2*time.Microsecond {
+		t.Errorf("oldest retained = %v, want 2µs", time.Duration(und[0].Duration))
+	}
+}
+
+func TestExemplarUndecidedAlsoCompetesForSlow(t *testing.T) {
+	s := NewExemplarStore(2, 8)
+	s.Offer(ex("a", 10*time.Millisecond, "satisfied"))
+	s.Offer(ex("b", 20*time.Millisecond, "satisfied"))
+	s.Offer(ex("u", time.Minute, VerdictUndecided))
+	slow := s.Slowest()
+	if len(slow) != 2 || slow[0].Verdict != VerdictUndecided {
+		t.Errorf("undecided exemplar should top the slow list: %+v", slow)
+	}
+}
+
+func TestExemplarFormat(t *testing.T) {
+	e := Exemplar{
+		TraceID: 42, Name: "q1", Duration: int64(12 * time.Millisecond),
+		Verdict: "violated", Algorithm: "opt",
+		Stages:  []StageNS{{Name: "precheck", NS: int64(4 * time.Millisecond)}},
+		Witness: "pending [3 7]",
+	}
+	out := e.Format()
+	for _, want := range []string{"q1", "trace=42", "algorithm=opt", "verdict=violated", "precheck", "witness: pending [3 7]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExemplarStoreConcurrent(t *testing.T) {
+	s := NewExemplarStore(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				verdict := "satisfied"
+				if i%10 == 0 {
+					verdict = VerdictUndecided
+				}
+				s.Offer(ex("x", time.Duration(g*100+i)*time.Microsecond, verdict))
+				if i%25 == 0 {
+					_ = s.Slowest()
+					_ = s.Undecided()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	slow := s.Slowest()
+	if len(slow) != 8 {
+		t.Fatalf("kept %d, want 8", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration > slow[i-1].Duration {
+			t.Fatalf("slow list out of order at %d", i)
+		}
+	}
+	if len(s.Undecided()) != 8 {
+		t.Errorf("undecided ring = %d, want 8", len(s.Undecided()))
+	}
+}

@@ -1,23 +1,32 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // NewIntrospectionMux builds the runtime introspection surface
 // cmd/bcnode serves behind -listen:
 //
-//	/metrics       the registry in Prometheus text exposition format
-//	/debug/vars    expvar JSON (the registry is published as "obs")
-//	/debug/pprof/  the standard pprof index, plus cmdline/profile/
-//	               symbol/trace
-//	/              a plain-text index of the above
+//	/metrics        the registry in Prometheus text exposition format
+//	/debug/vars     expvar JSON (the registry is published as "obs")
+//	/debug/journal  the flight-recorder event journal (JSON; ?format=text
+//	                for aligned lines, ?n=N for the newest N events,
+//	                ?trace=ID for one check's events)
+//	/debug/slow     slow-check exemplars: the N slowest plus every
+//	                undecided check (JSON; ?format=text renders blocks)
+//	/debug/pprof/   the standard pprof index, plus cmdline/profile/
+//	                symbol/trace
+//	/               a plain-text index of the above
 //
 // Everything is stdlib: expvar and net/http/pprof register on their
 // own private handlers here rather than http.DefaultServeMux, so
-// importing obs never pollutes the global mux.
+// importing obs never pollutes the global mux. The journal and slow
+// endpoints serve the process-wide DefaultJournal and DefaultExemplars
+// — the stores the instrumented packages write into.
 func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -25,6 +34,8 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 		_ = reg.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/journal", serveJournal)
+	mux.HandleFunc("/debug/slow", serveSlow)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -37,11 +48,113 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("blockchaindb introspection\n\n" +
-			"  /metrics       Prometheus text format\n" +
-			"  /debug/vars    expvar JSON\n" +
-			"  /debug/pprof/  pprof profiles\n"))
+			"  /metrics        Prometheus text format\n" +
+			"  /debug/vars     expvar JSON\n" +
+			"  /debug/journal  flight-recorder event journal (?format=text, ?n=, ?trace=)\n" +
+			"  /debug/slow     slow-check and undecided exemplars (?format=text)\n" +
+			"  /debug/pprof/   pprof profiles\n"))
 	})
 	return mux
+}
+
+// JournalDump is the JSON shape of /debug/journal.
+type JournalDump struct {
+	Capacity      int            `json:"capacity"`
+	TotalAppended uint64         `json:"total_appended"`
+	Dropped       uint64         `json:"dropped"`
+	CountsByType  map[string]int `json:"counts_by_type"`
+	Events        []Event        `json:"events"`
+}
+
+// DumpJournal snapshots the journal into its JSON shape, keeping only
+// the newest n events when n > 0 (counts still reflect the full
+// retained window).
+func DumpJournal(j *Journal, n int) JournalDump {
+	events := j.Snapshot()
+	d := JournalDump{
+		Capacity:      j.Capacity(),
+		TotalAppended: j.TotalAppended(),
+		CountsByType:  make(map[string]int, 16),
+	}
+	d.Dropped = d.TotalAppended - uint64(len(events))
+	for _, e := range events {
+		d.CountsByType[e.Type]++
+	}
+	if n > 0 && n < len(events) {
+		events = events[len(events)-n:]
+	}
+	d.Events = events
+	return d
+}
+
+func serveJournal(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	d := DumpJournal(DefaultJournal, n)
+	if trace, err := strconv.ParseUint(r.URL.Query().Get("trace"), 10, 64); err == nil && trace > 0 {
+		filtered := d.Events[:0:0]
+		for _, e := range d.Events {
+			if e.Trace == trace {
+				filtered = append(filtered, e)
+			}
+		}
+		d.Events = filtered
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(SummarizeEvents(d.Events) + "\n" + FormatEvents(d.Events)))
+		return
+	}
+	writeJSON(w, d)
+}
+
+// SlowDump is the JSON shape of /debug/slow.
+type SlowDump struct {
+	ThresholdNS int64      `json:"threshold_ns"`
+	Slowest     []Exemplar `json:"slowest"`
+	Undecided   []Exemplar `json:"undecided"`
+}
+
+// DumpSlow snapshots the exemplar store into its JSON shape. Empty
+// sections are empty arrays, never null, so scrapers can index blindly.
+func DumpSlow(s *ExemplarStore) SlowDump {
+	d := SlowDump{
+		ThresholdNS: int64(s.Threshold()),
+		Slowest:     s.Slowest(),
+		Undecided:   s.Undecided(),
+	}
+	if d.Slowest == nil {
+		d.Slowest = []Exemplar{}
+	}
+	if d.Undecided == nil {
+		d.Undecided = []Exemplar{}
+	}
+	return d
+}
+
+func serveSlow(w http.ResponseWriter, r *http.Request) {
+	d := DumpSlow(DefaultExemplars)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, section := range []struct {
+			title string
+			exs   []Exemplar
+		}{{"slowest", d.Slowest}, {"undecided", d.Undecided}} {
+			_, _ = w.Write([]byte(section.title + ":\n"))
+			for _, e := range section.exs {
+				_, _ = w.Write([]byte(e.Format()))
+			}
+			_, _ = w.Write([]byte("\n"))
+		}
+		return
+	}
+	writeJSON(w, d)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // PublishExpvar exposes the registry's snapshot under the given expvar

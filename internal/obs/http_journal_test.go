@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalEndpointJSON drives /debug/journal and /debug/slow while
+// concurrent writers are appending — the introspection surface must
+// stay well-formed under load (the acceptance criterion the -race CI
+// job verifies).
+func TestJournalEndpointsUnderConcurrentWrites(t *testing.T) {
+	mux := NewIntrospectionMux(Default)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := NextTraceID()
+				DefaultJournal.Append("check_start", id, "", F("g", g))
+				DefaultJournal.Append("check_finish", id, "", F("verdict", "satisfied"))
+				DefaultExemplars.Offer(Exemplar{
+					TraceID: id, Name: "t", Verdict: "satisfied",
+					Duration: int64(time.Duration(i) * time.Microsecond),
+				})
+			}
+		}(g)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal?n=50", nil))
+		var d JournalDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+			t.Fatalf("journal response not JSON: %v\n%s", err, rec.Body.String())
+		}
+		if d.Capacity != DefaultJournalCapacity {
+			t.Fatalf("capacity = %d, want %d", d.Capacity, DefaultJournalCapacity)
+		}
+		if len(d.Events) > 50 {
+			t.Fatalf("?n=50 returned %d events", len(d.Events))
+		}
+
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+		var s SlowDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+			t.Fatalf("slow response not JSON: %v\n%s", err, rec.Body.String())
+		}
+		if s.Slowest == nil || s.Undecided == nil {
+			t.Fatal("slow dump sections must be arrays, not null")
+		}
+	}
+}
+
+func TestJournalEndpointTextAndTraceFilter(t *testing.T) {
+	id := NextTraceID()
+	DefaultJournal.Append("check_start", id, "node-A", F("algorithm", "opt"))
+	DefaultJournal.Append("check_finish", id, "node-A", F("verdict", "violated"))
+
+	mux := NewIntrospectionMux(Default)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal?format=text", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "check_finish") {
+		t.Errorf("text output missing events:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal?trace="+strconv.FormatUint(id, 10), nil))
+	var d JournalDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("trace filter returned %d events, want 2", len(d.Events))
+	}
+	for _, e := range d.Events {
+		if e.Trace != id || e.Node != "node-A" {
+			t.Errorf("filtered event %+v", e)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow?format=text", nil))
+	if !strings.Contains(rec.Body.String(), "slowest:") || !strings.Contains(rec.Body.String(), "undecided:") {
+		t.Errorf("slow text output missing sections:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalAppendAndSnapshotOrder(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append("tick", uint64(i+1), "", F("i", i))
+	}
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	events := j.Snapshot()
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Type != "tick" {
+			t.Errorf("event %d type %q", i, e.Type)
+		}
+	}
+}
+
+func TestJournalWrapKeepsNewest(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append("e", 0, "")
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.TotalAppended() != 10 {
+		t.Fatalf("TotalAppended = %d, want 10", j.TotalAppended())
+	}
+	events := j.Snapshot()
+	want := uint64(6)
+	for i, e := range events {
+		if e.Seq != want+uint64(i) {
+			t.Errorf("event %d has seq %d, want %d (oldest-first after wrap)", i, e.Seq, want+uint64(i))
+		}
+	}
+}
+
+func TestJournalDisabled(t *testing.T) {
+	j := NewJournal(0)
+	j.Append("e", 0, "")
+	if j.Len() != 0 || j.Enabled() {
+		t.Fatalf("zero-capacity journal recorded events (len=%d enabled=%v)", j.Len(), j.Enabled())
+	}
+	j.SetEnabled(true) // no capacity to enable into
+	j.Append("e", 0, "")
+	if j.Len() != 0 {
+		t.Fatal("enabling a zero-capacity journal must stay a no-op")
+	}
+
+	k := NewJournal(4)
+	k.SetEnabled(false)
+	k.Append("e", 0, "")
+	if k.Len() != 0 {
+		t.Fatal("disabled journal recorded an event")
+	}
+	k.SetEnabled(true)
+	k.Append("e", 0, "")
+	if k.Len() != 1 {
+		t.Fatal("re-enabled journal dropped an event")
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	j := NewJournal(128)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append("w", uint64(g), "", F("i", i))
+				if i%10 == 0 {
+					_ = j.Snapshot()
+					_ = j.CountByType()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := j.TotalAppended(); got != goroutines*per {
+		t.Fatalf("TotalAppended = %d, want %d", got, goroutines*per)
+	}
+	events := j.Snapshot()
+	if len(events) != 128 {
+		t.Fatalf("Len = %d, want full ring of 128", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("snapshot not in sequence order at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestJournalTraceEventsAndSummary(t *testing.T) {
+	j := NewJournal(16)
+	j.Append("check_start", 7, "")
+	j.Append("stage", 7, "", F("stage", "precheck"))
+	j.Append("check_start", 9, "")
+	j.Append("check_finish", 7, "", F("verdict", "satisfied"))
+	got := j.TraceEvents(7)
+	if len(got) != 3 {
+		t.Fatalf("TraceEvents(7) returned %d events, want 3", len(got))
+	}
+	sum := SummarizeEvents(j.Snapshot())
+	if !strings.Contains(sum, "check_start") || !strings.Contains(sum, "2") {
+		t.Errorf("summary missing counts:\n%s", sum)
+	}
+	line := got[1].Format()
+	if !strings.Contains(line, "trace=7") || !strings.Contains(line, "stage=precheck") {
+		t.Errorf("formatted event missing fields: %s", line)
+	}
+}
+
+func TestNextTraceIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := NextTraceID()
+				mu.Lock()
+				if id == 0 || seen[id] {
+					t.Errorf("duplicate or zero trace id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// CounterVec is a family of counters sharing a name and a fixed label
+// schema — the registry's answer to skew that aggregate counters hide:
+// dcsat_checks_by{algorithm="naive",verdict="undecided"} tells an
+// operator which algorithm is blowing deadlines where a single total
+// cannot. Children are created on first use and live forever, and a
+// child handle (*Counter) is as cheap as any other counter.
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label values (one per label
+// name, in schema order). It panics on arity mismatch — a programmer
+// error, caught by the first test that exercises the call site.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.childKey(values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	return c
+}
+
+func (v *CounterVec) childKey(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	return labelString(v.labels, values)
+}
+
+// HistogramVec is a family of histograms sharing a name and label
+// schema, e.g. dcsat_check_ns_by{algorithm="opt"}.
+type HistogramVec struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := labelString(v.labels, values)
+	v.mu.RLock()
+	h, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[key]; ok {
+		return h
+	}
+	h = newHistogram()
+	v.children[key] = h
+	return h
+}
+
+// labelString renders {a="x",b="y"} with Prometheus text-format
+// escaping, used both as the child key and in the exposition output so
+// the two can never disagree.
+func labelString(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// CounterVec returns the registered counter family, creating it if
+// needed. Help and label schema are recorded on first creation only;
+// asking for an existing name with a different schema panics, as does
+// an empty schema (use a plain Counter for that).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: counter family %s needs at least one label", name))
+	}
+	r.mu.RLock()
+	v, ok := r.counterVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		v.checkSchema(name, labels)
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.counterVecs[name]; ok {
+		v.checkSchema(name, labels)
+		return v
+	}
+	v = &CounterVec{name: name, labels: append([]string(nil), labels...), children: make(map[string]*Counter)}
+	r.counterVecs[name] = v
+	r.setHelp(name, help)
+	return v
+}
+
+func (v *CounterVec) checkSchema(name string, labels []string) {
+	if !sameStrings(v.labels, labels) {
+		panic(fmt.Sprintf("obs: counter family %s registered with labels %v, requested %v", name, v.labels, labels))
+	}
+}
+
+// HistogramVec returns the registered histogram family, creating it if
+// needed.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: histogram family %s needs at least one label", name))
+	}
+	r.mu.RLock()
+	v, ok := r.histVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		v.checkSchema(name, labels)
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.histVecs[name]; ok {
+		v.checkSchema(name, labels)
+		return v
+	}
+	v = &HistogramVec{name: name, labels: append([]string(nil), labels...), children: make(map[string]*Histogram)}
+	r.histVecs[name] = v
+	r.setHelp(name, help)
+	return v
+}
+
+func (v *HistogramVec) checkSchema(name string, labels []string) {
+	if !sameStrings(v.labels, labels) {
+		panic(fmt.Sprintf("obs: histogram family %s registered with labels %v, requested %v", name, v.labels, labels))
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// counterChildren snapshots a family's children values keyed by their
+// rendered label set.
+func (v *CounterVec) snapshot() map[string]int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for k, c := range v.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+func (v *HistogramVec) snapshot() map[string]HistogramSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(v.children))
+	for k, h := range v.children {
+		out[k] = h.Snapshot()
+	}
+	return out
+}

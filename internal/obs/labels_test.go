@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecChildrenIndependent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("checks_by", "checks by algorithm and verdict", "algorithm", "verdict")
+	v.With("opt", "satisfied").Add(3)
+	v.With("opt", "violated").Inc()
+	v.With("opt", "satisfied").Inc()
+	if got := v.With("opt", "satisfied").Value(); got != 4 {
+		t.Errorf("opt/satisfied = %d, want 4", got)
+	}
+	if got := v.With("opt", "violated").Value(); got != 1 {
+		t.Errorf("opt/violated = %d, want 1", got)
+	}
+	// Same name returns the same family; same values the same child.
+	if r.CounterVec("checks_by", "", "algorithm", "verdict").With("opt", "satisfied") != v.With("opt", "satisfied") {
+		t.Error("re-registration returned a different child")
+	}
+}
+
+func TestCounterVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestVecPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("checks_by", "labeled checks", "algorithm", "verdict").With("opt", "satisfied").Add(5)
+	r.HistogramVec("check_ns_by", "labeled latency", "algorithm").With("naive").Observe(1000)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`checks_by{algorithm="opt",verdict="satisfied"} 5`,
+		`# TYPE checks_by counter`,
+		`check_ns_by{algorithm="naive",quantile="0.5"}`,
+		`check_ns_by_count{algorithm="naive"} 1`,
+		`check_ns_by_sum{algorithm="naive"} 1000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "q").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{q="a\"b\\c\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", b.String())
+	}
+}
+
+func TestVecSnapshotAndFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("by_algo_total", "", "algorithm").With("opt").Add(2)
+	r.HistogramVec("lat_ns_by", "", "algorithm").With("opt").Observe(2048)
+	s := r.Snapshot()
+	if s.CounterVecs["by_algo_total"][`{algorithm="opt"}`] != 2 {
+		t.Errorf("snapshot missing labeled counter: %+v", s.CounterVecs)
+	}
+	if s.HistogramVecs["lat_ns_by"][`{algorithm="opt"}`].Count != 1 {
+		t.Errorf("snapshot missing labeled histogram: %+v", s.HistogramVecs)
+	}
+	txt := s.Format()
+	if !strings.Contains(txt, `by_algo_total{algorithm="opt"}`) {
+		t.Errorf("Format missing labeled counter:\n%s", txt)
+	}
+	if !strings.Contains(txt, `lat_ns_by{algorithm="opt"}`) {
+		t.Errorf("Format missing labeled histogram:\n%s", txt)
+	}
+}
+
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "", "w")
+	h := r.HistogramVec("h_ns_by", "", "w")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := string(rune('a' + g%3))
+			for i := 0; i < 200; i++ {
+				v.With(label).Inc()
+				h.With(label).Observe(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, val := range r.Snapshot().CounterVecs["c_total"] {
+		total += val
+	}
+	if total != 8*200 {
+		t.Errorf("labeled counter total = %d, want %d", total, 8*200)
+	}
+}

@@ -32,20 +32,24 @@ import (
 // methods are safe for concurrent use. The zero value is not usable;
 // call NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	help     map[string]string
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
+	help        map[string]string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		help:     make(map[string]string),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		histVecs:    make(map[string]*HistogramVec),
+		help:        make(map[string]string),
 	}
 }
 
@@ -123,6 +127,9 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
+	// Labeled families: name -> rendered label set -> value.
+	CounterVecs   map[string]map[string]int64
+	HistogramVecs map[string]map[string]HistogramSnapshot
 }
 
 // Snapshot captures all instruments.
@@ -130,9 +137,11 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+		CounterVecs:   make(map[string]map[string]int64, len(r.counterVecs)),
+		HistogramVecs: make(map[string]map[string]HistogramSnapshot, len(r.histVecs)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -142,6 +151,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	for name, v := range r.counterVecs {
+		s.CounterVecs[name] = v.snapshot()
+	}
+	for name, v := range r.histVecs {
+		s.HistogramVecs[name] = v.snapshot()
 	}
 	return s
 }
@@ -173,6 +188,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		header(name, "gauge")
 		emit("%s %d\n", name, r.gauges[name].Value())
 	}
+	for _, name := range sortedKeys(r.counterVecs) {
+		children := r.counterVecs[name].snapshot()
+		header(name, "counter")
+		for _, labels := range sortedKeys(children) {
+			emit("%s%s %d\n", name, labels, children[labels])
+		}
+	}
 	for _, name := range sortedKeys(r.hists) {
 		snap := r.hists[name].Snapshot()
 		header(name, "summary")
@@ -181,6 +203,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		emit("%s{quantile=\"0.99\"} %d\n", name, snap.P99)
 		emit("%s_sum %d\n", name, snap.Sum)
 		emit("%s_count %d\n", name, snap.Count)
+	}
+	for _, name := range sortedKeys(r.histVecs) {
+		children := r.histVecs[name].snapshot()
+		header(name, "summary")
+		for _, labels := range sortedKeys(children) {
+			snap := children[labels]
+			// Splice the quantile label into the child's label set.
+			base := labels[:len(labels)-1] // trim the closing brace
+			emit("%s%s,quantile=\"0.5\"} %d\n", name, base, snap.P50)
+			emit("%s%s,quantile=\"0.95\"} %d\n", name, base, snap.P95)
+			emit("%s%s,quantile=\"0.99\"} %d\n", name, base, snap.P99)
+			emit("%s_sum%s %d\n", name, labels, snap.Sum)
+			emit("%s_count%s %d\n", name, labels, snap.Count)
+		}
 	}
 	return err
 }

@@ -16,8 +16,9 @@ import (
 // concurrent use (parallel workers attach children to a shared
 // parent).
 type Span struct {
-	name  string
-	start time.Time
+	name    string
+	start   time.Time
+	traceID uint64 // process-unique, shared by every span of one trace
 
 	mu       sync.Mutex
 	dur      time.Duration
@@ -36,9 +37,11 @@ type spanKey struct{}
 
 // StartTrace begins a new root span and returns a context carrying it.
 // Use this at an operation's entry point (a CLI invocation, an HTTP
-// request); inner stages call Start.
+// request); inner stages call Start. The root is assigned a
+// process-unique trace ID (see NextTraceID) that every descendant span
+// inherits, correlating the span tree with journal events.
 func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), traceID: NextTraceID()}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
@@ -50,9 +53,17 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), traceID: parent.traceID}
 	parent.attach(s)
 	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// TraceID returns the span's trace ID (0 for nil — no active trace).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
 }
 
 // FromContext returns the context's active span (nil when untraced).
