@@ -10,13 +10,18 @@
 package blockchaindb_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"blockchaindb/internal/bench"
 	"blockchaindb/internal/core"
 	"blockchaindb/internal/graph"
 	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
 	"blockchaindb/internal/workload"
 )
 
@@ -43,7 +48,7 @@ func runCheck(b *testing.B, ds *workload.Dataset, q *query.Query, opts core.Opti
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Check(ds.DB, q, opts)
+		res, err := core.Check(context.Background(), ds.DB, q, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,6 +253,134 @@ func BenchmarkAblationParallel(b *testing.B) {
 				Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: workers,
 			}, true)
 		})
+	}
+}
+
+// warmColdSetup builds the shared substrate for the incremental
+// warm-vs-cold comparison: a D200-analogue dataset with a moderate
+// mempool, a satisfied path query (so the search must sweep every
+// component — exactly the work the verdict cache elides), and options
+// that force the sweep to happen. With the precheck on, a satisfied
+// query is decided before any component search; with the cover filter
+// on, this generator's satisfied queries skip every component outright
+// (covered=0) and the check is trivially cheap warm or cold. Disabling
+// both isolates the component-search regime the cache targets — the
+// workloads where pending components do reach the query.
+func warmColdSetup() (*workload.Dataset, *query.Query, core.Options) {
+	cfg := d200()
+	cfg.PendingBlocks = 8
+	ds := workload.Generate(cfg)
+	q := ds.MustQuery(workload.QueryPath, 3, true)
+	opts := core.Options{
+		Algorithm: core.AlgoOpt, DisablePrecheck: true, DisableCoverFilter: true,
+	}
+	return ds, q, opts
+}
+
+// warmDelta builds the i-th single-transaction mempool delta: a fresh
+// mint paying a key no query mentions, so it forms its own ind-q
+// component and every pre-existing component replays from cache.
+func warmDelta(i int) *relation.Transaction {
+	return relation.NewTransaction(fmt.Sprintf("delta%d", i)).
+		Add("TxOut", value.NewTuple(
+			value.Int(int64(9_000_000+i)), value.Int(1), value.Str("WarmPk"), value.Int(1)))
+}
+
+// warmRecheck applies one delta to the monitor and rechecks: the
+// steady-state cost of a mempool tick on a warm monitor.
+func warmRecheck(mon *core.Monitor, q *query.Query, opts core.Options, i int) (*core.Result, error) {
+	id, err := mon.AddPending(warmDelta(i))
+	if err != nil {
+		return nil, err
+	}
+	res, err := mon.Check(context.Background(), q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if derr := mon.DropPending(id); derr != nil {
+		return nil, derr
+	}
+	return res, nil
+}
+
+// BenchmarkIncrementalWarmRecheck compares a cold full check against a
+// warm Monitor recheck after a single-transaction mempool delta — the
+// tentpole claim behind the per-component verdict cache.
+func BenchmarkIncrementalWarmRecheck(b *testing.B) {
+	ds, q, opts := warmColdSetup()
+	b.Run("cold", func(b *testing.B) {
+		runCheck(b, ds, q, opts, true)
+	})
+	b.Run("warm", func(b *testing.B) {
+		mon := core.NewMonitor(ds.DB)
+		// Prime the cache with one full check.
+		if _, err := mon.Check(context.Background(), q, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := warmRecheck(mon, q, opts, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Satisfied {
+				b.Fatal("verdict flipped on warm recheck")
+			}
+		}
+	})
+}
+
+// TestIncrementalWarmColdGuard is the CI bench-smoke guard: it fails
+// when a warm single-delta recheck is not meaningfully faster than a
+// cold check (warm * 1.5 must beat cold). Gated behind BENCH_GUARD so
+// ordinary test runs stay fast and timing-insensitive.
+func TestIncrementalWarmColdGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the warm/cold timing guard")
+	}
+	ds, q, opts := warmColdSetup()
+
+	coldRes, err := core.Check(context.Background(), ds.DB, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := core.Check(context.Background(), ds.DB, q, opts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < cold {
+			cold = d
+		}
+	}
+
+	mon := core.NewMonitor(ds.DB)
+	if _, err := mon.Check(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := warmRecheck(mon, q, opts, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(start)
+		if d < warm {
+			warm = d
+		}
+		if res.Satisfied != coldRes.Satisfied {
+			t.Fatalf("warm verdict %v, cold %v", res.Satisfied, coldRes.Satisfied)
+		}
+		if res.Stats.ComponentsCached == 0 {
+			t.Fatal("warm recheck replayed no cached components")
+		}
+	}
+	t.Logf("cold=%v warm=%v speedup=%.1fx", cold, warm, float64(cold)/float64(warm))
+	if warm*3/2 > cold {
+		t.Fatalf("warm recheck %v is within 1.5x of cold %v — cache regressed", warm, cold)
 	}
 }
 

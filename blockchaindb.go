@@ -37,6 +37,7 @@
 package blockchaindb
 
 import (
+	"context"
 	"fmt"
 
 	"blockchaindb/internal/constraint"
@@ -87,6 +88,10 @@ type (
 	InclusionModel = core.InclusionModel
 	// Monitor maintains a database in steady state.
 	Monitor = core.Monitor
+	// MonitorOption configures Database.Monitor / core.NewMonitor.
+	MonitorOption = core.MonitorOption
+	// CacheStats snapshots a Monitor's incremental verdict cache.
+	CacheStats = core.CacheStats
 )
 
 // Algorithm choices for Options.Algorithm.
@@ -139,6 +144,12 @@ var (
 	// UniformInclusion is an InclusionModel giving every pending
 	// transaction the same probability.
 	UniformInclusion = core.UniformInclusion
+	// DefaultOptions returns the recommended Options configuration.
+	DefaultOptions = core.DefaultOptions
+	// WithCache sets a Monitor's verdict-cache capacity (<=0 disables).
+	WithCache = core.WithCache
+	// WithObserver routes a Monitor's lifecycle events to a journal.
+	WithObserver = core.WithObserver
 )
 
 // ParseQuery parses a denial constraint, e.g.
@@ -195,9 +206,21 @@ func (d *Database) Pending() []*Transaction { return d.db.Pending }
 
 // Check decides whether the denial constraint is satisfied: true means
 // q is false in every possible world, so the undesirable outcome cannot
-// occur. The zero Options picks the best applicable algorithm.
-func (d *Database) Check(q *Query, opts Options) (*Result, error) {
-	return core.Check(d.db, q, opts)
+// occur. The zero Options picks the best applicable algorithm; call
+// Options.Validate to catch misconfiguration early. The context is the
+// cancellation and tracing handle — cancelling it (or setting
+// Options.Deadline) aborts the search with an error wrapping
+// core.ErrUndecided; pass context.Background() when neither applies.
+func (d *Database) Check(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	return core.Check(ctx, d.db, q, opts)
+}
+
+// CheckContext is the old name for the context-first entrypoint.
+//
+// Deprecated: Check now takes the context as its first parameter; call
+// Check directly.
+func (d *Database) CheckContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	return d.Check(ctx, q, opts)
 }
 
 // Classify reports the data complexity of checking this query class
@@ -242,8 +265,10 @@ func (d *Database) EstimateViolation(q *Query, model InclusionModel, samples int
 
 // Monitor wraps the database in a steady-state monitor that maintains
 // the checking structures incrementally as transactions arrive and
-// commit.
-func (d *Database) Monitor() *Monitor { return core.NewMonitor(d.db) }
+// commit: fd-conflict pairs, appendability statuses, and the
+// delta-aware per-component verdict cache. Options (WithCache,
+// WithObserver) tune the cache and observability.
+func (d *Database) Monitor(opts ...MonitorOption) *Monitor { return core.NewMonitor(d.db, opts...) }
 
 // CertainAnswers returns, for a non-Boolean query (head variables), the
 // tuples returned in every possible world. For positive conjunctive

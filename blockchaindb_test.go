@@ -1,6 +1,7 @@
 package blockchaindb_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -78,7 +79,7 @@ func TestPublicAPIPaperExample(t *testing.T) {
 		t.Errorf("state TxOut rows = %d", db.State().Count("TxOut"))
 	}
 	qs := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := db.Check(qs, bcdb.Options{})
+	res, err := db.Check(context.Background(), qs, bcdb.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +107,14 @@ func TestPublicAPIAlgorithmsAgree(t *testing.T) {
 		q := bcdb.MustParseQuery(src)
 		var verdicts []bool
 		for _, algo := range []bcdb.Algorithm{bcdb.AlgoNaive, bcdb.AlgoExhaustive} {
-			res, err := db.Check(q, bcdb.Options{Algorithm: algo})
+			res, err := db.Check(context.Background(), q, bcdb.Options{Algorithm: algo})
 			if err != nil {
 				t.Fatalf("%s / %v: %v", src, algo, err)
 			}
 			verdicts = append(verdicts, res.Satisfied)
 		}
 		if q.IsConnected() {
-			res, err := db.Check(q, bcdb.Options{Algorithm: bcdb.AlgoOpt})
+			res, err := db.Check(context.Background(), q, bcdb.Options{Algorithm: bcdb.AlgoOpt})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -180,7 +181,7 @@ func TestPublicAPIMonitor(t *testing.T) {
 		t.Errorf("monitor conflicts = %d", mon.ConflictCount())
 	}
 	q := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := mon.Check(q, bcdb.Options{})
+	res, err := mon.Check(context.Background(), q, bcdb.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func ExampleDatabase_Check() {
 		panic(err)
 	}
 	q := bcdb.MustParseQuery("q(sum(a)) > 5 :- Payment('bob', a)")
-	res, err := db.Check(q, bcdb.Options{})
+	res, err := db.Check(context.Background(), q, bcdb.Options{})
 	if err != nil {
 		panic(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -112,13 +113,20 @@ func main() {
 		         TxIn(pt2, ps2, '%s', a2, ntx2, sg2), TxOut(ntx2, ns2, '%s', 100000000), ntx1 != ntx2`,
 		payerPk, victimPk, payerPk, victimPk))
 
+	// The persistent incremental pipeline: blocks and mempool changes
+	// flow into the Monitor as deltas, so a recheck after a small delta
+	// replays the untouched components' verdicts from the cache instead
+	// of re-searching them.
+	nodeMon, err := relmap.NewNodeMonitor(home.Chain, home.Mempool)
+	if err != nil {
+		fatal(err)
+	}
 	checkpoints := 0
 	check := func(stage string) {
-		db, err := relmap.Database(home.Chain, home.Mempool)
-		if err != nil {
+		if err := nodeMon.Sync(); err != nil {
 			fatal(err)
 		}
-		res, err := core.Check(db, q1, core.Options{})
+		res, err := nodeMon.Check(context.Background(), q1, core.Options{})
 		if err != nil {
 			fatal(err)
 		}
@@ -126,10 +134,12 @@ func main() {
 		if !res.Satisfied {
 			verdict = "VIOLATED"
 		}
-		fmt.Printf("%-34s height=%d pending=%d victim=%v  q1=%s (%v, %v)\n",
+		cs := nodeMon.CacheStats()
+		fmt.Printf("%-34s height=%d pending=%d victim=%v  q1=%s (%v, %v, cached=%d/%d cache h/m=%d/%d)\n",
 			stage, home.Chain.Height(), home.Mempool.Len(),
 			victim.Balance(home.Chain.UTXO()), verdict,
-			res.Stats.Algorithm, res.Stats.Duration.Round(10*time.Microsecond))
+			res.Stats.Algorithm, res.Stats.Duration.Round(10*time.Microsecond),
+			res.Stats.ComponentsCached, res.Stats.ComponentsCovered, cs.Hits, cs.Misses)
 		heightGauge.Set(int64(home.Chain.Height()))
 		checkpoints++
 		if *snap > 0 && checkpoints%*snap == 0 {
@@ -139,7 +149,11 @@ func main() {
 				"mempool", home.Mempool.Len(),
 				"utxo", home.Chain.UTXO().Len(),
 				"verdict", verdict,
-				"check_ms", float64(res.Stats.Duration.Microseconds())/1000)
+				"check_ms", float64(res.Stats.Duration.Microseconds())/1000,
+				"cache_hits", cs.Hits,
+				"cache_misses", cs.Misses,
+				"cache_invalidated", cs.Invalidated,
+				"monitor_rebuilds", nodeMon.Rebuilds())
 		}
 	}
 
@@ -188,7 +202,7 @@ func main() {
 		fatal(err)
 	}
 	dryDB.Pending = append(hypo, safeMapped)
-	res, err := core.Check(dryDB, q1, core.Options{})
+	res, err := core.Check(context.Background(), dryDB, q1, core.Options{})
 	if err != nil {
 		fatal(err)
 	}

@@ -120,7 +120,7 @@ func main() {
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
-	res, err := core.CheckContext(ctx, db, q, opts)
+	res, err := core.Check(ctx, db, q, opts)
 	root.End()
 	if errors.Is(err, core.ErrUndecided) {
 		fmt.Printf("UNDECIDED: %v (timeout %v)\n", err, *timeout)

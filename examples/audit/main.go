@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 		Add("TxOut", out(12, 1, "Mallory", 4))
 
 	check := func(db *bcdb.Database, label string, q *bcdb.Query) {
-		res, err := db.Check(q, bcdb.Options{})
+		res, err := db.Check(context.Background(), q, bcdb.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -81,7 +82,7 @@ func main() {
 			log.Fatal(err)
 		}
 		db.Pending = append(db.Pending, mapped)
-		res, err := core.Check(db, q1, core.Options{})
+		res, err := core.Check(context.Background(), db, q1, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := wrapped.Check(q1, bcdb.Options{})
+	res, err := wrapped.Check(context.Background(), q1, bcdb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

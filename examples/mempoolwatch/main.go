@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -119,7 +120,7 @@ func main() {
 		sim.Run(sim.Now() + 100)
 		ingest()
 
-		res, err := mon.Check(watched, core.Options{})
+		res, err := mon.Check(context.Background(), watched, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

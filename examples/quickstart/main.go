@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -91,7 +92,7 @@ func main() {
 
 	// --- Denial constraints (Example 6): can U8Pk ever receive coins?
 	qs := bcdb.MustParseQuery("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := db.Check(qs, bcdb.Options{})
+	res, err := db.Check(context.Background(), qs, bcdb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func main() {
 
 	// A constraint that holds in every world: outputs 4 and 8 conflict.
 	qBoth := bcdb.MustParseQuery("q() :- TxOut(4, s1, p1, a1), TxOut(8, s2, p2, a2)")
-	res2, err := db.Check(qBoth, bcdb.Options{})
+	res2, err := db.Check(context.Background(), qBoth, bcdb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func main() {
 
 	// --- Aggregates: U2Pk can spend at most 7 in any single world.
 	qCap := bcdb.MustParseQuery("q3(sum(a)) > 7 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)")
-	res3, err := db.Check(qCap, bcdb.Options{})
+	res3, err := db.Check(context.Background(), qCap, bcdb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

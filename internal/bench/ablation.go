@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,7 +74,7 @@ func runAblationCovers(o RunOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Check(ds.DB, q, opts)
+		res, err := core.Check(context.Background(), ds.DB, q, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -82,8 +83,8 @@ func TestAggFDOnlyAgainstExhaustive(t *testing.T) {
 		d := aggDB(r)
 		src := fmt.Sprintf(heads[r.Intn(len(heads))], r.Intn(5))
 		q := query.MustParse(src)
-		got, err1 := Check(d, q, Options{Algorithm: AlgoFDOnly})
-		want, err2 := Check(d, q, Options{Algorithm: AlgoExhaustive})
+		got, err1 := Check(context.Background(), d, q, Options{Algorithm: AlgoFDOnly})
+		want, err2 := Check(context.Background(), d, q, Options{Algorithm: AlgoExhaustive})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("errors: %v / %v on %s", err1, err2, src)
 		}
@@ -112,7 +113,7 @@ func TestAggFDOnlyWitness(t *testing.T) {
 	d := possible.MustNew(s, cons, []*relation.Transaction{tx, big})
 	// sum < 3: only the world {T1} has a non-empty bag with sum 2.
 	q := query.MustParse("q(sum(v)) < 3 :- R(k, v)")
-	res, err := Check(d, q, Options{Algorithm: AlgoFDOnly})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoFDOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestAggFDOnlyWitness(t *testing.T) {
 		t.Error("witness unreachable")
 	}
 	// Routing: auto must pick the fd-only solver for this fragment.
-	auto, err := Check(d, q, Options{})
+	auto, err := Check(context.Background(), d, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestAggFDOnlyEmptyBagSemantics(t *testing.T) {
 	cons := constraint.MustNewSet(s, []*constraint.FD{constraint.NewKey(s.Schema("R"), "k")}, nil)
 	d := possible.MustNew(s, cons, nil)
 	q := query.MustParse("q(count()) < 100 :- R(x, y)")
-	res, err := Check(d, q, Options{Algorithm: AlgoFDOnly})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoFDOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestAggFDOnlyRejections(t *testing.T) {
 		[]*constraint.IND{constraint.NewIND("S", []string{"k"}, "R", []string{"k"})})
 	dIND := possible.MustNew(s, withIND, nil)
 	q := query.MustParse("q(count()) < 3 :- R(x, y)")
-	if _, err := Check(dIND, q, Options{Algorithm: AlgoFDOnly}); err == nil {
+	if _, err := Check(context.Background(), dIND, q, Options{Algorithm: AlgoFDOnly}); err == nil {
 		t.Error("IND database accepted")
 	}
 	s2 := relation.NewState()
@@ -172,11 +173,11 @@ func TestAggFDOnlyRejections(t *testing.T) {
 	fdOnly := constraint.MustNewSet(s2, []*constraint.FD{constraint.NewKey(s2.Schema("R"), "k")}, nil)
 	d := possible.MustNew(s2, fdOnly, nil)
 	outside := query.MustParse("q(count()) > 3 :- R(x, y)") // CoNP side
-	if _, err := Check(d, outside, Options{Algorithm: AlgoFDOnly}); err == nil {
+	if _, err := Check(context.Background(), d, outside, Options{Algorithm: AlgoFDOnly}); err == nil {
 		t.Error("out-of-fragment aggregate accepted")
 	}
 	// Auto still handles it (monotone → Naive).
-	res, err := Check(d, outside, Options{})
+	res, err := Check(context.Background(), d, outside, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

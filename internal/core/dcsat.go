@@ -134,6 +134,7 @@ type Stats struct {
 	LivePending       int  // transactions surviving the liveness filter
 	Components        int  // ind-q components (OptDCSat)
 	ComponentsCovered int  // components passing the Covers filter
+	ComponentsCached  int  // components answered from the incremental verdict cache
 	Cliques           int  // maximal cliques enumerated
 	WorldsEvaluated   int  // worlds the query was evaluated on
 	Duration          time.Duration
@@ -160,6 +161,7 @@ func (s *Stats) Merge(o Stats) {
 	s.LivePending += o.LivePending
 	s.Components += o.Components
 	s.ComponentsCovered += o.ComponentsCovered
+	s.ComponentsCached += o.ComponentsCached
 	s.Cliques += o.Cliques
 	s.WorldsEvaluated += o.WorldsEvaluated
 	s.Duration += o.Duration
@@ -222,35 +224,46 @@ type fdGraphFn func(comp []int) *graph.Undirected
 // constraint: D |= ¬q iff q evaluates to false over every possible
 // world. The options select the algorithm; AlgoAuto (the zero value)
 // routes to the cheapest applicable one. Check returns an error when
-// the query does not fit the database's schemas or the requested
-// algorithm cannot handle the query class.
-func Check(d *possible.DB, q *query.Query, opts Options) (*Result, error) {
-	return CheckContext(context.Background(), d, q, opts)
-}
-
-// CheckContext is Check with a context for cancellation and
-// observability: cancelling the context (or setting Options.Deadline)
-// aborts the search cooperatively with an error wrapping ErrUndecided,
-// and when the context carries an active obs trace, every pipeline
-// stage (precheck, component split, graph build, clique enumeration,
-// evaluation) records a span under it. Without a trace the
-// instrumentation degrades to the obs no-op path plus the per-stage
-// duration counters in Stats.
+// the query does not fit the database's schemas, the options are
+// misconfigured (see Options.Validate), or the requested algorithm
+// cannot handle the query class.
+//
+// The context is the one true cancellation and observability handle:
+// cancelling it (or setting Options.Deadline) aborts the search
+// cooperatively with an error wrapping ErrUndecided, and when the
+// context carries an active obs trace, every pipeline stage (precheck,
+// component split, graph build, clique enumeration, evaluation)
+// records a span under it. Without a trace the instrumentation
+// degrades to the obs no-op path plus the per-stage duration counters
+// in Stats. Pass context.Background() when neither applies.
 //
 // When the returned error wraps ErrUndecided the Result is still
 // non-nil: it carries the partial Stats (stage durations, clique and
 // world counts) accumulated before the cut-off, so callers can report
 // where an interrupted check spent its time. Its Satisfied field is
 // meaningless — always test the error first.
-func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
-	return checkContext(ctx, d, q, opts, nil)
+func Check(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	return checkContext(ctx, d, q, opts, checkEnv{})
 }
 
-// checkContext is the shared pipeline behind CheckContext and
-// Monitor.CheckContext: the validation front door, the Simplify
-// rewrite, algorithm routing, deadline handling, dispatch, and the
-// closing bookkeeping (duration, metrics, undecided translation).
-func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options, fdGraph fdGraphFn) (*Result, error) {
+// CheckContext is the old name for the context-first entrypoint.
+//
+// Deprecated: Check now takes the context as its first parameter; call
+// Check directly.
+func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
+	return Check(ctx, d, q, opts)
+}
+
+// checkContext is the shared pipeline behind Check and Monitor.Check:
+// the validation front door, the Simplify rewrite, algorithm routing,
+// deadline handling, dispatch, and the closing bookkeeping (duration,
+// metrics, undecided translation). The env carries the Monitor's hooks
+// (incremental fd graph, verdict cache); the stateless entrypoint
+// passes the zero env.
+func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options, env checkEnv) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,6 +282,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	if checkID == 0 {
 		checkID = obs.NextTraceID()
 	}
+	env.checkID = checkID
 	gInflight.Add(1)
 	defer gInflight.Add(-1)
 	start := time.Now()
@@ -306,6 +320,12 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 		return res, nil
 	}
 	q = simplified
+	if env.cache != nil {
+		// The cache key's query half is fixed only now: Simplify is
+		// deterministic, so the simplified form's canonical string
+		// identifies the semantic query actually searched.
+		env.qfp = q.String()
+	}
 	algo := opts.Algorithm
 	if algo == AlgoAuto {
 		switch {
@@ -326,9 +346,9 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	)
 	switch algo {
 	case AlgoNaive:
-		res, err = cliqueDCSat(ctx, d, q, opts, false, fdGraph)
+		res, err = cliqueDCSat(ctx, d, q, opts, false, env)
 	case AlgoOpt:
-		res, err = cliqueDCSat(ctx, d, q, opts, true, fdGraph)
+		res, err = cliqueDCSat(ctx, d, q, opts, true, env)
 	case AlgoFDOnly:
 		res, err = fdOnlyDCSat(ctx, d, q)
 	case AlgoExhaustive:
@@ -375,14 +395,14 @@ func finishCheck(checkID uint64, span *obs.Span, start time.Time, res *Result, o
 // Section 6.3 pre-check: if q is false over R ∪ ∪T it is false over
 // every possible world (all of which are contained in that union), so
 // the denial constraint is satisfied.
-func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Options, optimized bool, fdGraph fdGraphFn) (*Result, error) {
+func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Options, optimized bool, env checkEnv) (*Result, error) {
 	if !q.IsMonotonic() {
 		return nil, fmt.Errorf("core: %s requires a monotonic denial constraint; %s is not "+
 			"(use AlgoExhaustive, or AlgoFDOnly when the constraints have no inclusion dependencies)",
 			map[bool]string{false: "NaiveDCSat", true: "OptDCSat"}[optimized], q)
 	}
-	if fdGraph == nil {
-		fdGraph = func(comp []int) *graph.Undirected { return buildFDGraph(d, comp) }
+	if env.fdGraph == nil {
+		env.fdGraph = func(comp []int) *graph.Undirected { return buildFDGraph(d, comp) }
 	}
 	res := &Result{Satisfied: true}
 	// Pre-check over the union of everything.
@@ -470,6 +490,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			}
 		}
 		searchSpan.SetAttr("components_covered", res.Stats.ComponentsCovered)
+		searchSpan.SetAttr("components_cached", res.Stats.ComponentsCached)
 		searchSpan.SetAttr("cliques", res.Stats.Cliques)
 		searchSpan.SetAttr("worlds", res.Stats.WorldsEvaluated)
 		if res.Stats.WorkersUsed > 1 && res.Stats.Duration == 0 {
@@ -494,7 +515,9 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 				return res, nil
 			}
 			res.Stats.ComponentsCovered++
-			violated, witness, err := searchComponentParallel(ctx, d, q, comp, opts, fdGraph, &res.Stats)
+			violated, witness, err := cachedComponentSearch(env, comp, &res.Stats, func() (bool, []int, error) {
+				return searchComponentParallel(ctx, d, q, comp, opts, env.fdGraph, &res.Stats)
+			})
 			if err != nil {
 				return res, err
 			}
@@ -504,14 +527,14 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			}
 			return res, nil
 		}
-		return res, cliqueDCSatParallel(ctx, d, q, opts, groups, targets, fdGraph, res)
+		return res, cliqueDCSatParallel(ctx, d, q, opts, groups, targets, env, res)
 	}
 	for _, comp := range groups {
 		if optimized && !opts.DisableCoverFilter && !covers(d, comp, targets) {
 			continue
 		}
 		res.Stats.ComponentsCovered++
-		violated, witness, err := searchComponent(ctx, d, q, comp, fdGraph, &res.Stats)
+		violated, witness, err := searchComponentCached(ctx, d, q, comp, env, &res.Stats)
 		if err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func TestPaperExample6And8(t *testing.T) {
 	d := fixture.PaperDB()
 	qs := query.MustParse("qs() :- TxOut(t, s, 'U8Pk', a)")
 	for _, algo := range []Algorithm{AlgoNaive, AlgoOpt, AlgoExhaustive} {
-		res, err := Check(d, qs, Options{Algorithm: algo})
+		res, err := Check(context.Background(), d, qs, Options{Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -33,7 +34,7 @@ func TestPaperExample6And8(t *testing.T) {
 		}
 	}
 	// The witness must be a world containing T4 (index 3).
-	res, err := Check(d, qs, Options{Algorithm: AlgoOpt})
+	res, err := Check(context.Background(), d, qs, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestPaperExample6CliqueCount(t *testing.T) {
 func TestSatisfiedConstraint(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("q() :- TxOut(t, s, 'NoSuchKey', a)")
-	res, err := Check(d, q, Options{Algorithm: AlgoOpt})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestSatisfiedConstraint(t *testing.T) {
 		t.Error("pre-check should have decided this instance")
 	}
 	// Without the pre-check it must still be satisfied.
-	res2, err := Check(d, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
+	res2, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestPendingOnlyInUnionNotInAnyWorld(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("q() :- TxOut(4, s1, pk1, a1), TxOut(8, s2, pk2, a2)")
 	for _, algo := range []Algorithm{AlgoNaive, AlgoOpt, AlgoExhaustive} {
-		res, err := Check(d, q, Options{Algorithm: algo})
+		res, err := Check(context.Background(), d, q, Options{Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -115,7 +116,7 @@ func TestStateOnlyViolation(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("q() :- TxOut(t, s, 'U3Pk', a)") // in R
 	for _, algo := range []Algorithm{AlgoNaive, AlgoOpt, AlgoExhaustive} {
-		res, err := Check(d, q, Options{Algorithm: algo})
+		res, err := Check(context.Background(), d, q, Options{Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -163,14 +164,14 @@ func TestPaperQ1AliceBob(t *testing.T) {
 		TxIn(pt2, ps2, 'AlicePK', 1, ntx2, 'AliceSig'),
 		TxOut(ntx2, ns2, 'BobPK', 1), ntx1 != ntx2`)
 	for _, algo := range []Algorithm{AlgoNaive, AlgoOpt, AlgoExhaustive} {
-		unsafe, err := Check(build(false), q1, Options{Algorithm: algo})
+		unsafe, err := Check(context.Background(), build(false), q1, Options{Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
 		if unsafe.Satisfied {
 			t.Errorf("%v: independent reissue must violate q1 (Bob can be paid twice)", algo)
 		}
-		safe, err := Check(build(true), q1, Options{Algorithm: algo})
+		safe, err := Check(context.Background(), build(true), q1, Options{Algorithm: algo})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -188,7 +189,7 @@ func TestAggregateConstraint(t *testing.T) {
 	// more in T2 (which spends T1's change): the spend total is capped
 	// at 7 in every world.
 	capFine := query.MustParse("q(sum(a)) > 7 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)")
-	res, err := Check(d, capFine, Options{Algorithm: AlgoNaive})
+	res, err := Check(context.Background(), d, capFine, Options{Algorithm: AlgoNaive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestAggregateConstraint(t *testing.T) {
 		t.Error("U2Pk can never spend more than 7")
 	}
 	capLow := query.MustParse("q(sum(a)) > 6 :- TxIn(pt, ps, 'U2Pk', a, nt, sig)")
-	res2, err := Check(d, capLow, Options{Algorithm: AlgoNaive})
+	res2, err := Check(context.Background(), d, capLow, Options{Algorithm: AlgoNaive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestAggregateConstraint(t *testing.T) {
 		t.Error("the world with T1 and T2 has U2Pk spending 7 > 6")
 	}
 	// Auto must route aggregates (unconnected) through Naive.
-	res3, err := Check(d, capLow, Options{})
+	res3, err := Check(context.Background(), d, capLow, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,13 +219,13 @@ func TestAggregateConstraint(t *testing.T) {
 func TestNonMonotonicRouting(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("q(count()) < 3 :- TxOut(t, s, pk, a)")
-	if _, err := Check(d, q, Options{Algorithm: AlgoNaive}); err == nil {
+	if _, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive}); err == nil {
 		t.Error("NaiveDCSat must reject non-monotonic constraints")
 	}
-	if _, err := Check(d, q, Options{Algorithm: AlgoOpt}); err == nil {
+	if _, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt}); err == nil {
 		t.Error("OptDCSat must reject non-monotonic constraints")
 	}
-	res, err := Check(d, q, Options{})
+	res, err := Check(context.Background(), d, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,18 +242,18 @@ func TestNonMonotonicRouting(t *testing.T) {
 // TestCheckValidation: schema mismatches and invalid queries error.
 func TestCheckValidation(t *testing.T) {
 	d := fixture.PaperDB()
-	if _, err := Check(d, query.MustParse("q() :- Missing(x)"), Options{}); err == nil {
+	if _, err := Check(context.Background(), d, query.MustParse("q() :- Missing(x)"), Options{}); err == nil {
 		t.Error("unknown relation accepted")
 	}
 	bad := &query.Query{} // no positive atoms
-	if _, err := Check(d, bad, Options{}); err == nil {
+	if _, err := Check(context.Background(), d, bad, Options{}); err == nil {
 		t.Error("invalid query accepted")
 	}
-	if _, err := Check(d, query.MustParse("q() :- TxOut(t, s, pk, a)"), Options{Algorithm: Algorithm(99)}); err == nil {
+	if _, err := Check(context.Background(), d, query.MustParse("q() :- TxOut(t, s, pk, a)"), Options{Algorithm: Algorithm(99)}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	// FD-only solver rejects databases with INDs.
-	if _, err := Check(d, query.MustParse("q() :- TxOut(t, s, pk, a)"), Options{Algorithm: AlgoFDOnly}); err == nil {
+	if _, err := Check(context.Background(), d, query.MustParse("q() :- TxOut(t, s, pk, a)"), Options{Algorithm: AlgoFDOnly}); err == nil {
 		t.Error("AlgoFDOnly must reject IND databases")
 	}
 }
@@ -330,8 +331,8 @@ func TestFDOnlyAgainstExhaustive(t *testing.T) {
 		if q.Validate() != nil {
 			return true
 		}
-		got, err1 := Check(d, q, Options{Algorithm: AlgoFDOnly})
-		want, err2 := Check(d, q, Options{Algorithm: AlgoExhaustive})
+		got, err1 := Check(context.Background(), d, q, Options{Algorithm: AlgoFDOnly})
+		want, err2 := Check(context.Background(), d, q, Options{Algorithm: AlgoExhaustive})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("errors: %v / %v on %s", err1, err2, q)
 		}
@@ -388,7 +389,7 @@ func TestCliqueAlgorithmsAgainstExhaustive(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		d := bitcoinLikeDB(r)
 		q := query.MustParse(queries[r.Intn(len(queries))])
-		want, err := Check(d, q, Options{Algorithm: AlgoExhaustive})
+		want, err := Check(context.Background(), d, q, Options{Algorithm: AlgoExhaustive})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -401,7 +402,7 @@ func TestCliqueAlgorithmsAgainstExhaustive(t *testing.T) {
 			{Algorithm: AlgoOpt, DisableCoverFilter: true},
 			{Algorithm: AlgoOpt, Workers: 3},
 		} {
-			got, err := Check(d, q, opts)
+			got, err := Check(context.Background(), d, q, opts)
 			if err != nil {
 				// Aggregates are not connected; Opt falls back to a
 				// single component, so no error is expected ever.
@@ -433,7 +434,7 @@ func TestCliqueAlgorithmsAgainstExhaustive(t *testing.T) {
 func TestWitnessWorldSatisfiesQuery(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := Check(d, q, Options{Algorithm: AlgoOpt})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ func TestWitnessWorldSatisfiesQuery(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	d := fixture.PaperDB()
 	q := query.MustParse("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := Check(d, q, Options{Algorithm: AlgoOpt})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"blockchaindb/internal/constraint"
@@ -164,7 +165,7 @@ func TestMonitorLifecycle(t *testing.T) {
 	}
 	// The running-example check through the monitor.
 	qs := query.MustParse("qs() :- TxOut(t, s, 'U8Pk', a)")
-	res, err := m.Check(qs, Options{})
+	res, err := m.Check(context.Background(), qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestMonitorLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res2, err := m.Check(qs, Options{})
+	res2, err := m.Check(context.Background(), qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestMonitorMatchesStatelessCheck(t *testing.T) {
 	}
 	for _, src := range queries {
 		q := query.MustParse(src)
-		want, err := Check(d, q, Options{})
+		want, err := Check(context.Background(), d, q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := m.Check(q, Options{})
+		got, err := m.Check(context.Background(), q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,7 +247,7 @@ func TestMonitorMatchesStatelessCheck(t *testing.T) {
 	}
 	// Non-monotonic queries fall through to the stateless path.
 	nonMono := query.MustParse("q(count()) < 100 :- TxOut(t, s, pk, a)")
-	res, err := m.Check(nonMono, Options{})
+	res, err := m.Check(context.Background(), nonMono, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/obs"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+)
+
+// Incremental DCSat (the delta-aware layer over OptDCSat).
+//
+// A Monitor in steady state re-runs the same denial constraints after
+// every mempool delta, but a single added or dropped transaction
+// changes the membership of at most a few ind-q components — the rest
+// re-enter cliqueDCSat only to redo a search whose inputs are
+// byte-identical to the previous tick's. The incremental layer caches
+// per-component verdicts under a content-addressed key:
+//
+//	key = query fingerprint × component fingerprint
+//
+// where the query fingerprint is the simplified query's canonical
+// string and the component fingerprint hashes the member transactions'
+// contents (possible.TxDigest folded through graph.ComponentHash).
+// Because the key is derived from content, AddPending/DropPending
+// invalidate exactly the components whose membership changed — a
+// changed component hashes to a new fingerprint and simply misses; the
+// untouched components hit and skip graph build, clique enumeration,
+// and world evaluation entirely. Commit mutates the state R that every
+// per-component search reads (GetMaximal overlays, liveness, the
+// R-side of fd conflicts), so it clears the cache outright rather than
+// guess which verdicts survive.
+//
+// Soundness boundaries, in one place:
+//
+//   - Only cliqueDCSat consults the cache, and cliqueDCSat rejects
+//     non-monotonic queries up front — so queries whose verdict could
+//     not be decomposed per component (AlgoExhaustive, AlgoFDOnly)
+//     structurally bypass the cache.
+//   - The covers filter runs before the lookup, so a cached entry
+//     always records a real search, never a filtered skip.
+//   - Verdicts are stored only on error-free searches: a component cut
+//     short by cancellation has proven nothing and caches nothing.
+//   - Witnesses are stored as positions in the digest-sorted member
+//     ordering, not as slot indexes — slots are rewritten by the
+//     DropPending/Commit swap-with-last compaction, but the
+//     digest-sorted ordering is reproducible from content alone, so a
+//     hit re-maps the witness onto whatever slots the members occupy
+//     now.
+
+// componentCache is what cliqueDCSat needs from a verdict cache: given
+// the query fingerprint and a component (global pending indexes),
+// either replay a previous verdict or record a fresh one. The Monitor
+// supplies monitorCacheView; the stateless Check runs with nil.
+type componentCache interface {
+	lookup(qfp string, comp []int) (violated bool, witness []int, ok bool)
+	store(qfp string, comp []int, violated bool, witness []int)
+}
+
+// checkEnv bundles the per-check plumbing threaded from checkContext
+// down through cliqueDCSat into the serial and parallel component
+// searches: the fd-graph hook, the verdict cache, the query
+// fingerprint, and the check ID journal events correlate on.
+type checkEnv struct {
+	fdGraph fdGraphFn
+	cache   componentCache
+	qfp     string
+	checkID uint64
+}
+
+// verdictEntry is one cached per-component outcome. witnessPos is
+// meaningful only when violated: positions into the component's
+// digest-sorted member ordering (see monitorCacheView.canonical).
+type verdictEntry struct {
+	violated   bool
+	witnessPos []int
+}
+
+// verdictCache is a bounded FIFO map guarded by its own mutex — Checks
+// run under the Monitor's read lock, so concurrent Checks (and the
+// workers they spawn) hit the cache concurrently. FIFO rather than LRU
+// keeps the hot path to one short critical section; with a capacity in
+// the thousands and tens of components per check, eviction order is
+// noise.
+type verdictCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]verdictEntry
+	fifo    []string // insertion order of the keys in entries
+
+	hits, misses, stores, evicted, invalidated uint64
+	generation                                 uint64 // bumped on every invalidateAll
+}
+
+// defaultCacheCap bounds the verdict cache when the Monitor is built
+// without WithCache: ~room for hundreds of queries × tens of
+// components, at a few dozen bytes per entry.
+const defaultCacheCap = 4096
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:     capacity,
+		entries: make(map[string]verdictEntry, capacity),
+	}
+}
+
+func (c *verdictCache) get(key string) (verdictEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+func (c *verdictCache) put(key string, e verdictEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores++
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = e // refresh in place; fifo already lists the key
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.fifo) > 0 {
+		oldest := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if _, ok := c.entries[oldest]; ok {
+			delete(c.entries, oldest)
+			c.evicted++
+			mCacheInvalidated.Inc()
+		}
+	}
+	c.entries[key] = e
+	c.fifo = append(c.fifo, key)
+}
+
+// invalidateAll drops every entry and bumps the generation. Called
+// under the Monitor's write lock on Commit (and external commits):
+// state mutations stale every per-component verdict at once.
+func (c *verdictCache) invalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	if n > 0 {
+		c.entries = make(map[string]verdictEntry, c.cap)
+		c.fifo = c.fifo[:0]
+	}
+	c.invalidated += uint64(n)
+	c.generation++
+	mCacheInvalidated.Add(int64(n))
+	return n
+}
+
+func (c *verdictCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:        len(c.entries),
+		Capacity:    c.cap,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Stores:      c.stores,
+		Evicted:     c.evicted,
+		Invalidated: c.invalidated,
+		Generation:  c.generation,
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the Monitor's incremental
+// verdict cache, for dashboards and the bcnode status output.
+type CacheStats struct {
+	Size        int    // entries currently cached
+	Capacity    int    // configured bound
+	Hits        uint64 // lookups answered from cache
+	Misses      uint64 // lookups that fell through to a real search
+	Stores      uint64 // verdicts written (including refreshes)
+	Evicted     uint64 // entries dropped by the FIFO bound
+	Invalidated uint64 // entries cleared by commits
+	Generation  uint64 // number of full invalidations so far
+}
+
+// monitorCacheView adapts a Monitor to the componentCache interface.
+// It is created per Check under the read lock, so m.digests and the
+// slot layout are frozen for its lifetime; only the verdictCache
+// itself (internally locked) is shared across concurrent Checks.
+type monitorCacheView struct {
+	m *Monitor
+}
+
+// canonical orders the component's slots by member digest (slot index
+// breaking exact-duplicate ties) and returns the content fingerprint
+// plus that ordering. The ordering is the coordinate system cached
+// witnesses live in: position i always means "the i-th member in
+// digest order", whatever slots the members occupy at hit time.
+func (v monitorCacheView) canonical(comp []int) ([16]byte, []int) {
+	m := v.m
+	ordered := append([]int(nil), comp...)
+	sort.Slice(ordered, func(i, j int) bool {
+		di, dj := m.digests[ordered[i]], m.digests[ordered[j]]
+		if c := bytes.Compare(di[:], dj[:]); c != 0 {
+			return c < 0
+		}
+		return ordered[i] < ordered[j]
+	})
+	members := make([][16]byte, len(ordered))
+	for i, slot := range ordered {
+		members[i] = m.digests[slot]
+	}
+	return graph.ComponentHash(members), ordered
+}
+
+func cacheKey(qfp string, fp [16]byte) string {
+	return qfp + "\x00" + string(fp[:])
+}
+
+func (v monitorCacheView) lookup(qfp string, comp []int) (bool, []int, bool) {
+	fp, ordered := v.canonical(comp)
+	e, ok := v.m.cache.get(cacheKey(qfp, fp))
+	if !ok {
+		return false, nil, false
+	}
+	if !e.violated {
+		return false, nil, true
+	}
+	witness := make([]int, len(e.witnessPos))
+	for i, p := range e.witnessPos {
+		if p < 0 || p >= len(ordered) {
+			// Impossible without a fingerprint collision; treat as a miss
+			// rather than fabricate slots.
+			return false, nil, false
+		}
+		witness[i] = ordered[p]
+	}
+	sort.Ints(witness)
+	return true, witness, true
+}
+
+func (v monitorCacheView) store(qfp string, comp []int, violated bool, witness []int) {
+	fp, ordered := v.canonical(comp)
+	var pos []int
+	if violated {
+		rank := make(map[int]int, len(ordered))
+		for i, slot := range ordered {
+			rank[slot] = i
+		}
+		pos = make([]int, len(witness))
+		for i, w := range witness {
+			r, ok := rank[w]
+			if !ok {
+				return // witness outside the component: do not cache
+			}
+			pos[i] = r
+		}
+	}
+	v.m.cache.put(cacheKey(qfp, fp), verdictEntry{violated: violated, witnessPos: pos})
+}
+
+// cachedComponentSearch wraps one component's search with the verdict
+// cache: replay on hit (journaled as check_cached_component), search
+// and store on miss, store nothing on error. With no cache in the env
+// it degrades to the bare search.
+func cachedComponentSearch(env checkEnv, comp []int, stats *Stats, search func() (bool, []int, error)) (bool, []int, error) {
+	if env.cache == nil {
+		return search()
+	}
+	if violated, witness, ok := env.cache.lookup(env.qfp, comp); ok {
+		stats.ComponentsCached++
+		mCacheHits.Inc()
+		obs.DefaultJournal.Append("check_cached_component", env.checkID, "",
+			obs.F("members", len(comp)),
+			obs.F("violated", violated))
+		return violated, witness, nil
+	}
+	mCacheMisses.Inc()
+	violated, witness, err := search()
+	if err == nil {
+		env.cache.store(env.qfp, comp, violated, witness)
+	}
+	return violated, witness, err
+}
+
+// searchComponentCached is the serial per-component search behind the
+// cache: exactly searchComponent on a miss.
+func searchComponentCached(ctx context.Context, d *possible.DB, q *query.Query, comp []int, env checkEnv, stats *Stats) (bool, []int, error) {
+	return cachedComponentSearch(env, comp, stats, func() (bool, []int, error) {
+		return searchComponent(ctx, d, q, comp, env.fdGraph, stats)
+	})
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/obs"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+)
+
+// victimDB builds a deterministic two-component database: transaction
+// "A" spends a committed output and pays VictimPk (the q-relevant
+// component), transaction "Z" mints an unrelated output (a disjoint
+// component the Covers filter skips for the victim query).
+func victimDB(t *testing.T) *possible.DB {
+	t.Helper()
+	s := fixture.BitcoinSchema()
+	cons := fixture.BitcoinConstraints(s)
+	s.MustInsert("TxOut", fixture.TxOut(1, 1, "U0Pk", 1))
+	s.MustInsert("TxOut", fixture.TxOut(1, 2, "U1Pk", 1))
+	z := relation.NewTransaction("Z").
+		Add("TxOut", fixture.TxOut(90, 1, "U3Pk", 1))
+	a := relation.NewTransaction("A").
+		Add("TxIn", fixture.TxIn(1, 1, "U0Pk", 1, 91, "U0Sig")).
+		Add("TxOut", fixture.TxOut(91, 1, "VictimPk", 1))
+	return possible.MustNew(s, cons, []*relation.Transaction{z, a})
+}
+
+var victimQuery = "q() :- TxOut(t, s, 'VictimPk', a)"
+
+// checkWitnessWorld asserts the witness denotes a real violating world
+// of the monitor's current database: the subset is reachable and its
+// maximal world satisfies the query.
+func checkWitnessWorld(t *testing.T, m *Monitor, q *query.Query, witness []int) {
+	t.Helper()
+	if !m.db.IsReachable(witness) {
+		t.Fatalf("witness %v is not a reachable subset", witness)
+	}
+	world, _ := m.db.GetMaximal(witness)
+	hit, err := query.Eval(q, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatalf("witness %v world does not satisfy %s", witness, q)
+	}
+}
+
+// TestCacheHitReplaysWitnessAcrossCompaction: a violated component's
+// verdict and witness replay from cache even after DropPending's
+// swap-with-last compaction moved the witness transaction to a
+// different slot — cached witnesses are positions in the digest-sorted
+// member ordering, not slot indexes.
+func TestCacheHitReplaysWitnessAcrossCompaction(t *testing.T) {
+	m := NewMonitor(victimDB(t))
+	q := query.MustParse(victimQuery)
+	opts := Options{Algorithm: AlgoOpt, DisablePrecheck: true}
+
+	res1, err := m.Check(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Satisfied {
+		t.Fatal("expected a violation (A pays the victim)")
+	}
+	if res1.Stats.ComponentsCached != 0 {
+		t.Fatalf("first check cached %d components, want 0", res1.Stats.ComponentsCached)
+	}
+	checkWitnessWorld(t, m, q, res1.Witness)
+
+	// Drop Z (id 0, slot 0): A moves from slot 1 to slot 0.
+	if err := m.DropPending(0); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m.Check(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Satisfied {
+		t.Fatal("violation vanished after dropping an unrelated transaction")
+	}
+	if res2.Stats.ComponentsCached < 1 {
+		t.Fatalf("second check cached %d components, want >=1 (A's component is untouched)",
+			res2.Stats.ComponentsCached)
+	}
+	if len(res2.Witness) != 1 || res2.Witness[0] != 0 {
+		t.Fatalf("witness = %v, want [0] (A compacted into slot 0)", res2.Witness)
+	}
+	checkWitnessWorld(t, m, q, res2.Witness)
+}
+
+// TestCommitInvalidatesCache: a commit mutates the state every cached
+// verdict reads, so the whole cache is cleared — the next check misses,
+// re-searches, and still agrees.
+func TestCommitInvalidatesCache(t *testing.T) {
+	m := NewMonitor(victimDB(t))
+	q := query.MustParse(victimQuery)
+	opts := Options{Algorithm: AlgoOpt, DisablePrecheck: true}
+
+	if _, err := m.Check(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Check(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ComponentsCached < 1 {
+		t.Fatalf("warm check cached %d components, want >=1", res.Stats.ComponentsCached)
+	}
+	cs := m.CacheStats()
+	if cs.Generation != 0 || cs.Size == 0 {
+		t.Fatalf("pre-commit cache stats: %+v", cs)
+	}
+
+	// Commit Z (id 0, a bare mint — always appendable).
+	if err := m.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	cs = m.CacheStats()
+	if cs.Generation != 1 || cs.Size != 0 || cs.Invalidated == 0 {
+		t.Fatalf("post-commit cache stats: %+v, want generation 1, empty, invalidated>0", cs)
+	}
+	res3, err := m.Check(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Satisfied {
+		t.Fatal("violation vanished after an unrelated commit")
+	}
+	if res3.Stats.ComponentsCached != 0 {
+		t.Fatalf("post-commit check cached %d components, want 0 (cache was cleared)",
+			res3.Stats.ComponentsCached)
+	}
+	checkWitnessWorld(t, m, q, res3.Witness)
+}
+
+// TestNonMonotonicQueryBypassesCache: a query with negation is not
+// monotonic, routes to the exhaustive solver, and must never touch the
+// verdict cache — per-component caching is only sound when the verdict
+// decomposes over ind-q components, which requires monotonicity.
+func TestNonMonotonicQueryBypassesCache(t *testing.T) {
+	m := NewMonitor(victimDB(t))
+	q := query.MustParse("q() :- TxOut(t, s, 'VictimPk', a), !TxOut(t, s, 'U0Pk', a)")
+	if q.IsMonotonic() {
+		t.Fatal("test query must be non-monotonic")
+	}
+	for i := 0; i < 2; i++ {
+		res, err := m.Check(context.Background(), q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.ComponentsCached != 0 {
+			t.Fatalf("non-monotonic check %d replayed %d cached components", i, res.Stats.ComponentsCached)
+		}
+	}
+	cs := m.CacheStats()
+	if cs.Hits != 0 || cs.Misses != 0 || cs.Stores != 0 {
+		t.Fatalf("non-monotonic checks touched the cache: %+v", cs)
+	}
+}
+
+// TestWithCacheDisabled: WithCache(0) turns caching off entirely.
+func TestWithCacheDisabled(t *testing.T) {
+	m := NewMonitor(victimDB(t), WithCache(0))
+	q := query.MustParse(victimQuery)
+	opts := Options{Algorithm: AlgoOpt, DisablePrecheck: true}
+	for i := 0; i < 2; i++ {
+		res, err := m.Check(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Satisfied {
+			t.Fatal("expected a violation")
+		}
+		if res.Stats.ComponentsCached != 0 {
+			t.Fatalf("check %d cached %d components with caching disabled", i, res.Stats.ComponentsCached)
+		}
+	}
+	if cs := m.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("disabled cache reports stats %+v", cs)
+	}
+}
+
+// TestWithCacheEviction: a tiny capacity evicts FIFO instead of
+// growing without bound.
+func TestWithCacheEviction(t *testing.T) {
+	m := NewMonitor(victimDB(t), WithCache(1))
+	opts := Options{Algorithm: AlgoOpt, DisablePrecheck: true}
+	// Two distinct queries whose victim component verdicts contend for
+	// the single slot.
+	q1 := query.MustParse(victimQuery)
+	q2 := query.MustParse("q() :- TxOut(t, s, 'U3Pk', a)")
+	for i := 0; i < 2; i++ {
+		if _, err := m.Check(context.Background(), q1, opts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Check(context.Background(), q2, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := m.CacheStats()
+	if cs.Size > 1 {
+		t.Fatalf("cache size %d exceeds capacity 1", cs.Size)
+	}
+	if cs.Evicted == 0 {
+		t.Fatalf("no evictions under contention: %+v", cs)
+	}
+}
+
+// TestWithObserverRoutesMonitorEvents: lifecycle events land in the
+// journal passed via WithObserver.
+func TestWithObserverRoutesMonitorEvents(t *testing.T) {
+	j := obs.NewJournal(64)
+	m := NewMonitor(victimDB(t), WithObserver(j))
+	tx := relation.NewTransaction("N").
+		Add("TxOut", fixture.TxOut(95, 1, "U2Pk", 1))
+	id, err := m.AddPending(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropPending(id); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	for _, e := range j.Snapshot() {
+		types[e.Type]++
+	}
+	if types["monitor_add"] == 0 || types["monitor_drop"] == 0 {
+		t.Fatalf("observer journal missing lifecycle events: %v", types)
+	}
+}
+
+// TestCachedCheckEmitsJournalEvents: a cache replay appends
+// check_cached_component to the flight recorder, correlated with the
+// check's ID.
+func TestCachedCheckEmitsJournalEvents(t *testing.T) {
+	m := NewMonitor(victimDB(t))
+	q := query.MustParse(victimQuery)
+	opts := Options{Algorithm: AlgoOpt, DisablePrecheck: true}
+	if _, err := m.Check(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.DefaultJournal.TotalAppended()
+	if _, err := m.Check(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	var cached, finish *obs.Event
+	for _, e := range obs.DefaultJournal.Snapshot() {
+		if e.Seq < before {
+			continue
+		}
+		e := e
+		switch e.Type {
+		case "check_cached_component":
+			cached = &e
+		case "check_finish":
+			finish = &e
+		}
+	}
+	if cached == nil {
+		t.Fatal("no check_cached_component event for a warm check")
+	}
+	if finish == nil || cached.Trace == 0 || cached.Trace != finish.Trace {
+		t.Fatalf("cached event not correlated with its check: cached=%v finish=%v", cached, finish)
+	}
+}
+
+// TestIncrementalEquivalentToColdCheck is the tentpole property test:
+// across randomized add/drop/commit interleavings (including the
+// commit path that rewrites slot indexes), a warm incremental Check —
+// run twice, so the second run replays from cache — always agrees with
+// a cold exhaustive Check over a freshly constructed database, and
+// every violation witness denotes a real reachable violating world.
+func TestIncrementalEquivalentToColdCheck(t *testing.T) {
+	queries := []string{
+		"q() :- TxOut(t, s, 'U0Pk', a)",
+		"q() :- TxOut(t, s, 'U2Pk', a)",
+		"q() :- TxIn(pt, ps, 'U1Pk', a, nt, sig), TxOut(nt, s2, pk2, a2)",
+		"q(sum(a)) > 2 :- TxIn(pt, ps, pk, a, nt, sig)",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := bitcoinLikeDB(r)
+		mon := NewMonitor(base)
+		mirror := base.State.Clone()
+		type slot struct {
+			id int
+			tx *relation.Transaction
+		}
+		var pend []slot
+		for i, tx := range base.Pending {
+			pend = append(pend, slot{id: i, tx: tx})
+		}
+		nextID := len(base.Pending)
+		nextTxNum := int64(100)
+
+		freshDB := func() *possible.DB {
+			txs := make([]*relation.Transaction, len(pend))
+			for i, s := range pend {
+				txs[i] = s.tx
+			}
+			return possible.MustNew(mirror.Clone(), base.Constraints, txs)
+		}
+		agree := func(step string) bool {
+			fresh := freshDB()
+			for _, src := range queries {
+				q := query.MustParse(src)
+				warm1, err := mon.Check(context.Background(), q, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm2, err := mon.Check(context.Background(), q, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Check(context.Background(), fresh, q, Options{Algorithm: AlgoExhaustive})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if warm1.Satisfied != cold.Satisfied || warm2.Satisfied != cold.Satisfied {
+					t.Logf("seed %d %s: %s warm=%v/%v cold=%v", seed, step, src,
+						warm1.Satisfied, warm2.Satisfied, cold.Satisfied)
+					return false
+				}
+				if !warm2.Satisfied {
+					checkWitnessWorld(t, mon, q, warm2.Witness)
+				}
+			}
+			return true
+		}
+
+		if !agree("initial") {
+			return false
+		}
+		for step := 0; step < 6; step++ {
+			switch r.Intn(3) {
+			case 0: // add
+				owner := fmt.Sprintf("U%dPk", r.Intn(3))
+				tx := relation.NewTransaction(fmt.Sprintf("N%d", nextID)).
+					Add("TxIn", fixture.TxIn(1, int64(r.Intn(4)+1), owner, 1, nextTxNum, owner+"Sig")).
+					Add("TxOut", fixture.TxOut(nextTxNum, 1, fmt.Sprintf("U%dPk", r.Intn(4)), 1))
+				nextTxNum++
+				norm, err := mirror.NormalizeTransaction(tx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id, err := mon.AddPending(tx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pend = append(pend, slot{id: id, tx: norm})
+				nextID++
+			case 1: // drop (rewrites slots via swap-with-last)
+				if len(pend) == 0 {
+					continue
+				}
+				i := r.Intn(len(pend))
+				if err := mon.DropPending(pend[i].id); err != nil {
+					t.Fatal(err)
+				}
+				pend = append(pend[:i], pend[i+1:]...)
+			case 2: // commit (rewrites slots AND invalidates the cache)
+				if len(pend) == 0 {
+					continue
+				}
+				i := r.Intn(len(pend))
+				if !mon.Appendable(pend[i].id) {
+					continue
+				}
+				if err := mon.Commit(pend[i].id); err != nil {
+					t.Fatal(err)
+				}
+				if err := mirror.InsertTransaction(pend[i].tx); err != nil {
+					t.Fatal(err)
+				}
+				pend = append(pend[:i], pend[i+1:]...)
+			}
+			if !agree(fmt.Sprintf("step %d", step)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentCheckAddPendingWithCache hammers the cache with
+// concurrent warm Checks (serial and parallel) racing mutations — run
+// under -race in CI. Correctness of interleaved verdicts is covered by
+// the property test; this one is about data races and deadlocks on the
+// shared cache.
+func TestConcurrentCheckAddPendingWithCache(t *testing.T) {
+	mon := NewMonitor(victimDB(t))
+	// VictimPk never appears in the committed state, so the verdict
+	// hinges on the pending components and the search actually reaches
+	// the cache (a state-satisfied query is decided before the sweep).
+	q := query.MustParse(victimQuery)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		workers := 1 + 3*w // one serial checker, one parallel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := Options{
+				Algorithm: AlgoOpt, DisablePrecheck: true, DisableLiveFilter: true,
+				Workers: workers,
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := mon.Check(context.Background(), q, opts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nextTx := int64(500)
+		var ids []int
+		for i := 0; i < 60; i++ {
+			switch {
+			case len(ids) > 4 && i%3 == 0:
+				if err := mon.DropPending(ids[0]); err != nil {
+					t.Error(err)
+					return
+				}
+				ids = ids[1:]
+			case len(ids) > 0 && i%7 == 0:
+				id := ids[len(ids)-1]
+				if mon.Appendable(id) {
+					if err := mon.Commit(id); err != nil {
+						t.Error(err)
+						return
+					}
+					ids = ids[:len(ids)-1]
+				}
+			default:
+				tx := relation.NewTransaction(fmt.Sprintf("C%d", i)).
+					Add("TxOut", fixture.TxOut(nextTx, 1, fmt.Sprintf("U%dPk", i%4), 1))
+				nextTx++
+				id, err := mon.AddPending(tx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids = append(ids, id)
+			}
+		}
+	}()
+	wg.Wait()
+	// Sanity: the cache actually saw traffic during the race.
+	if cs := mon.CacheStats(); cs.Stores == 0 && cs.Hits == 0 {
+		t.Fatalf("cache saw no traffic: %+v", cs)
+	}
+}

@@ -22,6 +22,11 @@ var (
 	mWorlds     = obs.Default.Counter("dcsat_worlds_total", "possible worlds the query was evaluated on")
 	mUndecided  = obs.Default.Counter("dcsat_undecided_total", "checks cut short by a deadline or cancellation before reaching a verdict")
 
+	// Incremental verdict cache (Monitor-owned; see incremental.go).
+	mCacheHits        = obs.Default.Counter("dcsat_cache_hits_total", "components answered from the incremental verdict cache")
+	mCacheMisses      = obs.Default.Counter("dcsat_cache_misses_total", "components searched because the verdict cache missed")
+	mCacheInvalidated = obs.Default.Counter("dcsat_cache_invalidated_total", "cached verdicts dropped (commit invalidation or capacity eviction)")
+
 	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency (undecided checks record their cut-short wall time)")
 	hPrecheck   = obs.Default.Histogram("dcsat_precheck_ns", "monotone pre-check stage latency")
 	hLiveFilter = obs.Default.Histogram("dcsat_live_filter_ns", "fd-liveness filter stage latency")
@@ -119,7 +124,8 @@ func journalCheckEvents(checkID uint64, res *Result, verdict string) {
 		obs.F("duration_ns", int64(st.Duration)),
 		obs.F("cliques", st.Cliques),
 		obs.F("worlds", st.WorldsEvaluated),
-		obs.F("prechecked", st.Prechecked))
+		obs.F("prechecked", st.Prechecked),
+		obs.F("cached_components", st.ComponentsCached))
 	for _, stage := range st.StageBreakdown() {
 		obs.DefaultJournal.Append("stage", checkID, "",
 			obs.F("stage", stage.Name),

@@ -23,18 +23,32 @@ import (
 //   - the fd-conflict pairs backing G^fd_T, via per-FD hash buckets, so
 //     a Check never rescans unrelated transactions;
 //   - the IND-side buckets backing G^ind_T; the query-specific Θ_q
-//     edges are added per Check, as in the paper.
+//     edges are added per Check, as in the paper;
+//   - content digests of the pending transactions, feeding the
+//     incremental verdict cache (incremental.go) that lets a Check
+//     replay per-component verdicts untouched by the latest deltas.
 //
-// Monitor is safe for concurrent use.
+// Concurrency contract: every Monitor method is safe for concurrent
+// use. Check holds the read lock for its entire duration (parallel
+// search workers included), so it observes an atomic snapshot of the
+// pending set; AddPending, DropPending, Commit, and CommitExternal
+// take the write lock and therefore serialize against in-flight
+// Checks rather than race them. Concurrent Checks run in parallel
+// with each other and share the verdict cache, which carries its own
+// internal lock. A Check never blocks for longer than its own search:
+// mutations queue behind it, not inside it.
 type Monitor struct {
 	mu         sync.RWMutex
 	db         *possible.DB
-	ids        []int // stable external id per pending slot
+	ids        []int             // stable external id per pending slot
+	digests    []possible.Digest // content digest per pending slot (parallel to ids)
 	next       int
 	byID       map[int]int               // external id -> slot in db.Pending
 	bucketsFD  []map[string][]fdOccupant // per FD: lhsKey -> occupants
 	conflicts  map[[2]int]int            // unordered id pair -> #conflicting bucket pairs
 	appendable map[int]bool              // id -> can be appended to R directly
+	cache      *verdictCache             // nil when caching is disabled
+	journal    *obs.Journal              // lifecycle event sink (never nil)
 }
 
 type fdOccupant struct {
@@ -42,18 +56,55 @@ type fdOccupant struct {
 	rhsKey string
 }
 
+// MonitorOption configures NewMonitor.
+type MonitorOption func(*Monitor)
+
+// WithCache sets the incremental verdict cache's capacity (entries).
+// Zero or negative disables caching entirely: every Check re-searches
+// every component. Without this option the cache holds
+// defaultCacheCap entries.
+func WithCache(capacity int) MonitorOption {
+	return func(m *Monitor) {
+		if capacity <= 0 {
+			m.cache = nil
+			return
+		}
+		m.cache = newVerdictCache(capacity)
+	}
+}
+
+// WithObserver routes the Monitor's lifecycle events (monitor_add,
+// monitor_drop, monitor_commit, monitor_cache_clear) to the given
+// journal instead of obs.DefaultJournal. Check-pipeline events are
+// unaffected — they follow the obs trace on the Check context.
+func WithObserver(j *obs.Journal) MonitorOption {
+	return func(m *Monitor) {
+		if j != nil {
+			m.journal = j
+		}
+	}
+}
+
 // NewMonitor wraps the database. The pending transactions already in
-// the database are registered and indexed.
-func NewMonitor(d *possible.DB) *Monitor {
+// the database are registered and indexed. Options tune the
+// incremental cache and observability; the defaults (verdict cache of
+// defaultCacheCap entries, events to obs.DefaultJournal) suit steady
+// mempool monitoring.
+func NewMonitor(d *possible.DB, opts ...MonitorOption) *Monitor {
 	m := &Monitor{
 		db:         &possible.DB{State: d.State, Constraints: d.Constraints},
 		byID:       make(map[int]int),
 		conflicts:  make(map[[2]int]int),
 		appendable: make(map[int]bool),
 		bucketsFD:  make([]map[string][]fdOccupant, len(d.Constraints.FDs)),
+		cache:      newVerdictCache(defaultCacheCap),
+		journal:    obs.DefaultJournal,
 	}
 	for i := range m.bucketsFD {
 		m.bucketsFD[i] = make(map[string][]fdOccupant)
+	}
+	for _, o := range opts {
+		o(m)
 	}
 	for _, tx := range d.Pending {
 		m.addLocked(tx)
@@ -71,7 +122,7 @@ func (m *Monitor) AddPending(tx *relation.Transaction) (int, error) {
 		return 0, err
 	}
 	id := m.addLocked(norm)
-	obs.DefaultJournal.Append("monitor_add", 0, "",
+	m.journal.Append("monitor_add", 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)),
 		obs.F("appendable", m.appendable[id]))
@@ -84,6 +135,7 @@ func (m *Monitor) addLocked(tx *relation.Transaction) int {
 	m.byID[id] = len(m.db.Pending)
 	m.db.Pending = append(m.db.Pending, tx)
 	m.ids = append(m.ids, id)
+	m.digests = append(m.digests, possible.TxDigest(tx))
 	// Update fd buckets and conflict pairs.
 	for fdIdx := range m.db.Constraints.FDs {
 		lhsKeys, rhsKeys := m.db.Constraints.FDKeys(fdIdx, tx)
@@ -120,7 +172,7 @@ func (m *Monitor) DropPending(id int) error {
 	if err := m.removeLocked(id); err != nil {
 		return err
 	}
-	obs.DefaultJournal.Append("monitor_drop", 0, "",
+	m.journal.Append("monitor_drop", 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)))
 	return nil
@@ -157,15 +209,21 @@ func (m *Monitor) removeLocked(id int) error {
 			}
 		}
 	}
-	// Compact the pending slice.
+	// Compact the pending slice. The verdict cache is untouched: slot
+	// indexes never appear in cache keys or stored witnesses (both are
+	// content-addressed), so the swap-with-last rewrite below cannot
+	// stale an entry. Components that lost this member miss naturally —
+	// their fingerprint no longer includes its digest.
 	last := len(m.db.Pending) - 1
 	if slot != last {
 		m.db.Pending[slot] = m.db.Pending[last]
 		m.ids[slot] = m.ids[last]
+		m.digests[slot] = m.digests[last]
 		m.byID[m.ids[slot]] = slot
 	}
 	m.db.Pending = m.db.Pending[:last]
 	m.ids = m.ids[:last]
+	m.digests = m.digests[:last]
 	delete(m.byID, id)
 	delete(m.appendable, id)
 	return nil
@@ -196,10 +254,52 @@ func (m *Monitor) Commit(id int) error {
 	for oid, slot := range m.byID {
 		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
 	}
-	obs.DefaultJournal.Append("monitor_commit", 0, "",
+	m.invalidateCacheLocked("commit")
+	m.journal.Append("monitor_commit", 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)))
 	return nil
+}
+
+// CommitExternal applies a transaction that was never pending — a
+// block brought it in from outside the monitored mempool (a coinbase,
+// a transaction this node never gossiped). The chain has already
+// accepted it, so no appendability gate applies: the transaction is
+// normalized, inserted into the state, and the cached structures that
+// read the state (appendability statuses, the verdict cache) are
+// refreshed, exactly as for Commit.
+func (m *Monitor) CommitExternal(tx *relation.Transaction) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	norm, err := m.db.State.NormalizeTransaction(tx)
+	if err != nil {
+		return err
+	}
+	if err := m.db.State.InsertTransaction(norm); err != nil {
+		return err
+	}
+	for oid, slot := range m.byID {
+		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
+	}
+	m.invalidateCacheLocked("commit_external")
+	m.journal.Append("monitor_commit_external", 0, "",
+		obs.F("pending", len(m.db.Pending)))
+	return nil
+}
+
+// invalidateCacheLocked clears the verdict cache after a state
+// mutation: every per-component verdict reads the state (GetMaximal
+// overlays, liveness, the R-side of fd conflicts), so none survives a
+// grown R. Caller holds the write lock.
+func (m *Monitor) invalidateCacheLocked(reason string) {
+	if m.cache == nil {
+		return
+	}
+	if n := m.cache.invalidateAll(); n > 0 {
+		m.journal.Append("monitor_cache_clear", 0, "",
+			obs.F("reason", reason),
+			obs.F("entries", n))
+	}
 }
 
 // PendingCount returns the number of pending transactions.
@@ -224,22 +324,18 @@ func (m *Monitor) ConflictCount() int {
 	return len(m.conflicts)
 }
 
-// Check decides D |= ¬q over the monitored database. Monotone clique
-// algorithms reuse the incrementally maintained conflict pairs; other
-// algorithm choices fall through to the stateless pipeline. Either way
-// the check runs through the same front door and instrumentation as
-// the stateless Check: query validation, the Boolean guard, schema
-// checking, Simplify, per-stage spans and durations, and the registry
-// metrics.
-func (m *Monitor) Check(q *query.Query, opts Options) (*Result, error) {
-	return m.CheckContext(context.Background(), q, opts)
-}
-
-// CheckContext is Check with cancellation and tracing, mirroring the
-// package-level CheckContext: Options.Deadline and context
-// cancellation end the search with an error wrapping ErrUndecided, and
-// an active obs trace on the context records the stage spans.
-func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
+// Check decides D |= ¬q over the monitored database, with the context
+// as the cancellation and tracing handle (mirroring the package-level
+// Check). Monotone clique algorithms reuse the incrementally
+// maintained conflict pairs and the delta-aware verdict cache; other
+// algorithm choices fall through to the stateless pipeline — in
+// particular, non-monotonic queries route to the exhaustive solver and
+// never touch the cache, because their verdicts do not decompose per
+// component. Either way the check runs through the same front door and
+// instrumentation as the stateless Check: query validation, the
+// Boolean guard, schema checking, Simplify, per-stage spans and
+// durations, and the registry metrics.
+func (m *Monitor) Check(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	snapshot := &possible.DB{
@@ -250,7 +346,7 @@ func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options
 	// Resolve auto-routing for monotonic queries here rather than in
 	// checkContext: the monitor prefers the clique algorithms even when
 	// the fd-only solver would apply, because only they can reuse the
-	// incrementally maintained conflict pairs.
+	// incrementally maintained conflict pairs and the verdict cache.
 	algo := opts.Algorithm
 	if algo == AlgoAuto && q.IsMonotonic() {
 		if q.IsConnected() {
@@ -259,15 +355,38 @@ func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options
 			algo = AlgoNaive
 		}
 	}
-	var fdGraph fdGraphFn
+	var env checkEnv
 	if algo == AlgoNaive || algo == AlgoOpt {
 		opts.Algorithm = algo
-		// The hook reads m.ids and m.conflicts; the read lock held for
-		// the duration of the check keeps them stable, including for
-		// the parallel workers (all of which finish inside this call).
-		fdGraph = m.fdGraphFromConflicts
+		// The hooks read m.ids, m.conflicts, and m.digests; the read
+		// lock held for the duration of the check keeps them stable,
+		// including for the parallel workers (all of which finish
+		// inside this call). The verdict cache has its own lock, so
+		// concurrent Checks share it safely; it is only ever cleared
+		// under the write lock, which cannot run while we hold read.
+		env.fdGraph = m.fdGraphFromConflicts
+		if m.cache != nil {
+			env.cache = monitorCacheView{m: m}
+		}
 	}
-	return checkContext(ctx, snapshot, q, opts, fdGraph)
+	return checkContext(ctx, snapshot, q, opts, env)
+}
+
+// CheckContext is the old name for the context-first entrypoint.
+//
+// Deprecated: Check now takes the context as its first parameter; call
+// Check directly.
+func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
+	return m.Check(ctx, q, opts)
+}
+
+// CacheStats snapshots the incremental verdict cache's counters. The
+// zero CacheStats is returned when caching is disabled.
+func (m *Monitor) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return m.cache.snapshot()
 }
 
 // fdGraphFromConflicts assembles a component's fd graph from the

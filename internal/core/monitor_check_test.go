@@ -23,7 +23,7 @@ func TestMonitorCheckInstrumented(t *testing.T) {
 	mon := NewMonitor(fixture.PaperDB())
 	q := query.MustParse("q() :- TxOut(t, s, pk, a), a > 100")
 	before := obs.Default.Snapshot()
-	res, err := mon.Check(q, Options{})
+	res, err := mon.Check(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,20 +52,20 @@ func TestMonitorCheckFrontDoor(t *testing.T) {
 
 	// Non-Boolean query (head variable) is rejected.
 	nb := query.MustParse("q(x) :- TxOut(t, s, pk, x)")
-	if _, err := mon.Check(nb, Options{}); err == nil {
+	if _, err := mon.Check(context.Background(), nb, Options{}); err == nil {
 		t.Error("non-Boolean query accepted")
 	}
 
 	// Unknown relation is rejected against the monitor's schema.
 	unk := query.MustParse("q() :- Nope(x)")
-	if _, err := mon.Check(unk, Options{}); err == nil {
+	if _, err := mon.Check(context.Background(), unk, Options{}); err == nil {
 		t.Error("query over unknown relation accepted")
 	}
 
 	// A trivially false comparison is decided by Simplify without any
 	// search: satisfied, flagged as prechecked, zero worlds evaluated.
 	triv := query.MustParse("q() :- TxOut(t, s, pk, a), 1 > 2")
-	res, err := mon.Check(triv, Options{})
+	res, err := mon.Check(context.Background(), triv, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestMonitorCheckTraced(t *testing.T) {
 	mon := NewMonitor(fixture.PaperDB())
 	q := query.MustParse("q() :- TxOut(t, s, pk, a), a > 100")
 	ctx, root := obs.StartTrace(context.Background(), "test")
-	if _, err := mon.CheckContext(ctx, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true}); err != nil {
+	if _, err := mon.Check(ctx, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true}); err != nil {
 		t.Fatal(err)
 	}
 	root.End()
@@ -114,7 +114,7 @@ func TestMonitorCheckTraced(t *testing.T) {
 func TestMonitorCheckDeadline(t *testing.T) {
 	mon := NewMonitor(fixture.PaperDB())
 	q := query.MustParse("q() :- TxOut(t, s, pk, a)")
-	res, err := mon.Check(q, Options{Deadline: time.Now().Add(-time.Second)})
+	res, err := mon.Check(context.Background(), q, Options{Deadline: time.Now().Add(-time.Second)})
 	if res == nil || !errors.Is(err, ErrUndecided) {
 		t.Fatalf("res=%v err=%v, want partial Result with ErrUndecided", res, err)
 	}
@@ -128,7 +128,7 @@ func TestMonitorCheckUsesConflictGraph(t *testing.T) {
 	d := bitcoinLikeDB(r)
 	mon := NewMonitor(d)
 	q := query.MustParse("q() :- TxOut(t, s, 'U0Pk', a)")
-	want, err := Check(d, q, Options{Algorithm: AlgoNaive})
+	want, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestMonitorCheckUsesConflictGraph(t *testing.T) {
 		{Algorithm: AlgoNaive, Workers: 4},
 		{Algorithm: AlgoOpt, Workers: 4},
 	} {
-		got, err := mon.Check(q, opts)
+		got, err := mon.Check(context.Background(), q, opts)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
@@ -165,7 +165,7 @@ func TestMonitorConcurrentOps(t *testing.T) {
 			defer wg.Done()
 			opts := Options{Workers: 1 + i}
 			for n := 0; n < 25; n++ {
-				if _, err := mon.Check(queries[n%len(queries)], opts); err != nil {
+				if _, err := mon.Check(context.Background(), queries[n%len(queries)], opts); err != nil {
 					t.Errorf("check: %v", err)
 					return
 				}
@@ -205,7 +205,7 @@ func TestMonitorConcurrentOps(t *testing.T) {
 	}
 	wg.Wait()
 	// The monitor must still be coherent: a final check succeeds.
-	if _, err := mon.Check(queries[0], Options{Workers: 4}); err != nil {
+	if _, err := mon.Check(context.Background(), queries[0], Options{Workers: 4}); err != nil {
 		t.Fatalf("final check: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -77,11 +78,11 @@ func TestMonitorEquivalentToFreshDatabase(t *testing.T) {
 			// Verdicts.
 			for _, src := range queries {
 				q := query.MustParse(src)
-				mres, err := mon.Check(q, Options{})
+				mres, err := mon.Check(context.Background(), q, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
-				fres, err := Check(fresh, q, Options{Algorithm: AlgoExhaustive})
+				fres, err := Check(context.Background(), fresh, q, Options{Algorithm: AlgoExhaustive})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -137,7 +137,7 @@ func poolSize(opts Options) int {
 // runDeterministic: the violation or error from the lowest-ordered
 // component wins regardless of which goroutine finished first, with a
 // real error beating a violation at any higher-ordered component.
-func cliqueDCSatParallel(ctx context.Context, d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, fdGraph fdGraphFn, res *Result) error {
+func cliqueDCSatParallel(ctx context.Context, d *possible.DB, q *query.Query, opts Options, groups [][]int, targets []coverTarget, env checkEnv, res *Result) error {
 	workers := poolSize(opts)
 	res.Stats.WorkersUsed = workers
 	order := make([]int, len(groups))
@@ -159,7 +159,7 @@ func cliqueDCSatParallel(ctx context.Context, d *possible.DB, q *query.Query, op
 				return nil
 			}
 			local.ComponentsCovered++
-			violated, witness, err := searchComponent(cctx, d, q, comp, fdGraph, local)
+			violated, witness, err := searchComponentCached(cctx, d, q, comp, env, local)
 			switch {
 			case err != nil && isCtxErr(err):
 				return nil // cut short by a sibling's cancellation (or the parent's)

@@ -50,7 +50,7 @@ func singleAtomQuery() *query.Query {
 func TestParallelDeterministicWitness(t *testing.T) {
 	d := singletonComponentsDB(16)
 	q := singleAtomQuery()
-	serial, err := Check(d, q, Options{Algorithm: AlgoOpt})
+	serial, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestParallelDeterministicWitness(t *testing.T) {
 		t.Fatalf("serial: satisfied=%v witness=%v", serial.Satisfied, serial.Witness)
 	}
 	for run := 0; run < 50; run++ {
-		par, err := Check(d, q, Options{Algorithm: AlgoOpt, Workers: 4})
+		par, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestExpiredDeadlineUndecidedFast(t *testing.T) {
 	q := query.MustParse("q() :- TxOut(t, s, pk, a)")
 	for _, algo := range []Algorithm{AlgoAuto, AlgoNaive, AlgoOpt, AlgoExhaustive} {
 		start := time.Now()
-		res, err := Check(d, q, Options{Algorithm: algo, Deadline: time.Now().Add(-time.Second)})
+		res, err := Check(context.Background(), d, q, Options{Algorithm: algo, Deadline: time.Now().Add(-time.Second)})
 		elapsed := time.Since(start)
 		if res == nil || !errors.Is(err, ErrUndecided) {
 			t.Fatalf("%v: res=%v err=%v, want partial Result with ErrUndecided", algo, res, err)
@@ -193,7 +193,7 @@ func TestMidFlightDeadline(t *testing.T) {
 	} {
 		opts.Deadline = time.Now().Add(15 * time.Millisecond)
 		start := time.Now()
-		res, err := Check(d, q, opts)
+		res, err := Check(context.Background(), d, q, opts)
 		elapsed := time.Since(start)
 		if res == nil || !errors.Is(err, ErrUndecided) {
 			t.Fatalf("opts %+v: res=%v err=%v, want partial Result with ErrUndecided", opts, res, err)
@@ -207,7 +207,7 @@ func TestMidFlightDeadline(t *testing.T) {
 	}
 	// Without the deadline the same searches complete and agree that
 	// the constraint is satisfied.
-	res, err := Check(d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: 4})
+	res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: 4})
 	if err != nil || !res.Satisfied {
 		t.Fatalf("undeadlined run: res=%+v err=%v", res, err)
 	}
@@ -220,7 +220,7 @@ func TestContextCancelUndecided(t *testing.T) {
 	q := query.MustParse("q() :- TxOut(t, s, pk, a)")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := CheckContext(ctx, d, q, Options{Algorithm: AlgoOpt})
+	res, err := Check(ctx, d, q, Options{Algorithm: AlgoOpt})
 	if res == nil || !errors.Is(err, ErrUndecided) || !errors.Is(err, context.Canceled) {
 		t.Fatalf("res=%v err=%v, want partial Result with ErrUndecided wrapping context.Canceled", res, err)
 	}
@@ -242,7 +242,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		d := bitcoinLikeDB(r)
 		q := query.MustParse(queries[r.Intn(len(queries))])
-		base, err := Check(d, q, Options{Algorithm: AlgoNaive})
+		base, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 			{Algorithm: AlgoOpt, Workers: 2},
 			{Algorithm: AlgoOpt, Workers: 4, DisablePrecheck: true},
 		} {
-			got, err := Check(d, q, opts)
+			got, err := Check(context.Background(), d, q, opts)
 			if err != nil {
 				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
 			}
@@ -290,11 +290,11 @@ func TestCliqueParallelCountsExact(t *testing.T) {
 	q := &query.Query{Name: "q", Atoms: []query.Atom{
 		{Rel: "R", Args: []query.Term{query.V("x"), query.C(value.Int(99))}},
 	}}
-	serial, err := Check(d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true})
+	serial, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Check(d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: 4})
+	par, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestCliqueParallelSpeedup(t *testing.T) {
 		best := time.Duration(1<<62 - 1)
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			res, err := Check(d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: workers})
+			res, err := Check(context.Background(), d, q, Options{Algorithm: AlgoNaive, DisablePrecheck: true, Workers: workers})
 			if err != nil || !res.Satisfied {
 				t.Fatalf("workers=%d: res=%+v err=%v", workers, res, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -39,11 +40,11 @@ func TestProp2StateBridgeCounterexample(t *testing.T) {
 	if !q.IsConnected() {
 		t.Fatal("query must be connected for OptDCSat to split components")
 	}
-	want, err := Check(d, q, Options{Algorithm: AlgoExhaustive})
+	want, err := Check(context.Background(), d, q, Options{Algorithm: AlgoExhaustive})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Check(d, q, Options{Algorithm: AlgoOpt})
+	got, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestProp2StateBridgeRandom(t *testing.T) {
 		d := possible.MustNew(s, cons, pending)
 		for _, src := range queries {
 			q := query.MustParse(src)
-			want, err := Check(d, q, Options{Algorithm: AlgoExhaustive})
+			want, err := Check(context.Background(), d, q, Options{Algorithm: AlgoExhaustive})
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Check(d, q, Options{Algorithm: AlgoOpt})
+			got, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"blockchaindb/internal/constraint"
@@ -47,7 +48,7 @@ func TestAutoRoutingConsistentWithClassifier(t *testing.T) {
 		d := mk(withIND)
 		for _, src := range queries {
 			q := query.MustParse(src)
-			res, err := Check(d, q, Options{})
+			res, err := Check(context.Background(), d, q, Options{})
 			if err != nil {
 				t.Fatalf("IND=%v %s: %v", withIND, src, err)
 			}
@@ -89,7 +90,7 @@ func TestRoutingTable(t *testing.T) {
 	}
 	for _, c := range cases {
 		q := query.MustParse(c.src)
-		res, err := Check(c.db, q, Options{})
+		res, err := Check(context.Background(), c.db, q, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.src, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"blockchaindb/internal/fixture"
@@ -13,7 +14,7 @@ import (
 func TestCheckSimplifyIntegration(t *testing.T) {
 	d := fixture.PaperDB()
 	trivial := query.MustParse("q() :- TxOut(t, s, pk, a), 1 > 2")
-	res, err := Check(d, trivial, Options{})
+	res, err := Check(context.Background(), d, trivial, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestCheckSimplifyIntegration(t *testing.T) {
 	}
 	// x = 'U8Pk' behaves exactly like an inlined constant.
 	viaEq := query.MustParse("q() :- TxOut(t, s, pk, a), pk = 'U8Pk'")
-	res2, err := Check(d, viaEq, Options{Algorithm: AlgoOpt})
+	res2, err := Check(context.Background(), d, viaEq, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestCheckSimplifyIntegration(t *testing.T) {
 		t.Error("equality-bound constant missed the violation (Example 6)")
 	}
 	inline := query.MustParse("q() :- TxOut(t, s, 'U8Pk', a)")
-	res3, err := Check(d, inline, Options{Algorithm: AlgoOpt})
+	res3, err := Check(context.Background(), d, inline, Options{Algorithm: AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}

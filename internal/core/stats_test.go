@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"context"
@@ -7,16 +7,17 @@ import (
 	"testing"
 	"time"
 
+	"blockchaindb/internal/core"
 	"blockchaindb/internal/obs"
 	"blockchaindb/internal/workload"
 )
 
-// TestStatsMergeCoversEveryField sets every Stats field to a nonzero
-// value via reflection and merges it into a zero Stats: any field left
+// TestStatsMergeCoversEveryField sets every core.Stats field to a nonzero
+// value via reflection and merges it into a zero core.Stats: any field left
 // at zero means Merge silently drops it — the exact bug the old
 // hand-copied parallel merge had.
 func TestStatsMergeCoversEveryField(t *testing.T) {
-	var src Stats
+	var src core.Stats
 	v := reflect.ValueOf(&src).Elem()
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Field(i)
@@ -26,11 +27,11 @@ func TestStatsMergeCoversEveryField(t *testing.T) {
 		case reflect.Int, reflect.Int64:
 			f.SetInt(7)
 		default:
-			t.Fatalf("unhandled Stats field kind %v (%s): extend this test and Merge",
+			t.Fatalf("unhandled core.Stats field kind %v (%s): extend this test and Merge",
 				f.Kind(), v.Type().Field(i).Name)
 		}
 	}
-	var dst Stats
+	var dst core.Stats
 	dst.Merge(src)
 	dv := reflect.ValueOf(dst)
 	for i := 0; i < dv.NumField(); i++ {
@@ -39,7 +40,7 @@ func TestStatsMergeCoversEveryField(t *testing.T) {
 			continue // identity, set by Check, deliberately not merged
 		}
 		if dv.Field(i).IsZero() {
-			t.Errorf("Stats.Merge drops field %s", name)
+			t.Errorf("core.Stats.Merge drops field %s", name)
 		}
 	}
 }
@@ -64,11 +65,11 @@ func TestSequentialParallelStatsConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Disable the pre-check so the clique search actually runs.
-	seq, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true, Workers: 1})
+	seq, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true, Workers: 4})
+	par, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestSequentialParallelStatsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seqV, err := Check(ds.DB, qv, Options{Algorithm: AlgoOpt, Workers: 1})
+	seqV, err := core.Check(context.Background(), ds.DB, qv, core.Options{Algorithm: core.AlgoOpt, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parV, err := Check(ds.DB, qv, Options{Algorithm: AlgoOpt, Workers: 4})
+	parV, err := core.Check(context.Background(), ds.DB, qv, core.Options{Algorithm: core.AlgoOpt, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestStageDurationsSumWithinTotal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
+	res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestCheckContextTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, root := obs.StartTrace(context.Background(), "test")
-	res, err := CheckContext(ctx, ds.DB, q, Options{Algorithm: AlgoOpt})
+	res, err := core.Check(ctx, ds.DB, q, core.Options{Algorithm: core.AlgoOpt})
 	root.End()
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +192,7 @@ func TestCheckUntracedNoSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, DisablePrecheck: true})
+	res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,13 +202,13 @@ func TestCheckUntracedNoSpans(t *testing.T) {
 }
 
 // TestStageBreakdownEdgeCases: zero-duration stages are omitted, order
-// is pipeline order, and an all-zero Stats yields an empty breakdown.
+// is pipeline order, and an all-zero core.Stats yields an empty breakdown.
 func TestStageBreakdownEdgeCases(t *testing.T) {
-	var zero Stats
+	var zero core.Stats
 	if got := zero.StageBreakdown(); len(got) != 0 {
-		t.Errorf("zero Stats breakdown = %v, want empty", got)
+		t.Errorf("zero core.Stats breakdown = %v, want empty", got)
 	}
-	st := Stats{
+	st := core.Stats{
 		PrecheckDur: 2 * time.Millisecond,
 		// LiveFilterDur deliberately zero: must be skipped.
 		ClosureDur: 1 * time.Millisecond,
@@ -233,8 +234,8 @@ func TestStageBreakdownEdgeCases(t *testing.T) {
 // the partial durations — the combination produced when a parallel
 // component finishes by pre-check while a sibling is cut short.
 func TestStatsMergePrecheckedUndecided(t *testing.T) {
-	partial := Stats{PrecheckDur: 5 * time.Millisecond, WorldsEvaluated: 2}
-	prechecked := Stats{Prechecked: true, WorldsEvaluated: 1, PrecheckDur: 1 * time.Millisecond}
+	partial := core.Stats{PrecheckDur: 5 * time.Millisecond, WorldsEvaluated: 2}
+	prechecked := core.Stats{Prechecked: true, WorldsEvaluated: 1, PrecheckDur: 1 * time.Millisecond}
 	partial.Merge(prechecked)
 	if !partial.Prechecked {
 		t.Error("Merge dropped Prechecked=true")
@@ -246,9 +247,9 @@ func TestStatsMergePrecheckedUndecided(t *testing.T) {
 		t.Errorf("PrecheckDur = %v, want 6ms", partial.PrecheckDur)
 	}
 	// Or-semantics both ways: false into true stays true.
-	prechecked.Merge(Stats{})
+	prechecked.Merge(core.Stats{})
 	if !prechecked.Prechecked {
-		t.Error("merging a zero Stats cleared Prechecked")
+		t.Error("merging a zero core.Stats cleared Prechecked")
 	}
 }
 
@@ -257,8 +258,8 @@ func TestStatsMergePrecheckedUndecided(t *testing.T) {
 // exactly once. The test pins that contract (a dedupe inside Merge
 // would silently change parallel accounting).
 func TestStatsDoubleMerge(t *testing.T) {
-	src := Stats{Cliques: 3, CliqueDur: 2 * time.Millisecond, WorkersUsed: 1, Prechecked: true}
-	var dst Stats
+	src := core.Stats{Cliques: 3, CliqueDur: 2 * time.Millisecond, WorkersUsed: 1, Prechecked: true}
+	var dst core.Stats
 	dst.Merge(src)
 	dst.Merge(src)
 	if dst.Cliques != 6 || dst.CliqueDur != 4*time.Millisecond || dst.WorkersUsed != 2 {
@@ -270,7 +271,7 @@ func TestStatsDoubleMerge(t *testing.T) {
 }
 
 // TestUndecidedRecordsMetrics: an undecided check must still observe
-// dcsat_check_ns and return its partial Stats (it used to vanish from
+// dcsat_check_ns and return its partial core.Stats (it used to vanish from
 // the latency percentiles entirely), and the in-flight gauge must be
 // back to zero afterwards.
 func TestUndecidedRecordsMetrics(t *testing.T) {
@@ -280,7 +281,7 @@ func TestUndecidedRecordsMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := obs.Default.Snapshot()
-	res, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt, Deadline: time.Now().Add(-time.Second)})
+	res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt, Deadline: time.Now().Add(-time.Second)})
 	if res == nil || err == nil {
 		t.Fatalf("res=%v err=%v, want partial Result with error", res, err)
 	}
@@ -320,7 +321,7 @@ func TestCheckEmitsJournalEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	beforeTotal := obs.DefaultJournal.TotalAppended()
-	if _, err := Check(ds.DB, q, Options{Algorithm: AlgoOpt}); err != nil {
+	if _, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt}); err != nil {
 		t.Fatal(err)
 	}
 	events := obs.DefaultJournal.Snapshot()

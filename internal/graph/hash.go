@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sort"
+)
+
+// ComponentHash canonically hashes a component by its members' content
+// digests: the digests are sorted and folded through SHA-256, so the
+// hash is independent of member order, of the slot indexes the members
+// happen to occupy, and of how the component was discovered. Two
+// components whose member multisets hold the same contents hash
+// identically — the property the incremental DCSat verdict cache keys
+// on. The input slice is not modified.
+func ComponentHash(members [][16]byte) [16]byte {
+	sorted := make([][16]byte, len(members))
+	copy(sorted, members)
+	sort.Slice(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i][:], sorted[j][:]) < 0
+	})
+	h := sha256.New()
+	for i := range sorted {
+		h.Write(sorted[i][:])
+	}
+	var out [16]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

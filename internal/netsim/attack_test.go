@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestDoubleSpendRaceAcrossPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resA, err := core.Check(dbA, bobPaid, core.Options{})
+	resA, err := core.Check(context.Background(), dbA, bobPaid, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestDoubleSpendRaceAcrossPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := core.Check(dbB, bobPaid, core.Options{})
+	resB, err := core.Check(context.Background(), dbB, bobPaid, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestDoubleSpendRaceAcrossPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resAfter, err := core.Check(dbAfter, bobPaid, core.Options{})
+	resAfter, err := core.Check(context.Background(), dbAfter, bobPaid, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

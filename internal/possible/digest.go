@@ -1,0 +1,41 @@
+package possible
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"blockchaindb/internal/relation"
+)
+
+// Digest is a content-addressed identifier of a transaction: two
+// transactions have the same digest exactly when they insert the same
+// tuples into the same relations (up to the 128-bit truncation of
+// SHA-256, whose collision probability is negligible at any realistic
+// pending-set size). The transaction's name is deliberately excluded —
+// the possible-worlds semantics depends only on tuple contents, so a
+// re-gossiped transaction under a different label digests identically.
+type Digest [16]byte
+
+// TxDigest computes the content digest of a transaction. The encoding
+// is canonical: "relation\x00tupleKey" lines, sorted, so neither the
+// relation first-touch order nor the tuple insertion order matters.
+// Digest transactions after normalization (State.NormalizeTransaction):
+// normalization rewrites numeric kinds, and un-normalized duplicates of
+// the same content would otherwise digest apart.
+func TxDigest(tx *relation.Transaction) Digest {
+	lines := make([]string, 0, tx.Size())
+	for _, rel := range tx.Relations() {
+		for _, t := range tx.Tuples(rel) {
+			lines = append(lines, rel+"\x00"+t.Key())
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{0x01})
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}

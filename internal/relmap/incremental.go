@@ -1,0 +1,184 @@
+package relmap
+
+import (
+	"context"
+	"fmt"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/query"
+)
+
+// NodeMonitor keeps one node's chain and mempool mapped into a
+// persistent core.Monitor instead of rebuilding the relational
+// database from scratch at every checkpoint. Rebuilding is what the
+// paper's Bitcoin experiment does naively — re-parse the whole chain,
+// re-map the whole mempool, re-check from cold; the NodeMonitor
+// instead feeds the Monitor deltas (blocks commit transactions, the
+// mempool gains and loses them), which is exactly what the Monitor's
+// incremental structures — conflict buckets, appendability statuses,
+// and the per-component verdict cache — are built to absorb. A
+// mempool-tick recheck after a single-transaction delta then replays
+// every untouched component's verdict from cache.
+//
+// NodeMonitor is not safe for concurrent use: Sync mutates the mapping
+// in step with the node's own single-threaded event loop. The embedded
+// core.Monitor remains safe for concurrent Checks.
+type NodeMonitor struct {
+	chain   *bitcoin.Chain
+	mempool *bitcoin.Mempool
+	mon     *core.Monitor
+	opts    []core.MonitorOption
+
+	synced   []bitcoin.Hash       // main-chain hashes at the last successful sync
+	byTxID   map[bitcoin.Hash]int // mempool txid -> monitor pending id
+	rebuilds int                  // full rebuilds (reorgs or sync errors)
+}
+
+// NewNodeMonitor maps the node's current chain and mempool and wraps
+// them in a core.Monitor. The options are forwarded to core.NewMonitor
+// (and re-applied on every rebuild).
+func NewNodeMonitor(chain *bitcoin.Chain, mempool *bitcoin.Mempool, opts ...core.MonitorOption) (*NodeMonitor, error) {
+	nm := &NodeMonitor{chain: chain, mempool: mempool, opts: opts}
+	if err := nm.rebuild(); err != nil {
+		return nil, err
+	}
+	return nm, nil
+}
+
+// rebuild remaps everything from scratch — the fallback for reorgs and
+// for any delta that fails to apply cleanly.
+func (nm *NodeMonitor) rebuild() error {
+	db, err := Database(nm.chain, nm.mempool)
+	if err != nil {
+		return err
+	}
+	nm.mon = core.NewMonitor(db, nm.opts...)
+	nm.synced = append([]bitcoin.Hash(nil), nm.chain.MainChain()...)
+	// Database maps the deduplicated mempool in order, and NewMonitor
+	// assigns ids 0..n-1 in that same order.
+	nm.byTxID = make(map[bitcoin.Hash]int, len(db.Pending))
+	id := 0
+	for _, tx := range nm.mempool.Transactions() {
+		if _, dup := nm.byTxID[tx.ID()]; dup {
+			continue
+		}
+		nm.byTxID[tx.ID()] = id
+		id++
+	}
+	return nil
+}
+
+// Sync brings the Monitor up to date with the node: newly mined blocks
+// commit their transactions (mempool transactions through
+// Monitor.Commit, coinbases and never-gossiped transactions through
+// CommitExternal), then the mempool is diffed by txid into
+// AddPending/DropPending calls. A reorg — the stored main-chain prefix
+// no longer matches — or any delta that fails to apply triggers a full
+// rebuild, so Sync never leaves the mapping diverged.
+func (nm *NodeMonitor) Sync() error {
+	if err := nm.applyDeltas(); err != nil {
+		nm.rebuilds++
+		return nm.rebuild()
+	}
+	return nil
+}
+
+func (nm *NodeMonitor) applyDeltas() error {
+	cur := nm.chain.MainChain()
+	if len(cur) < len(nm.synced) {
+		return fmt.Errorf("relmap: chain shortened (reorg)")
+	}
+	for i, h := range nm.synced {
+		if cur[i] != h {
+			return fmt.Errorf("relmap: chain prefix changed at height %d (reorg)", i)
+		}
+	}
+	if len(cur) > len(nm.synced) {
+		// New blocks. Resolve inputs against the full history plus the
+		// mempool — mined transactions spend outputs that already exist
+		// in one or the other.
+		resolver := HistoryResolver(nm.chain, nm.mempool)
+		for _, h := range cur[len(nm.synced):] {
+			b, ok := nm.chain.Block(h)
+			if !ok {
+				return fmt.Errorf("relmap: missing block %v", h)
+			}
+			for _, tx := range b.Txs {
+				if id, mine := nm.byTxID[tx.ID()]; mine {
+					if err := nm.mon.Commit(id); err != nil {
+						return err
+					}
+					delete(nm.byTxID, tx.ID())
+					continue
+				}
+				rt, err := MapTransaction(tx, resolver)
+				if err != nil {
+					return err
+				}
+				if err := nm.mon.CommitExternal(rt); err != nil {
+					return err
+				}
+			}
+		}
+		nm.synced = append(nm.synced, cur[len(nm.synced):]...)
+	}
+	// Mempool diff by txid.
+	want := make(map[bitcoin.Hash]*bitcoin.Transaction, nm.mempool.Len())
+	for _, tx := range nm.mempool.Transactions() {
+		if _, dup := want[tx.ID()]; !dup {
+			want[tx.ID()] = tx
+		}
+	}
+	for txid, id := range nm.byTxID {
+		if _, still := want[txid]; still {
+			continue
+		}
+		if err := nm.mon.DropPending(id); err != nil {
+			return err
+		}
+		delete(nm.byTxID, txid)
+	}
+	var resolver bitcoin.OutputSource
+	for txid, tx := range want {
+		if _, have := nm.byTxID[txid]; have {
+			continue
+		}
+		if resolver == nil {
+			resolver = HistoryResolver(nm.chain, nm.mempool)
+		}
+		rt, err := MapTransaction(tx, resolver)
+		if err != nil {
+			return err
+		}
+		id, err := nm.mon.AddPending(rt)
+		if err != nil {
+			return err
+		}
+		nm.byTxID[txid] = id
+	}
+	return nil
+}
+
+// Check runs the denial constraint over the monitored database through
+// the incremental path.
+func (nm *NodeMonitor) Check(ctx context.Context, q *query.Query, opts core.Options) (*core.Result, error) {
+	return nm.mon.Check(ctx, q, opts)
+}
+
+// Monitor exposes the underlying core.Monitor (for AddPending of
+// hypothetical transactions, CacheStats, etc.).
+func (nm *NodeMonitor) Monitor() *core.Monitor { return nm.mon }
+
+// CacheStats snapshots the verdict cache of the current Monitor.
+func (nm *NodeMonitor) CacheStats() core.CacheStats { return nm.mon.CacheStats() }
+
+// Rebuilds reports how many times Sync fell back to a full remap.
+func (nm *NodeMonitor) Rebuilds() int { return nm.rebuilds }
+
+// PendingID returns the monitor id of a mempool transaction, when the
+// transaction is currently mapped.
+func (nm *NodeMonitor) PendingID(txid bitcoin.Hash) (int, bool) {
+	id, ok := nm.byTxID[txid]
+	return id, ok
+}

@@ -1,6 +1,7 @@
 package relmap
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -176,7 +177,7 @@ func TestEndToEndDCSat(t *testing.T) {
 	}
 	bobPk := PubKeyString(r.bob.PubKey())
 	qs := query.MustParse("qs() :- TxOut(t, s, '" + bobPk + "', a)")
-	res, err := core.Check(d, qs, core.Options{Algorithm: core.AlgoOpt})
+	res, err := core.Check(context.Background(), d, qs, core.Options{Algorithm: core.AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestEndToEndDCSat(t *testing.T) {
 	}
 	// An unknown key is never paid.
 	qNone := query.MustParse("q() :- TxOut(t, s, 'deadbeef', a)")
-	res2, err := core.Check(d, qNone, core.Options{Algorithm: core.AlgoOpt})
+	res2, err := core.Check(context.Background(), d, qNone, core.Options{Algorithm: core.AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"blockchaindb/internal/core"
@@ -70,7 +71,7 @@ func TestSimulationPlantedQueriesBehave(t *testing.T) {
 			if !q.IsConnected() {
 				algo = core.AlgoNaive
 			}
-			res, err := core.Check(ds.DB, q, core.Options{Algorithm: algo})
+			res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: algo})
 			if err != nil {
 				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
 			}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"blockchaindb/internal/core"
@@ -104,7 +105,7 @@ func TestPlantedQueriesBehave(t *testing.T) {
 			if !q.IsConnected() {
 				algo = core.AlgoNaive
 			}
-			res, err := core.Check(ds.DB, q, core.Options{Algorithm: algo})
+			res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: algo})
 			if err != nil {
 				t.Fatalf("%v/%d: %v", cs.kind, cs.size, err)
 			}
@@ -218,7 +219,7 @@ func TestDefaultConfigRuns(t *testing.T) {
 		t.Errorf("default dataset too small: %+v", ds.Stats)
 	}
 	q := ds.MustQuery(QueryPath, 3, true)
-	res, err := core.Check(ds.DB, q, core.Options{Algorithm: core.AlgoOpt})
+	res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
