@@ -384,6 +384,60 @@ func TestIncrementalWarmColdGuard(t *testing.T) {
 	}
 }
 
+// fig6aAllocBaselines are the allocs/op of the Fig6a satisfied-query
+// checks measured with the compiled evaluation engine (see
+// BENCH_5.json). The guard below fails when a change regresses any
+// family by more than 20% — allocation counts on the serial path are
+// deterministic, so this is a tight, timing-free CI tripwire for the
+// per-world hot loop.
+var fig6aAllocBaselines = map[string]float64{
+	"qs":  1566,
+	"qp3": 1384,
+	"qr3": 1448,
+	"qa":  1582,
+}
+
+// TestFig6aAllocGuard is the allocation-regression guard over
+// BenchmarkFig6a_QueryTypes_Satisfied's workload. Gated behind
+// BENCH_GUARD like the warm/cold guard so ordinary test runs stay
+// fast.
+func TestFig6aAllocGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the Fig6a allocation guard")
+	}
+	ds := workload.Generate(d200())
+	cases := []struct {
+		label string
+		kind  workload.QueryKind
+		size  int
+	}{
+		{"qs", workload.QuerySimple, 0},
+		{"qp3", workload.QueryPath, 3},
+		{"qr3", workload.QueryStar, 3},
+		{"qa", workload.QueryAggregate, 0},
+	}
+	for _, c := range cases {
+		q := ds.MustQuery(c.kind, c.size, true)
+		check := func() {
+			res, err := core.Check(context.Background(), ds.DB, q, core.Options{Algorithm: core.AlgoNaive})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Satisfied {
+				t.Fatalf("%s: verdict flipped", c.label)
+			}
+		}
+		check() // warm up: plan compile, lazy index builds
+		allocs := testing.AllocsPerRun(20, check)
+		baseline := fig6aAllocBaselines[c.label]
+		t.Logf("%s: %.0f allocs/op (baseline %.0f)", c.label, allocs, baseline)
+		if allocs > baseline*1.2 {
+			t.Errorf("%s: %.0f allocs/op exceeds baseline %.0f by more than 20%%",
+				c.label, allocs, baseline)
+		}
+	}
+}
+
 // BenchmarkHarnessTiny exercises the full experiment harness end to end
 // at a tiny scale, so regressions in any experiment runner surface in
 // benchmarks too.

@@ -1,6 +1,9 @@
 package constraint
 
 import (
+	"bytes"
+	"sync"
+
 	"blockchaindb/internal/relation"
 	"blockchaindb/internal/value"
 )
@@ -80,31 +83,56 @@ func (c *Set) CanAppend(world relation.View, tx *relation.Transaction) bool {
 	return c.AppendViolation(world, tx) == nil
 }
 
+// appendScratch holds the reusable key-encoding buffers of one
+// AppendViolation call. The getMaximal fixpoint calls CanAppend once
+// per (world, transaction) step — thousands of times per DCSat check,
+// concurrently from parallel workers — so the buffers live in a pool
+// rather than on the (shared) Set.
+type appendScratch struct {
+	lbuf, rbuf, ebuf, kbuf []byte
+}
+
+var appendScratchPool = sync.Pool{New: func() any { return new(appendScratch) }}
+
 // AppendViolation is CanAppend returning the first violation found (nil
-// when the transaction can be appended).
+// when the transaction can be appended). All key projections go through
+// pooled buffers and the views' LookupKey form, so the no-violation
+// path — the common case inside the getMaximal fixpoint — allocates
+// nothing.
 func (c *Set) AppendViolation(world relation.View, tx *relation.Transaction) error {
+	sc := appendScratchPool.Get().(*appendScratch)
+	defer appendScratchPool.Put(sc)
 	for i, fd := range c.FDs {
 		lhs, rhs := c.fdCols[i].lhs, c.fdCols[i].rhs
 		news := tx.Tuples(fd.Rel)
 		if len(news) == 0 {
 			continue
 		}
-		// Within-transaction pairs.
-		local := make(map[string]value.Tuple, len(news))
-		for _, t := range news {
-			lk := t.ProjectKey(lhs)
-			if prev, ok := local[lk]; ok && prev.ProjectKey(rhs) != t.ProjectKey(rhs) {
-				return &Violation{Constraint: fd, Rel: fd.Rel, Tuple: t, Other: prev}
+		// Within-transaction pairs: transactions hold a handful of
+		// tuples, so pairwise comparison through reused buffers beats a
+		// per-call map.
+		for a := 1; a < len(news); a++ {
+			sc.lbuf = news[a].AppendProjectKey(sc.lbuf[:0], lhs)
+			sc.rbuf = news[a].AppendProjectKey(sc.rbuf[:0], rhs)
+			for b := 0; b < a; b++ {
+				sc.ebuf = news[b].AppendProjectKey(sc.ebuf[:0], lhs)
+				if !bytes.Equal(sc.ebuf, sc.lbuf) {
+					continue
+				}
+				sc.ebuf = news[b].AppendProjectKey(sc.ebuf[:0], rhs)
+				if !bytes.Equal(sc.ebuf, sc.rbuf) {
+					return &Violation{Constraint: fd, Rel: fd.Rel, Tuple: news[a], Other: news[b]}
+				}
 			}
-			local[lk] = t
 		}
 		// New tuple against the existing world.
 		for _, t := range news {
-			lk := t.ProjectKey(lhs)
-			rk := t.ProjectKey(rhs)
+			sc.lbuf = t.AppendProjectKey(sc.lbuf[:0], lhs)
+			sc.rbuf = t.AppendProjectKey(sc.rbuf[:0], rhs)
 			var clash value.Tuple
-			world.Lookup(fd.Rel, lhs, lk, func(existing value.Tuple) bool {
-				if existing.ProjectKey(rhs) != rk {
+			world.LookupKey(fd.Rel, lhs, sc.lbuf, func(existing value.Tuple) bool {
+				sc.ebuf = existing.AppendProjectKey(sc.ebuf[:0], rhs)
+				if !bytes.Equal(sc.ebuf, sc.rbuf) {
 					clash = existing
 					return false
 				}
@@ -118,12 +146,12 @@ func (c *Set) AppendViolation(world relation.View, tx *relation.Transaction) err
 	for i, ind := range c.INDs {
 		cols, refCols := c.indCols[i].cols, c.indCols[i].refCols
 		for _, t := range tx.Tuples(ind.Rel) {
-			key := t.ProjectKey(cols)
-			if hasReferenced(world, ind.RefRel, refCols, key) {
+			sc.kbuf = t.AppendProjectKey(sc.kbuf[:0], cols)
+			if hasReferencedKey(world, ind.RefRel, refCols, sc.kbuf) {
 				continue
 			}
 			// The reference may be provided by the transaction itself.
-			if txProvides(tx, ind.RefRel, refCols, key) {
+			if txProvidesKey(tx, ind.RefRel, refCols, sc.kbuf, &sc.ebuf) {
 				continue
 			}
 			return &Violation{Constraint: ind, Rel: ind.Rel, Tuple: t}
@@ -132,9 +160,21 @@ func (c *Set) AppendViolation(world relation.View, tx *relation.Transaction) err
 	return nil
 }
 
-func txProvides(tx *relation.Transaction, rel string, cols []int, key string) bool {
+// hasReferencedKey is hasReferenced with the projection key as a byte
+// buffer, probing through the view's non-allocating LookupKey form.
+func hasReferencedKey(v relation.View, rel string, cols []int, key []byte) bool {
+	found := false
+	v.LookupKey(rel, cols, key, func(value.Tuple) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func txProvidesKey(tx *relation.Transaction, rel string, cols []int, key []byte, buf *[]byte) bool {
 	for _, t := range tx.Tuples(rel) {
-		if t.ProjectKey(cols) == key {
+		*buf = t.AppendProjectKey((*buf)[:0], cols)
+		if bytes.Equal(*buf, key) {
 			return true
 		}
 	}

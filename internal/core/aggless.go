@@ -8,7 +8,6 @@ import (
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
-	"blockchaindb/internal/value"
 )
 
 // aggFDOnlyApplies reports whether the PTIME aggregate solver covers
@@ -60,7 +59,7 @@ func aggFDOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Resul
 	var ctxErr error
 	assignments := 0
 	seenWorld := make(map[string]bool)
-	err := query.Assignments(q, union, true, func(binding map[string]value.Value) bool {
+	err := query.Assignments(q, union, true, func(binding *query.Binding) bool {
 		if assignments++; assignments%ctxCheckEvery == 0 {
 			if ctxErr = ctx.Err(); ctxErr != nil {
 				return false
@@ -125,7 +124,7 @@ func supportKey(support []int) string {
 // collects, per ground tuple absent from the state, the live
 // transactions able to supply it. usable is false when some tuple has
 // no supplier.
-func supportSuppliers(d *possible.DB, live []int, pos []query.Atom, binding map[string]value.Value) ([][]int, bool) {
+func supportSuppliers(d *possible.DB, live []int, pos []query.Atom, binding *query.Binding) ([][]int, bool) {
 	var suppliers [][]int
 	for _, a := range pos {
 		tup := groundAtom(a, binding)

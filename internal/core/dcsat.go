@@ -326,6 +326,13 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 		// identifies the semantic query actually searched.
 		env.qfp = q.String()
 	}
+	// Compile the simplified query once per check; every per-world
+	// evaluation below reuses this plan (schema pointers are shared by
+	// all overlays over d.State, so it stays valid for every world).
+	if plan, perr := query.PlanFor(q, d.State); perr == nil {
+		env.plan = plan
+		span.SetAttr("plan", plan.OrderSummary())
+	}
 	algo := opts.Algorithm
 	if algo == AlgoAuto {
 		switch {
@@ -516,7 +523,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			}
 			res.Stats.ComponentsCovered++
 			violated, witness, err := cachedComponentSearch(env, comp, &res.Stats, func() (bool, []int, error) {
-				return searchComponentParallel(ctx, d, q, comp, opts, env.fdGraph, &res.Stats)
+				return searchComponentParallel(ctx, d, q, comp, opts, env, &res.Stats)
 			})
 			if err != nil {
 				return res, err
@@ -553,11 +560,11 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 // searchComponent enumerates the maximal cliques of the fd-transaction
 // graph over the component and evaluates the query on each maximal
 // world. It reports the first violating world found.
-func searchComponent(ctx context.Context, d *possible.DB, q *query.Query, comp []int, fdGraph fdGraphFn, stats *Stats) (bool, []int, error) {
+func searchComponent(ctx context.Context, d *possible.DB, q *query.Query, comp []int, env checkEnv, stats *Stats) (bool, []int, error) {
 	buildStart := time.Now()
-	g := fdGraph(comp)
+	g := env.fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
-	return searchComponentGraph(ctx, d, q, comp, g, stats)
+	return searchComponentGraph(ctx, d, q, comp, g, env.plan, stats)
 }
 
 // cliqueSearch is the per-clique evaluation shared by the serial,
@@ -575,6 +582,28 @@ type cliqueSearch struct {
 	witness  []int
 	err      error // evaluation error, or the context's error
 	evalDur  time.Duration
+
+	// Per-search hot-loop state: the compiled plan (nil falls back to
+	// query.Eval's cached-plan path), its evaluation scratch, the
+	// getMaximal scratch whose overlay is reset — not rebuilt — between
+	// worlds, and the clique-to-global index buffer. These make the
+	// per-world loop allocation-free after warm-up.
+	plan   *query.Plan
+	sc     *query.Scratch
+	ms     possible.MaximalScratch
+	subset []int
+}
+
+// eval evaluates the query on one world through the compiled plan when
+// the check carries one, falling back to the plan-cache path.
+func (s *cliqueSearch) eval(world relation.View) (bool, error) {
+	if s.plan == nil {
+		return query.Eval(s.q, world)
+	}
+	if s.sc == nil {
+		s.sc = query.NewScratch()
+	}
+	return s.plan.Eval(world, s.sc)
 }
 
 // yield is the graph.MaximalCliques callback. Time spent here —
@@ -589,13 +618,14 @@ func (s *cliqueSearch) yield(clique []int) bool {
 	}
 	s.stats.Cliques++
 	evalStart := time.Now()
-	subset := make([]int, len(clique))
-	for i, local := range clique {
-		subset[i] = s.comp[local]
+	subset := s.subset[:0]
+	for _, local := range clique {
+		subset = append(subset, s.comp[local])
 	}
-	world, included := s.d.GetMaximal(subset)
+	s.subset = subset
+	world, included := s.d.GetMaximalScratch(&s.ms, subset)
 	s.stats.WorldsEvaluated++
-	hit, err := query.Eval(s.q, world)
+	hit, err := s.eval(world)
 	keepGoing := true
 	switch {
 	case err != nil:
@@ -614,8 +644,8 @@ func (s *cliqueSearch) yield(clique []int) bool {
 // searchComponentGraph is searchComponent with a caller-supplied fd
 // graph. A context cancellation surfaces as that context's error, which
 // checkContext translates into ErrUndecided.
-func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, stats *Stats) (bool, []int, error) {
-	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: comp, stats: stats}
+func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, plan *query.Plan, stats *Stats) (bool, []int, error) {
+	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: comp, stats: stats, plan: plan}
 	enumStart := time.Now()
 	ctxErr := graph.MaximalCliquesCtx(ctx, g, cs.yield)
 	stats.CliqueDur += time.Since(enumStart) - cs.evalDur
@@ -662,7 +692,7 @@ func fdOnlyDCSat(ctx context.Context, d *possible.DB, q *query.Query) (*Result, 
 	var witness []int
 	var ctxErr error
 	assignments := 0
-	err := query.Assignments(q, union, false, func(binding map[string]value.Value) bool {
+	err := query.Assignments(q, union, false, func(binding *query.Binding) bool {
 		if assignments++; assignments%ctxCheckEvery == 0 {
 			if ctxErr = ctx.Err(); ctxErr != nil {
 				return false
@@ -719,7 +749,7 @@ const ctxCheckEvery = 64
 // compatibleSupport searches the cartesian product of supplier choices
 // for a mutually fd-compatible transaction set whose minimal world also
 // satisfies the query's negated atoms.
-func compatibleSupport(d *possible.DB, q *query.Query, suppliers [][]int, binding map[string]value.Value) ([]int, bool) {
+func compatibleSupport(d *possible.DB, q *query.Query, suppliers [][]int, binding *query.Binding) ([]int, bool) {
 	chosen := make(map[int]bool)
 	var found []int
 	var rec func(i int) bool
@@ -770,7 +800,7 @@ func compatibleSupport(d *possible.DB, q *query.Query, suppliers [][]int, bindin
 // negationsHoldInMinimalWorld re-checks the query's negated atoms and
 // comparisons against the minimal world R ∪ support under the fixed
 // assignment.
-func negationsHoldInMinimalWorld(d *possible.DB, q *query.Query, support []int, binding map[string]value.Value) bool {
+func negationsHoldInMinimalWorld(d *possible.DB, q *query.Query, support []int, binding *query.Binding) bool {
 	if len(q.Negatives()) == 0 {
 		return true
 	}
@@ -786,11 +816,13 @@ func negationsHoldInMinimalWorld(d *possible.DB, q *query.Query, support []int, 
 	return true
 }
 
-func groundAtom(a query.Atom, binding map[string]value.Value) value.Tuple {
+func groundAtom(a query.Atom, binding *query.Binding) value.Tuple {
 	tup := make(value.Tuple, len(a.Args))
 	for i, arg := range a.Args {
 		if arg.IsVar() {
-			tup[i] = binding[arg.Var]
+			// A variable the positive atoms never bind grounds to Null,
+			// matching the interpreted evaluator's missing-binding value.
+			tup[i], _ = binding.Value(arg.Var)
 		} else {
 			tup[i] = arg.Const
 		}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"sort"
 
@@ -34,16 +35,27 @@ import (
 // conflict edges are removed.
 func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
 	g := graph.NewComplete(len(subset))
+	// Occupants carry the tuple, not a materialized RHS key: bucketing
+	// then only allocates the map key string on the first insert per
+	// distinct LHS projection (map reads use the non-allocating
+	// map[string(buf)] form), and the rare multi-occupant buckets
+	// compare RHS projections through reused buffers.
 	type occupant struct {
-		local  int
-		rhsKey string
+		local int
+		tup   value.Tuple
 	}
-	for fdIdx := range d.Constraints.FDs {
+	var lbuf, ibuf, jbuf []byte
+	for fdIdx, fd := range d.Constraints.FDs {
+		lhs, rhs := d.Constraints.FDColumns(fdIdx)
 		buckets := make(map[string][]occupant)
 		for local, global := range subset {
-			lhsKeys, rhsKeys := d.Constraints.FDKeys(fdIdx, d.Pending[global])
-			for i := range lhsKeys {
-				buckets[lhsKeys[i]] = append(buckets[lhsKeys[i]], occupant{local, rhsKeys[i]})
+			for _, t := range d.Pending[global].Tuples(fd.Rel) {
+				lbuf = t.AppendProjectKey(lbuf[:0], lhs)
+				if occ, ok := buckets[string(lbuf)]; ok {
+					buckets[string(lbuf)] = append(occ, occupant{local, t})
+				} else {
+					buckets[string(lbuf)] = []occupant{{local, t}}
+				}
 			}
 		}
 		for _, occ := range buckets {
@@ -51,8 +63,10 @@ func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
 				continue
 			}
 			for i := 0; i < len(occ); i++ {
+				ibuf = occ[i].tup.AppendProjectKey(ibuf[:0], rhs)
 				for j := i + 1; j < len(occ); j++ {
-					if occ[i].rhsKey != occ[j].rhsKey {
+					jbuf = occ[j].tup.AppendProjectKey(jbuf[:0], rhs)
+					if !bytes.Equal(ibuf, jbuf) {
 						g.RemoveEdge(occ[i].local, occ[j].local)
 					}
 				}
@@ -94,14 +108,16 @@ func liveTransactions(d *possible.DB) []int {
 // fdConflictsWithState reports whether some tuple of the transaction
 // violates a functional dependency against the current state.
 func fdConflictsWithState(d *possible.DB, tx *relation.Transaction) bool {
+	var lbuf, rbuf, ebuf []byte
 	for i, fd := range d.Constraints.FDs {
 		lhs, rhs := d.Constraints.FDColumns(i)
 		for _, t := range tx.Tuples(fd.Rel) {
-			lk := t.ProjectKey(lhs)
-			rk := t.ProjectKey(rhs)
+			lbuf = t.AppendProjectKey(lbuf[:0], lhs)
+			rbuf = t.AppendProjectKey(rbuf[:0], rhs)
 			conflict := false
-			d.State.Lookup(fd.Rel, lhs, lk, func(existing value.Tuple) bool {
-				if existing.ProjectKey(rhs) != rk {
+			d.State.LookupKey(fd.Rel, lhs, lbuf, func(existing value.Tuple) bool {
+				ebuf = existing.AppendProjectKey(ebuf[:0], rhs)
+				if !bytes.Equal(ebuf, rbuf) {
 					conflict = true
 					return false
 				}

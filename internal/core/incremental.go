@@ -64,11 +64,13 @@ type componentCache interface {
 // checkEnv bundles the per-check plumbing threaded from checkContext
 // down through cliqueDCSat into the serial and parallel component
 // searches: the fd-graph hook, the verdict cache, the query
-// fingerprint, and the check ID journal events correlate on.
+// fingerprint, the compiled query plan every per-world evaluation
+// reuses, and the check ID journal events correlate on.
 type checkEnv struct {
 	fdGraph fdGraphFn
 	cache   componentCache
 	qfp     string
+	plan    *query.Plan
 	checkID uint64
 }
 
@@ -290,6 +292,6 @@ func cachedComponentSearch(env checkEnv, comp []int, stats *Stats, search func()
 // cache: exactly searchComponent on a miss.
 func searchComponentCached(ctx context.Context, d *possible.DB, q *query.Query, comp []int, env checkEnv, stats *Stats) (bool, []int, error) {
 	return cachedComponentSearch(env, comp, stats, func() (bool, []int, error) {
-		return searchComponent(ctx, d, q, comp, env.fdGraph, stats)
+		return searchComponent(ctx, d, q, comp, env, stats)
 	})
 }

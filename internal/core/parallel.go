@@ -198,22 +198,24 @@ const branchesPerWorker = 4
 // (a component whose fd graph has essentially one maximal clique,
 // where there is nothing to parallelize) the search falls back to the
 // serial path on the calling goroutine.
-func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query, comp []int, opts Options, fdGraph fdGraphFn, stats *Stats) (bool, []int, error) {
+func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query, comp []int, opts Options, env checkEnv, stats *Stats) (bool, []int, error) {
 	workers := poolSize(opts)
 	buildStart := time.Now()
-	g := fdGraph(comp)
+	g := env.fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
 	splitStart := time.Now()
 	branches := graph.CliqueBranches(g, workers*branchesPerWorker)
 	stats.CliqueDur += time.Since(splitStart)
 	if len(branches) <= 1 {
-		return searchComponentGraph(ctx, d, q, comp, g, stats)
+		return searchComponentGraph(ctx, d, q, comp, g, env.plan, stats)
 	}
 	stats.WorkersUsed = workers
 	var statsMu sync.Mutex
 	o := runDeterministic(ctx, len(branches), workers, stats, &statsMu,
 		func(cctx context.Context, i int, local *Stats) *parOutcome {
-			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: comp, stats: local}
+			// Each branch worker owns its cliqueSearch: the shared plan is
+			// read-only, the scratch/overlay state is per-search.
+			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: comp, stats: local, plan: env.plan}
 			enumStart := time.Now()
 			ctxErr := graph.MaximalCliquesBranch(cctx, g, branches[i], cs.yield)
 			local.CliqueDur += time.Since(enumStart) - cs.evalDur

@@ -98,6 +98,52 @@ func (d *DB) GetMaximal(subset []int) (*relation.Overlay, []int) {
 	}
 }
 
+// MaximalScratch holds the reusable allocations of GetMaximalScratch:
+// the overlay (reset, not rebuilt, between worlds over the same state)
+// and the fixpoint work lists. A scratch must not be shared between
+// concurrent searches.
+type MaximalScratch struct {
+	world     *relation.Overlay
+	remaining []int
+	included  []int
+}
+
+// GetMaximalScratch is GetMaximal with caller-owned scratch space: the
+// clique-search hot loop calls it thousands of times per check, and
+// reusing the overlay and slices removes the per-world allocations.
+// The returned overlay and slice alias the scratch — they are valid
+// only until the next call with the same scratch; callers must copy
+// the included indexes to retain them.
+func (d *DB) GetMaximalScratch(ms *MaximalScratch, subset []int) (*relation.Overlay, []int) {
+	if ms.world == nil || ms.world.Base() != d.State {
+		ms.world = relation.NewOverlay(d.State)
+	} else {
+		ms.world.Reset()
+	}
+	world := ms.world
+	remaining := append(ms.remaining[:0], subset...)
+	included := ms.included[:0]
+	for {
+		progressed := false
+		next := remaining[:0]
+		for _, ti := range remaining {
+			tx := d.Pending[ti]
+			if d.Constraints.CanAppend(world, tx) {
+				world.Add(tx)
+				included = append(included, ti)
+				progressed = true
+			} else {
+				next = append(next, ti)
+			}
+		}
+		remaining = next
+		if !progressed || len(remaining) == 0 {
+			ms.remaining, ms.included = remaining, included
+			return world, included
+		}
+	}
+}
+
 // IsReachable implements Proposition 1 for a chosen transaction subset:
 // it decides in PTIME whether R ∪ (exactly the transactions at the
 // given indexes) is a possible world of D, i.e. whether some ordering

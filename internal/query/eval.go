@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sync"
 
 	"blockchaindb/internal/relation"
 	"blockchaindb/internal/value"
@@ -23,24 +24,25 @@ func (q *Query) CheckAgainst(v relation.View) error {
 	return nil
 }
 
+// scratchPool recycles evaluation scratches across the convenience
+// entry points below. Hot callers (the DCSat engines) hold their own
+// Scratch per worker instead and call Plan.Eval directly.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
 // Eval evaluates the denial constraint's underlying query over the
 // view, returning true if the query is satisfied (i.e. the denial
 // constraint is violated in this world). The query must have been
-// validated; Eval returns an error only for schema mismatches.
+// validated; Eval returns an error only for schema mismatches. The
+// query is compiled on first use and the plan cached (see PlanFor).
 func Eval(q *Query, v relation.View) (bool, error) {
-	if err := q.CheckAgainst(v); err != nil {
+	p, err := PlanFor(q, v)
+	if err != nil {
 		return false, err
 	}
-	ev := newEvaluator(q, v)
-	if q.Agg == nil {
-		found := false
-		ev.run(func() bool {
-			found = true
-			return false // stop at first satisfying assignment
-		})
-		return found, nil
-	}
-	return ev.aggregate()
+	sc := scratchPool.Get().(*Scratch)
+	ok, err := p.Eval(v, sc)
+	scratchPool.Put(sc)
+	return ok, err
 }
 
 // EvalTuples evaluates a non-Boolean query: it returns the distinct
@@ -51,16 +53,18 @@ func EvalTuples(q *Query, v relation.View) ([]value.Tuple, error) {
 	if q.IsBoolean() || q.Agg != nil {
 		return nil, fmt.Errorf("query: EvalTuples requires head variables, got %s", q)
 	}
-	if err := q.CheckAgainst(v); err != nil {
+	p, err := PlanFor(q, v)
+	if err != nil {
 		return nil, err
 	}
-	ev := newEvaluator(q, v)
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
 	seen := make(map[string]bool)
 	var out []value.Tuple
-	ev.run(func() bool {
-		proj := make(value.Tuple, len(q.HeadVars))
-		for i, hv := range q.HeadVars {
-			proj[i] = ev.binding[hv]
+	sc.prepare(p, v, false, func() bool {
+		proj := make(value.Tuple, len(p.headSlots))
+		for i, s := range p.headSlots {
+			proj[i] = sc.slotOr(s)
 		}
 		key := proj.Key()
 		if !seen[key] {
@@ -69,309 +73,50 @@ func EvalTuples(q *Query, v relation.View) ([]value.Tuple, error) {
 		}
 		return true
 	})
+	sc.run()
+	sc.finish()
 	return out, nil
 }
 
-// Assignments enumerates the assignments satisfying the query body
-// over the view, calling yield with each binding (the map is reused
-// across calls — copy it to retain). When checkNegation is false,
-// negated atoms are ignored, which the PTIME solvers use to find
-// candidate assignments whose negations must be re-checked against a
-// smaller world than v. The aggregate head, if any, is ignored.
-// yield returning false stops the enumeration.
-func Assignments(q *Query, v relation.View, checkNegation bool, yield func(binding map[string]value.Value) bool) error {
-	if err := q.CheckAgainst(v); err != nil {
+// Binding is the variable assignment Assignments yields: a view into
+// the running evaluation's slots. It is only valid inside the yield
+// callback; copy values out to retain them.
+type Binding struct {
+	plan *Plan
+	sc   *Scratch
+}
+
+// Value returns the bound value of the named variable, or ok=false when
+// the query has no such variable bound by a positive atom.
+func (b *Binding) Value(name string) (value.Value, bool) {
+	s, ok := b.plan.slotOf[name]
+	if !ok {
+		return value.Null, false
+	}
+	return b.sc.slots[s], true
+}
+
+// Vars returns the names of the variables the binding carries (those
+// bound by positive atoms), in slot order.
+func (b *Binding) Vars() []string { return b.plan.slotNames }
+
+// Assignments enumerates the assignments satisfying the query body over
+// the view, calling yield with each binding (the binding is a live view
+// into evaluation state — read it only inside the callback). When
+// checkNegation is false, negated atoms are ignored, which the PTIME
+// solvers use to find candidate assignments whose negations must be
+// re-checked against a smaller world than v. The aggregate head, if
+// any, is ignored. yield returning false stops the enumeration.
+func Assignments(q *Query, v relation.View, checkNegation bool, yield func(b *Binding) bool) error {
+	p, err := PlanFor(q, v)
+	if err != nil {
 		return err
 	}
-	ev := newEvaluator(q, v)
-	ev.skipNegation = !checkNegation
-	ev.run(func() bool { return yield(ev.binding) })
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	b := &Binding{plan: p, sc: sc}
+	sc.prepare(p, v, !checkNegation, func() bool { return yield(b) })
+	sc.run()
+	sc.finish()
 	return nil
-}
-
-// evaluator is a backtracking join over the positive atoms, using view
-// hash lookups on the columns already bound at each step. Negated atoms
-// and comparisons are checked as soon as their variables are bound.
-type evaluator struct {
-	q            *Query
-	v            relation.View
-	pos          []Atom
-	order        []int
-	binding      map[string]value.Value
-	skipNegation bool
-
-	// Local instrument counts, flushed to the registry once per run —
-	// keeps the per-tuple hot path free of atomics.
-	lookups int64
-	scans   int64
-	probes  int64
-}
-
-func newEvaluator(q *Query, v relation.View) *evaluator {
-	ev := &evaluator{q: q, v: v, pos: q.Positives(), binding: make(map[string]value.Value)}
-	ev.order = ev.planOrder()
-	return ev
-}
-
-// planOrder greedily orders positive atoms: at each step pick the atom
-// with the most bound argument positions (constants plus variables
-// bound by earlier atoms); ties broken by smaller relation cardinality.
-// Atoms with no bound positions come as late as possible, so scans are
-// replaced by indexed lookups wherever the join graph allows.
-func (ev *evaluator) planOrder() []int {
-	n := len(ev.pos)
-	order := make([]int, 0, n)
-	used := make([]bool, n)
-	boundVars := make(map[string]bool)
-	for len(order) < n {
-		best, bestScore, bestCount := -1, -1, 0
-		for i, a := range ev.pos {
-			if used[i] {
-				continue
-			}
-			score := 0
-			for _, t := range a.Args {
-				if !t.IsVar() || boundVars[t.Var] {
-					score++
-				}
-			}
-			count := ev.v.Count(a.Rel)
-			if score > bestScore || (score == bestScore && count < bestCount) {
-				best, bestScore, bestCount = i, score, count
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, t := range ev.pos[best].Args {
-			if t.IsVar() {
-				boundVars[t.Var] = true
-			}
-		}
-	}
-	return order
-}
-
-// run enumerates satisfying assignments, invoking yield for each; yield
-// returning false stops the enumeration.
-func (ev *evaluator) run(yield func() bool) {
-	ev.step(0, yield)
-	mEvals.Inc()
-	mIndexLookups.Add(ev.lookups)
-	mScans.Add(ev.scans)
-	mTuplesProbed.Add(ev.probes)
-	ev.lookups, ev.scans, ev.probes = 0, 0, 0
-}
-
-// step processes the atom at position depth in the plan; at the bottom
-// it re-verifies all conditions and yields.
-func (ev *evaluator) step(depth int, yield func() bool) bool {
-	if depth == len(ev.order) {
-		if !ev.conditionsHold(true) {
-			return true
-		}
-		return yield()
-	}
-	atom := ev.pos[ev.order[depth]]
-	sc := ev.v.Schema(atom.Rel)
-	// Split argument positions into bound (constant or bound variable)
-	// and free. Bound values are normalized to the column kind so the
-	// hash lookup matches stored (normalized) tuples.
-	var boundCols []int
-	var boundVals value.Tuple
-	newVars := make(map[string]int) // var -> first free position
-	for i, t := range atom.Args {
-		if !t.IsVar() {
-			boundCols = append(boundCols, i)
-			boundVals = append(boundVals, sc.NormalizeValue(t.Const, i))
-			continue
-		}
-		if val, ok := ev.binding[t.Var]; ok {
-			boundCols = append(boundCols, i)
-			boundVals = append(boundVals, sc.NormalizeValue(val, i))
-			continue
-		}
-		if _, dup := newVars[t.Var]; !dup {
-			newVars[t.Var] = i
-		}
-	}
-	tryTuple := func(tup value.Tuple) bool {
-		ev.probes++
-		// Verify repeated new variables agree across positions.
-		for i, t := range atom.Args {
-			if t.IsVar() {
-				if first, ok := newVars[t.Var]; ok && first != i {
-					if !tup[first].Equal(tup[i]) {
-						return true // mismatch; keep scanning
-					}
-				}
-			}
-		}
-		var added []string
-		for v, i := range newVars {
-			ev.binding[v] = tup[i]
-			added = append(added, v)
-		}
-		keepGoing := true
-		if ev.conditionsHold(false) {
-			keepGoing = ev.step(depth+1, yield)
-		}
-		for _, v := range added {
-			delete(ev.binding, v)
-		}
-		return keepGoing
-	}
-	if len(boundCols) > 0 {
-		ev.lookups++
-		return ev.v.Lookup(atom.Rel, boundCols, boundVals.Key(), tryTuple)
-	}
-	ev.scans++
-	return ev.v.Scan(atom.Rel, tryTuple)
-}
-
-// conditionsHold checks the negated atoms and comparisons whose
-// variables are currently all bound; when final is true every condition
-// must be fully bound (guaranteed for safe queries) and is checked.
-func (ev *evaluator) conditionsHold(final bool) bool {
-	if !ev.skipNegation {
-		for _, a := range ev.q.Negatives() {
-			tup, ok := ev.ground(a.Args)
-			if !ok {
-				if final {
-					return false
-				}
-				continue
-			}
-			if ev.v.Contains(a.Rel, tup) {
-				return false
-			}
-		}
-	}
-	for _, c := range ev.q.Comparisons {
-		lv, lok := ev.termValue(c.Left)
-		rv, rok := ev.termValue(c.Right)
-		if !lok || !rok {
-			if final {
-				return false
-			}
-			continue
-		}
-		if !c.Op.Eval(lv.Compare(rv)) {
-			return false
-		}
-	}
-	return true
-}
-
-func (ev *evaluator) termValue(t Term) (value.Value, bool) {
-	if !t.IsVar() {
-		return t.Const, true
-	}
-	v, ok := ev.binding[t.Var]
-	return v, ok
-}
-
-func (ev *evaluator) ground(args []Term) (value.Tuple, bool) {
-	tup := make(value.Tuple, len(args))
-	for i, t := range args {
-		v, ok := ev.termValue(t)
-		if !ok {
-			return nil, false
-		}
-		tup[i] = v
-	}
-	return tup, true
-}
-
-// aggregate enumerates all satisfying assignments, folds the aggregate
-// over the bag of head projections, and applies the head comparison.
-// Per the paper's chosen semantics, an empty bag yields false. For
-// monotone heads (count/cntd/sum/max with > or >=) the enumeration
-// stops as soon as the threshold is reached.
-func (ev *evaluator) aggregate() (bool, error) {
-	h := ev.q.Agg
-	earlyOut := ev.q.IsMonotonic()
-	var (
-		n        int64
-		sumI     int64
-		sumF     float64
-		sawF     bool
-		extreme  value.Value
-		first    = true
-		distinct map[string]bool
-	)
-	if h.Func == AggCntd {
-		distinct = make(map[string]bool)
-	}
-	crossed := func(cur value.Value) bool { return h.Op.Eval(cur.Compare(h.Bound)) }
-	stop := false
-	ev.run(func() bool {
-		proj := make(value.Tuple, len(h.Vars))
-		for i, v := range h.Vars {
-			proj[i] = ev.binding[v]
-		}
-		switch h.Func {
-		case AggCount:
-			n++
-			if earlyOut && crossed(value.Int(n)) {
-				stop = true
-			}
-		case AggCntd:
-			distinct[proj.Key()] = true
-			if earlyOut && crossed(value.Int(int64(len(distinct)))) {
-				stop = true
-			}
-		case AggSum:
-			v := proj[0]
-			if v.Kind() == value.KindFloat || sawF {
-				sawF = true
-				sumF += v.AsFloat()
-			} else if v.Kind() == value.KindInt {
-				sumI += v.AsInt()
-			} else {
-				sawF = true
-				sumF += v.AsFloat() // panics for non-numerics, as documented
-			}
-			if earlyOut && crossed(ev.sumValue(sumI, sumF, sawF)) {
-				stop = true
-			}
-		case AggMax:
-			if first || proj[0].Compare(extreme) > 0 {
-				extreme = proj[0]
-			}
-			if earlyOut && crossed(extreme) {
-				stop = true
-			}
-		case AggMin:
-			if first || proj[0].Compare(extreme) < 0 {
-				extreme = proj[0]
-			}
-		}
-		first = false
-		return !stop
-	})
-	if first {
-		// Empty bag: false under the paper's chosen semantics.
-		return false, nil
-	}
-	var result value.Value
-	switch h.Func {
-	case AggCount:
-		result = value.Int(n)
-	case AggCntd:
-		result = value.Int(int64(len(distinct)))
-	case AggSum:
-		result = ev.sumValue(sumI, sumF, sawF)
-	case AggMax, AggMin:
-		result = extreme
-	default:
-		return false, fmt.Errorf("query: unknown aggregate %q", h.Func)
-	}
-	return h.Op.Eval(result.Compare(h.Bound)), nil
-}
-
-func (ev *evaluator) sumValue(sumI int64, sumF float64, sawF bool) value.Value {
-	if sawF {
-		return value.Float(sumF + float64(sumI))
-	}
-	return value.Int(sumI)
 }

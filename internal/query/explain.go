@@ -7,60 +7,67 @@ import (
 	"blockchaindb/internal/relation"
 )
 
-// Explain renders the evaluator's plan for the query against the view:
-// the join order chosen for the positive atoms, which argument
-// positions each step binds through an index lookup versus a full scan,
-// the conditions checked along the way, and the query's static
-// properties. Intended for debugging slow denial constraints and for
-// teaching what the evaluator does.
+// Explain renders the compiled plan for the query against the view: the
+// join order chosen for the positive atoms, which argument positions
+// each step binds through an index lookup versus a full scan, where
+// each comparison and negated atom was pushed down (the earliest step
+// at which its variables are bound), and the query's static properties.
+// Intended for debugging slow denial constraints and for teaching what
+// the evaluator does.
 func Explain(q *Query, v relation.View) (string, error) {
 	if err := q.Validate(); err != nil {
 		return "", err
 	}
-	if err := q.CheckAgainst(v); err != nil {
+	p, err := Compile(q, v)
+	if err != nil {
 		return "", err
 	}
-	ev := newEvaluator(q, v)
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", q)
 	fmt.Fprintf(&b, "properties: positive=%v monotonic=%v connected=%v aggregate=%v\n",
 		q.IsPositive(), q.IsMonotonic(), q.IsConnected(), q.IsAggregate())
-	bound := make(map[string]bool)
-	for step, idx := range ev.order {
-		atom := ev.pos[idx]
+	for _, reason := range p.deadConds {
+		fmt.Fprintf(&b, "unsatisfiable: %s (the body can never hold)\n", reason)
+	}
+	for _, a := range p.droppedNegs {
+		fmt.Fprintf(&b, "dropped: %s (its constant cannot occur in the column, so the negation always holds)\n", a)
+	}
+	for i := range p.preNegs {
+		fmt.Fprintf(&b, "first: check %s absent (ground; tested once per evaluation)\n", p.preNegs[i].src)
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		sc := v.Schema(st.rel)
 		var lookupCols, freeVars []string
-		sc := v.Schema(atom.Rel)
-		for i, t := range atom.Args {
-			name := sc.Attrs[i].Name
-			switch {
-			case !t.IsVar():
-				lookupCols = append(lookupCols, fmt.Sprintf("%s=%s", name, t.Const))
-			case bound[t.Var]:
-				lookupCols = append(lookupCols, fmt.Sprintf("%s=%s", name, t.Var))
-			default:
-				freeVars = append(freeVars, t.Var)
-			}
+		for j := range st.key {
+			kp := &st.key[j]
+			lookupCols = append(lookupCols, fmt.Sprintf("%s=%s", sc.Attrs[kp.col].Name, kp.src))
+		}
+		for _, out := range st.outSlots {
+			freeVars = append(freeVars, p.slotNames[out.slot])
 		}
 		access := "scan"
 		if len(lookupCols) > 0 {
 			access = "index lookup on " + strings.Join(lookupCols, ", ")
 		}
-		fmt.Fprintf(&b, "step %d: %s (%d rows) via %s", step+1, atom.Rel, v.Count(atom.Rel), access)
+		fmt.Fprintf(&b, "step %d: %s (%d rows) via %s", i+1, st.rel, v.Count(st.rel), access)
 		if len(freeVars) > 0 {
 			fmt.Fprintf(&b, ", binding %s", strings.Join(freeVars, ", "))
 		}
 		b.WriteByte('\n')
-		for _, t := range atom.Args {
-			if t.IsVar() {
-				bound[t.Var] = true
-			}
+		for _, eq := range st.eqChecks {
+			fmt.Fprintf(&b, "  require columns %s = %s (repeated variable)\n",
+				sc.Attrs[eq[0]].Name, sc.Attrs[eq[1]].Name)
+		}
+		for j := range st.cmps {
+			fmt.Fprintf(&b, "  then: check %s (pushed down to step %d)\n", st.cmps[j].src, i+1)
+		}
+		for j := range st.negs {
+			fmt.Fprintf(&b, "  then: check %s absent (pushed down to step %d)\n", st.negs[j].src, i+1)
 		}
 	}
-	for _, a := range q.Negatives() {
-		fmt.Fprintf(&b, "then: check %s absent\n", a)
-	}
-	for _, c := range q.Comparisons {
-		fmt.Fprintf(&b, "then: check %s\n", c)
+	for _, c := range p.foldedCmps {
+		fmt.Fprintf(&b, "folded: %s is constant and true\n", c)
 	}
 	if q.Agg != nil {
 		fmt.Fprintf(&b, "fold: %s over all assignments", q.Agg)

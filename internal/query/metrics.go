@@ -14,4 +14,10 @@ var (
 		"atoms resolved through full relation scans")
 	mTuplesProbed = obs.Default.Counter("query_tuples_probed_total",
 		"candidate tuples tested during join backtracking")
+	mCompileNs = obs.Default.Histogram("query_compile_ns",
+		"nanoseconds spent compiling a query into a plan")
+	mPlanCacheHits = obs.Default.Counter("query_plan_cache_hits",
+		"plan-cache lookups answered by a still-valid cached plan")
+	mPlanCacheMisses = obs.Default.Counter("query_plan_cache_misses",
+		"plan-cache lookups that fell through to compilation")
 )

@@ -1,0 +1,669 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// This file is the compiled evaluation engine. A query is compiled once
+// per (query, schema set) into a Plan: the greedy join order is fixed,
+// every atom's bound/free column split is precomputed, constants are
+// pre-normalized to their column kinds, variables are renumbered to
+// integer slots into a flat value array (no map binding), repeated
+// variables become index pairs checked in place, and every comparison
+// and negated atom is pushed down to the earliest join depth at which
+// all of its variables are bound — so each condition is checked exactly
+// once per binding prefix instead of being re-derived and re-checked at
+// every depth, as the interpreted evaluator (interp.go) does.
+//
+// The per-world runtime state lives in a Scratch that callers reuse
+// across evaluations: slot array, per-depth index-key buffers, and
+// per-depth probe closures. With warm view indexes the hot loop
+// allocates nothing — index keys are built into reusable buffers and
+// probed with the non-allocating map[string(buf)] form.
+
+// keyPart is one column of an index-lookup or negation key: either a
+// pre-normalized constant or a slot whose runtime value is normalized
+// to the column kind before encoding.
+type keyPart struct {
+	col  int
+	slot int         // -1 for constants
+	cval value.Value // normalized constant, when slot == -1
+	kind value.Kind  // column kind, for runtime slot-value normalization
+	src  Term        // source term, for Explain
+}
+
+// slotCol records that a step binds tuple column col into slot.
+type slotCol struct{ col, slot int }
+
+// compiledCmp is a comparison with its terms resolved to slots or
+// constants at compile time.
+type compiledCmp struct {
+	op             CmpOp
+	lSlot, rSlot   int // -1 when the side is a constant
+	lConst, rConst value.Value
+	src            Comparison
+}
+
+// compiledNeg is a negated atom whose full-tuple key is assembled from
+// parts (all columns, in order) and probed with View.ContainsKey.
+type compiledNeg struct {
+	rel   string
+	parts []keyPart
+	src   Atom
+}
+
+// planStep is one positive atom in join order.
+type planStep struct {
+	rel       string
+	boundCols []int     // columns with a constant or an earlier-bound var
+	key       []keyPart // index-key recipe, parallel to boundCols
+	outSlots  []slotCol // free columns written into slots
+	eqChecks  [][2]int  // repeated-variable positions that must agree
+	cmps      []compiledCmp
+	negs      []compiledNeg
+	src       Atom
+}
+
+// Plan is a compiled query. Plans are immutable after Compile and safe
+// for concurrent use; per-evaluation state lives in a Scratch.
+type Plan struct {
+	q         *Query
+	relNames  []string // distinct relations referenced, any order
+	schemas   []*relation.Schema
+	slotNames []string // slot -> variable name
+	slotOf    map[string]int
+	steps     []planStep
+	preNegs   []compiledNeg // ground negations, tested once per run
+	headSlots []int         // HeadVars -> slots (-1 if unbound)
+	aggSlots  []int         // Agg.Vars -> slots (-1 if unbound)
+
+	// unsatCmp: a comparison references a variable no positive atom
+	// binds, or a constant comparison is false — no assignment can ever
+	// satisfy the body. unsatNeg is the same for negated atoms, but only
+	// applies when negation is checked (Assignments may skip it).
+	unsatCmp bool
+	unsatNeg bool
+
+	// Explain-only records.
+	droppedNegs []Atom       // negations that can never match (bad constant)
+	foldedCmps  []Comparison // constant comparisons folded to true
+	deadConds   []string     // reasons the plan is unsatisfiable
+}
+
+// greedyOrder orders positive atoms: at each step pick the atom with
+// the most bound argument positions (constants plus variables bound by
+// earlier atoms); ties broken by smaller relation cardinality. Atoms
+// with no bound positions come as late as possible, so scans are
+// replaced by indexed lookups wherever the join graph allows.
+func greedyOrder(pos []Atom, v relation.View) []int {
+	n := len(pos)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	boundVars := make(map[string]bool)
+	for len(order) < n {
+		best, bestScore, bestCount := -1, -1, 0
+		for i, a := range pos {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || boundVars[t.Var] {
+					score++
+				}
+			}
+			count := v.Count(a.Rel)
+			if score > bestScore || (score == bestScore && count < bestCount) {
+				best, bestScore, bestCount = i, score, count
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range pos[best].Args {
+			if t.IsVar() {
+				boundVars[t.Var] = true
+			}
+		}
+	}
+	return order
+}
+
+// Compile builds a Plan for the query against the view's schemas. The
+// join order additionally consults the view's current cardinalities,
+// which affects performance, never results: a plan compiled against one
+// view is correct for any view with the same schemas.
+func Compile(q *Query, v relation.View) (*Plan, error) {
+	start := time.Now()
+	if err := q.CheckAgainst(v); err != nil {
+		return nil, err
+	}
+	p := &Plan{q: q, slotOf: make(map[string]int)}
+	seenRel := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if !seenRel[a.Rel] {
+			seenRel[a.Rel] = true
+			p.relNames = append(p.relNames, a.Rel)
+			p.schemas = append(p.schemas, v.Schema(a.Rel))
+		}
+	}
+	slot := func(name string) int {
+		s, ok := p.slotOf[name]
+		if !ok {
+			s = len(p.slotNames)
+			p.slotOf[name] = s
+			p.slotNames = append(p.slotNames, name)
+		}
+		return s
+	}
+
+	pos := q.Positives()
+	order := greedyOrder(pos, v)
+	bindDepth := make(map[string]int) // var -> step depth that first binds it
+	for depth, idx := range order {
+		a := pos[idx]
+		sc := v.Schema(a.Rel)
+		st := planStep{rel: a.Rel, src: a}
+		firstFree := make(map[string]int) // var -> first free position in this atom
+		for i, t := range a.Args {
+			kind := sc.Attrs[i].Kind
+			if !t.IsVar() {
+				st.boundCols = append(st.boundCols, i)
+				st.key = append(st.key, keyPart{col: i, slot: -1, cval: sc.NormalizeValue(t.Const, i), kind: kind, src: t})
+				continue
+			}
+			if d, ok := bindDepth[t.Var]; ok && d < depth {
+				st.boundCols = append(st.boundCols, i)
+				st.key = append(st.key, keyPart{col: i, slot: slot(t.Var), kind: kind, src: t})
+				continue
+			}
+			if f, dup := firstFree[t.Var]; dup {
+				st.eqChecks = append(st.eqChecks, [2]int{f, i})
+				continue
+			}
+			firstFree[t.Var] = i
+			bindDepth[t.Var] = depth
+			st.outSlots = append(st.outSlots, slotCol{col: i, slot: slot(t.Var)})
+		}
+		p.steps = append(p.steps, st)
+	}
+
+	// Push each comparison down to the earliest depth where both sides
+	// are bound; fold constant comparisons now.
+	for _, c := range q.Comparisons {
+		cc := compiledCmp{op: c.Op, lSlot: -1, rSlot: -1, src: c}
+		d, unbound := -1, false
+		for _, side := range []struct {
+			t  Term
+			s  *int
+			cv *value.Value
+		}{{c.Left, &cc.lSlot, &cc.lConst}, {c.Right, &cc.rSlot, &cc.rConst}} {
+			if !side.t.IsVar() {
+				*side.cv = side.t.Const
+				continue
+			}
+			bd, ok := bindDepth[side.t.Var]
+			if !ok {
+				unbound = true
+				continue
+			}
+			*side.s = p.slotOf[side.t.Var]
+			if bd > d {
+				d = bd
+			}
+		}
+		switch {
+		case unbound:
+			// No positive atom binds the variable: under the
+			// interpreter's final-check semantics no assignment ever
+			// satisfies the body.
+			p.unsatCmp = true
+			p.deadConds = append(p.deadConds, fmt.Sprintf("%s references an unbound variable", c))
+		case d < 0:
+			if cc.op.Eval(cc.lConst.Compare(cc.rConst)) {
+				p.foldedCmps = append(p.foldedCmps, c)
+			} else {
+				p.unsatCmp = true
+				p.deadConds = append(p.deadConds, fmt.Sprintf("%s is constant and false", c))
+			}
+		default:
+			p.steps[d].cmps = append(p.steps[d].cmps, cc)
+		}
+	}
+
+	// Push each negated atom down likewise. A constant that cannot be
+	// normalized to its column kind can never occur in a stored tuple,
+	// so the negation always holds and is dropped. Ground negations
+	// (view-dependent, so not foldable at compile time) become per-run
+	// "pre" checks.
+	for _, a := range q.Negatives() {
+		sc := v.Schema(a.Rel)
+		cn := compiledNeg{rel: a.Rel, src: a}
+		d, unbound, dropped := -1, false, false
+		for i, t := range a.Args {
+			kind := sc.Attrs[i].Kind
+			if t.IsVar() {
+				bd, ok := bindDepth[t.Var]
+				if !ok {
+					unbound = true
+					continue
+				}
+				cn.parts = append(cn.parts, keyPart{col: i, slot: p.slotOf[t.Var], kind: kind, src: t})
+				if bd > d {
+					d = bd
+				}
+				continue
+			}
+			nc, ok := value.Normalize(t.Const, kind)
+			if !ok {
+				dropped = true
+				continue
+			}
+			cn.parts = append(cn.parts, keyPart{col: i, slot: -1, cval: nc, kind: kind, src: t})
+		}
+		switch {
+		case unbound:
+			p.unsatNeg = true
+			p.deadConds = append(p.deadConds, fmt.Sprintf("%s references an unbound variable", a))
+		case dropped:
+			p.droppedNegs = append(p.droppedNegs, a)
+		case d < 0:
+			p.preNegs = append(p.preNegs, cn)
+		default:
+			p.steps[d].negs = append(p.steps[d].negs, cn)
+		}
+	}
+
+	slotOr := func(name string) int {
+		if s, ok := p.slotOf[name]; ok {
+			return s
+		}
+		return -1
+	}
+	for _, hv := range q.HeadVars {
+		p.headSlots = append(p.headSlots, slotOr(hv))
+	}
+	if q.Agg != nil {
+		for _, av := range q.Agg.Vars {
+			p.aggSlots = append(p.aggSlots, slotOr(av))
+		}
+	}
+	mCompileNs.Observe(time.Since(start).Nanoseconds())
+	return p, nil
+}
+
+// Query returns the compiled query.
+func (p *Plan) Query() *Query { return p.q }
+
+// valid reports whether the plan's schema snapshot matches the view.
+// Schema pointers are stable across State.Clone and Overlay
+// construction, so a plan compiled against a Monitor's state remains
+// valid for every possible-world overlay of that state.
+func (p *Plan) valid(v relation.View) bool {
+	for i, rel := range p.relNames {
+		if v.Schema(rel) != p.schemas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderSummary renders the join order and condition placement in one
+// line, e.g. "TxOut[1]>TxIn[4]+1c pre:1" — [n] is the number of bound
+// key columns ("scan" when none), +Nc counts conditions checked at that
+// step, and pre:N counts ground negations tested once per run.
+func (p *Plan) OrderSummary() string {
+	var b strings.Builder
+	for i := range p.steps {
+		st := &p.steps[i]
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		b.WriteString(st.rel)
+		if len(st.boundCols) > 0 {
+			fmt.Fprintf(&b, "[%d]", len(st.boundCols))
+		} else {
+			b.WriteString("[scan]")
+		}
+		if n := len(st.cmps) + len(st.negs); n > 0 {
+			fmt.Fprintf(&b, "+%dc", n)
+		}
+	}
+	if len(p.preNegs) > 0 {
+		fmt.Fprintf(&b, " pre:%d", len(p.preNegs))
+	}
+	if p.unsatCmp || p.unsatNeg {
+		b.WriteString(" unsat")
+	}
+	return b.String()
+}
+
+// Scratch holds the reusable per-evaluation state for running compiled
+// plans: the slot array, per-depth index-key buffers, and per-depth
+// probe closures. A Scratch may be reused across plans and views but
+// must not be shared between concurrent evaluations; parallel workers
+// each own one.
+type Scratch struct {
+	plan    *Plan
+	view    relation.View
+	slots   []value.Value
+	keyBufs [][]byte // per depth: LookupKey probes base then extra with recursion in between, so buffers cannot be shared across depths
+	negBuf  []byte   // negation probes complete before any recursion
+	try     []func(value.Tuple) bool
+	yield   func() bool
+	skipNeg bool
+	proj    value.Tuple // aggregate projection, reused across assignments
+
+	// Local instrument counts, flushed once per run.
+	lookups int64
+	scans   int64
+	probes  int64
+}
+
+// NewScratch returns an empty Scratch; it grows to fit whatever plan it
+// runs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (sc *Scratch) prepare(p *Plan, v relation.View, skipNeg bool, yield func() bool) {
+	sc.plan, sc.view, sc.skipNeg, sc.yield = p, v, skipNeg, yield
+	if n := len(p.slotNames); cap(sc.slots) >= n {
+		sc.slots = sc.slots[:n]
+	} else {
+		sc.slots = make([]value.Value, n)
+	}
+	for len(sc.keyBufs) < len(p.steps) {
+		sc.keyBufs = append(sc.keyBufs, nil)
+	}
+	for d := len(sc.try); d < len(p.steps); d++ {
+		d := d
+		sc.try = append(sc.try, func(tup value.Tuple) bool { return sc.tryTuple(d, tup) })
+	}
+}
+
+// finish flushes metrics and drops references the scratch should not
+// retain while pooled.
+func (sc *Scratch) finish() {
+	mEvals.Inc()
+	mIndexLookups.Add(sc.lookups)
+	mScans.Add(sc.scans)
+	mTuplesProbed.Add(sc.probes)
+	sc.lookups, sc.scans, sc.probes = 0, 0, 0
+	sc.plan, sc.view, sc.yield = nil, nil, nil
+}
+
+// run enumerates satisfying assignments, invoking the prepared yield
+// for each; yield returning false stops the enumeration.
+func (sc *Scratch) run() {
+	p := sc.plan
+	if p.unsatCmp || (!sc.skipNeg && p.unsatNeg) {
+		return
+	}
+	if !sc.skipNeg {
+		for i := range p.preNegs {
+			if !sc.negHolds(&p.preNegs[i]) {
+				return
+			}
+		}
+	}
+	sc.step(0)
+}
+
+// step resolves the atom at the given depth through an index lookup on
+// its precomputed bound columns, or a scan when none are bound; at the
+// bottom every condition has already been checked, so it yields.
+func (sc *Scratch) step(depth int) bool {
+	p := sc.plan
+	if depth == len(p.steps) {
+		return sc.yield()
+	}
+	st := &p.steps[depth]
+	if len(st.boundCols) == 0 {
+		sc.scans++
+		return sc.view.Scan(st.rel, sc.try[depth])
+	}
+	sc.lookups++
+	buf := sc.keyBufs[depth][:0]
+	for i := range st.key {
+		kp := &st.key[i]
+		if kp.slot < 0 {
+			buf = kp.cval.AppendKey(buf)
+			continue
+		}
+		v := sc.slots[kp.slot]
+		// Normalize the bound value to the column kind so the probe key
+		// matches stored (normalized) tuples; an un-normalizable value
+		// keeps its encoding and the probe naturally misses, matching
+		// Schema.NormalizeValue's return-unchanged semantics.
+		if nv, ok := value.Normalize(v, kp.kind); ok {
+			v = nv
+		}
+		buf = v.AppendKey(buf)
+	}
+	sc.keyBufs[depth] = buf
+	return sc.view.LookupKey(st.rel, st.boundCols, buf, sc.try[depth])
+}
+
+// tryTuple processes one candidate tuple at a depth: repeated-variable
+// agreement, slot writes, then the conditions pushed down to this
+// depth, then recursion. Slots never need unwinding on backtrack: a
+// slot is only read at depths where compilation guarantees the current
+// path has written it.
+func (sc *Scratch) tryTuple(depth int, tup value.Tuple) bool {
+	sc.probes++
+	st := &sc.plan.steps[depth]
+	for _, eq := range st.eqChecks {
+		if !tup[eq[0]].Equal(tup[eq[1]]) {
+			return true // mismatch; keep scanning
+		}
+	}
+	for _, out := range st.outSlots {
+		sc.slots[out.slot] = tup[out.col]
+	}
+	for i := range st.cmps {
+		c := &st.cmps[i]
+		lv, rv := c.lConst, c.rConst
+		if c.lSlot >= 0 {
+			lv = sc.slots[c.lSlot]
+		}
+		if c.rSlot >= 0 {
+			rv = sc.slots[c.rSlot]
+		}
+		if !c.op.Eval(lv.Compare(rv)) {
+			return true
+		}
+	}
+	if !sc.skipNeg {
+		for i := range st.negs {
+			if !sc.negHolds(&st.negs[i]) {
+				return true
+			}
+		}
+	}
+	return sc.step(depth + 1)
+}
+
+// negHolds reports whether the negated atom's ground tuple is absent
+// from the view. A bound value that cannot inhabit its column means the
+// tuple cannot exist, so the negation holds.
+func (sc *Scratch) negHolds(n *compiledNeg) bool {
+	buf := sc.negBuf[:0]
+	for i := range n.parts {
+		kp := &n.parts[i]
+		if kp.slot < 0 {
+			buf = kp.cval.AppendKey(buf)
+			continue
+		}
+		nv, ok := value.Normalize(sc.slots[kp.slot], kp.kind)
+		if !ok {
+			sc.negBuf = buf
+			return true
+		}
+		buf = nv.AppendKey(buf)
+	}
+	sc.negBuf = buf
+	return !sc.view.ContainsKey(n.rel, buf)
+}
+
+// slotOr returns the slot's current value, or Null for -1 (a head or
+// aggregate variable no positive atom binds), matching the interpreted
+// evaluator's missing-binding behavior.
+func (sc *Scratch) slotOr(s int) value.Value {
+	if s < 0 {
+		return value.Null
+	}
+	return sc.slots[s]
+}
+
+// Eval runs the plan over the view using the scratch: for aggregate
+// queries it folds the aggregate over all assignments, otherwise it
+// reports whether any satisfying assignment exists.
+func (p *Plan) Eval(v relation.View, sc *Scratch) (bool, error) {
+	if p.q.Agg == nil {
+		found := false
+		sc.prepare(p, v, false, func() bool {
+			found = true
+			return false // stop at first satisfying assignment
+		})
+		sc.run()
+		sc.finish()
+		return found, nil
+	}
+	return p.aggregate(v, sc)
+}
+
+// aggregate folds the aggregate over the bag of head projections and
+// applies the head comparison; an empty bag yields false, and monotone
+// heads stop as soon as the threshold is reached (see the interpreted
+// twin in interp.go).
+func (p *Plan) aggregate(v relation.View, sc *Scratch) (bool, error) {
+	h := p.q.Agg
+	earlyOut := p.q.IsMonotonic()
+	var (
+		n        int64
+		sumI     int64
+		sumF     float64
+		sawF     bool
+		extreme  value.Value
+		first    = true
+		distinct map[string]bool
+	)
+	if h.Func == AggCntd {
+		distinct = make(map[string]bool)
+	}
+	if cap(sc.proj) >= len(h.Vars) {
+		sc.proj = sc.proj[:len(h.Vars)]
+	} else {
+		sc.proj = make(value.Tuple, len(h.Vars))
+	}
+	proj := sc.proj
+	crossed := func(cur value.Value) bool { return h.Op.Eval(cur.Compare(h.Bound)) }
+	stop := false
+	sc.prepare(p, v, false, func() bool {
+		for i, s := range p.aggSlots {
+			proj[i] = sc.slotOr(s)
+		}
+		switch h.Func {
+		case AggCount:
+			n++
+			if earlyOut && crossed(value.Int(n)) {
+				stop = true
+			}
+		case AggCntd:
+			distinct[proj.Key()] = true
+			if earlyOut && crossed(value.Int(int64(len(distinct)))) {
+				stop = true
+			}
+		case AggSum:
+			v := proj[0]
+			if v.Kind() == value.KindFloat || sawF {
+				sawF = true
+				sumF += v.AsFloat()
+			} else if v.Kind() == value.KindInt {
+				sumI += v.AsInt()
+			} else {
+				sawF = true
+				sumF += v.AsFloat() // panics for non-numerics, as documented
+			}
+			if earlyOut && crossed(sumValue(sumI, sumF, sawF)) {
+				stop = true
+			}
+		case AggMax:
+			if first || proj[0].Compare(extreme) > 0 {
+				extreme = proj[0]
+			}
+			if earlyOut && crossed(extreme) {
+				stop = true
+			}
+		case AggMin:
+			if first || proj[0].Compare(extreme) < 0 {
+				extreme = proj[0]
+			}
+		}
+		first = false
+		return !stop
+	})
+	sc.run()
+	sc.finish()
+	if first {
+		// Empty bag: false under the paper's chosen semantics.
+		return false, nil
+	}
+	var result value.Value
+	switch h.Func {
+	case AggCount:
+		result = value.Int(n)
+	case AggCntd:
+		result = value.Int(int64(len(distinct)))
+	case AggSum:
+		result = sumValue(sumI, sumF, sawF)
+	case AggMax, AggMin:
+		result = extreme
+	default:
+		return false, fmt.Errorf("query: unknown aggregate %q", h.Func)
+	}
+	return h.Op.Eval(result.Compare(h.Bound)), nil
+}
+
+// planCache maps queries (by identity — queries are compiled objects,
+// not text, so pointer identity is the natural key) to their compiled
+// plans. A cached plan is only reused when its schema snapshot still
+// matches the view (see Plan.valid), so schema evolution or a different
+// database simply recompiles.
+var planCache = struct {
+	sync.RWMutex
+	m map[*Query]*Plan
+}{m: make(map[*Query]*Plan)}
+
+// planCacheCap bounds the cache; at the cap the whole map is dropped —
+// the working set of live constraints is tiny and recompilation is
+// microseconds, so eviction sophistication buys nothing.
+const planCacheCap = 256
+
+// PlanFor returns a compiled plan for the query against the view,
+// caching by query identity. Safe for concurrent use.
+func PlanFor(q *Query, v relation.View) (*Plan, error) {
+	planCache.RLock()
+	p := planCache.m[q]
+	planCache.RUnlock()
+	if p != nil && p.valid(v) {
+		mPlanCacheHits.Inc()
+		return p, nil
+	}
+	mPlanCacheMisses.Inc()
+	p, err := Compile(q, v)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Lock()
+	if len(planCache.m) >= planCacheCap {
+		clear(planCache.m)
+	}
+	planCache.m[q] = p
+	planCache.Unlock()
+	return p, nil
+}

@@ -19,8 +19,9 @@ type Relation struct {
 	schema  *Schema
 	tuples  []value.Tuple
 	byKey   map[string]int // full-tuple key -> position in tuples
+	keyBuf  []byte         // reusable key-encoding buffer for Insert
 	idxMu   sync.RWMutex
-	indexes map[string]*hashIndex // colSignature -> index
+	idxList []*hashIndex // a relation accumulates a handful at most
 }
 
 type hashIndex struct {
@@ -31,9 +32,8 @@ type hashIndex struct {
 // NewRelation creates an empty relation over the schema.
 func NewRelation(schema *Schema) *Relation {
 	return &Relation{
-		schema:  schema,
-		byKey:   make(map[string]int),
-		indexes: make(map[string]*hashIndex),
+		schema: schema,
+		byKey:  make(map[string]int),
 	}
 }
 
@@ -55,18 +55,27 @@ func (r *Relation) Insert(t value.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	key := t.Key()
-	if _, dup := r.byKey[key]; dup {
-		return false, nil
+	r.keyBuf = t.AppendKey(r.keyBuf[:0])
+	return r.insertNormalized(t, r.keyBuf), nil
+}
+
+// insertNormalized adds an already-normalized tuple given its key
+// encoding. The duplicate check probes with the non-allocating
+// map[string(key)] form, so a re-inserted tuple (the common case when
+// overlays refill from pending transactions) costs no allocation; only
+// an actual insert materializes key strings.
+func (r *Relation) insertNormalized(t value.Tuple, key []byte) bool {
+	if _, dup := r.byKey[string(key)]; dup {
+		return false
 	}
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t)
-	r.byKey[key] = pos
-	for _, idx := range r.indexes {
+	r.byKey[string(key)] = pos
+	for _, idx := range r.idxList {
 		pk := t.ProjectKey(idx.cols)
 		idx.buckets[pk] = append(idx.buckets[pk], pos)
 	}
-	return true, nil
+	return true
 }
 
 // MustInsert is Insert but panics on schema violation; for internal
@@ -90,40 +99,70 @@ func (r *Relation) Contains(t value.Tuple) bool {
 	return ok
 }
 
-// EnsureIndex builds (once) a hash index over the column set and
-// returns its signature for use with Lookup. Concurrent callers are
-// safe: the first one in builds, the rest wait and reuse it.
-func (r *Relation) EnsureIndex(cols []int) string {
-	sig := colSignature(cols)
+// ContainsKey reports whether a tuple with the given full-tuple key
+// encoding (value.Tuple.AppendKey of an already-normalized tuple) is
+// present. The map[string(key)] form makes the probe allocation-free.
+func (r *Relation) ContainsKey(key []byte) bool {
+	_, ok := r.byKey[string(key)]
+	return ok
+}
+
+// indexFor returns the hash index over the column set, building it once
+// on first use. Resolving an existing index is a linear scan over the
+// handful of indexes a relation ever accumulates, so — unlike a
+// signature-string map — the hot-path probe allocates nothing.
+// Concurrent callers are safe: the first one in builds, the rest wait
+// and reuse it.
+func (r *Relation) indexFor(cols []int) *hashIndex {
 	r.idxMu.RLock()
-	_, ok := r.indexes[sig]
-	r.idxMu.RUnlock()
-	if ok {
-		return sig
+	for _, idx := range r.idxList {
+		if equalCols(idx.cols, cols) {
+			r.idxMu.RUnlock()
+			return idx
+		}
 	}
+	r.idxMu.RUnlock()
 	r.idxMu.Lock()
 	defer r.idxMu.Unlock()
-	if _, ok := r.indexes[sig]; ok {
-		return sig
+	for _, idx := range r.idxList {
+		if equalCols(idx.cols, cols) {
+			return idx
+		}
 	}
 	idx := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	var buf []byte
 	for pos, t := range r.tuples {
-		pk := t.ProjectKey(idx.cols)
-		idx.buckets[pk] = append(idx.buckets[pk], pos)
+		buf = t.AppendProjectKey(buf[:0], idx.cols)
+		idx.buckets[string(buf)] = append(idx.buckets[string(buf)], pos)
 	}
-	r.indexes[sig] = idx
-	return sig
+	r.idxList = append(r.idxList, idx)
+	return idx
+}
+
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureIndex builds (once) a hash index over the column set and
+// returns its signature for use with Lookup.
+func (r *Relation) EnsureIndex(cols []int) string {
+	r.indexFor(cols)
+	return colSignature(cols)
 }
 
 // Lookup returns the positions of tuples whose projection on cols has
 // the given key. It builds the index on first use. The returned slice
 // must not be modified.
 func (r *Relation) Lookup(cols []int, projKey string) []int {
-	sig := r.EnsureIndex(cols)
-	r.idxMu.RLock()
-	idx := r.indexes[sig]
-	r.idxMu.RUnlock()
-	return idx.buckets[projKey]
+	return r.indexFor(cols).buckets[projKey]
 }
 
 // LookupTuples iterates the tuples matching the projection key, calling
@@ -131,6 +170,19 @@ func (r *Relation) Lookup(cols []int, projKey string) []int {
 // whether iteration ran to completion.
 func (r *Relation) LookupTuples(cols []int, projKey string, f func(value.Tuple) bool) bool {
 	for _, pos := range r.Lookup(cols, projKey) {
+		if !f(r.tuples[pos]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupTuplesKey is LookupTuples with the projection key supplied as a
+// byte buffer (value.Tuple.AppendProjectKey encoding); the
+// map[string(key)] probe form keeps the per-probe path allocation-free.
+func (r *Relation) LookupTuplesKey(cols []int, projKey []byte, f func(value.Tuple) bool) bool {
+	idx := r.indexFor(cols)
+	for _, pos := range idx.buckets[string(projKey)] {
 		if !f(r.tuples[pos]) {
 			return false
 		}
@@ -147,6 +199,20 @@ func (r *Relation) Scan(f func(value.Tuple) bool) bool {
 		}
 	}
 	return true
+}
+
+// Clear removes every tuple while keeping the schema, the key map's
+// allocated buckets, and any built indexes (emptied in place), so a
+// pooled relation refills without re-allocating its bookkeeping.
+// Callers must exclude concurrent readers, as with Insert.
+func (r *Relation) Clear() {
+	r.tuples = r.tuples[:0]
+	clear(r.byKey)
+	r.idxMu.Lock()
+	for _, idx := range r.idxList {
+		clear(idx.buckets)
+	}
+	r.idxMu.Unlock()
 }
 
 // Clone returns a deep-enough copy: tuples are shared (they are

@@ -79,6 +79,15 @@ func (s *State) Size() int {
 	return n
 }
 
+// Reset empties every relation in place, keeping schemas and the
+// relations' allocated bookkeeping (see Relation.Clear), so a pooled
+// state refills cheaply. Callers must exclude concurrent readers.
+func (s *State) Reset() {
+	for _, r := range s.rels {
+		r.Clear()
+	}
+}
+
 // Clone deep-copies the state (tuples shared, bookkeeping fresh).
 func (s *State) Clone() *State {
 	c := NewState()

@@ -19,13 +19,21 @@ func (t Tuple) Clone() Tuple {
 
 // Key returns a string that uniquely identifies the tuple's contents.
 // It is suitable as a map key: two tuples have equal keys iff they are
-// element-wise == (see Value.appendKey).
+// element-wise == (see Value.AppendKey).
 func (t Tuple) Key() string {
 	buf := make([]byte, 0, 16*len(t))
+	return string(t.AppendKey(buf))
+}
+
+// AppendKey appends the tuple's Key encoding to dst and returns the
+// extended slice. Hot paths reuse one buffer across probes and look up
+// maps with the non-allocating map[string(buf)] form; Key() is the
+// allocating convenience wrapper.
+func (t Tuple) AppendKey(dst []byte) []byte {
 	for _, v := range t {
-		buf = v.appendKey(buf)
+		dst = v.appendKey(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // Project returns the subtuple at the given column indexes, in order.
@@ -42,10 +50,17 @@ func (t Tuple) Project(cols []int) Tuple {
 // intermediate tuple.
 func (t Tuple) ProjectKey(cols []int) string {
 	buf := make([]byte, 0, 16*len(cols))
+	return string(t.AppendProjectKey(buf, cols))
+}
+
+// AppendProjectKey appends the projection's Key encoding to dst and
+// returns the extended slice — ProjectKey without the string
+// allocation, for per-probe index keys built into a reusable buffer.
+func (t Tuple) AppendProjectKey(dst []byte, cols []int) []byte {
 	for _, c := range cols {
-		buf = t[c].appendKey(buf)
+		dst = t[c].appendKey(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // Equal reports element-wise equality under the values' total order.

@@ -247,6 +247,18 @@ func Normalize(v Value, k Kind) (Value, bool) {
 	}
 }
 
+// AppendKey appends a self-delimiting encoding of v to dst and returns
+// the extended slice. The encoding is injective over values for which
+// == holds, which is what composite map keys require: distinct values
+// yield distinct encodings. It is the allocation-free primitive behind
+// Tuple.Key and Tuple.ProjectKey: callers that probe maps in hot loops
+// build the key into a reusable buffer and look up with the
+// map[string(buf)] form, which the compiler recognizes and compiles
+// without materializing a string.
+func (v Value) AppendKey(dst []byte) []byte {
+	return v.appendKey(dst)
+}
+
 // appendKey appends a self-delimiting encoding of v to dst. The
 // encoding is injective over values for which == holds, which is what
 // composite map keys require: distinct values yield distinct encodings.
