@@ -48,7 +48,7 @@ func main() {
 	// producer of pending transactions, so a harness embedding the
 	// generator sees dataset builds interleaved with the checks they
 	// feed.
-	obs.DefaultJournal.Append("dataset_generated", obs.NextTraceID(), "",
+	obs.DefaultJournal.Append(obs.EvDatasetGenerated, obs.NextTraceID(), "",
 		obs.F("seed", *seed),
 		obs.F("blocks", ds.Stats.Blocks),
 		obs.F("transactions", ds.Stats.Transactions),

@@ -27,6 +27,7 @@ import (
 
 	"blockchaindb/internal/bitcoin"
 	"blockchaindb/internal/core"
+	"blockchaindb/internal/dash"
 	"blockchaindb/internal/netsim"
 	"blockchaindb/internal/obs"
 	"blockchaindb/internal/query"
@@ -43,10 +44,21 @@ func main() {
 		journal  = flag.String("journal", "", "write flight-recorder snapshots (journal + slow-check exemplars, JSON) to this file")
 		journalN = flag.Duration("journal-every", 2*time.Second, "how often to rewrite the -journal snapshot while serving")
 		logLevel = flag.String("log", "info", "log level: debug, info, warn, error")
+
+		journalCap = flag.Int("journal-cap", 0, "resize the flight-recorder journal ring to this many events (0 keeps the default)")
+		slowFloor  = flag.Duration("slow-floor", 0, "minimum check duration to be eligible for the slow-exemplar list (0 admits anything until the list fills)")
+		churn      = flag.Bool("churn", false, "after the scenario, keep generating payments, blocks, and checks so the windowed rates stay live")
+		top        = flag.Bool("top", false, "after the scenario, render the live in-process ops dashboard (dcsattop) on stdout")
 	)
 	flag.Parse()
 
 	logger := obs.NewStderrLogger(obs.ParseLevel(*logLevel))
+	if *journalCap > 0 {
+		obs.DefaultJournal.Resize(*journalCap)
+	}
+	if *slowFloor > 0 {
+		obs.DefaultExemplars.SetDurationFloor(*slowFloor)
+	}
 	if *journal != "" {
 		// Periodic flight-recorder snapshots: the journal ring and the
 		// slow/undecided exemplars, rewritten in place so the file always
@@ -65,7 +77,7 @@ func main() {
 		}()
 		defer writeSnap()
 	}
-	heightGauge := obs.Default.Gauge("bcnode_chain_height", "best chain height at the home node")
+	heightGauge := obs.Default.Gauge(obs.MetricChainHeight, "best chain height at the home node")
 	if *listen != "" {
 		obs.PublishExpvar("blockchaindb", obs.Default)
 		srv := &http.Server{Addr: *listen, Handler: obs.NewIntrospectionMux(obs.Default)}
@@ -158,6 +170,7 @@ func main() {
 	}
 
 	check("after setup")
+	obs.SetReady(true) // chain, monitor, and first check are up: /readyz flips to 200
 
 	// First payment to the victim.
 	pay1, err := payer.Pay(home.Chain.UTXO(),
@@ -221,11 +234,56 @@ func main() {
 	fmt.Printf("\nfinal: the victim holds %v — the careless reissue paid twice.\n",
 		victim.Balance(home.Chain.UTXO()))
 
-	if *listen != "" {
-		logger.Info("scenario complete; serving introspection until interrupted", "addr", *listen)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+	if *listen != "" || *churn || *top {
+		logger.Info("scenario complete; serving until interrupted",
+			"addr", *listen, "churn", *churn, "top", *top)
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSig()
+		if *churn {
+			go churnLoop(ctx, rng, net, sim, home, nodeMon, q1, miner, victim, heightGauge)
+		}
+		if *top {
+			_ = dash.Run(ctx, &dash.LocalSource{}, os.Stdout, 2*time.Second, 0, true, dash.Options{})
+			fmt.Println()
+		} else {
+			<-ctx.Done()
+		}
+	}
+}
+
+// churnLoop keeps the node alive after the scenario: a steady trickle
+// of small payments out of the miner's accumulated rewards, a block
+// every few beats, and a constraint check per beat — so the windowed
+// rates, latency percentiles, and SLO verdicts on /debug/timeseries
+// keep moving for dcsattop to watch. Errors are tolerated (the miner
+// may briefly run out of spendable outputs between blocks).
+func churnLoop(ctx context.Context, rng *rand.Rand, net *netsim.Network, sim *netsim.Simulator,
+	home *netsim.Node, nodeMon *relmap.NodeMonitor, q1 *query.Query,
+	miner, victim *bitcoin.Wallet, heightGauge *obs.Gauge) {
+	t := time.NewTicker(150 * time.Millisecond)
+	defer t.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if tx, err := miner.Pay(home.Chain.UTXO(),
+			[]bitcoin.Payment{{To: victim.PubKey(), Amount: bitcoin.Coin / 100}},
+			700, promised(home.Mempool)); err == nil {
+			_ = home.SubmitTx(tx)
+		}
+		sim.Run(sim.Now() + 20)
+		if i%8 == 7 {
+			if _, err := net.Nodes[rng.Intn(len(net.Nodes))].MineNow(); err == nil {
+				sim.Run(sim.Now() + 50)
+			}
+		}
+		if err := nodeMon.Sync(); err != nil {
+			continue
+		}
+		_, _ = nodeMon.Check(context.Background(), q1, core.Options{})
+		heightGauge.Set(int64(home.Chain.Height()))
 	}
 }
 

@@ -48,11 +48,20 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the evaluator's plan, then the decision path and per-stage cost breakdown of the check (decided or undecided)")
 		stats    = flag.Bool("stats", false, "print the per-stage time breakdown and instrument counters")
 		trace    = flag.Bool("trace", false, "print the span tree of the check")
+
+		journalCap = flag.Int("journal-cap", 0, "resize the flight-recorder journal ring to this many events (0 keeps the default)")
+		slowFloor  = flag.Duration("slow-floor", 0, "minimum check duration to be eligible for the slow-exemplar list")
 	)
 	flag.Parse()
 	if *dataPath == "" || *qSrc == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *journalCap > 0 {
+		obs.DefaultJournal.Resize(*journalCap)
+	}
+	if *slowFloor > 0 {
+		obs.DefaultExemplars.SetDurationFloor(*slowFloor)
 	}
 
 	f, err := os.Open(*dataPath)

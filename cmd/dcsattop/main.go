@@ -1,0 +1,57 @@
+// Command dcsattop is a live terminal dashboard for an instrumented
+// blockchaindb process: it polls /debug/timeseries (and /debug/slow)
+// on a node started with `bcnode -listen`, and renders windowed
+// rate/latency sparklines, the SLO board, cache/pool gauges, and the
+// slowest-check exemplars. Plain ANSI output — no dependencies, works
+// over ssh.
+//
+// Usage:
+//
+//	bcnode -listen 127.0.0.1:6060 -churn &
+//	dcsattop -addr http://127.0.0.1:6060
+//
+// One-shot mode (-frames 1 -plain) prints a single frame and exits,
+// which is what you want in scripts and CI logs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blockchaindb/internal/dash"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:6060", "base URL of the instrumented process (bcnode -listen)")
+	interval := flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+	frames := flag.Int("frames", 0, "stop after N frames (0 = run until interrupted)")
+	width := flag.Int("width", 100, "frame width in columns")
+	spark := flag.Int("spark", 40, "sparkline width in ticks")
+	slowN := flag.Int("slow", 5, "slow exemplars shown")
+	noColor := flag.Bool("no-color", false, "disable ANSI colors")
+	plain := flag.Bool("plain", false, "append frames instead of redrawing in place (implies -no-color)")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	src := &dash.HTTPSource{Base: base}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := dash.Options{Width: *width, Spark: *spark, SlowN: *slowN, NoColor: *noColor || *plain}
+	err := dash.Run(ctx, src, os.Stdout, *interval, *frames, !*plain, opts)
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "dcsattop:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"blockchaindb/internal/bench"
+	"blockchaindb/internal/dash"
 	"blockchaindb/internal/obs"
 )
 
@@ -30,8 +32,17 @@ func main() {
 		report  = flag.String("report", "", "write a self-contained markdown report to this file and exit")
 		stats   = flag.Bool("stats", false, "print the instrument registry snapshot after the runs")
 		trace   = flag.Bool("trace", false, "print a span tree per timed cell")
+		top     = flag.Bool("top", false, "render the live in-process ops dashboard on stderr while the runs execute (redirect stdout when sharing a terminal)")
 	)
 	flag.Parse()
+
+	if *top {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			_ = dash.Run(ctx, &dash.LocalSource{}, os.Stderr, time.Second, 0, true, dash.Options{})
+		}()
+	}
 
 	opts := bench.RunOptions{Scale: *scale, Seed: *seed, Repeats: *repeats}
 	if *trace {

@@ -116,12 +116,12 @@ func (m *Mempool) Add(tx *Transaction) error {
 	if err != nil {
 		if errors.Is(err, ErrMissingOutput) {
 			mMempoolRejectOrphan.Inc()
-			obs.DefaultJournal.Append("mempool_reject", 0, "",
+			obs.DefaultJournal.Append(obs.EvMempoolReject, 0, "",
 				obs.F("tx", id.Short()), obs.F("reason", "orphan"))
 			return fmt.Errorf("%w: %v", ErrMempoolOrphanTx, err)
 		}
 		mMempoolRejectInvalid.Inc()
-		obs.DefaultJournal.Append("mempool_reject", 0, "",
+		obs.DefaultJournal.Append(obs.EvMempoolReject, 0, "",
 			obs.F("tx", id.Short()), obs.F("reason", "invalid"))
 		return err
 	}
@@ -131,7 +131,7 @@ func (m *Mempool) Add(tx *Transaction) error {
 			e := m.txs[h]
 			if rate*100 < FeeRate(e.fee, e.tx.Size())*m.RBFFactor {
 				mMempoolRejectConflict.Inc()
-				obs.DefaultJournal.Append("mempool_reject", 0, "",
+				obs.DefaultJournal.Append(obs.EvMempoolReject, 0, "",
 					obs.F("tx", id.Short()), obs.F("reason", "rbf_fee_too_low"),
 					obs.F("conflicts", h.Short()))
 				return fmt.Errorf("%w: %v (replacement fee rate too low)", ErrMempoolConflict, h.Short())
@@ -148,7 +148,7 @@ func (m *Mempool) Add(tx *Transaction) error {
 	}
 	mMempoolAccept.Inc()
 	mMempoolSize.Set(int64(len(m.txs)))
-	obs.DefaultJournal.Append("mempool_accept", 0, "",
+	obs.DefaultJournal.Append(obs.EvMempoolAccept, 0, "",
 		obs.F("tx", id.Short()), obs.F("fee", int64(fee)),
 		obs.F("rbf", len(conflicted) > 0), obs.F("size", len(m.txs)))
 	return nil
@@ -164,7 +164,7 @@ func (m *Mempool) evict(id Hash) {
 	delete(m.txs, id)
 	mMempoolEvict.Inc()
 	mMempoolSize.Set(int64(len(m.txs)))
-	obs.DefaultJournal.Append("mempool_evict", 0, "",
+	obs.DefaultJournal.Append(obs.EvMempoolEvict, 0, "",
 		obs.F("tx", id.Short()), obs.F("size", len(m.txs)))
 	for _, in := range e.tx.Ins {
 		if m.spenders[in.Prev] == id {

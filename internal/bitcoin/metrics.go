@@ -8,27 +8,31 @@ import "blockchaindb/internal/obs"
 // anticipate, and RBF replacements are the revisions of T the monitor
 // re-checks against.
 //
+// The mempool flow counters are windowed (obs.DefaultWindows) so the
+// ops surface sees accept/evict/reject *rates* — the load signal an
+// admission controller keys on — beside the lifetime totals.
+//
 // The gauges are last-writer-wins: in multi-node simulations they
 // reflect the most recently active node, which is what single-node
 // processes (cmd/bcnode) want and multi-node experiments should read
 // from per-node Stats instead.
 var (
-	mMempoolAccept = obs.Default.Counter("bitcoin_mempool_accept_total",
+	mMempoolAccept = obs.DefaultWindows.Counter(obs.MetricMempoolAccept,
 		"transactions admitted to the mempool")
-	mMempoolRejectConflict = obs.Default.Counter("bitcoin_mempool_reject_conflict_total",
+	mMempoolRejectConflict = obs.DefaultWindows.Counter(obs.MetricMempoolRejectConflict,
 		"transactions rejected for double-spending a promised outpoint")
-	mMempoolRejectOrphan = obs.Default.Counter("bitcoin_mempool_reject_orphan_total",
+	mMempoolRejectOrphan = obs.DefaultWindows.Counter(obs.MetricMempoolRejectOrphan,
 		"transactions rejected with unavailable inputs")
-	mMempoolRejectInvalid = obs.Default.Counter("bitcoin_mempool_reject_invalid_total",
+	mMempoolRejectInvalid = obs.DefaultWindows.Counter(obs.MetricMempoolRejectInvalid,
 		"transactions rejected as invalid (bad signature, value, etc.)")
-	mMempoolEvict = obs.Default.Counter("bitcoin_mempool_evict_total",
+	mMempoolEvict = obs.DefaultWindows.Counter(obs.MetricMempoolEvict,
 		"pending transactions evicted (RBF losers, confirmed double-spends, and their descendants)")
-	mMempoolRBF = obs.Default.Counter("bitcoin_mempool_rbf_total",
+	mMempoolRBF = obs.DefaultWindows.Counter(obs.MetricMempoolRBF,
 		"successful replace-by-fee admissions")
-	mMempoolSize = obs.Default.Gauge("bitcoin_mempool_size",
+	mMempoolSize = obs.Default.Gauge(obs.MetricMempoolSize,
 		"pending transactions currently in the mempool")
-	mUTXOOutputs = obs.Default.Gauge("bitcoin_utxo_outputs",
+	mUTXOOutputs = obs.Default.Gauge(obs.MetricUTXOOutputs,
 		"unspent outputs in the chain UTXO set")
-	mBlockAssembly = obs.Default.Histogram("bitcoin_block_assembly_ns",
+	mBlockAssembly = obs.DefaultWindows.Histogram(obs.MetricBlockAssemblyNS,
 		"miner block-template assembly latency")
 )

@@ -84,7 +84,7 @@ func (m *Miner) Mine(now int64) (*Block, *ConnectResult, error) {
 	}
 	m.mempool.ApplyConnect(res)
 	mUTXOOutputs.Set(int64(m.chain.UTXO().Len()))
-	obs.DefaultJournal.Append("miner_block", 0, "",
+	obs.DefaultJournal.Append(obs.EvMinerBlock, 0, "",
 		obs.F("height", m.chain.Height()), obs.F("block", b.Hash().Short()),
 		obs.F("txs", len(blockTxs)), obs.F("fees", int64(fees)),
 		obs.F("mempool_left", m.mempool.Len()))

@@ -287,7 +287,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	defer gInflight.Add(-1)
 	start := time.Now()
 	vChecksByClass.With(string(Classify(q, d.Constraints))).Inc()
-	obs.DefaultJournal.Append("check_start", checkID, "",
+	obs.DefaultJournal.Append(obs.EvCheckStart, checkID, "",
 		obs.F("query", q.String()),
 		obs.F("algorithm", opts.Algorithm.String()),
 		obs.F("pending", len(d.Pending)))

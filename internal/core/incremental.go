@@ -275,7 +275,7 @@ func cachedComponentSearch(env checkEnv, comp []int, stats *Stats, search func()
 	if violated, witness, ok := env.cache.lookup(env.qfp, comp); ok {
 		stats.ComponentsCached++
 		mCacheHits.Inc()
-		obs.DefaultJournal.Append("check_cached_component", env.checkID, "",
+		obs.DefaultJournal.Append(obs.EvCachedComponent, env.checkID, "",
 			obs.F("members", len(comp)),
 			obs.F("violated", violated))
 		return violated, witness, nil

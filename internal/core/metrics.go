@@ -14,42 +14,52 @@ import (
 // goes without tracing individual checks. The labeled families break
 // the same totals down by algorithm, verdict, and constraint class —
 // the dimensions along which the paper's cost model predicts skew.
+// The check-rate counters and latency histograms are *windowed*
+// (obs.DefaultWindows): each write also lands in a per-tick ring, so
+// /debug/timeseries and the SLO engine see rates and rolling
+// percentiles over the last 10s/1m/5m, not just lifetime totals. The
+// cumulative twins keep their names on /metrics.
 var (
-	mChecks     = obs.Default.Counter("dcsat_checks_total", "denial-constraint checks executed (including undecided)")
-	mViolations = obs.Default.Counter("dcsat_violations_total", "checks that found a violating possible world")
-	mPrechecked = obs.Default.Counter("dcsat_prechecked_total", "checks decided by the monotone pre-check alone")
-	mCliques    = obs.Default.Counter("dcsat_cliques_total", "maximal cliques enumerated")
-	mWorlds     = obs.Default.Counter("dcsat_worlds_total", "possible worlds the query was evaluated on")
-	mUndecided  = obs.Default.Counter("dcsat_undecided_total", "checks cut short by a deadline or cancellation before reaching a verdict")
+	mChecks     = obs.DefaultWindows.Counter(obs.MetricChecks, "denial-constraint checks executed (including undecided)")
+	mViolations = obs.DefaultWindows.Counter(obs.MetricViolations, "checks that found a violating possible world")
+	mPrechecked = obs.DefaultWindows.Counter(obs.MetricPrechecked, "checks decided by the monotone pre-check alone")
+	mCliques    = obs.DefaultWindows.Counter(obs.MetricCliques, "maximal cliques enumerated")
+	mWorlds     = obs.DefaultWindows.Counter(obs.MetricWorlds, "possible worlds the query was evaluated on")
+	mUndecided  = obs.DefaultWindows.Counter(obs.MetricUndecided, "checks cut short by a deadline or cancellation before reaching a verdict")
 
 	// Incremental verdict cache (Monitor-owned; see incremental.go).
-	mCacheHits        = obs.Default.Counter("dcsat_cache_hits_total", "components answered from the incremental verdict cache")
-	mCacheMisses      = obs.Default.Counter("dcsat_cache_misses_total", "components searched because the verdict cache missed")
-	mCacheInvalidated = obs.Default.Counter("dcsat_cache_invalidated_total", "cached verdicts dropped (commit invalidation or capacity eviction)")
+	// Windowed so "cache hit-rate over the last minute" is computable.
+	mCacheHits        = obs.DefaultWindows.Counter(obs.MetricCacheHits, "components answered from the incremental verdict cache")
+	mCacheMisses      = obs.DefaultWindows.Counter(obs.MetricCacheMisses, "components searched because the verdict cache missed")
+	mCacheInvalidated = obs.DefaultWindows.Counter(obs.MetricCacheInvalidated, "cached verdicts dropped (commit invalidation or capacity eviction)")
 
-	hCheck      = obs.Default.Histogram("dcsat_check_ns", "end-to-end check latency (undecided checks record their cut-short wall time)")
-	hPrecheck   = obs.Default.Histogram("dcsat_precheck_ns", "monotone pre-check stage latency")
-	hLiveFilter = obs.Default.Histogram("dcsat_live_filter_ns", "fd-liveness filter stage latency")
-	hClosure    = obs.Default.Histogram("dcsat_component_split_ns", "ind-q component split + state-bridge closure latency")
-	hGraph      = obs.Default.Histogram("dcsat_fd_graph_build_ns", "fd-transaction graph build time per check")
-	hClique     = obs.Default.Histogram("dcsat_clique_enum_ns", "Bron-Kerbosch enumeration time per check (excl. evaluation)")
-	hEval       = obs.Default.Histogram("dcsat_world_eval_ns", "per-world evaluation time per check")
+	hCheck      = obs.DefaultWindows.Histogram(obs.MetricCheckNS, "end-to-end check latency (undecided checks record their cut-short wall time)")
+	hPrecheck   = obs.DefaultWindows.Histogram(obs.MetricPrecheckNS, "monotone pre-check stage latency")
+	hLiveFilter = obs.DefaultWindows.Histogram(obs.MetricLiveFilterNS, "fd-liveness filter stage latency")
+	hClosure    = obs.DefaultWindows.Histogram(obs.MetricComponentSplitNS, "ind-q component split + state-bridge closure latency")
+	hGraph      = obs.DefaultWindows.Histogram(obs.MetricFDGraphBuildNS, "fd-transaction graph build time per check")
+	hClique     = obs.DefaultWindows.Histogram(obs.MetricCliqueEnumNS, "Bron-Kerbosch enumeration time per check (excl. evaluation)")
+	hEval       = obs.DefaultWindows.Histogram(obs.MetricWorldEvalNS, "per-world evaluation time per check")
 
 	// Labeled families: where the aggregates above hide skew, these
 	// expose it per Prometheus scrape.
-	vChecksBy = obs.Default.CounterVec("dcsat_checks_by",
+	vChecksBy = obs.Default.CounterVec(obs.MetricChecksBy,
 		"checks by algorithm and verdict (satisfied/violated/undecided)", "algorithm", "verdict")
-	vChecksByClass = obs.Default.CounterVec("dcsat_checks_by_class",
+	vChecksByClass = obs.Default.CounterVec(obs.MetricChecksByClass,
 		"checks by the Theorems 1-2 data-complexity class of (query, constraints)", "class")
-	vCheckNsBy = obs.Default.HistogramVec("dcsat_check_ns_by",
+	vCheckNsBy = obs.Default.HistogramVec(obs.MetricCheckNSBy,
 		"end-to-end check latency by algorithm", "algorithm")
 
 	// In-flight and pool instruments. The inflight gauge is decremented
 	// on every exit path (defer), including panics and cancellations.
-	gInflight = obs.Default.Gauge("dcsat_inflight_checks", "checks currently executing")
-	gPoolBusy = obs.Default.Gauge("dcsat_pool_workers_busy", "parallel search workers currently running")
-	gPoolUtil = obs.Default.Gauge("dcsat_pool_utilization_permille",
+	// The saturation histogram windows the same permille the gauge
+	// holds, turning a last-writer-wins point sample into a trend.
+	gInflight = obs.Default.Gauge(obs.MetricInflightChecks, "checks currently executing")
+	gPoolBusy = obs.Default.Gauge(obs.MetricPoolBusy, "parallel search workers currently running")
+	gPoolUtil = obs.Default.Gauge(obs.MetricPoolUtilization,
 		"busy-time/(wall*workers) of the most recent parallel search, in permille")
+	hPoolSat = obs.DefaultWindows.Histogram(obs.MetricPoolSaturation,
+		"pool utilization permille per parallel search (windowed trend of the gauge)")
 )
 
 // Verdict strings for the labeled families and journal events.
@@ -114,9 +124,9 @@ func recordCheckMetrics(res *Result, verdict string) {
 // pipeline stage. The caller already appended check_start.
 func journalCheckEvents(checkID uint64, res *Result, verdict string) {
 	st := &res.Stats
-	typ := "check_finish"
+	typ := obs.EvCheckFinish
 	if verdict == verdictUndecided {
-		typ = "check_undecided"
+		typ = obs.EvCheckUndecided
 	}
 	obs.DefaultJournal.Append(typ, checkID, "",
 		obs.F("verdict", verdict),
@@ -127,7 +137,7 @@ func journalCheckEvents(checkID uint64, res *Result, verdict string) {
 		obs.F("prechecked", st.Prechecked),
 		obs.F("cached_components", st.ComponentsCached))
 	for _, stage := range st.StageBreakdown() {
-		obs.DefaultJournal.Append("stage", checkID, "",
+		obs.DefaultJournal.Append(obs.EvStage, checkID, "",
 			obs.F("stage", stage.Name),
 			obs.F("ns", int64(stage.Duration)))
 	}

@@ -122,7 +122,7 @@ func (m *Monitor) AddPending(tx *relation.Transaction) (int, error) {
 		return 0, err
 	}
 	id := m.addLocked(norm)
-	m.journal.Append("monitor_add", 0, "",
+	m.journal.Append(obs.EvMonitorAdd, 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)),
 		obs.F("appendable", m.appendable[id]))
@@ -172,7 +172,7 @@ func (m *Monitor) DropPending(id int) error {
 	if err := m.removeLocked(id); err != nil {
 		return err
 	}
-	m.journal.Append("monitor_drop", 0, "",
+	m.journal.Append(obs.EvMonitorDrop, 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)))
 	return nil
@@ -255,7 +255,7 @@ func (m *Monitor) Commit(id int) error {
 		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
 	}
 	m.invalidateCacheLocked("commit")
-	m.journal.Append("monitor_commit", 0, "",
+	m.journal.Append(obs.EvMonitorCommit, 0, "",
 		obs.F("id", id),
 		obs.F("pending", len(m.db.Pending)))
 	return nil
@@ -282,7 +282,7 @@ func (m *Monitor) CommitExternal(tx *relation.Transaction) error {
 		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
 	}
 	m.invalidateCacheLocked("commit_external")
-	m.journal.Append("monitor_commit_external", 0, "",
+	m.journal.Append(obs.EvMonitorCommitExternal, 0, "",
 		obs.F("pending", len(m.db.Pending)))
 	return nil
 }
@@ -296,7 +296,7 @@ func (m *Monitor) invalidateCacheLocked(reason string) {
 		return
 	}
 	if n := m.cache.invalidateAll(); n > 0 {
-		m.journal.Append("monitor_cache_clear", 0, "",
+		m.journal.Append(obs.EvMonitorCacheClear, 0, "",
 			obs.F("reason", reason),
 			obs.F("entries", n))
 	}

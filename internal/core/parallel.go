@@ -104,7 +104,9 @@ func runDeterministic(ctx context.Context, n, workers int, stats *Stats, statsMu
 	// Utilization of the pool that just drained: summed busy time over
 	// wall × workers, in permille (a gauge holds integers).
 	if wall := time.Since(runStart); wall > 0 {
-		gPoolUtil.Set(busyNS.Load() * 1000 / (int64(wall) * int64(workers)))
+		permille := busyNS.Load() * 1000 / (int64(wall) * int64(workers))
+		gPoolUtil.Set(permille)
+		hPoolSat.Observe(permille)
 	}
 	// The first recorded outcome in index order sits exactly at the
 	// final bound: everything below it completed without stopping.

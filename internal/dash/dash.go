@@ -1,0 +1,487 @@
+// Package dash renders the live terminal ops dashboard behind
+// cmd/dcsattop and the -top flags on cmd/bcnode and cmd/experiments:
+// sparkline rate panels, rolling-latency panels, the SLO board,
+// cache/pool gauges, and the slowest-check exemplars, all from the
+// windowed time-series layer in internal/obs. Plain ANSI + UTF-8 —
+// no curses, no third-party dependencies — so it works over ssh, in
+// CI logs (-frames 1), and in-process.
+package dash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"blockchaindb/internal/obs"
+)
+
+// Snapshot is one poll of an instrumented process: the windowed
+// time-series dump (with the health report attached) plus the slow
+// exemplars.
+type Snapshot struct {
+	TS   obs.TimeseriesDump
+	Slow obs.SlowDump
+	At   time.Time
+}
+
+// Source yields snapshots; implementations poll over HTTP or read the
+// process-wide obs stores directly.
+type Source interface {
+	// Fetch returns a snapshot whose series contain only ticks after
+	// cursor (0 for everything retained).
+	Fetch(cursor int64, maxSeries int) (Snapshot, error)
+	// Name labels the dashboard header.
+	Name() string
+}
+
+// Options controls rendering.
+type Options struct {
+	Width   int  // terminal columns (default 100, min 60)
+	Spark   int  // sparkline width in ticks (default 40)
+	NoColor bool // disable ANSI colors (CI logs, tests)
+	SlowN   int  // slow exemplars shown (default 5)
+}
+
+func (o Options) normalize() Options {
+	if o.Width <= 0 {
+		o.Width = 100
+	}
+	if o.Width < 60 {
+		o.Width = 60
+	}
+	if o.Spark <= 0 {
+		o.Spark = 40
+	}
+	if o.SlowN <= 0 {
+		o.SlowN = 5
+	}
+	return o
+}
+
+// Dashboard accumulates per-tick history across polls (so a poller
+// using cursor deltas still renders full sparklines) and renders
+// frames.
+type Dashboard struct {
+	opts     Options
+	cursor   int64
+	lastErr  error
+	snap     Snapshot
+	haveSnap bool
+	counters map[string][]obs.TickCount
+	hists    map[string][]obs.TickHist
+}
+
+// New creates a dashboard.
+func New(opts Options) *Dashboard {
+	return &Dashboard{
+		opts:     opts.normalize(),
+		counters: make(map[string][]obs.TickCount),
+		hists:    make(map[string][]obs.TickHist),
+	}
+}
+
+// Cursor returns the tick cursor to pass to the next Fetch.
+func (d *Dashboard) Cursor() int64 { return d.cursor }
+
+// Update merges a snapshot into the history. Series points at or
+// before the already-merged cursor are ignored, so feeding full
+// snapshots instead of deltas is harmless.
+func (d *Dashboard) Update(s Snapshot) {
+	d.snap = s
+	d.haveSnap = true
+	d.lastErr = nil
+	keep := 3 * d.opts.Spark
+	for name, cs := range s.TS.Counters {
+		h := d.counters[name]
+		for _, p := range cs.Series {
+			if len(h) > 0 && p.Tick <= h[len(h)-1].Tick {
+				continue
+			}
+			h = append(h, p)
+		}
+		if len(h) > keep {
+			h = append(h[:0], h[len(h)-keep:]...)
+		}
+		d.counters[name] = h
+	}
+	for name, hs := range s.TS.Histograms {
+		h := d.hists[name]
+		for _, p := range hs.Series {
+			if len(h) > 0 && p.Tick <= h[len(h)-1].Tick {
+				continue
+			}
+			h = append(h, p)
+		}
+		if len(h) > keep {
+			h = append(h[:0], h[len(h)-keep:]...)
+		}
+		d.hists[name] = h
+	}
+	if s.TS.Cursor > d.cursor {
+		d.cursor = s.TS.Cursor
+	}
+}
+
+// SetError records a poll failure; the next frame shows it in the
+// header while keeping the stale panels visible.
+func (d *Dashboard) SetError(err error) { d.lastErr = err }
+
+// sparkLevels are the eighth-block characters a sparkline is built
+// from; index 0 (space) means "no data this tick".
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals scaled against their own maximum into a
+// width-rune strip, most recent value rightmost. Values are
+// right-aligned: fewer vals than width pads with leading spaces.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width-len(vals); i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		if max <= 0 || v <= 0 {
+			b.WriteRune(sparkLevels[0])
+			continue
+		}
+		idx := 1 + int(v/max*float64(len(sparkLevels)-2)+0.5)
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// ansi color helpers.
+const (
+	cReset  = "\x1b[0m"
+	cDim    = "\x1b[2m"
+	cGreen  = "\x1b[32m"
+	cYellow = "\x1b[33m"
+	cRed    = "\x1b[31m"
+	cBold   = "\x1b[1m"
+)
+
+func (d *Dashboard) color(code, s string) string {
+	if d.opts.NoColor {
+		return s
+	}
+	return code + s + cReset
+}
+
+func (d *Dashboard) statusColor(status string) string {
+	switch status {
+	case obs.StatusFailing:
+		return d.color(cRed+cBold, strings.ToUpper(status))
+	case obs.StatusDegraded:
+		return d.color(cYellow+cBold, strings.ToUpper(status))
+	default:
+		return d.color(cGreen, strings.ToUpper(status))
+	}
+}
+
+// curated panel orderings: the named metrics render first (in this
+// order) when present; any other windowed instruments follow
+// alphabetically, so new instruments appear without a dash change.
+var rateOrder = []string{
+	obs.MetricChecks, obs.MetricViolations, obs.MetricUndecided,
+	obs.MetricCacheHits, obs.MetricCacheMisses,
+	obs.MetricMempoolAccept, obs.MetricMempoolEvict,
+	obs.MetricMempoolRejectConflict, obs.MetricGossipTx,
+	obs.MetricGossipBlock, obs.MetricQueryEvals, obs.MetricJournalDropped,
+}
+
+var latencyOrder = []string{
+	obs.MetricCheckNS, obs.MetricPrecheckNS, obs.MetricLiveFilterNS,
+	obs.MetricComponentSplitNS, obs.MetricFDGraphBuildNS,
+	obs.MetricCliqueEnumNS, obs.MetricWorldEvalNS,
+	obs.MetricPoolSaturation, obs.MetricBlockAssemblyNS,
+}
+
+var gaugeOrder = []string{
+	obs.MetricInflightChecks, obs.MetricPoolBusy, obs.MetricPoolUtilization,
+	obs.MetricMempoolSize, obs.MetricUTXOOutputs, obs.MetricChainHeight,
+}
+
+// orderNames returns curated first (those present in m), then the
+// rest sorted.
+func orderNames[V any](m map[string]V, curated []string) []string {
+	seen := make(map[string]bool, len(m))
+	var out []string
+	for _, n := range curated {
+		if _, ok := m[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range m {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// shortName trims the shared prefixes and suffixes metric names carry
+// so panel rows stay narrow: dcsat_check_ns → check.
+func shortName(name string) string {
+	n := name
+	for _, p := range []string{"dcsat_", "bitcoin_", "netsim_", "query_", "obs_", "bcnode_"} {
+		if strings.HasPrefix(n, p) {
+			n = strings.TrimPrefix(n, p)
+			break
+		}
+	}
+	for _, s := range []string{"_total", "_ns", "_permille", "_ticks"} {
+		n = strings.TrimSuffix(n, s)
+	}
+	return n
+}
+
+func formatRate(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// formatNS renders nanoseconds compactly (1.2ms, 840µs, 3.1s).
+func formatNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// formatSLOValue renders an objective's measured value and threshold
+// in matching units: durations for _ns metrics (threshold ≥ 1e6 ⇒ it
+// was written as a duration), percentages for thresholds < 1.
+func formatSLOValue(v, threshold float64) string {
+	if threshold >= 1e6 || v >= 1e6 {
+		return formatNS(int64(v))
+	}
+	if threshold > 0 && threshold < 1 {
+		return fmt.Sprintf("%.2f%%", v*100)
+	}
+	return formatRate(v)
+}
+
+// Render builds one complete frame.
+func (d *Dashboard) Render(sourceName string) string {
+	var b strings.Builder
+	d.renderHeader(&b, sourceName)
+	if !d.haveSnap {
+		b.WriteString("\n  waiting for first snapshot…\n")
+		return b.String()
+	}
+	d.renderSLO(&b)
+	d.renderRates(&b)
+	d.renderLatency(&b)
+	d.renderGauges(&b)
+	d.renderSlow(&b)
+	return b.String()
+}
+
+func (d *Dashboard) rule(b *strings.Builder) {
+	b.WriteString(d.color(cDim, strings.Repeat("─", d.opts.Width)))
+	b.WriteByte('\n')
+}
+
+func (d *Dashboard) renderHeader(b *strings.Builder, sourceName string) {
+	status := "…"
+	if d.haveSnap && d.snap.TS.Health != nil {
+		status = d.statusColor(d.snap.TS.Health.Status)
+	}
+	left := fmt.Sprintf(" dcsattop · %s · tick %s", sourceName, time.Duration(d.snap.TS.TickNS))
+	if d.haveSnap {
+		left += " · " + d.snap.At.Format("15:04:05")
+	}
+	if d.lastErr != nil {
+		left += d.color(cRed, fmt.Sprintf("  [poll error: %v]", d.lastErr))
+	}
+	fmt.Fprintf(b, "%s   health: %s\n", left, status)
+	d.rule(b)
+}
+
+func (d *Dashboard) renderSLO(b *strings.Builder) {
+	if d.snap.TS.Health == nil || len(d.snap.TS.Health.Objectives) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " %s\n", d.color(cBold, "SLO"))
+	fmt.Fprintf(b, "  %-28s %-10s %12s %12s %6s\n",
+		d.color(cDim, "objective"), d.color(cDim, "status"),
+		d.color(cDim, "value"), d.color(cDim, "budget"), d.color(cDim, "burn"))
+	for _, o := range d.snap.TS.Health.Objectives {
+		val := "—"
+		burn := "—"
+		if o.HasData {
+			val = formatSLOValue(o.Value, o.Threshold)
+			burn = fmt.Sprintf("%.2f", o.Burn)
+		}
+		fmt.Fprintf(b, "  %-28s %-19s %12s %12s %6s\n",
+			o.Name, d.statusColor(o.Status), val,
+			formatSLOValue(o.Threshold, o.Threshold), burn)
+	}
+	d.rule(b)
+}
+
+func (d *Dashboard) counterSpark(name string) string {
+	h := d.counters[name]
+	vals := make([]float64, len(h))
+	for i, p := range h {
+		vals[i] = float64(p.N)
+	}
+	return Sparkline(vals, d.opts.Spark)
+}
+
+func (d *Dashboard) histSpark(name string) string {
+	h := d.hists[name]
+	vals := make([]float64, len(h))
+	for i, p := range h {
+		vals[i] = float64(p.P99)
+	}
+	return Sparkline(vals, d.opts.Spark)
+}
+
+func (d *Dashboard) renderRates(b *strings.Builder) {
+	if len(d.snap.TS.Counters) == 0 {
+		return
+	}
+	horizons := d.snap.TS.Horizons
+	fmt.Fprintf(b, " %s", d.color(cBold, "RATES (events/s)"))
+	fmt.Fprintf(b, "%14s", "")
+	for _, h := range horizons {
+		fmt.Fprintf(b, " %8s", d.color(cDim, h))
+	}
+	fmt.Fprintf(b, "  %s\n", d.color(cDim, "per-tick"))
+	for _, name := range orderNames(d.snap.TS.Counters, rateOrder) {
+		cs := d.snap.TS.Counters[name]
+		fmt.Fprintf(b, "  %-28s", shortName(name))
+		for _, h := range horizons {
+			fmt.Fprintf(b, " %8s", formatRate(cs.Rates[h]))
+		}
+		fmt.Fprintf(b, "  %s\n", d.counterSpark(name))
+	}
+	d.rule(b)
+}
+
+func (d *Dashboard) renderLatency(b *strings.Builder) {
+	if len(d.snap.TS.Histograms) == 0 {
+		return
+	}
+	// The middle horizon (1m by default) is the headline window.
+	horizons := d.snap.TS.Horizons
+	headline := horizons[len(horizons)/2]
+	fmt.Fprintf(b, " %s %s\n", d.color(cBold, "LATENCY"), d.color(cDim, "("+headline+" window)"))
+	fmt.Fprintf(b, "  %-28s %8s %9s %9s %9s  %s\n",
+		d.color(cDim, "histogram"), d.color(cDim, "rate/s"), d.color(cDim, "p50"),
+		d.color(cDim, "p95"), d.color(cDim, "p99"), d.color(cDim, "p99 per-tick"))
+	for _, name := range orderNames(d.snap.TS.Histograms, latencyOrder) {
+		hs := d.snap.TS.Histograms[name]
+		win := hs.Windows[headline]
+		ns := strings.HasSuffix(name, "_ns")
+		fv := func(v int64) string {
+			if ns {
+				return formatNS(v)
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(b, "  %-28s %8s %9s %9s %9s  %s\n",
+			shortName(name), formatRate(win.Rate), fv(win.P50), fv(win.P95), fv(win.P99),
+			d.histSpark(name))
+	}
+	d.rule(b)
+}
+
+func (d *Dashboard) renderGauges(b *strings.Builder) {
+	if len(d.snap.TS.Gauges) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " %s  ", d.color(cBold, "GAUGES"))
+	first := true
+	for _, name := range orderNames(d.snap.TS.Gauges, gaugeOrder) {
+		v := d.snap.TS.Gauges[name]
+		if !first {
+			b.WriteString("   ")
+		}
+		first = false
+		if name == obs.MetricPoolUtilization {
+			fmt.Fprintf(b, "%s %s %d%%", shortName(name), d.meter(v, 1000, 10), v/10)
+			continue
+		}
+		fmt.Fprintf(b, "%s %d", shortName(name), v)
+	}
+	b.WriteByte('\n')
+	d.rule(b)
+}
+
+// meter renders a v-out-of-max bar gauge of the given width.
+func (d *Dashboard) meter(v, max int64, width int) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > max {
+		v = max
+	}
+	filled := int(v * int64(width) / max)
+	return d.color(cDim, "[") + strings.Repeat("▓", filled) +
+		strings.Repeat("░", width-filled) + d.color(cDim, "]")
+}
+
+func (d *Dashboard) renderSlow(b *strings.Builder) {
+	slow := d.snap.Slow.Slowest
+	if len(slow) == 0 {
+		return
+	}
+	if len(slow) > d.opts.SlowN {
+		slow = slow[:d.opts.SlowN]
+	}
+	fmt.Fprintf(b, " %s %s\n", d.color(cBold, "SLOWEST CHECKS"),
+		d.color(cDim, fmt.Sprintf("(threshold %s, undecided retained: %d)",
+			formatNS(d.snap.Slow.ThresholdNS), len(d.snap.Slow.Undecided))))
+	for _, e := range slow {
+		name := e.Name
+		if max := d.opts.Width - 46; len(name) > max && max > 8 {
+			name = name[:max-1] + "…"
+		}
+		verdict := e.Verdict
+		if verdict == obs.VerdictUndecided {
+			verdict = d.color(cYellow, verdict)
+		} else if verdict == "violated" {
+			verdict = d.color(cRed, verdict)
+		}
+		fmt.Fprintf(b, "  %9s  %-10s trace=%-6d %-10s %s\n",
+			formatNS(e.Duration), e.Algorithm, e.TraceID, verdict, name)
+	}
+	d.rule(b)
+}

@@ -1,0 +1,209 @@
+package dash
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blockchaindb/internal/obs"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 4); got != "    " {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 4, 8}, 4)
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("width = %d runes (%q)", len(runes), got)
+	}
+	if runes[0] != ' ' {
+		t.Errorf("zero value should render blank, got %q", runes[0])
+	}
+	if runes[3] != '█' {
+		t.Errorf("max value should render full block, got %q", runes[3])
+	}
+	// Longer input keeps the most recent values; shorter is left-padded.
+	if got := Sparkline([]float64{9, 9, 9, 1, 2}, 2); []rune(got)[1] != '█' {
+		t.Errorf("tail not kept: %q", got)
+	}
+	if got := Sparkline([]float64{5}, 3); !strings.HasPrefix(got, "  ") {
+		t.Errorf("short input not right-aligned: %q", got)
+	}
+}
+
+// testSnapshot builds a synthetic snapshot with one of everything.
+func testSnapshot() Snapshot {
+	return Snapshot{
+		At: time.Unix(100, 0),
+		TS: obs.TimeseriesDump{
+			TickNS:   int64(2 * time.Second),
+			NowTick:  52,
+			Cursor:   52,
+			Horizons: []string{"10s", "1m", "5m"},
+			Counters: map[string]obs.CounterSeries{
+				obs.MetricChecks: {
+					Total: 120,
+					Rates: map[string]float64{"10s": 12.5, "1m": 11, "5m": 9.8},
+					Series: []obs.TickCount{
+						{Tick: 50, N: 20}, {Tick: 51, N: 25}, {Tick: 52, N: 5},
+					},
+				},
+			},
+			Histograms: map[string]obs.HistogramSeries{
+				obs.MetricCheckNS: {
+					Count: 120,
+					Windows: map[string]obs.WindowSnapshot{
+						"10s": {Count: 125, Rate: 12.5, P50: 1e6, P95: 4e6, P99: 9e6},
+						"1m":  {Count: 660, Rate: 11, P50: 1.2e6, P95: 8e6, P99: 2e7},
+						"5m":  {Count: 2940, Rate: 9.8, P50: 1e6, P95: 7e6, P99: 1.8e7},
+					},
+					Series: []obs.TickHist{{Tick: 51, Count: 25, P99: 2e6}, {Tick: 52, Count: 5, P99: 9e6}},
+				},
+			},
+			Gauges: map[string]int64{
+				obs.MetricInflightChecks:  3,
+				obs.MetricPoolUtilization: 620,
+				obs.MetricMempoolSize:     1234,
+			},
+			Health: &obs.HealthReport{
+				Status: obs.StatusDegraded,
+				Objectives: []obs.ObjectiveStatus{
+					{Name: "check-latency-p99", Expr: "p99(dcsat_check_ns, 1m) < 50ms",
+						Status: obs.StatusDegraded, Value: 4.4e7, Threshold: 5e7, Burn: 0.88, HasData: true},
+					{Name: "undecided-ratio", Status: obs.StatusOK, HasData: false},
+				},
+			},
+		},
+		Slow: obs.SlowDump{
+			ThresholdNS: 5e6,
+			Slowest: []obs.Exemplar{
+				{Name: "q1()", TraceID: 42, Duration: 4.12e8, Algorithm: "opt", Verdict: "violated"},
+			},
+		},
+	}
+}
+
+func TestDashboardRender(t *testing.T) {
+	d := New(Options{NoColor: true})
+	frame := d.Render("test")
+	if !strings.Contains(frame, "waiting for first snapshot") {
+		t.Fatalf("pre-snapshot frame:\n%s", frame)
+	}
+	d.Update(testSnapshot())
+	frame = d.Render("test")
+	for _, want := range []string{
+		"health: DEGRADED",         // header aggregates the report
+		"check-latency-p99",        // SLO board row
+		"44.0ms", "50.0ms", "0.88", // SLO value, budget, burn
+		"—",                       // no-data objective renders a dash
+		"RATES", "checks", "12.5", // rate panel with 10s rate
+		"LATENCY", "check", "20.0ms", // 1m p99 of dcsat_check_ns
+		"GAUGES", "inflight_checks 3", // gauge panel
+		"pool_utilization", "62%", // permille gauge as meter
+		"SLOWEST CHECKS", "q1()", "412.0ms", "violated", "trace=42",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Error("NoColor frame contains ANSI escapes")
+	}
+	if d.Cursor() != 52 {
+		t.Errorf("cursor = %d, want 52", d.Cursor())
+	}
+}
+
+func TestDashboardMergesDeltas(t *testing.T) {
+	d := New(Options{NoColor: true, Spark: 10})
+	d.Update(testSnapshot())
+	// A delta poll carrying only newer ticks extends the history.
+	delta := testSnapshot()
+	delta.TS.Cursor = 54
+	delta.TS.Counters[obs.MetricChecks] = obs.CounterSeries{
+		Total: 160,
+		Rates: map[string]float64{"10s": 16, "1m": 12, "5m": 10},
+		Series: []obs.TickCount{
+			{Tick: 52, N: 6}, // overlaps: must be ignored
+			{Tick: 53, N: 30}, {Tick: 54, N: 10},
+		},
+	}
+	d.Update(delta)
+	h := d.counters[obs.MetricChecks]
+	if len(h) != 5 {
+		t.Fatalf("history = %+v, want 5 ticks", h)
+	}
+	if h[2].N != 5 || h[3].N != 30 {
+		t.Fatalf("overlap not ignored: %+v", h)
+	}
+	if d.Cursor() != 54 {
+		t.Errorf("cursor = %d", d.Cursor())
+	}
+}
+
+func TestDashboardErrorBanner(t *testing.T) {
+	d := New(Options{NoColor: true})
+	d.Update(testSnapshot())
+	d.SetError(context.DeadlineExceeded)
+	frame := d.Render("test")
+	if !strings.Contains(frame, "poll error") {
+		t.Fatalf("frame missing error banner:\n%s", frame)
+	}
+	if !strings.Contains(frame, "RATES") {
+		t.Fatal("stale panels must survive a poll error")
+	}
+}
+
+func TestHTTPSourceFetch(t *testing.T) {
+	c := obs.DefaultWindows.Counter("test_dash_total", "test-only")
+	c.Add(9)
+	srv := httptest.NewServer(obs.NewIntrospectionMux(obs.Default))
+	defer srv.Close()
+	src := &HTTPSource{Base: srv.URL}
+	snap, err := src.Fetch(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TS.TickNS != int64(obs.DefaultWindowConfig.Tick) {
+		t.Fatalf("tick = %d", snap.TS.TickNS)
+	}
+	if snap.TS.Counters["test_dash_total"].Total < 9 {
+		t.Fatalf("counter missing: %+v", snap.TS.Counters["test_dash_total"])
+	}
+	if snap.TS.Health == nil {
+		t.Fatal("health report not attached")
+	}
+	if _, err := src.Fetch(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	bad := &HTTPSource{Base: "http://127.0.0.1:1"}
+	if _, err := bad.Fetch(0, 10); err == nil {
+		t.Fatal("unreachable server must error")
+	}
+}
+
+func TestLocalSourceAndRun(t *testing.T) {
+	obs.DefaultWindows.Counter("test_dash_local_total", "test-only").Inc()
+	src := &LocalSource{}
+	snap, err := src.Fetch(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TS.Counters["test_dash_local_total"].Total < 1 || snap.TS.Health == nil {
+		t.Fatalf("local snapshot incomplete: health=%v", snap.TS.Health)
+	}
+
+	// One plain frame through the polling loop.
+	var buf strings.Builder
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := Run(ctx, src, &buf, 10*time.Millisecond, 1, false, Options{NoColor: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dcsattop · in-process") {
+		t.Fatalf("run frame:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,141 @@
+package dash
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"blockchaindb/internal/obs"
+)
+
+// LocalSource reads the process-wide obs stores directly — the
+// in-process attachment path for cmd/experiments and cmd/bcnode -top,
+// where no HTTP round-trip (or listener at all) is needed.
+type LocalSource struct {
+	// Windows defaults to obs.DefaultWindows.
+	Windows *obs.WindowSet
+	// Health defaults to obs.DefaultHealth.
+	Health *obs.HealthEngine
+	// Exemplars defaults to obs.DefaultExemplars.
+	Exemplars *obs.ExemplarStore
+}
+
+// Name implements Source.
+func (s *LocalSource) Name() string { return "in-process" }
+
+// Fetch implements Source.
+func (s *LocalSource) Fetch(cursor int64, maxSeries int) (Snapshot, error) {
+	ws := s.Windows
+	if ws == nil {
+		ws = obs.DefaultWindows
+	}
+	he := s.Health
+	if he == nil {
+		he = obs.DefaultHealth
+	}
+	ex := s.Exemplars
+	if ex == nil {
+		ex = obs.DefaultExemplars
+	}
+	d := ws.Dump(cursor, maxSeries)
+	rep := he.Evaluate()
+	d.Health = &rep
+	return Snapshot{TS: d, Slow: obs.DumpSlow(ex), At: time.Now()}, nil
+}
+
+// HTTPSource polls a remote introspection mux (obs.NewIntrospectionMux)
+// over /debug/timeseries and /debug/slow, using cursor deltas so each
+// poll only ships new ticks.
+type HTTPSource struct {
+	// Base is the server root, e.g. "http://127.0.0.1:6060".
+	Base string
+	// Client defaults to a 5s-timeout client.
+	Client *http.Client
+}
+
+// Name implements Source.
+func (s *HTTPSource) Name() string { return s.Base }
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (s *HTTPSource) getJSON(path string, into any) error {
+	resp, err := s.client().Get(s.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// Fetch implements Source.
+func (s *HTTPSource) Fetch(cursor int64, maxSeries int) (Snapshot, error) {
+	var snap Snapshot
+	path := fmt.Sprintf("/debug/timeseries?cursor=%d&series=%d", cursor, maxSeries)
+	if err := s.getJSON(path, &snap.TS); err != nil {
+		return Snapshot{}, err
+	}
+	// Slow exemplars are best-effort decoration: a server predating
+	// /debug/slow still yields a working dashboard.
+	_ = s.getJSON("/debug/slow", &snap.Slow)
+	snap.At = time.Now()
+	return snap, nil
+}
+
+// clearScreen homes the cursor and erases to end of screen; using
+// erase-below instead of full clear avoids flicker on most terminals.
+const clearScreen = "\x1b[H\x1b[2J"
+const homeCursor = "\x1b[H\x1b[0J"
+
+// Run polls src every interval and writes rendered frames to w until
+// ctx is done or maxFrames frames have been drawn (0 = unlimited).
+// With altScreen, frames overwrite in place (live dashboard); without,
+// each frame appends (CI logs, piping to a file).
+func Run(ctx context.Context, src Source, w io.Writer, interval time.Duration, maxFrames int, altScreen bool, opts Options) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	d := New(opts)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	frames := 0
+	draw := func() {
+		snap, err := src.Fetch(d.Cursor(), 0)
+		if err != nil {
+			d.SetError(err)
+		} else {
+			d.Update(snap)
+		}
+		frame := d.Render(src.Name())
+		if altScreen {
+			if frames == 0 {
+				fmt.Fprint(w, clearScreen)
+			} else {
+				fmt.Fprint(w, homeCursor)
+			}
+		}
+		fmt.Fprint(w, frame)
+		frames++
+	}
+	draw()
+	for maxFrames == 0 || frames < maxFrames {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			draw()
+		}
+	}
+	return nil
+}

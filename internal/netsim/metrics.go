@@ -5,12 +5,13 @@ import "blockchaindb/internal/obs"
 // Gossip instruments on the default registry, aggregated across every
 // node in the simulation: message counts measure relay fan-out, the
 // delay histogram the per-hop propagation latency (in simulator ticks,
-// not wall time).
+// not wall time). The message counters are windowed so the ops
+// surface sees gossip *rates* beside lifetime totals.
 var (
-	mGossipTx = obs.Default.Counter("netsim_gossip_tx_total",
+	mGossipTx = obs.DefaultWindows.Counter(obs.MetricGossipTx,
 		"transaction gossip messages sent over links")
-	mGossipBlock = obs.Default.Counter("netsim_gossip_block_total",
+	mGossipBlock = obs.DefaultWindows.Counter(obs.MetricGossipBlock,
 		"block gossip messages sent over links")
-	mLinkDelay = obs.Default.Histogram("netsim_link_delay_ticks",
+	mLinkDelay = obs.Default.Histogram(obs.MetricLinkDelayTicks,
 		"per-hop propagation delay in simulator ticks (latency + jitter)")
 )

@@ -149,7 +149,7 @@ func (nd *Node) receiveTx(tx *bitcoin.Transaction) error {
 		return nil
 	}
 	nd.seenTx[id] = true
-	obs.DefaultJournal.Append("gossip_recv", 0, nd.Name,
+	obs.DefaultJournal.Append(obs.EvGossipRecv, 0, nd.Name,
 		obs.F("kind", "tx"), obs.F("tx", id.Short()))
 	if err := nd.Mempool.Add(tx); err != nil {
 		// Conflicting or invalid: discarded, not propagated.
@@ -172,7 +172,7 @@ func (nd *Node) relayTx(tx *bitcoin.Transaction) {
 		d := l.delay(nd.sim)
 		mGossipTx.Inc()
 		mLinkDelay.Observe(d)
-		obs.DefaultJournal.Append("gossip_send", 0, nd.Name,
+		obs.DefaultJournal.Append(obs.EvGossipSend, 0, nd.Name,
 			obs.F("kind", "tx"), obs.F("tx", tx.ID().Short()),
 			obs.F("to", peer.Name), obs.F("delay", d))
 		nd.sim.After(d, func() { _ = peer.receiveTx(tx) })
@@ -207,7 +207,7 @@ func (nd *Node) ReceiveBlock(b *bitcoin.Block) {
 		return // invalid or duplicate: discard silently
 	}
 	nd.BlocksAdopted++
-	obs.DefaultJournal.Append("gossip_recv", 0, nd.Name,
+	obs.DefaultJournal.Append(obs.EvGossipRecv, 0, nd.Name,
 		obs.F("kind", "block"), obs.F("block", h.Short()),
 		obs.F("reorg", len(res.Disconnected) > 0))
 	if len(res.Disconnected) > 0 {
@@ -233,7 +233,7 @@ func (nd *Node) relayBlock(b *bitcoin.Block) {
 		d := l.delay(nd.sim)
 		mGossipBlock.Inc()
 		mLinkDelay.Observe(d)
-		obs.DefaultJournal.Append("gossip_send", 0, nd.Name,
+		obs.DefaultJournal.Append(obs.EvGossipSend, 0, nd.Name,
 			obs.F("kind", "block"), obs.F("block", b.Hash().Short()),
 			obs.F("to", peer.Name), obs.F("delay", d))
 		nd.sim.After(d, func() { peer.ReceiveBlock(b) })

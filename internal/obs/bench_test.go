@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"os"
 	"testing"
 	"time"
 )
@@ -96,6 +97,91 @@ func BenchmarkCounterVecWith(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		v.With("opt", "satisfied").Inc()
+	}
+}
+
+// BenchmarkWindowObserve measures the windowed histogram's write path —
+// the cumulative twin plus the per-tick ring bucket. The budget is ≤2×
+// BenchmarkHistogramObserve (the cumulative-only path); the
+// BENCH_GUARD-gated TestWindowObserveGuard enforces it in CI.
+func BenchmarkWindowObserve(b *testing.B) {
+	h := NewWindowSet(NewRegistry(), DefaultWindowConfig).Histogram("bench_win_ns", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*2862933555777941757 + 3037000493 // cheap LCG spread
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+// BenchmarkWindowCounterAdd is the counter-side comparison point for
+// BenchmarkCounterInc.
+func BenchmarkWindowCounterAdd(b *testing.B) {
+	c := NewWindowSet(NewRegistry(), DefaultWindowConfig).Counter("bench_win_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkWindowDump measures the read path an ops poller pays per
+// /debug/timeseries request against a populated instrument.
+func BenchmarkWindowDump(b *testing.B) {
+	s := NewWindowSet(NewRegistry(), DefaultWindowConfig)
+	h := s.Histogram("bench_dump_ns", "")
+	c := s.Counter("bench_dump_total", "")
+	for i := 0; i < 10000; i++ {
+		h.Observe(int64(i))
+		c.Inc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Dump(0, 60)
+	}
+}
+
+// TestWindowObserveGuard enforces the windowed-observe budget: the
+// write-through path (cumulative twin + per-tick ring bucket) must stay
+// within 2× of the plain cumulative histogram's Observe. Serial,
+// min-of-runs timing; gated behind BENCH_GUARD like the other CI
+// tripwires.
+func TestWindowObserveGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the windowed-observe timing guard")
+	}
+	cum := NewRegistry().Histogram("guard_cum_ns", "")
+	win := NewWindowSet(NewRegistry(), DefaultWindowConfig).Histogram("guard_win_ns", "")
+	observe := func(obs func(int64)) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for run := 0; run < 5; run++ {
+			const n = 2_000_000
+			v := int64(1)
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				obs(v)
+				v = v*2862933555777941757 + 3037000493
+				if v < 0 {
+					v = -v
+				}
+			}
+			if d := time.Since(start) / n; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	cumNs := observe(cum.Observe)
+	winNs := observe(win.Observe)
+	t.Logf("cumulative=%v windowed=%v ratio=%.2fx", cumNs, winNs, float64(winNs)/float64(cumNs))
+	if winNs > 2*cumNs {
+		t.Fatalf("windowed observe %v exceeds 2x the cumulative baseline %v", winNs, cumNs)
 	}
 }
 

@@ -43,6 +43,7 @@ type ExemplarStore struct {
 	slowN      int
 	undecidedN int
 	floor      atomic.Int64 // admission threshold once slow is full
+	minFloor   atomic.Int64 // configured duration floor (SetDurationFloor)
 
 	mu        sync.Mutex
 	slow      []Exemplar // sorted by Duration descending
@@ -70,9 +71,32 @@ func NewExemplarStore(slowN, undecidedN int) *ExemplarStore {
 // completed or cut-short check into; /debug/slow serves it.
 var DefaultExemplars = NewExemplarStore(16, 64)
 
+// SetDurationFloor configures the minimum duration a decided check
+// must reach to be considered for the slow list at all, regardless of
+// how fast the list's current tail is. Runtime-settable (the
+// -slow-floor flag on cmd/bcnode and cmd/dcsat); zero restores the
+// default of admitting anything until the list fills. Undecided
+// exemplars are always admitted.
+func (s *ExemplarStore) SetDurationFloor(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.minFloor.Store(int64(d))
+}
+
+// admissionFloor is the effective slow-list threshold: the larger of
+// the dynamic tail floor and the configured duration floor.
+func (s *ExemplarStore) admissionFloor() int64 {
+	f := s.floor.Load()
+	if m := s.minFloor.Load(); m > f {
+		return m
+	}
+	return f
+}
+
 // Offer considers the exemplar for retention.
 func (s *ExemplarStore) Offer(e Exemplar) {
-	if e.Verdict != VerdictUndecided && e.Duration < s.floor.Load() {
+	if e.Verdict != VerdictUndecided && e.Duration < s.admissionFloor() {
 		return // slow list is full and this is faster than its tail
 	}
 	s.mu.Lock()
@@ -112,10 +136,10 @@ func (s *ExemplarStore) Undecided() []Exemplar {
 	return append([]Exemplar(nil), s.undecided...)
 }
 
-// Threshold returns the duration a new exemplar must exceed to enter
-// the slow list (0 until the list fills).
+// Threshold returns the duration a new exemplar must reach to enter
+// the slow list (0 until the list fills or a floor is configured).
 func (s *ExemplarStore) Threshold() time.Duration {
-	return time.Duration(s.floor.Load())
+	return time.Duration(s.admissionFloor())
 }
 
 // Format renders the exemplar as a human-readable block.

@@ -6,21 +6,27 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 )
 
 // NewIntrospectionMux builds the runtime introspection surface
 // cmd/bcnode serves behind -listen:
 //
-//	/metrics        the registry in Prometheus text exposition format
-//	/debug/vars     expvar JSON (the registry is published as "obs")
-//	/debug/journal  the flight-recorder event journal (JSON; ?format=text
-//	                for aligned lines, ?n=N for the newest N events,
-//	                ?trace=ID for one check's events)
-//	/debug/slow     slow-check exemplars: the N slowest plus every
-//	                undecided check (JSON; ?format=text renders blocks)
-//	/debug/pprof/   the standard pprof index, plus cmdline/profile/
-//	                symbol/trace
-//	/               a plain-text index of the above
+//	/metrics           the registry in Prometheus text exposition format
+//	/healthz           the SLO engine's verdict (JSON; 503 when FAILING)
+//	/readyz            readiness (SetReady; 503 until ready)
+//	/debug/timeseries  windowed rates, rolling quantiles, and per-tick
+//	                   series (JSON; ?cursor=N for ticks after N,
+//	                   ?series=N to cap series length)
+//	/debug/vars        expvar JSON (the registry is published as "obs")
+//	/debug/journal     the flight-recorder event journal (JSON;
+//	                   ?format=text for aligned lines, ?n=N for the
+//	                   newest N events, ?trace=ID for one check's events)
+//	/debug/slow        slow-check exemplars: the N slowest plus every
+//	                   undecided check (JSON; ?format=text renders blocks)
+//	/debug/pprof/      the standard pprof index, plus cmdline/profile/
+//	                   symbol/trace
+//	/                  a plain-text index of the above
 //
 // Everything is stdlib: expvar and net/http/pprof register on their
 // own private handlers here rather than http.DefaultServeMux, so
@@ -33,9 +39,12 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/healthz", serveHealthz)
+	mux.HandleFunc("/readyz", serveReadyz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/journal", serveJournal)
 	mux.HandleFunc("/debug/slow", serveSlow)
+	mux.HandleFunc("/debug/timeseries", serveTimeseries)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -48,11 +57,14 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("blockchaindb introspection\n\n" +
-			"  /metrics        Prometheus text format\n" +
-			"  /debug/vars     expvar JSON\n" +
-			"  /debug/journal  flight-recorder event journal (?format=text, ?n=, ?trace=)\n" +
-			"  /debug/slow     slow-check and undecided exemplars (?format=text)\n" +
-			"  /debug/pprof/   pprof profiles\n"))
+			"  /metrics           Prometheus text format\n" +
+			"  /healthz           SLO verdicts (503 when failing)\n" +
+			"  /readyz            readiness probe\n" +
+			"  /debug/timeseries  windowed rates and rolling quantiles (?cursor=, ?series=)\n" +
+			"  /debug/vars        expvar JSON\n" +
+			"  /debug/journal     flight-recorder event journal (?format=text, ?n=, ?trace=)\n" +
+			"  /debug/slow        slow-check and undecided exemplars (?format=text)\n" +
+			"  /debug/pprof/      pprof profiles\n"))
 	})
 	return mux
 }
@@ -147,6 +159,67 @@ func serveSlow(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	writeJSON(w, d)
+}
+
+// ready backs /readyz. The serving command flips it once startup
+// (dataset load, chain bootstrap) completes; load balancers and the
+// dashboard read it before trusting the other endpoints.
+var ready atomic.Bool
+
+// SetReady marks the process (not) ready for traffic.
+func SetReady(b bool) { ready.Store(b) }
+
+// Ready reports the current readiness flag.
+func Ready() bool { return ready.Load() }
+
+func serveHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := DefaultHealth.Evaluate()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if rep.Status == StatusFailing {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}
+
+func serveReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// serveTimeseries dumps DefaultWindows with the DefaultHealth report
+// attached. ?cursor=N returns only series ticks strictly after N (the
+// response's cursor field is what a poller passes back); ?series=N
+// caps the series length.
+func serveTimeseries(w http.ResponseWriter, r *http.Request) {
+	var cursor int64
+	if s := r.URL.Query().Get("cursor"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cursor = v
+	}
+	var maxSeries int
+	if s := r.URL.Query().Get("series"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad series: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		maxSeries = v
+	}
+	d := DefaultWindows.Dump(cursor, maxSeries)
+	rep := DefaultHealth.Evaluate()
+	d.Health = &rep
 	writeJSON(w, d)
 }
 

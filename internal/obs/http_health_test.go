@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadyzEndpoint(t *testing.T) {
+	mux := NewIntrospectionMux(Default)
+	defer SetReady(Ready()) // restore whatever state other tests expect
+
+	SetReady(false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("not-ready status = %d, want 503", rec.Code)
+	}
+	SetReady(true)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("ready status = %d body %q", rec.Code, rec.Body.String())
+	}
+	SetReady(false)
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	mux := NewIntrospectionMux(Default)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var rep HealthReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(rep.Objectives) < 3 {
+		t.Fatalf("healthz reports %d objectives", len(rep.Objectives))
+	}
+
+	// Force a FAILING objective and watch the status code flip to 503.
+	// The objective is then relaxed (Add replaces by name) so later
+	// tests see a passing board again.
+	DefaultWindows.Counter("test_healthz_total", "test-only").Add(100)
+	if err := DefaultHealth.Add("test-healthz", "count(test_healthz_total, 1m) < 1"); err != nil {
+		t.Fatal(err)
+	}
+	defer DefaultHealth.MustAdd("test-healthz", "count(test_healthz_total, 1m) < 1e12")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("failing board status = %d, want 503\n%s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusFailing {
+		t.Fatalf("status = %q, want failing", rep.Status)
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	c := DefaultWindows.Counter("test_ts_total", "test-only")
+	h := DefaultWindows.Histogram("test_ts_ns", "test-only")
+	c.Add(7)
+	h.ObserveDuration(3 * time.Millisecond)
+
+	mux := NewIntrospectionMux(Default)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeseries", nil))
+	var d TimeseriesDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("timeseries not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if d.TickNS != int64(DefaultWindowConfig.Tick) {
+		t.Fatalf("tick = %d", d.TickNS)
+	}
+	if d.Health == nil {
+		t.Fatal("timeseries dump must attach the health report")
+	}
+	cs, ok := d.Counters["test_ts_total"]
+	if !ok || cs.Total < 7 || cs.Rates["1m"] <= 0 {
+		t.Fatalf("counter series = %+v (ok=%v)", cs, ok)
+	}
+	hs, ok := d.Histograms["test_ts_ns"]
+	if !ok || hs.Windows["1m"].Count < 1 || hs.Windows["1m"].P99 <= 0 {
+		t.Fatalf("histogram series = %+v (ok=%v)", hs, ok)
+	}
+
+	// ?cursor= echoes deltas only; ?series= caps the tail length.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/debug/timeseries?cursor=9223372036854775806&series=5", nil))
+	var delta TimeseriesDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &delta); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(delta.Counters["test_ts_total"].Series); n != 0 {
+		t.Fatalf("future cursor still returned %d series points", n)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeseries?cursor=oops", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad cursor status = %d, want 400", rec.Code)
+	}
+}
+
+// TestIntrospectionSurfaceUnderConcurrentLoad hammers every read
+// endpoint from parallel goroutines while writers are appending events,
+// offering exemplars, and observing into windowed instruments — the
+// -race CI job's acceptance criterion for the whole surface.
+func TestIntrospectionSurfaceUnderConcurrentLoad(t *testing.T) {
+	mux := NewIntrospectionMux(Default)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			c := DefaultWindows.Counter("test_hammer_total", "test-only")
+			h := DefaultWindows.Histogram("test_hammer_ns", "test-only")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := NextTraceID()
+				c.Inc()
+				h.Observe(int64(i % 1000))
+				DefaultJournal.Append("test_hammer", id, "", F("g", g))
+				DefaultExemplars.Offer(Exemplar{
+					TraceID: id, Name: "hammer", Verdict: "satisfied",
+					Duration: int64(i % 977),
+				})
+			}
+		}(g)
+	}
+	defer func() { close(stop); writers.Wait() }()
+
+	paths := []string{
+		"/metrics", "/debug/journal?n=50", "/debug/slow",
+		"/debug/timeseries", "/debug/timeseries?cursor=1&series=10",
+		"/healthz", "/readyz",
+	}
+	var readers sync.WaitGroup
+	for _, p := range paths {
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for i := 0; i < 30; i++ {
+				rec := httptest.NewRecorder()
+				mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				if rec.Code != 200 && rec.Code != 503 {
+					t.Errorf("%s returned %d", path, rec.Code)
+					return
+				}
+			}
+		}(p)
+	}
+	readers.Wait()
+}

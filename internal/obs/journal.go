@@ -21,10 +21,12 @@ import (
 // clock read, happens outside the lock. A capacity of zero disables the
 // journal entirely: Append becomes a single atomic load and return.
 type Journal struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events ever appended
-	off  atomic.Bool
+	mu     sync.Mutex
+	buf    []Event
+	start  int    // index of the oldest retained event once the ring is full
+	next   uint64 // total events ever appended
+	off    atomic.Bool
+	onDrop func() // called (outside the lock) when an append overwrites
 }
 
 // Event is one journal entry. Trace carries the process-unique check or
@@ -59,6 +61,14 @@ const DefaultJournalCapacity = 8192
 // internal/ append into. cmd/bcnode serves it at /debug/journal.
 var DefaultJournal = NewJournal(DefaultJournalCapacity)
 
+func init() {
+	// Feed overwrites into the windowed drop-rate counter so the
+	// journal-drops SLO sees a *recent* drop rate, not lifetime totals.
+	drops := DefaultWindows.Counter(MetricJournalDropped,
+		"flight-recorder events overwritten before being read (ring overflow)")
+	DefaultJournal.SetOnDrop(drops.Inc)
+}
+
 // NewJournal creates a journal holding at most capacity events.
 // Capacity <= 0 returns a disabled journal whose Append is a no-op.
 func NewJournal(capacity int) *Journal {
@@ -91,15 +101,54 @@ func (j *Journal) Append(typ string, trace uint64, node string, attrs ...Field) 
 		return
 	}
 	e := Event{Time: time.Now(), Type: typ, Trace: trace, Node: node, Attrs: attrs}
+	var dropped bool
 	j.mu.Lock()
 	e.Seq = j.next
 	j.next++
 	if len(j.buf) < cap(j.buf) {
 		j.buf = append(j.buf, e)
 	} else {
-		j.buf[e.Seq%uint64(cap(j.buf))] = e
+		j.buf[j.start] = e
+		j.start = (j.start + 1) % cap(j.buf)
+		dropped = true
 	}
+	onDrop := j.onDrop
 	j.mu.Unlock()
+	if dropped && onDrop != nil {
+		onDrop()
+	}
+}
+
+// SetOnDrop installs a hook called once per overwritten (dropped)
+// event — the windowed drop-rate instrument behind the journal-drops
+// SLO. The hook runs outside the journal lock.
+func (j *Journal) SetOnDrop(fn func()) {
+	j.mu.Lock()
+	j.onDrop = fn
+	j.mu.Unlock()
+}
+
+// Resize changes the ring capacity at runtime, retaining the newest
+// events that fit. A capacity <= 0 discards everything and disables
+// the journal; a positive capacity (re-)enables it. Sequence numbers
+// and TotalAppended are preserved.
+func (j *Journal) Resize(capacity int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if capacity <= 0 {
+		j.buf = nil
+		j.start = 0
+		j.off.Store(true)
+		return
+	}
+	kept := j.snapshotLocked()
+	if len(kept) > capacity {
+		kept = kept[len(kept)-capacity:]
+	}
+	j.buf = make([]Event, len(kept), capacity)
+	copy(j.buf, kept)
+	j.start = 0
+	j.off.Store(false)
 }
 
 // Len returns the number of events currently retained.
@@ -124,15 +173,18 @@ func (j *Journal) Capacity() int { return cap(j.buf) }
 func (j *Journal) Snapshot() []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *Journal) snapshotLocked() []Event {
 	out := make([]Event, len(j.buf))
 	if len(j.buf) < cap(j.buf) || len(j.buf) == 0 {
 		copy(out, j.buf)
 		return out
 	}
-	// Full ring: the oldest event sits at next % cap.
-	head := int(j.next % uint64(cap(j.buf)))
-	n := copy(out, j.buf[head:])
-	copy(out[n:], j.buf[:head])
+	// Full ring: the oldest event sits at start.
+	n := copy(out, j.buf[j.start:])
+	copy(out[n:], j.buf[:j.start])
 	return out
 }
 

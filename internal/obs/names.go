@@ -1,0 +1,139 @@
+package obs
+
+// Canonical metric and journal-event names. Every instrument the
+// instrumented packages (internal/core, internal/bitcoin,
+// internal/netsim, internal/query, the cmds) register at runtime, and
+// every journal event type they append, is named by one of these
+// constants. Hoisting the strings here removes drift risk — a rename
+// in one package cannot silently orphan a dashboard panel, an SLO
+// expression, or a journal query elsewhere — and names_test.go asserts
+// that everything actually registered appears in the tables below.
+const (
+	// DCSat check pipeline (internal/core).
+	MetricChecks           = "dcsat_checks_total"
+	MetricViolations       = "dcsat_violations_total"
+	MetricPrechecked       = "dcsat_prechecked_total"
+	MetricCliques          = "dcsat_cliques_total"
+	MetricWorlds           = "dcsat_worlds_total"
+	MetricUndecided        = "dcsat_undecided_total"
+	MetricCacheHits        = "dcsat_cache_hits_total"
+	MetricCacheMisses      = "dcsat_cache_misses_total"
+	MetricCacheInvalidated = "dcsat_cache_invalidated_total"
+	MetricCheckNS          = "dcsat_check_ns"
+	MetricPrecheckNS       = "dcsat_precheck_ns"
+	MetricLiveFilterNS     = "dcsat_live_filter_ns"
+	MetricComponentSplitNS = "dcsat_component_split_ns"
+	MetricFDGraphBuildNS   = "dcsat_fd_graph_build_ns"
+	MetricCliqueEnumNS     = "dcsat_clique_enum_ns"
+	MetricWorldEvalNS      = "dcsat_world_eval_ns"
+	MetricChecksBy         = "dcsat_checks_by"
+	MetricChecksByClass    = "dcsat_checks_by_class"
+	MetricCheckNSBy        = "dcsat_check_ns_by"
+	MetricInflightChecks   = "dcsat_inflight_checks"
+	MetricPoolBusy         = "dcsat_pool_workers_busy"
+	MetricPoolUtilization  = "dcsat_pool_utilization_permille"
+	MetricPoolSaturation   = "dcsat_pool_saturation_permille"
+
+	// Query evaluation engine (internal/query).
+	MetricQueryEvals         = "query_evals_total"
+	MetricQueryIndexLookups  = "query_index_lookups_total"
+	MetricQueryScans         = "query_scans_total"
+	MetricQueryTuplesProbed  = "query_tuples_probed_total"
+	MetricQueryCompileNS     = "query_compile_ns"
+	MetricQueryPlanCacheHits = "query_plan_cache_hits"
+	MetricQueryPlanCacheMiss = "query_plan_cache_misses"
+
+	// Bitcoin node simulation (internal/bitcoin).
+	MetricMempoolAccept         = "bitcoin_mempool_accept_total"
+	MetricMempoolRejectConflict = "bitcoin_mempool_reject_conflict_total"
+	MetricMempoolRejectOrphan   = "bitcoin_mempool_reject_orphan_total"
+	MetricMempoolRejectInvalid  = "bitcoin_mempool_reject_invalid_total"
+	MetricMempoolEvict          = "bitcoin_mempool_evict_total"
+	MetricMempoolRBF            = "bitcoin_mempool_rbf_total"
+	MetricMempoolSize           = "bitcoin_mempool_size"
+	MetricUTXOOutputs           = "bitcoin_utxo_outputs"
+	MetricBlockAssemblyNS       = "bitcoin_block_assembly_ns"
+
+	// Network simulation (internal/netsim).
+	MetricGossipTx       = "netsim_gossip_tx_total"
+	MetricGossipBlock    = "netsim_gossip_block_total"
+	MetricLinkDelayTicks = "netsim_link_delay_ticks"
+
+	// Commands and the obs layer itself.
+	MetricChainHeight    = "bcnode_chain_height"
+	MetricJournalDropped = "obs_journal_dropped_total"
+)
+
+// Journal event types.
+const (
+	EvCheckStart      = "check_start"
+	EvCheckFinish     = "check_finish"
+	EvCheckUndecided  = "check_undecided"
+	EvStage           = "stage"
+	EvCachedComponent = "check_cached_component"
+
+	EvMonitorAdd            = "monitor_add"
+	EvMonitorDrop           = "monitor_drop"
+	EvMonitorCommit         = "monitor_commit"
+	EvMonitorCommitExternal = "monitor_commit_external"
+	EvMonitorCacheClear     = "monitor_cache_clear"
+
+	EvMempoolAccept = "mempool_accept"
+	EvMempoolReject = "mempool_reject"
+	EvMempoolEvict  = "mempool_evict"
+	EvMinerBlock    = "miner_block"
+
+	EvGossipSend = "gossip_send"
+	EvGossipRecv = "gossip_recv"
+
+	EvDatasetGenerated = "dataset_generated"
+)
+
+// knownMetricNames lists every canonical metric name. names_test.go
+// checks this table against what the instrumented packages actually
+// register into Default.
+var knownMetricNames = []string{
+	MetricChecks, MetricViolations, MetricPrechecked, MetricCliques,
+	MetricWorlds, MetricUndecided, MetricCacheHits, MetricCacheMisses,
+	MetricCacheInvalidated, MetricCheckNS, MetricPrecheckNS,
+	MetricLiveFilterNS, MetricComponentSplitNS, MetricFDGraphBuildNS,
+	MetricCliqueEnumNS, MetricWorldEvalNS, MetricChecksBy,
+	MetricChecksByClass, MetricCheckNSBy, MetricInflightChecks,
+	MetricPoolBusy, MetricPoolUtilization, MetricPoolSaturation,
+	MetricQueryEvals, MetricQueryIndexLookups, MetricQueryScans,
+	MetricQueryTuplesProbed, MetricQueryCompileNS,
+	MetricQueryPlanCacheHits, MetricQueryPlanCacheMiss,
+	MetricMempoolAccept, MetricMempoolRejectConflict,
+	MetricMempoolRejectOrphan, MetricMempoolRejectInvalid,
+	MetricMempoolEvict, MetricMempoolRBF, MetricMempoolSize,
+	MetricUTXOOutputs, MetricBlockAssemblyNS,
+	MetricGossipTx, MetricGossipBlock, MetricLinkDelayTicks,
+	MetricChainHeight, MetricJournalDropped,
+}
+
+// knownEventNames lists every canonical journal event type.
+var knownEventNames = []string{
+	EvCheckStart, EvCheckFinish, EvCheckUndecided, EvStage,
+	EvCachedComponent, EvMonitorAdd, EvMonitorDrop, EvMonitorCommit,
+	EvMonitorCommitExternal, EvMonitorCacheClear, EvMempoolAccept,
+	EvMempoolReject, EvMempoolEvict, EvMinerBlock, EvGossipSend,
+	EvGossipRecv, EvDatasetGenerated,
+}
+
+// KnownMetricNames returns the canonical metric-name table as a set.
+func KnownMetricNames() map[string]bool {
+	out := make(map[string]bool, len(knownMetricNames))
+	for _, n := range knownMetricNames {
+		out[n] = true
+	}
+	return out
+}
+
+// KnownEventNames returns the canonical journal-event table as a set.
+func KnownEventNames() map[string]bool {
+	out := make(map[string]bool, len(knownEventNames))
+	for _, n := range knownEventNames {
+		out[n] = true
+	}
+	return out
+}

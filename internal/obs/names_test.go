@@ -1,0 +1,117 @@
+package obs_test
+
+// This file asserts the canonical-name tables in names.go are
+// complete: it lives in an external test package so it can import the
+// instrumented packages — their package-variable instruments register
+// into obs.Default at init — plus run a small simulation and check so
+// the journal holds a representative set of runtime event types.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blockchaindb/internal/bitcoin"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/netsim"
+	"blockchaindb/internal/obs"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relmap"
+)
+
+// testOnly reports whether a name belongs to a test fixture (the obs
+// package's own tests register test_-prefixed instruments and events)
+// rather than the production code the tables cover.
+func testOnly(name string) bool { return strings.HasPrefix(name, "test_") }
+
+func TestRegisteredMetricNamesAreKnown(t *testing.T) {
+	known := obs.KnownMetricNames()
+	snap := obs.Default.Snapshot()
+	check := func(kind, name string) {
+		if !testOnly(name) && !known[name] {
+			t.Errorf("%s %q registered at runtime but missing from names.go", kind, name)
+		}
+	}
+	for name := range snap.Counters {
+		check("counter", name)
+	}
+	for name := range snap.Gauges {
+		check("gauge", name)
+	}
+	for name := range snap.Histograms {
+		check("histogram", name)
+	}
+	for name := range snap.CounterVecs {
+		check("counter vec", name)
+	}
+	for name := range snap.HistogramVecs {
+		check("histogram vec", name)
+	}
+}
+
+func TestKnownNameTablesHaveNoDuplicates(t *testing.T) {
+	for _, tbl := range []map[string]bool{obs.KnownMetricNames(), obs.KnownEventNames()} {
+		if len(tbl) == 0 {
+			t.Fatal("empty name table")
+		}
+	}
+}
+
+// TestJournalEventTypesAreKnown runs a two-node simulation — payment,
+// gossip, mining, then a monitored constraint check — and asserts every
+// journal event type the pipeline emitted appears in the canonical
+// table.
+func TestJournalEventTypesAreKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alice := bitcoin.NewWallet("alice", rng)
+	bob := bitcoin.NewWallet("bob", rng)
+	minerW := bitcoin.NewWallet("miner", rng)
+	sim := netsim.NewSimulator(5)
+	params := bitcoin.Params{Difficulty: 2, Subsidy: 50 * bitcoin.Coin, MaxBlockSize: 8192}
+	net := netsim.NewNetwork(sim, 2, params, alice.PubKey(), minerW.PubKey())
+	net.ConnectAll(5, 3)
+	home := net.Nodes[0]
+
+	tx, err := alice.Pay(home.Chain.UTXO(),
+		[]bitcoin.Payment{{To: bob.PubKey(), Amount: bitcoin.Coin}}, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1000)
+	if _, err := home.MineNow(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2000)
+
+	q := query.MustParse(fmt.Sprintf(
+		`q() :- TxOut(n, s, '%s', 100000000)`, relmap.PubKeyString(bob.PubKey())))
+	mon, err := relmap.NewNodeMonitor(home.Chain, home.Mempool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Check(context.Background(), q, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	known := obs.KnownEventNames()
+	counts := obs.DefaultJournal.CountByType()
+	if len(counts) == 0 {
+		t.Fatal("simulation emitted no journal events")
+	}
+	for typ := range counts {
+		if !testOnly(typ) && !known[typ] {
+			t.Errorf("journal event type %q emitted at runtime but missing from names.go", typ)
+		}
+	}
+	// Sanity: the scenario really exercised the interesting families.
+	for _, want := range []string{obs.EvMempoolAccept, obs.EvMinerBlock, obs.EvGossipSend} {
+		if counts[want] == 0 {
+			t.Errorf("scenario emitted no %q events", want)
+		}
+	}
+}

@@ -161,6 +161,18 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// GaugeValues copies just the gauges — the cheap subset the
+// time-series dump wants without paying for histogram quantiles.
+func (r *Registry) GaugeValues() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
 // WritePrometheus renders every instrument in the Prometheus text
 // exposition format (v0.0.4), names sorted for determinism. Histograms
 // are rendered as summaries with p50/p95/p99 quantiles plus _sum and

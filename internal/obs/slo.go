@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The health/SLO engine evaluates declarative objectives over the
+// windowed time-series layer into OK / DEGRADED / FAILING verdicts.
+// An objective is a tiny expression, e.g.
+//
+//	p99(dcsat_check_ns, 1m) < 50ms
+//	rate(dcsat_undecided_total, 1m) / rate(dcsat_checks_total, 1m) < 1%
+//
+// Grammar (one comparison per objective, optional ratio on the left):
+//
+//	objective := term [ '/' term ] cmp threshold
+//	term      := fn '(' metric ',' horizon ')'
+//	fn        := rate | count | p50 | p95 | p99 | mean
+//	cmp       := '<' | '<=' | '>' | '>='
+//	threshold := number, duration (50ms, 2s), or percentage (1%)
+//
+// rate/count apply to windowed counters and histograms; the quantile
+// and mean functions apply to windowed histograms. Durations evaluate
+// to nanoseconds (matching the _ns metric convention) and percentages
+// to fractions, so a rate ratio compares naturally against "1%".
+//
+// Verdicts carry a burn rate — how much of the objective's budget the
+// measured value consumes (measured/threshold for upper bounds). Burn
+// ≥ 1 is FAILING, burn ≥ the warn fraction (default 0.85) is DEGRADED.
+// An objective whose inputs have no data in the window (metric not
+// registered yet, empty histogram, zero ratio denominator) reports OK
+// with HasData=false: silence is not failure — readiness is /readyz's
+// job, not the SLO board's.
+
+// Health statuses, ordered by severity.
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusFailing  = "failing"
+)
+
+func statusRank(s string) int {
+	switch s {
+	case StatusFailing:
+		return 2
+	case StatusDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sloTerm is one fn(metric, horizon) call.
+type sloTerm struct {
+	fn      string
+	metric  string
+	horizon time.Duration
+}
+
+// Objective is one compiled SLO expression.
+type Objective struct {
+	Name string
+	Expr string
+
+	num       sloTerm
+	den       *sloTerm // nil unless the expression is a ratio
+	cmp       string
+	threshold float64
+}
+
+// ParseObjective compiles an SLO expression. The name labels the
+// objective on the SLO board and in /healthz.
+func ParseObjective(name, expr string) (*Objective, error) {
+	o := &Objective{Name: name, Expr: expr}
+	s := strings.TrimSpace(expr)
+	var err error
+	if o.num, s, err = parseTerm(s); err != nil {
+		return nil, fmt.Errorf("obs: objective %s: %w", name, err)
+	}
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "/") {
+		var den sloTerm
+		if den, s, err = parseTerm(strings.TrimSpace(s[1:])); err != nil {
+			return nil, fmt.Errorf("obs: objective %s: %w", name, err)
+		}
+		o.den = &den
+	}
+	s = strings.TrimSpace(s)
+	for _, cmp := range []string{"<=", ">=", "<", ">"} {
+		if strings.HasPrefix(s, cmp) {
+			o.cmp = cmp
+			s = strings.TrimSpace(s[len(cmp):])
+			break
+		}
+	}
+	if o.cmp == "" {
+		return nil, fmt.Errorf("obs: objective %s: expected comparison operator in %q", name, expr)
+	}
+	if o.threshold, err = parseThreshold(s); err != nil {
+		return nil, fmt.Errorf("obs: objective %s: %w", name, err)
+	}
+	return o, nil
+}
+
+func parseTerm(s string) (sloTerm, string, error) {
+	var t sloTerm
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return t, s, fmt.Errorf("expected fn(metric, horizon), got %q", s)
+	}
+	t.fn = strings.TrimSpace(s[:open])
+	switch t.fn {
+	case "rate", "count", "p50", "p95", "p99", "mean":
+	default:
+		return t, s, fmt.Errorf("unknown function %q (want rate, count, p50, p95, p99, or mean)", t.fn)
+	}
+	end := strings.IndexByte(s[open:], ')')
+	if end < 0 {
+		return t, s, fmt.Errorf("unclosed %q", t.fn+"(")
+	}
+	end += open
+	args := strings.Split(s[open+1:end], ",")
+	if len(args) != 2 {
+		return t, s, fmt.Errorf("%s() wants (metric, horizon), got %q", t.fn, s[open+1:end])
+	}
+	t.metric = strings.TrimSpace(args[0])
+	if t.metric == "" {
+		return t, s, fmt.Errorf("%s(): empty metric name", t.fn)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(args[1]))
+	if err != nil || d <= 0 {
+		return t, s, fmt.Errorf("%s(%s): bad horizon %q", t.fn, t.metric, strings.TrimSpace(args[1]))
+	}
+	t.horizon = d
+	return t, s[end+1:], nil
+}
+
+func parseThreshold(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing threshold")
+	}
+	if strings.HasSuffix(s, "%") {
+		pct, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(s, "%")), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad percentage %q", s)
+		}
+		return pct / 100, nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return float64(d), nil // nanoseconds, matching the _ns metrics
+	}
+	return 0, fmt.Errorf("bad threshold %q (want a number, duration, or percentage)", s)
+}
+
+// eval resolves one term against the window set. hasData is false when
+// the metric is not registered or (for quantiles and mean) the window
+// holds no observations.
+func (t sloTerm) eval(ws *WindowSet) (val float64, hasData bool) {
+	ws.mu.RLock()
+	c := ws.counters[t.metric]
+	h := ws.hists[t.metric]
+	ws.mu.RUnlock()
+	switch {
+	case c != nil:
+		switch t.fn {
+		case "rate":
+			return c.Rate(t.horizon), true
+		case "count":
+			return float64(c.Total(t.horizon)), true
+		}
+		return 0, false // quantiles need a histogram
+	case h != nil:
+		snap := h.Window(t.horizon)
+		switch t.fn {
+		case "rate":
+			return snap.Rate, true
+		case "count":
+			return float64(snap.Count), true
+		}
+		if snap.Count == 0 {
+			return 0, false
+		}
+		switch t.fn {
+		case "p50":
+			return float64(snap.P50), true
+		case "p95":
+			return float64(snap.P95), true
+		case "p99":
+			return float64(snap.P99), true
+		case "mean":
+			return snap.Mean(), true
+		}
+	}
+	return 0, false
+}
+
+// ObjectiveStatus is one objective's verdict in a HealthReport.
+type ObjectiveStatus struct {
+	Name      string  `json:"name"`
+	Expr      string  `json:"expr"`
+	Status    string  `json:"status"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Burn      float64 `json:"burn_rate"`
+	HasData   bool    `json:"has_data"`
+}
+
+// HealthReport is the JSON shape of /healthz: the worst objective's
+// status plus every objective's verdict.
+type HealthReport struct {
+	Status     string            `json:"status"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// HealthEngine evaluates a set of objectives against one window set.
+type HealthEngine struct {
+	ws   *WindowSet
+	warn float64
+
+	mu         sync.RWMutex
+	objectives []*Objective
+}
+
+// NewHealthEngine creates an engine with no objectives and the default
+// 0.85 warn fraction.
+func NewHealthEngine(ws *WindowSet) *HealthEngine {
+	return &HealthEngine{ws: ws, warn: 0.85}
+}
+
+// DefaultHealth is the process-wide engine /healthz serves, seeded
+// with the serving-layer objectives over the canonical metric names.
+// Objectives whose metrics are not registered (a binary that never
+// runs a check) simply report no data.
+var DefaultHealth = defaultHealthEngine()
+
+func defaultHealthEngine() *HealthEngine {
+	h := NewHealthEngine(DefaultWindows)
+	h.MustAdd("check-latency-p99", "p99("+MetricCheckNS+", 1m) < 50ms")
+	h.MustAdd("undecided-ratio", "rate("+MetricUndecided+", 1m) / rate("+MetricChecks+", 1m) < 1%")
+	h.MustAdd("journal-drops", "rate("+MetricJournalDropped+", 1m) < 500")
+	return h
+}
+
+// SetWarnFraction adjusts the DEGRADED admission point (burn rate at
+// which an otherwise-passing objective degrades). Values outside (0,1]
+// are clamped to the default.
+func (e *HealthEngine) SetWarnFraction(f float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f <= 0 || f > 1 {
+		f = 0.85
+	}
+	e.warn = f
+}
+
+// Add compiles and registers an objective. A second objective with an
+// existing name replaces the first.
+func (e *HealthEngine) Add(name, expr string) error {
+	o, err := ParseObjective(name, expr)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, old := range e.objectives {
+		if old.Name == name {
+			e.objectives[i] = o
+			return nil
+		}
+	}
+	e.objectives = append(e.objectives, o)
+	return nil
+}
+
+// MustAdd is Add for statically known expressions; it panics on a
+// parse error.
+func (e *HealthEngine) MustAdd(name, expr string) {
+	if err := e.Add(name, expr); err != nil {
+		panic(err)
+	}
+}
+
+// Objectives returns the registered objectives in registration order.
+func (e *HealthEngine) Objectives() []*Objective {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*Objective(nil), e.objectives...)
+}
+
+// Evaluate computes every objective's verdict and the aggregate
+// status (the worst individual one; OK when no objectives are
+// registered).
+func (e *HealthEngine) Evaluate() HealthReport {
+	e.mu.RLock()
+	objectives := append([]*Objective(nil), e.objectives...)
+	warn := e.warn
+	e.mu.RUnlock()
+	rep := HealthReport{Status: StatusOK, Objectives: make([]ObjectiveStatus, 0, len(objectives))}
+	for _, o := range objectives {
+		st := e.evaluate(o, warn)
+		if statusRank(st.Status) > statusRank(rep.Status) {
+			rep.Status = st.Status
+		}
+		rep.Objectives = append(rep.Objectives, st)
+	}
+	return rep
+}
+
+func (e *HealthEngine) evaluate(o *Objective, warn float64) ObjectiveStatus {
+	st := ObjectiveStatus{Name: o.Name, Expr: o.Expr, Status: StatusOK, Threshold: o.threshold}
+	num, ok := o.num.eval(e.ws)
+	if !ok {
+		return st
+	}
+	val := num
+	if o.den != nil {
+		den, ok := o.den.eval(e.ws)
+		if !ok || den == 0 {
+			// 0/0 and x/0 carry no signal: an idle system is not
+			// unhealthy, and a ratio without a denominator is undefined.
+			return st
+		}
+		val = num / den
+	}
+	st.Value = val
+	st.HasData = true
+	var breach bool
+	switch o.cmp {
+	case "<":
+		breach = !(val < o.threshold)
+		if o.threshold > 0 {
+			st.Burn = val / o.threshold
+		}
+	case "<=":
+		breach = val > o.threshold
+		if o.threshold > 0 {
+			st.Burn = val / o.threshold
+		}
+	case ">":
+		breach = !(val > o.threshold)
+		if val > 0 {
+			st.Burn = o.threshold / val
+		}
+	case ">=":
+		breach = val < o.threshold
+		if val > 0 {
+			st.Burn = o.threshold / val
+		}
+	}
+	switch {
+	case breach:
+		st.Status = StatusFailing
+		if st.Burn == 0 {
+			st.Burn = 1
+		}
+	case st.Burn >= warn:
+		st.Status = StatusDegraded
+	}
+	return st
+}

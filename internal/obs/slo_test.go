@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseObjective(t *testing.T) {
+	o, err := ParseObjective("lat", "p99(dcsat_check_ns, 1m) < 50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.num.fn != "p99" || o.num.metric != "dcsat_check_ns" || o.num.horizon != time.Minute {
+		t.Fatalf("term = %+v", o.num)
+	}
+	if o.den != nil || o.cmp != "<" || o.threshold != float64(50*time.Millisecond) {
+		t.Fatalf("objective = %+v", o)
+	}
+
+	o, err = ParseObjective("ratio", "rate(a_total, 1m) / rate(b_total, 1m) <= 1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.den == nil || o.den.metric != "b_total" || o.cmp != "<=" || o.threshold != 0.01 {
+		t.Fatalf("ratio objective = %+v", o)
+	}
+
+	o, err = ParseObjective("floor", "rate(c_total, 30s) >= 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cmp != ">=" || o.threshold != 2.5 || o.num.horizon != 30*time.Second {
+		t.Fatalf("objective = %+v", o)
+	}
+}
+
+func TestParseObjectiveErrors(t *testing.T) {
+	for name, expr := range map[string]string{
+		"unknown-fn":    "p42(m, 1m) < 1",
+		"no-cmp":        "rate(m, 1m) 5",
+		"bad-horizon":   "rate(m, soon) < 1",
+		"neg-horizon":   "rate(m, -1m) < 1",
+		"one-arg":       "rate(m) < 1",
+		"no-threshold":  "rate(m, 1m) <",
+		"bad-threshold": "rate(m, 1m) < banana",
+		"no-term":       "< 5",
+		"unclosed":      "rate(m, 1m < 5",
+	} {
+		if _, err := ParseObjective(name, expr); err == nil {
+			t.Errorf("%s: ParseObjective(%q) accepted", name, expr)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not name the objective", name, err)
+		}
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	for s, want := range map[string]float64{
+		"5":    5,
+		"2.5":  2.5,
+		"50ms": float64(50 * time.Millisecond),
+		"2s":   float64(2 * time.Second),
+		"1%":   0.01,
+		"0.5%": 0.005,
+	} {
+		got, err := parseThreshold(s)
+		if err != nil || got != want {
+			t.Errorf("parseThreshold(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+}
+
+// sloHarness builds an engine over a private window set with a fake
+// clock and a populated check histogram + counters.
+func sloHarness(t *testing.T) (*HealthEngine, *WindowSet, *fakeClock) {
+	t.Helper()
+	ws, clk := testWindowSet(time.Second, time.Minute)
+	return NewHealthEngine(ws), ws, clk
+}
+
+func TestHealthStatuses(t *testing.T) {
+	e, ws, _ := sloHarness(t)
+	e.MustAdd("lat", "p99(check_ns, 1m) < 50ms")
+	h := ws.Histogram("check_ns", "")
+
+	// No observations yet: OK with no data.
+	rep := e.Evaluate()
+	if rep.Status != StatusOK || rep.Objectives[0].HasData {
+		t.Fatalf("empty system: %+v", rep.Objectives[0])
+	}
+
+	// Fast checks: OK with data and a low burn rate.
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(5 * time.Millisecond)
+	}
+	st := e.Evaluate().Objectives[0]
+	if st.Status != StatusOK || !st.HasData || st.Burn > 0.5 {
+		t.Fatalf("fast checks: %+v", st)
+	}
+
+	// Near the budget: DEGRADED (burn ≥ 0.85 but under 1).
+	e2, ws2, _ := sloHarness(t)
+	e2.MustAdd("lat", "p99(check_ns, 1m) < 50ms")
+	h2 := ws2.Histogram("check_ns", "")
+	for i := 0; i < 100; i++ {
+		h2.ObserveDuration(46 * time.Millisecond)
+	}
+	st = e2.Evaluate().Objectives[0]
+	if st.Status != StatusDegraded {
+		t.Fatalf("near budget: %+v", st)
+	}
+
+	// Over the budget: FAILING with burn ≥ 1, and the aggregate follows.
+	for i := 0; i < 400; i++ {
+		h2.ObserveDuration(200 * time.Millisecond)
+	}
+	rep = e2.Evaluate()
+	st = rep.Objectives[0]
+	if st.Status != StatusFailing || st.Burn < 1 || rep.Status != StatusFailing {
+		t.Fatalf("over budget: %+v (aggregate %s)", st, rep.Status)
+	}
+}
+
+func TestHealthRatioObjective(t *testing.T) {
+	e, ws, _ := sloHarness(t)
+	e.MustAdd("undecided", "rate(undecided_total, 1m) / rate(checks_total, 1m) < 10%")
+	und := ws.Counter("undecided_total", "")
+	checks := ws.Counter("checks_total", "")
+
+	// Zero denominator: no signal, OK.
+	und.Add(5)
+	st := e.Evaluate().Objectives[0]
+	if st.Status != StatusOK || st.HasData {
+		t.Fatalf("zero denominator: %+v", st)
+	}
+
+	// 5/200 = 2.5% of budget 10%: OK, burn 0.25.
+	checks.Add(200)
+	st = e.Evaluate().Objectives[0]
+	if st.Status != StatusOK || !st.HasData ||
+		math.Abs(st.Value-0.025) > 1e-9 || math.Abs(st.Burn-0.25) > 1e-9 {
+		t.Fatalf("healthy ratio: %+v", st)
+	}
+
+	// 45/240 = 18.75%: FAILING.
+	und.Add(40)
+	checks.Add(40)
+	st = e.Evaluate().Objectives[0]
+	if st.Status != StatusFailing {
+		t.Fatalf("violated ratio: %+v", st)
+	}
+}
+
+func TestHealthLowerBoundObjective(t *testing.T) {
+	e, ws, _ := sloHarness(t)
+	e.MustAdd("throughput", "rate(ops_total, 1m) > 1")
+	ops := ws.Counter("ops_total", "")
+	ops.Add(6) // 0.1/s over 1m: below the floor.
+	st := e.Evaluate().Objectives[0]
+	if st.Status != StatusFailing {
+		t.Fatalf("below floor: %+v", st)
+	}
+	ops.Add(594) // 10/s: comfortably above; burn = threshold/value = 0.1.
+	st = e.Evaluate().Objectives[0]
+	if st.Status != StatusOK || st.Burn != 0.1 {
+		t.Fatalf("above floor: %+v", st)
+	}
+}
+
+func TestHealthCounterQuantileHasNoData(t *testing.T) {
+	e, ws, _ := sloHarness(t)
+	e.MustAdd("bad", "p99(some_total, 1m) < 5")
+	ws.Counter("some_total", "").Add(100)
+	st := e.Evaluate().Objectives[0]
+	if st.Status != StatusOK || st.HasData {
+		t.Fatalf("quantile over a counter must carry no data: %+v", st)
+	}
+}
+
+func TestHealthAddReplacesByName(t *testing.T) {
+	e, _, _ := sloHarness(t)
+	e.MustAdd("x", "rate(a_total, 1m) < 5")
+	e.MustAdd("x", "rate(a_total, 1m) < 9")
+	objs := e.Objectives()
+	if len(objs) != 1 || objs[0].threshold != 9 {
+		t.Fatalf("objectives = %+v", objs)
+	}
+}
+
+func TestHealthWarnFraction(t *testing.T) {
+	e, ws, _ := sloHarness(t)
+	e.MustAdd("lat", "mean(m_ns, 1m) < 100")
+	h := ws.Histogram("m_ns", "")
+	h.Observe(50) // burn 0.5
+	if st := e.Evaluate().Objectives[0]; st.Status != StatusOK {
+		t.Fatalf("burn 0.5 at default warn: %+v", st)
+	}
+	e.SetWarnFraction(0.4)
+	if st := e.Evaluate().Objectives[0]; st.Status != StatusDegraded {
+		t.Fatalf("burn 0.5 at warn 0.4: %+v", st)
+	}
+	e.SetWarnFraction(7) // out of range: back to default
+	if st := e.Evaluate().Objectives[0]; st.Status != StatusOK {
+		t.Fatalf("warn reset: %+v", st)
+	}
+}
+
+func TestDefaultHealthObjectivesCompile(t *testing.T) {
+	objs := DefaultHealth.Objectives()
+	if len(objs) < 3 {
+		t.Fatalf("DefaultHealth has %d objectives", len(objs))
+	}
+	rep := DefaultHealth.Evaluate()
+	if len(rep.Objectives) != len(objs) {
+		t.Fatalf("report covers %d of %d objectives", len(rep.Objectives), len(objs))
+	}
+}

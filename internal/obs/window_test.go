@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a WindowSet deterministically: tests advance it
+// explicitly instead of sleeping.
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock(start time.Duration) *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(int64(start))
+	return c
+}
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+func (c *fakeClock) attach(s *WindowSet)     { s.SetNow(c.now) }
+func testWindowSet(tick time.Duration, horizons ...time.Duration) (*WindowSet, *fakeClock) {
+	s := NewWindowSet(NewRegistry(), WindowConfig{Tick: tick, Horizons: horizons})
+	// Start well past zero so every tick index is positive.
+	c := newFakeClock(1000 * time.Hour)
+	c.attach(s)
+	return s, c
+}
+
+func TestWindowConfigNormalize(t *testing.T) {
+	c := WindowConfig{Tick: time.Second,
+		Horizons: []time.Duration{time.Minute, 500 * time.Millisecond, 10 * time.Second}}.normalize()
+	if c.Horizons[0] != time.Second || c.Horizons[1] != 10*time.Second || c.Horizons[2] != time.Minute {
+		t.Fatalf("horizons = %v (want sorted, sub-tick clamped to tick)", c.Horizons)
+	}
+	d := WindowConfig{}.normalize()
+	if d.Tick != DefaultWindowConfig.Tick || len(d.Horizons) != len(DefaultWindowConfig.Horizons) {
+		t.Fatalf("zero config did not default: %+v", d)
+	}
+}
+
+func TestFormatHorizon(t *testing.T) {
+	for h, want := range map[time.Duration]string{
+		10 * time.Second: "10s", time.Minute: "1m", 5 * time.Minute: "5m",
+		90 * time.Second: "90s", 1500 * time.Millisecond: "1.5s",
+	} {
+		if got := formatHorizon(h); got != want {
+			t.Errorf("formatHorizon(%v) = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func TestWindowedCounterRatesAndExpiry(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 5*time.Second, 20*time.Second)
+	w := s.Counter("test_events_total", "")
+	// 10 events per tick for 5 ticks; the horizon includes the current
+	// partial tick, so the last add lands in it.
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			clk.advance(time.Second)
+		}
+		w.Add(10)
+	}
+	if got := w.Value(); got != 50 {
+		t.Fatalf("cumulative = %d, want 50 (write-through)", got)
+	}
+	if got := w.Total(5 * time.Second); got != 50 {
+		t.Fatalf("Total(5s) = %d, want 50", got)
+	}
+	if got := w.Rate(5 * time.Second); got != 10 {
+		t.Fatalf("Rate(5s) = %v, want 10/s", got)
+	}
+	// 10 more ticks of silence: the 5s window drains, the 20s one keeps
+	// the old burst.
+	clk.advance(10 * time.Second)
+	if got := w.Total(5 * time.Second); got != 0 {
+		t.Fatalf("Total(5s) after silence = %d, want 0", got)
+	}
+	if got := w.Total(20 * time.Second); got != 50 {
+		t.Fatalf("Total(20s) after silence = %d, want 50", got)
+	}
+	if got := w.Value(); got != 50 {
+		t.Fatalf("cumulative decayed to %d; windows must not touch the twin", got)
+	}
+}
+
+func TestWindowedCounterRingWraparound(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 3*time.Second)
+	w := s.Counter("wrap_total", "")
+	// Many times around the ring (slots = 4): each pass must reset the
+	// reused buckets, so the window never double-counts.
+	for round := 0; round < 25; round++ {
+		if round > 0 {
+			clk.advance(time.Second)
+		}
+		w.Add(1)
+	}
+	if got := w.Total(3 * time.Second); got != 3 {
+		t.Fatalf("Total(3s) after wraparound = %d, want 3", got)
+	}
+	if got := w.Value(); got != 25 {
+		t.Fatalf("cumulative = %d, want 25", got)
+	}
+}
+
+func TestWindowedCounterSeries(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 10*time.Second)
+	w := s.Counter("series_total", "")
+	w.Add(1)
+	clk.advance(time.Second)
+	w.Add(2)
+	clk.advance(time.Second)
+	// Current tick (empty) plus two filled ones; the gap tick is zero.
+	got := w.Series(4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	if got[0].N != 0 || got[1].N != 1 || got[2].N != 2 || got[3].N != 0 {
+		t.Fatalf("series = %+v, want [0 1 2 0]", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Tick != got[i-1].Tick+1 {
+			t.Fatalf("ticks not contiguous: %+v", got)
+		}
+	}
+}
+
+func TestWinBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1000, 1 << 20, 1 << 40, 1<<62 + 12345} {
+		idx := winBucketIndex(v)
+		if idx < prev {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= winNumBuckets {
+			t.Fatalf("index out of range for %d: %d", v, idx)
+		}
+		if low := winBucketLow(idx); low > v {
+			t.Fatalf("bucket low %d exceeds value %d", low, v)
+		}
+		// The bucket midpoint is within the scheme's relative error.
+		if v >= winSubBuckets {
+			mid := winBucketMid(idx)
+			if diff := float64(mid-v) / float64(v); diff > 0.15 || diff < -0.15 {
+				t.Fatalf("midpoint %d for %d: relative error %.2f", mid, v, diff)
+			}
+		}
+	}
+	if winBucketIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+func TestWindowedHistogramQuantiles(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 10*time.Second)
+	w := s.Histogram("lat_ns", "")
+	// 100 observations spread 1..100ms: p50≈50ms, p99≈100ms.
+	for i := 1; i <= 100; i++ {
+		w.Observe(int64(i) * int64(time.Millisecond))
+	}
+	snap := w.Window(10 * time.Second)
+	if snap.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Count)
+	}
+	if snap.Rate != 10 {
+		t.Fatalf("rate = %v, want 10/s", snap.Rate)
+	}
+	check := func(name string, got, want int64) {
+		if ratio := float64(got) / float64(want); ratio < 0.80 || ratio > 1.20 {
+			t.Errorf("%s = %v, want within 20%% of %v", name, time.Duration(got), time.Duration(want))
+		}
+	}
+	check("p50", snap.P50, int64(50*time.Millisecond))
+	check("p95", snap.P95, int64(95*time.Millisecond))
+	check("p99", snap.P99, int64(99*time.Millisecond))
+	if mean := snap.Mean(); mean < float64(45*time.Millisecond) || mean > float64(56*time.Millisecond) {
+		t.Errorf("mean = %v", time.Duration(int64(mean)))
+	}
+	// Cumulative twin saw everything too.
+	if got := w.Cumulative().Snapshot().Count; got != 100 {
+		t.Fatalf("cumulative count = %d, want 100", got)
+	}
+	// Observations age out of the window but not the twin.
+	clk.advance(15 * time.Second)
+	if snap := w.Window(10 * time.Second); snap.Count != 0 || snap.P99 != 0 {
+		t.Fatalf("window after expiry = %+v, want empty", snap)
+	}
+	if got := w.Cumulative().Snapshot().Count; got != 100 {
+		t.Fatalf("cumulative count decayed: %d", got)
+	}
+}
+
+func TestWindowedHistogramSeries(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 10*time.Second)
+	w := s.Histogram("series_ns", "")
+	w.Observe(1000)
+	w.Observe(2000)
+	clk.advance(time.Second)
+	w.Observe(5000)
+	got := w.Series(3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	if got[0].Count != 0 || got[1].Count != 2 || got[2].Count != 1 {
+		t.Fatalf("series counts = %+v, want [0 2 1]", got)
+	}
+	if got[2].P99 < 4000 || got[2].P99 > 6000 {
+		t.Fatalf("per-tick p99 = %d, want ≈5000", got[2].P99)
+	}
+}
+
+func TestStaleWriterCannotRotateBackwards(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 3*time.Second)
+	w := s.Counter("stale_total", "")
+	w.Add(5)
+	tick := s.nowTick()
+	slot := int(tick % int64(w.ring.slots))
+	// A writer with an old clock reading must not wipe the newer bucket.
+	w.ring.rotate(slot, tick-4)
+	if got := w.vals[slot].Load(); got != 5 {
+		t.Fatalf("backwards rotation wiped the bucket: %d", got)
+	}
+	_ = clk
+}
+
+func TestSetNowNilRestoresWallClock(t *testing.T) {
+	s, _ := testWindowSet(time.Second, 5*time.Second)
+	s.SetNow(nil)
+	w := s.Counter("wall_total", "")
+	w.Inc()
+	if got := w.Total(5 * time.Second); got != 1 {
+		t.Fatalf("Total = %d under the wall clock, want 1", got)
+	}
+}
+
+func TestDumpCursorDelta(t *testing.T) {
+	s, clk := testWindowSet(time.Second, 10*time.Second)
+	w := s.Counter("dump_total", "")
+	h := s.Histogram("dump_ns", "")
+	w.Add(3)
+	h.Observe(100)
+	clk.advance(2 * time.Second)
+	w.Add(4)
+	h.Observe(200)
+
+	full := s.Dump(0, 10)
+	if full.TickNS != int64(time.Second) || full.Cursor != full.NowTick {
+		t.Fatalf("dump header: %+v", full)
+	}
+	if len(full.Horizons) != 1 || full.Horizons[0] != "10s" {
+		t.Fatalf("horizons = %v", full.Horizons)
+	}
+	cs := full.Counters["dump_total"]
+	if cs.Total != 7 || len(cs.Series) == 0 {
+		t.Fatalf("counter dump = %+v", cs)
+	}
+	if cs.Rates["10s"] != 0.7 {
+		t.Fatalf("rate = %v, want 0.7", cs.Rates["10s"])
+	}
+	hs := full.Histograms["dump_ns"]
+	if hs.Count != 2 || hs.Windows["10s"].Count != 2 {
+		t.Fatalf("histogram dump = %+v", hs)
+	}
+
+	// A delta dump from the full dump's cursor holds only newer ticks.
+	clk.advance(time.Second)
+	w.Add(5)
+	delta := s.Dump(full.Cursor, 10)
+	cs = delta.Counters["dump_total"]
+	if len(cs.Series) != 1 || cs.Series[0].N != 5 || cs.Series[0].Tick != full.Cursor+1 {
+		t.Fatalf("delta series = %+v, want one tick of 5 at cursor+1", cs.Series)
+	}
+	for _, p := range delta.Histograms["dump_ns"].Series {
+		if p.Tick <= full.Cursor {
+			t.Fatalf("histogram delta leaked tick %d <= cursor %d", p.Tick, full.Cursor)
+		}
+	}
+	// Cursor at now: empty series, same totals.
+	empty := s.Dump(delta.Cursor, 10)
+	if got := empty.Counters["dump_total"]; len(got.Series) != 0 || got.Total != 12 {
+		t.Fatalf("empty delta = %+v", got)
+	}
+}
+
+func TestDumpIncludesGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := NewWindowSet(reg, WindowConfig{Tick: time.Second, Horizons: []time.Duration{5 * time.Second}})
+	reg.Gauge("g_height", "").Set(42)
+	if got := s.Dump(0, 5).Gauges["g_height"]; got != 42 {
+		t.Fatalf("gauge in dump = %d, want 42", got)
+	}
+}
+
+func TestWindowedInstrumentsAreSingletons(t *testing.T) {
+	s, _ := testWindowSet(time.Second, 5*time.Second)
+	if s.Counter("same", "") != s.Counter("same", "") {
+		t.Fatal("Counter not idempotent")
+	}
+	if s.Histogram("same_ns", "") != s.Histogram("same_ns", "") {
+		t.Fatal("Histogram not idempotent")
+	}
+}
+
+func TestWindowConcurrentObserve(t *testing.T) {
+	s, clk := testWindowSet(10*time.Millisecond, 100*time.Millisecond)
+	w := s.Counter("conc_total", "")
+	h := s.Histogram("conc_ns", "")
+	const goroutines, each = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				w.Inc()
+				h.Observe(int64(i))
+				if i%64 == 0 && g == 0 {
+					clk.advance(10 * time.Millisecond) // rotate under load
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Value(); got != goroutines*each {
+		t.Fatalf("cumulative = %d, want %d", got, goroutines*each)
+	}
+	if got := h.Cumulative().Snapshot().Count; got != goroutines*each {
+		t.Fatalf("histogram cumulative = %d, want %d", got, goroutines*each)
+	}
+	// The window holds at most everything and merges without panicking.
+	if got := w.Total(100 * time.Millisecond); got < 0 || got > goroutines*each {
+		t.Fatalf("window total out of range: %d", got)
+	}
+	_ = h.Window(100 * time.Millisecond)
+}

@@ -4,20 +4,22 @@ import "blockchaindb/internal/obs"
 
 // Evaluator instruments on the default registry. The evaluator counts
 // locally (plain struct fields on the hot path) and flushes once per
-// evaluation, so the per-tuple cost is a non-atomic increment.
+// evaluation, so the per-tuple cost is a non-atomic increment. The
+// eval counter is windowed: worlds-evaluated/sec is the evaluator's
+// throughput signal on the ops dashboard.
 var (
-	mEvals = obs.Default.Counter("query_evals_total",
+	mEvals = obs.DefaultWindows.Counter(obs.MetricQueryEvals,
 		"query evaluations (one per world or candidate check)")
-	mIndexLookups = obs.Default.Counter("query_index_lookups_total",
+	mIndexLookups = obs.Default.Counter(obs.MetricQueryIndexLookups,
 		"atoms resolved through indexed hash lookups")
-	mScans = obs.Default.Counter("query_scans_total",
+	mScans = obs.Default.Counter(obs.MetricQueryScans,
 		"atoms resolved through full relation scans")
-	mTuplesProbed = obs.Default.Counter("query_tuples_probed_total",
+	mTuplesProbed = obs.Default.Counter(obs.MetricQueryTuplesProbed,
 		"candidate tuples tested during join backtracking")
-	mCompileNs = obs.Default.Histogram("query_compile_ns",
+	mCompileNs = obs.Default.Histogram(obs.MetricQueryCompileNS,
 		"nanoseconds spent compiling a query into a plan")
-	mPlanCacheHits = obs.Default.Counter("query_plan_cache_hits",
+	mPlanCacheHits = obs.Default.Counter(obs.MetricQueryPlanCacheHits,
 		"plan-cache lookups answered by a still-valid cached plan")
-	mPlanCacheMisses = obs.Default.Counter("query_plan_cache_misses",
+	mPlanCacheMisses = obs.Default.Counter(obs.MetricQueryPlanCacheMiss,
 		"plan-cache lookups that fell through to compilation")
 )
