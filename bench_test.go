@@ -18,7 +18,9 @@ import (
 
 	"blockchaindb/internal/bench"
 	"blockchaindb/internal/core"
+	"blockchaindb/internal/fixture"
 	"blockchaindb/internal/graph"
+	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
 	"blockchaindb/internal/value"
@@ -381,6 +383,161 @@ func TestIncrementalWarmColdGuard(t *testing.T) {
 	t.Logf("cold=%v warm=%v speedup=%.1fx", cold, warm, float64(cold)/float64(warm))
 	if warm*3/2 > cold {
 		t.Fatalf("warm recheck %v is within 1.5x of cold %v — cache regressed", warm, cold)
+	}
+}
+
+// mempoolMonitor builds a Monitor over n independent unique mints: no
+// fd conflicts, no ind edges, so the maintained partition is n
+// singleton components — the regime where any residual O(n) term in
+// the warm path dominates and is therefore measurable.
+func mempoolMonitor(b testing.TB, n int, monOpts ...core.MonitorOption) *core.Monitor {
+	s := fixture.BitcoinSchema()
+	cons := fixture.BitcoinConstraints(s)
+	mon := core.NewMonitor(possible.MustNew(s, cons, nil), monOpts...)
+	for i := 0; i < n; i++ {
+		tx := relation.NewTransaction(fmt.Sprintf("M%d", i)).
+			Add("TxOut", fixture.TxOut(int64(i), 1, fmt.Sprintf("Pk%d", i), 1))
+		if _, err := mon.AddPending(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return mon
+}
+
+// mempoolSweepQuery is the satisfied single-atom query for the
+// mempool-size sweep: sweep-eligible (connected, no Θ_q equalities, no
+// atom pairs), never true (the key is minted nowhere), with the
+// precheck and cover filter disabled so the measured cost is the delta
+// sweep itself rather than a shortcut in front of it.
+func mempoolSweepQuery() (*query.Query, core.Options) {
+	return query.MustParse("q() :- TxOut(t, s, 'SweepAbsentPk', a)"),
+		core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true, DisableCoverFilter: true}
+}
+
+// BenchmarkMempoolSweep measures how warm single-delta Check latency
+// and mutation cost scale with mempool size: check/N adds one mint,
+// rechecks (the sweep replays N-1 verdicts and computes one), and drops
+// it; mutate/N is the same without the Check. The tentpole claim is
+// that check/N stays near-flat from 1k to 100k pending — O(touched
+// component), not O(|T|).
+func BenchmarkMempoolSweep(b *testing.B) {
+	q, opts := mempoolSweepQuery()
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		mon := mempoolMonitor(b, n)
+		if _, err := mon.Check(context.Background(), q, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("check/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := warmRecheck(mon, q, opts, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("verdict flipped")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("mutate/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id, err := mon.AddPending(warmDelta(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mon.DropPending(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Reference: the same recheck with all incremental reuse disabled
+	// (no verdict cache, no sweep) — every Check re-searches every
+	// component, the O(|T|) bound the sweep escapes. 100k is omitted:
+	// one iteration takes longer than the whole flat series.
+	for _, n := range []int{1_000, 10_000} {
+		mon := mempoolMonitor(b, n, core.WithCache(0))
+		b.Run(fmt.Sprintf("check_noreuse/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := warmRecheck(mon, q, opts, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("verdict flipped")
+				}
+			}
+		})
+	}
+}
+
+// TestMempoolSweepFlatGuard is the CI guard over BenchmarkMempoolSweep:
+// warm single-delta Check latency must not grow superlinearly with the
+// pending-set size. Medians of 31 samples; the ratio bounds carry small
+// absolute floors so sub-100µs timings cannot trip the guard on timer
+// noise. Gated behind BENCH_GUARD like the other timing guards.
+func TestMempoolSweepFlatGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the mempool flat-latency guard")
+	}
+	q, opts := mempoolSweepQuery()
+	const samples = 31
+	median := func(ds []time.Duration) time.Duration {
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[len(ds)/2]
+	}
+	measure := func(n int) (check, mutate time.Duration) {
+		mon := mempoolMonitor(t, n)
+		if _, err := mon.Check(context.Background(), q, opts); err != nil {
+			t.Fatal(err)
+		}
+		checks := make([]time.Duration, 0, samples)
+		mutates := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			t0 := time.Now()
+			id, err := mon.AddPending(warmDelta(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := time.Now()
+			res, err := mon.Check(context.Background(), q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t2 := time.Now()
+			if err := mon.DropPending(id); err != nil {
+				t.Fatal(err)
+			}
+			t3 := time.Now()
+			if !res.Satisfied {
+				t.Fatal("verdict flipped")
+			}
+			if res.Stats.ComponentsCached == 0 {
+				t.Fatal("warm recheck replayed no components — sweep not engaged")
+			}
+			checks = append(checks, t2.Sub(t1))
+			mutates = append(mutates, t1.Sub(t0)+t3.Sub(t2))
+		}
+		return median(checks), median(mutates)
+	}
+	smallCheck, smallMutate := measure(1_000)
+	bigCheck, bigMutate := measure(100_000)
+	t.Logf("warm check: 1k=%v 100k=%v (%.1fx); mutate: 1k=%v 100k=%v (%.1fx)",
+		smallCheck, bigCheck, float64(bigCheck)/float64(smallCheck),
+		smallMutate, bigMutate, float64(bigMutate)/float64(smallMutate))
+	if bigCheck > 2*smallCheck && bigCheck > 200*time.Microsecond {
+		t.Errorf("warm check at 100k pending (%v) more than 2x the 1k latency (%v): warm path is not O(delta)",
+			bigCheck, smallCheck)
+	}
+	if bigMutate > 3*smallMutate && bigMutate > 100*time.Microsecond {
+		t.Errorf("mutation at 100k pending (%v) more than 3x the 1k latency (%v): mutation is not O(touched component)",
+			bigMutate, smallMutate)
 	}
 }
 

@@ -238,3 +238,23 @@ func (c *Set) FDKeys(i int, tx *relation.Transaction) (lhsKeys, rhsKeys []string
 	}
 	return lhsKeys, rhsKeys
 }
+
+// INDKeys returns, for IND i, the projection keys of the transaction's
+// tuples on the dependency's two sides: lhsKeys projects the tuples of
+// INDs[i].Rel on Cols (the referencing side), refKeys projects the
+// tuples of INDs[i].RefRel on RefCols (the referenced side). Both
+// lists live in the same key space, so two transactions interact under
+// the Θ_I equality constraints of this IND exactly when a lhsKey of
+// one equals a refKey of the other. Used to maintain the Monitor's
+// Θ-bucket index by hashing rather than by pairwise checks.
+func (c *Set) INDKeys(i int, tx *relation.Transaction) (lhsKeys, refKeys []string) {
+	ind := c.INDs[i]
+	cols, refCols := c.indCols[i].cols, c.indCols[i].refCols
+	for _, t := range tx.Tuples(ind.Rel) {
+		lhsKeys = append(lhsKeys, t.ProjectKey(cols))
+	}
+	for _, t := range tx.Tuples(ind.RefRel) {
+		refKeys = append(refKeys, t.ProjectKey(refCols))
+	}
+	return lhsKeys, refKeys
+}

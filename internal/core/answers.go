@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"blockchaindb/internal/graph"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
@@ -92,13 +91,9 @@ func PossibleAnswers(d *possible.DB, q *query.Query) ([]value.Tuple, error) {
 			return nil, err
 		}
 		live := liveTransactions(d)
-		g := buildFDGraph(d, live)
+		cg := buildFDGraph(d, live)
 		var evalErr error
-		graph.MaximalCliques(g, func(clique []int) bool {
-			subset := make([]int, len(clique))
-			for i, local := range clique {
-				subset[i] = live[local]
-			}
+		cg.maximalCliques(func(subset []int) bool {
 			world, _ := d.GetMaximal(subset)
 			if err := collect(world); err != nil {
 				evalErr = err

@@ -215,10 +215,17 @@ type Result struct {
 }
 
 // fdGraphFn builds the fd-transaction graph of one component (global
-// pending indexes; vertex i of the result corresponds to comp[i]). The
+// pending indexes) in the sparse complement representation. The
 // Monitor injects its incrementally maintained conflict pairs through
 // this hook; nil means buildFDGraph from scratch.
-type fdGraphFn func(comp []int) *graph.Undirected
+type fdGraphFn func(comp []int) *fdCompGraph
+
+// componentsFn computes the ind-q component split of the live subset
+// (global pending indexes) for the simplified query. The Monitor
+// injects its maintained Θ_I partition through this hook, so only the
+// query-derived Θ_q pass and the state-bridge closure run per check;
+// nil means indQComponents from scratch.
+type componentsFn func(ctx context.Context, subset []int, q *query.Query) [][]int
 
 // Check decides whether the blockchain database satisfies the denial
 // constraint: D |= ¬q iff q evaluates to false over every possible
@@ -409,7 +416,7 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 			map[bool]string{false: "NaiveDCSat", true: "OptDCSat"}[optimized], q)
 	}
 	if env.fdGraph == nil {
-		env.fdGraph = func(comp []int) *graph.Undirected { return buildFDGraph(d, comp) }
+		env.fdGraph = func(comp []int) *fdCompGraph { return buildFDGraph(d, comp) }
 	}
 	res := &Result{Satisfied: true}
 	// Pre-check over the union of everything.
@@ -447,6 +454,24 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 		res.Witness = []int{}
 		return res, nil
 	}
+	// Delta sweep: when the Monitor maintains a per-query verdict map
+	// over its persistent Θ_I components and the (simplified) query is
+	// plain enough that those components are exactly the ind-q split,
+	// answer by replaying the mutation log — O(touched components) —
+	// instead of running the O(n) live filter and component split below.
+	if env.sweep != nil && optimized && env.sweep.eligible(q) {
+		sweepCtx, sweepSpan := obs.Start(ctx, "sweep")
+		swept, err := env.sweep.run(sweepCtx, d, q, opts, env, res)
+		sweepSpan.SetAttr("components", res.Stats.Components)
+		sweepSpan.SetAttr("replayed", res.Stats.ComponentsCached)
+		sweepSpan.End()
+		if err != nil {
+			return res, err
+		}
+		if swept {
+			return res, nil
+		}
+	}
 	live := allPending(d)
 	if !opts.DisableLiveFilter {
 		_, liveSpan := obs.Start(ctx, "live_filter")
@@ -465,7 +490,11 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 	if optimized && q.IsConnected() {
 		splitCtx, splitSpan := obs.Start(ctx, "component_split")
 		splitStart := time.Now()
-		groups = indQComponents(splitCtx, d, live, q)
+		if env.components != nil {
+			groups = env.components(splitCtx, live, q)
+		} else {
+			groups = indQComponents(splitCtx, d, live, q)
+		}
 		res.Stats.ClosureDur = time.Since(splitStart)
 		splitSpan.SetAttr("components", len(groups))
 		splitSpan.End()
@@ -562,9 +591,9 @@ func cliqueDCSat(ctx context.Context, d *possible.DB, q *query.Query, opts Optio
 // world. It reports the first violating world found.
 func searchComponent(ctx context.Context, d *possible.DB, q *query.Query, comp []int, env checkEnv, stats *Stats) (bool, []int, error) {
 	buildStart := time.Now()
-	g := env.fdGraph(comp)
+	cg := env.fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
-	return searchComponentGraph(ctx, d, q, comp, g, env.plan, stats)
+	return searchComponentGraph(ctx, d, q, cg, env.plan, stats)
 }
 
 // cliqueSearch is the per-clique evaluation shared by the serial,
@@ -576,7 +605,8 @@ type cliqueSearch struct {
 	ctx      context.Context
 	d        *possible.DB
 	q        *query.Query
-	comp     []int
+	comp     []int // conflicted members, in the searched graph's vertex order
+	base     []int // universal members: part of EVERY maximal world of the component
 	stats    *Stats
 	violated bool
 	witness  []int
@@ -618,7 +648,7 @@ func (s *cliqueSearch) yield(clique []int) bool {
 	}
 	s.stats.Cliques++
 	evalStart := time.Now()
-	subset := s.subset[:0]
+	subset := append(s.subset[:0], s.base...)
 	for _, local := range clique {
 		subset = append(subset, s.comp[local])
 	}
@@ -642,12 +672,14 @@ func (s *cliqueSearch) yield(clique []int) bool {
 }
 
 // searchComponentGraph is searchComponent with a caller-supplied fd
-// graph. A context cancellation surfaces as that context's error, which
+// graph. The enumeration runs over the conflicted subgraph only; the
+// component's universal members are prepended to every world. A
+// context cancellation surfaces as that context's error, which
 // checkContext translates into ErrUndecided.
-func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, comp []int, g *graph.Undirected, plan *query.Plan, stats *Stats) (bool, []int, error) {
-	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: comp, stats: stats, plan: plan}
+func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, cg *fdCompGraph, plan *query.Plan, stats *Stats) (bool, []int, error) {
+	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: cg.conflicted, base: cg.universal, stats: stats, plan: plan}
 	enumStart := time.Now()
-	ctxErr := graph.MaximalCliquesCtx(ctx, g, cs.yield)
+	ctxErr := graph.MaximalCliquesCtx(ctx, cg.g, cs.yield)
 	stats.CliqueDur += time.Since(enumStart) - cs.evalDur
 	stats.EvalDur += cs.evalDur
 	if cs.violated {

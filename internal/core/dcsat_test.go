@@ -54,7 +54,7 @@ func TestPaperExample6And8(t *testing.T) {
 // {T1,T2,T3,T4} (Example 6).
 func TestPaperExample6CliqueCount(t *testing.T) {
 	d := fixture.PaperDB()
-	g := buildFDGraph(d, []int{0, 1, 2, 3, 4})
+	g := buildFDGraph(d, []int{0, 1, 2, 3, 4}).dense()
 	cliques := graph.AllMaximalCliques(g)
 	if len(cliques) != 2 {
 		t.Fatalf("got %d maximal cliques: %v, want 2", len(cliques), cliques)

@@ -22,19 +22,88 @@ import (
 	"blockchaindb/internal/value"
 )
 
+// fdCompGraph is the fd-transaction graph G^fd_T of one component,
+// represented sparsely by its conflict pairs (non-edges). Because the
+// graph is the COMPLEMENT of the conflict relation, any member with no
+// in-component conflict is a universal vertex — adjacent to everything
+// — and every maximal clique of the full graph is exactly
+// (universal ∪ K) for K a maximal clique of the subgraph induced on
+// the conflicted members. The bitset graph g is therefore built only
+// over the conflicted members, so the common conflict-free case costs
+// O(n) instead of the O(n²) bitset `graph.NewComplete` used to
+// allocate up front.
+type fdCompGraph struct {
+	g          *graph.Undirected // complement graph over conflicted members only
+	members    []int             // the component (global pending indexes), as given
+	conflicted []int             // globals with ≥1 in-component conflict, in g's vertex order
+	universal  []int             // globals with no in-component conflict
+	pairs      [][2]int          // conflict pairs as local indexes into members (deduplicated)
+}
+
+// newFDCompGraph assembles the split representation from the member
+// list and its deduplicated conflict pairs (local indexes into
+// members).
+func newFDCompGraph(members []int, pairs [][2]int) *fdCompGraph {
+	deg := make([]int, len(members))
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	cg := &fdCompGraph{members: members, pairs: pairs}
+	remap := make([]int, len(members)) // local -> conflicted vertex index
+	for local, global := range members {
+		if deg[local] > 0 {
+			remap[local] = len(cg.conflicted)
+			cg.conflicted = append(cg.conflicted, global)
+		} else {
+			cg.universal = append(cg.universal, global)
+		}
+	}
+	cg.g = graph.NewComplete(len(cg.conflicted))
+	for _, p := range pairs {
+		cg.g.RemoveEdge(remap[p[0]], remap[p[1]])
+	}
+	return cg
+}
+
+// dense materializes the classic bitset form over ALL members: vertex
+// i corresponds to members[i]. For tooling and benchmarks that want
+// the paper's graph verbatim.
+func (cg *fdCompGraph) dense() *graph.Undirected {
+	g := graph.NewComplete(len(cg.members))
+	for _, p := range cg.pairs {
+		g.RemoveEdge(p[0], p[1])
+	}
+	return g
+}
+
+// maximalCliques enumerates the maximal cliques of the full component
+// graph as slices of GLOBAL pending indexes: each maximal clique of
+// the conflicted subgraph, completed with every universal member. The
+// slice passed to yield is reused across calls; returning false stops
+// the enumeration. A component with no conflicts yields exactly one
+// clique — all members (the empty conflicted graph contributes its
+// single empty clique).
+func (cg *fdCompGraph) maximalCliques(yield func(members []int) bool) {
+	out := make([]int, 0, len(cg.members))
+	graph.MaximalCliques(cg.g, func(clique []int) bool {
+		out = append(out[:0], cg.universal...)
+		for _, v := range clique {
+			out = append(out, cg.conflicted[v])
+		}
+		return yield(out)
+	})
+}
+
 // buildFDGraph constructs the paper's fd-transaction graph G^fd_T
-// restricted to the pending transactions at the given (global) indexes:
-// vertices are those transactions, and {u, v} is an edge iff
-// T_u ∪ T_v satisfies every functional dependency. Vertex i of the
-// returned graph corresponds to subset[i].
+// restricted to the pending transactions at the given (global)
+// indexes, in the sparse complement representation above.
 //
 // Rather than testing all O(n²) pairs, conflicts are discovered by
 // hashing: for every FD, transactions are bucketed by the LHS
 // projections of their tuples; only buckets holding two different RHS
-// projections produce conflict edges. The graph is built complete and
-// conflict edges are removed.
-func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
-	g := graph.NewComplete(len(subset))
+// projections produce conflict pairs.
+func buildFDGraph(d *possible.DB, subset []int) *fdCompGraph {
 	// Occupants carry the tuple, not a materialized RHS key: bucketing
 	// then only allocates the map key string on the first insert per
 	// distinct LHS projection (map reads use the non-allocating
@@ -43,6 +112,21 @@ func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
 	type occupant struct {
 		local int
 		tup   value.Tuple
+	}
+	var pairs [][2]int
+	var seen map[[2]int]struct{} // allocated on the first conflict only
+	addPair := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if seen == nil {
+			seen = make(map[[2]int]struct{})
+		}
+		if _, dup := seen[[2]int{a, b}]; dup {
+			return
+		}
+		seen[[2]int{a, b}] = struct{}{}
+		pairs = append(pairs, [2]int{a, b})
 	}
 	var lbuf, ibuf, jbuf []byte
 	for fdIdx, fd := range d.Constraints.FDs {
@@ -65,22 +149,25 @@ func buildFDGraph(d *possible.DB, subset []int) *graph.Undirected {
 			for i := 0; i < len(occ); i++ {
 				ibuf = occ[i].tup.AppendProjectKey(ibuf[:0], rhs)
 				for j := i + 1; j < len(occ); j++ {
+					if occ[i].local == occ[j].local {
+						continue
+					}
 					jbuf = occ[j].tup.AppendProjectKey(jbuf[:0], rhs)
 					if !bytes.Equal(ibuf, jbuf) {
-						g.RemoveEdge(occ[i].local, occ[j].local)
+						addPair(occ[i].local, occ[j].local)
 					}
 				}
 			}
 		}
 	}
-	return g
+	return newFDCompGraph(subset, pairs)
 }
 
 // FDGraph exposes the fd-transaction graph over all pending
 // transactions for tooling and benchmarks; vertex i corresponds to
 // Pending[i].
 func FDGraph(d *possible.DB) *graph.Undirected {
-	return buildFDGraph(d, allPending(d))
+	return buildFDGraph(d, allPending(d)).dense()
 }
 
 // liveTransactions returns the indexes of pending transactions that
@@ -158,7 +245,25 @@ func fdConflictsWithState(d *possible.DB, tx *relation.Transaction) bool {
 // The context is observability-only: when it carries an active trace,
 // the state-bridge closure records a child span.
 func indQComponents(ctx context.Context, d *possible.DB, subset []int, q *query.Query) [][]int {
-	indThetas := equalityConstraints(d, nil)
+	return indQComponentsSeeded(ctx, d, subset, q, nil)
+}
+
+// indQComponentsSeeded is indQComponents with the Θ_I side optionally
+// precomputed: when seedGroups is non-nil, each group is a set of
+// LOCAL subset indexes already known to be connected (the Monitor's
+// maintained Θ_I partition restricted to the subset), the groups are
+// pre-unioned, and only the query-derived Θ_q bucket pass runs.
+// Seeding with a COARSER-or-equal partition than the true Θ_I one is
+// sound (components may only grow, never split), which is what the
+// Monitor provides: its partition is over all pending transactions,
+// while the subset here is the live ones, so a dead transaction can
+// act as a bridge and merge two groups that the from-scratch pass
+// would keep apart.
+func indQComponentsSeeded(ctx context.Context, d *possible.DB, subset []int, q *query.Query, seedGroups [][]int) [][]int {
+	var indThetas []query.EqualityConstraint
+	if seedGroups == nil {
+		indThetas = equalityConstraints(d, nil)
+	}
 	var queryThetas []query.EqualityConstraint
 	if q != nil {
 		queryThetas = q.EqualityConstraints()
@@ -166,6 +271,11 @@ func indQComponents(ctx context.Context, d *possible.DB, subset []int, q *query.
 	bridgeBudget := maxStateBridgeNodes(len(subset))
 
 	uf := newGrowingUnionFind(len(subset))
+	for _, g := range seedGroups {
+		for _, l := range g[1:] {
+			uf.union(g[0], l)
+		}
+	}
 	// Pending-side buckets per θ, for both Θ_I and Θ_q.
 	type bucket struct {
 		lhs, rhs []int // local pending indexes, deduplicated

@@ -63,15 +63,18 @@ type componentCache interface {
 
 // checkEnv bundles the per-check plumbing threaded from checkContext
 // down through cliqueDCSat into the serial and parallel component
-// searches: the fd-graph hook, the verdict cache, the query
-// fingerprint, the compiled query plan every per-world evaluation
-// reuses, and the check ID journal events correlate on.
+// searches: the fd-graph hook, the maintained component-split hook,
+// the delta sweeper, the verdict cache, the query fingerprint, the
+// compiled query plan every per-world evaluation reuses, and the
+// check ID journal events correlate on.
 type checkEnv struct {
-	fdGraph fdGraphFn
-	cache   componentCache
-	qfp     string
-	plan    *query.Plan
-	checkID uint64
+	fdGraph    fdGraphFn
+	components componentsFn
+	sweep      *monitorSweeper
+	cache      componentCache
+	qfp        string
+	plan       *query.Plan
+	checkID    uint64
 }
 
 // verdictEntry is one cached per-component outcome. witnessPos is

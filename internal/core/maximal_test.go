@@ -7,7 +7,6 @@ import (
 	"testing/quick"
 
 	"blockchaindb/internal/fixture"
-	"blockchaindb/internal/graph"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/relation"
 )
@@ -17,13 +16,10 @@ import (
 // deduplicated by included set.
 func maximalWorldsByCliques(d *possible.DB) map[string][]int {
 	live := liveTransactions(d)
-	g := buildFDGraph(d, live)
+	cg := buildFDGraph(d, live)
 	out := make(map[string][]int)
-	graph.MaximalCliques(g, func(clique []int) bool {
-		subset := make([]int, len(clique))
-		for i, local := range clique {
-			subset[i] = live[local]
-		}
+	cg.maximalCliques(func(clique []int) bool {
+		subset := append([]int(nil), clique...)
 		_, included := d.GetMaximal(subset)
 		sort.Ints(included)
 		out[supportKey(included)] = included

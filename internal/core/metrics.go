@@ -33,6 +33,18 @@ var (
 	mCacheMisses      = obs.DefaultWindows.Counter(obs.MetricCacheMisses, "components searched because the verdict cache missed")
 	mCacheInvalidated = obs.DefaultWindows.Counter(obs.MetricCacheInvalidated, "cached verdicts dropped (commit invalidation or capacity eviction)")
 
+	// Persistent monitor graphs and the per-query delta sweep
+	// (monitor.go / sweep.go). The gauges track the maintained
+	// structures' current shape; the counters measure how much work the
+	// O(delta) warm path actually avoided.
+	mCommitRefreshes = obs.DefaultWindows.Counter(obs.MetricCommitRefreshes, "pending transactions re-validated by the targeted post-commit refresh")
+	mSweepRebuilds   = obs.DefaultWindows.Counter(obs.MetricSweepRebuilds, "sweep states rebuilt from scratch (cold query or trimmed journal)")
+	mSweepReplayed   = obs.DefaultWindows.Counter(obs.MetricSweepReplayed, "component verdicts replayed unchanged by the delta sweep")
+	mSweepRecomputed = obs.DefaultWindows.Counter(obs.MetricSweepRecomputed, "component verdicts recomputed by the delta sweep")
+
+	gMonitorComponents = obs.Default.Gauge(obs.MetricMonitorComps, "connected components of the maintained ind-q partition")
+	gMonitorConflicts  = obs.Default.Gauge(obs.MetricMonitorConflict, "maintained fd-conflict pairs among pending transactions")
+
 	hCheck      = obs.DefaultWindows.Histogram(obs.MetricCheckNS, "end-to-end check latency (undecided checks record their cut-short wall time)")
 	hPrecheck   = obs.DefaultWindows.Histogram(obs.MetricPrecheckNS, "monotone pre-check stage latency")
 	hLiveFilter = obs.DefaultWindows.Histogram(obs.MetricLiveFilterNS, "fd-liveness filter stage latency")

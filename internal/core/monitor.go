@@ -20,13 +20,24 @@ import (
 //
 //   - per-transaction status "can T be appended to R" and
 //     fd-liveness (self-consistent, no fd-conflict with the state);
-//   - the fd-conflict pairs backing G^fd_T, via per-FD hash buckets, so
-//     a Check never rescans unrelated transactions;
-//   - the IND-side buckets backing G^ind_T; the query-specific Θ_q
-//     edges are added per Check, as in the paper;
+//   - the fd-conflict pairs backing G^fd_T, via per-FD hash buckets and
+//     a symmetric adjacency, so a Check serves component subgraphs
+//     without rescanning unrelated transactions;
+//   - the Θ_I buckets and the connected-component partition of the
+//     ind-transaction graph G^ind_T, via per-IND hash buckets over a
+//     dynamic union-find (graph.DynamicPartition); the query-specific
+//     Θ_q edges and the state-bridge closure are added per Check, as in
+//     the paper, seeded from the maintained partition;
 //   - content digests of the pending transactions, feeding the
-//     incremental verdict cache (incremental.go) that lets a Check
-//     replay per-component verdicts untouched by the latest deltas.
+//     incremental verdict cache (incremental.go) and the per-query
+//     delta sweep (sweep.go) that let a Check replay per-component
+//     verdicts untouched by the latest deltas.
+//
+// Every mutation costs O(touched component): AddPending and DropPending
+// update only the hash buckets their keys land in and the partition
+// component they touch, and Commit/CommitExternal refresh appendability
+// only for the transactions whose FD/IND keys intersect the committed
+// tuples — never the whole pending set.
 //
 // Concurrency contract: every Monitor method is safe for concurrent
 // use. Check holds the read lock for its entire duration (parallel
@@ -34,21 +45,61 @@ import (
 // pending set; AddPending, DropPending, Commit, and CommitExternal
 // take the write lock and therefore serialize against in-flight
 // Checks rather than race them. Concurrent Checks run in parallel
-// with each other and share the verdict cache, which carries its own
-// internal lock. A Check never blocks for longer than its own search:
-// mutations queue behind it, not inside it.
+// with each other and share the verdict cache and the sweep states,
+// which carry their own internal locks. A Check never blocks for
+// longer than its own search: mutations queue behind it, not inside
+// it.
 type Monitor struct {
-	mu         sync.RWMutex
-	db         *possible.DB
-	ids        []int             // stable external id per pending slot
-	digests    []possible.Digest // content digest per pending slot (parallel to ids)
-	next       int
-	byID       map[int]int               // external id -> slot in db.Pending
-	bucketsFD  []map[string][]fdOccupant // per FD: lhsKey -> occupants
-	conflicts  map[[2]int]int            // unordered id pair -> #conflicting bucket pairs
-	appendable map[int]bool              // id -> can be appended to R directly
-	cache      *verdictCache             // nil when caching is disabled
-	journal    *obs.Journal              // lifecycle event sink (never nil)
+	mu      sync.RWMutex
+	db      *possible.DB
+	ids     []int             // stable external id per pending slot
+	digests []possible.Digest // content digest per pending slot (parallel to ids)
+	next    int
+	byID    map[int]int // external id -> slot in db.Pending
+
+	// Maintained fd-conflict structure: per-FD lhs-key buckets for
+	// discovery, and the symmetric conflict adjacency (id -> id ->
+	// #conflicting bucket pairs) the sparse component graphs are served
+	// from. conflictPairs counts distinct conflicting pairs.
+	bucketsFD     []map[string][]fdOccupant
+	conflictAdj   map[int]map[int]int
+	conflictPairs int
+
+	// Maintained Θ_I structure: per-IND key buckets (both sides of the
+	// inclusion dependency hash into the same key space) and the
+	// connected-component partition they induce, over external ids.
+	bucketsIND []map[string]*indBucket
+	parts      *graph.DynamicPartition
+
+	// Maintained per-transaction statuses.
+	appendable map[int]bool // id -> can be appended to R directly
+	selfOK     map[int]bool // id -> fd-self-consistent (immutable per tx)
+	live       map[int]bool // id -> selfOK && no fd conflict with state
+	liveCount  int
+
+	// Mutation journal for the delta sweeps: gen counts mutations (and
+	// stamps the partition), changeLog records the component roots each
+	// mutation touched, logSeq counts entries ever appended (so a sweep
+	// can tell how far behind it is even after the log is trimmed).
+	gen       uint64
+	changeLog []int
+	logSeq    uint64
+
+	// appendRefreshes counts CanAppend recomputations done by the
+	// commit-path targeted refresh — the regression instrument for the
+	// old O(|pending|) commit stall.
+	appendRefreshes uint64
+
+	cache *verdictCache // nil when caching is disabled
+
+	// Per-query delta sweeps (sweep.go), keyed by query fingerprint +
+	// ablation-option bits, bounded FIFO. Guarded by sweepMu (lock
+	// order: m.mu before sweepMu before sweepState.mu).
+	sweepMu    sync.Mutex
+	sweeps     map[string]*sweepState
+	sweepOrder []string
+
+	journal *obs.Journal // lifecycle event sink (never nil)
 }
 
 type fdOccupant struct {
@@ -56,13 +107,32 @@ type fdOccupant struct {
 	rhsKey string
 }
 
+// indBucket is one Θ_I hash bucket: the pending transactions holding a
+// tuple whose projection equals the bucket's key, split by which side
+// of the inclusion dependency the tuple is on, with per-id tuple
+// counts (a transaction can hold several tuples with the same key).
+// The bucket connects ALL its occupants into one component exactly
+// when both sides are non-empty.
+type indBucket struct {
+	lhs     map[int]int // id -> #tuples on the referencing (Rel) side
+	rhs     map[int]int // id -> #tuples on the referenced (RefRel) side
+	visited uint64      // last mutation generation that re-unioned this bucket
+}
+
+func (b *indBucket) active() bool { return len(b.lhs) > 0 && len(b.rhs) > 0 }
+
+// maxChangeLog bounds the mutation journal; overflowing drops the
+// oldest half, which forces sweeps further behind than the retained
+// suffix into a full rebuild.
+const maxChangeLog = 16384
+
 // MonitorOption configures NewMonitor.
 type MonitorOption func(*Monitor)
 
 // WithCache sets the incremental verdict cache's capacity (entries).
-// Zero or negative disables caching entirely: every Check re-searches
-// every component. Without this option the cache holds
-// defaultCacheCap entries.
+// Zero or negative disables caching entirely — every Check re-searches
+// every component, and the per-query delta sweeps are disabled with
+// it. Without this option the cache holds defaultCacheCap entries.
 func WithCache(capacity int) MonitorOption {
 	return func(m *Monitor) {
 		if capacity <= 0 {
@@ -92,16 +162,23 @@ func WithObserver(j *obs.Journal) MonitorOption {
 // mempool monitoring.
 func NewMonitor(d *possible.DB, opts ...MonitorOption) *Monitor {
 	m := &Monitor{
-		db:         &possible.DB{State: d.State, Constraints: d.Constraints},
-		byID:       make(map[int]int),
-		conflicts:  make(map[[2]int]int),
-		appendable: make(map[int]bool),
-		bucketsFD:  make([]map[string][]fdOccupant, len(d.Constraints.FDs)),
-		cache:      newVerdictCache(defaultCacheCap),
-		journal:    obs.DefaultJournal,
+		db:          &possible.DB{State: d.State, Constraints: d.Constraints},
+		byID:        make(map[int]int),
+		conflictAdj: make(map[int]map[int]int),
+		appendable:  make(map[int]bool),
+		selfOK:      make(map[int]bool),
+		live:        make(map[int]bool),
+		bucketsFD:   make([]map[string][]fdOccupant, len(d.Constraints.FDs)),
+		bucketsIND:  make([]map[string]*indBucket, len(d.Constraints.INDs)),
+		parts:       graph.NewDynamicPartition(),
+		cache:       newVerdictCache(defaultCacheCap),
+		journal:     obs.DefaultJournal,
 	}
 	for i := range m.bucketsFD {
 		m.bucketsFD[i] = make(map[string][]fdOccupant)
+	}
+	for i := range m.bucketsIND {
+		m.bucketsIND[i] = make(map[string]*indBucket)
 	}
 	for _, o := range opts {
 		o(m)
@@ -130,6 +207,7 @@ func (m *Monitor) AddPending(tx *relation.Transaction) (int, error) {
 }
 
 func (m *Monitor) addLocked(tx *relation.Transaction) int {
+	m.gen++
 	id := m.next
 	m.next++
 	m.byID[id] = len(m.db.Pending)
@@ -149,18 +227,163 @@ func (m *Monitor) addLocked(tx *relation.Transaction) int {
 			m.bucketsFD[fdIdx][lhsKeys[i]] = append(bucket, fdOccupant{id, rhsKeys[i]})
 		}
 	}
+	// Register in the component partition, then thread through the Θ_I
+	// buckets: each key the transaction hashes into may union it with
+	// the bucket's occupants.
+	m.parts.Add(id, m.gen)
+	for indIdx := range m.db.Constraints.INDs {
+		lhsKeys, refKeys := m.db.Constraints.INDKeys(indIdx, tx)
+		for _, k := range lhsKeys {
+			m.indEnter(indIdx, k, id, false)
+		}
+		for _, k := range refKeys {
+			m.indEnter(indIdx, k, id, true)
+		}
+	}
+	if r, ok := m.parts.Root(id); ok {
+		m.noteComp(r)
+	}
 	m.appendable[id] = m.db.Constraints.CanAppend(m.db.State, tx)
+	selfOK := m.db.Constraints.FDSelfConsistent(tx)
+	m.selfOK[id] = selfOK
+	isLive := selfOK && !fdConflictsWithState(m.db, tx)
+	m.live[id] = isLive
+	if isLive {
+		m.liveCount++
+	}
+	m.updateGraphGauges()
 	return id
 }
 
-func (m *Monitor) bumpConflict(a, b int, delta int) {
-	if a > b {
-		a, b = b, a
+// indEnter records one tuple of transaction id on one side of one Θ_I
+// bucket and performs the unions the bucket now implies. Invariant
+// used throughout: an ACTIVE bucket's occupants all belong to one
+// component — so when the bucket was already active, connecting id to
+// any single occupant suffices; when this insertion activates it, all
+// occupants (until now possibly in different components) are unioned.
+func (m *Monitor) indEnter(indIdx int, key string, id int, refSide bool) {
+	bs := m.bucketsIND[indIdx]
+	b := bs[key]
+	if b == nil {
+		b = &indBucket{lhs: make(map[int]int), rhs: make(map[int]int)}
+		bs[key] = b
 	}
-	key := [2]int{a, b}
-	m.conflicts[key] += delta
-	if m.conflicts[key] <= 0 {
-		delete(m.conflicts, key)
+	wasActive := b.active()
+	side := b.lhs
+	if refSide {
+		side = b.rhs
+	}
+	side[id]++
+	if !b.active() {
+		return
+	}
+	if wasActive {
+		for o := range b.lhs {
+			if o != id {
+				m.unionComp(id, o)
+				return
+			}
+		}
+		for o := range b.rhs {
+			if o != id {
+				m.unionComp(id, o)
+				return
+			}
+		}
+		return
+	}
+	for o := range b.lhs {
+		m.unionComp(id, o)
+	}
+	for o := range b.rhs {
+		m.unionComp(id, o)
+	}
+}
+
+// indLeave removes one tuple of transaction id from one side of one
+// Θ_I bucket. It performs no unions — the caller rebuilds the touched
+// component after all of the transaction's keys are gone.
+func (m *Monitor) indLeave(indIdx int, key string, id int, refSide bool) {
+	b := m.bucketsIND[indIdx][key]
+	if b == nil {
+		return
+	}
+	side := b.lhs
+	if refSide {
+		side = b.rhs
+	}
+	if side[id] <= 1 {
+		delete(side, id)
+	} else {
+		side[id]--
+	}
+	if len(b.lhs) == 0 && len(b.rhs) == 0 {
+		delete(m.bucketsIND[indIdx], key)
+	}
+}
+
+// unionComp unions two ids in the maintained partition, logging the
+// absorbed root so sweeps reconcile the disappeared component.
+func (m *Monitor) unionComp(a, b int) {
+	if _, loser, merged := m.parts.Union(a, b, m.gen); merged {
+		m.noteComp(loser)
+	}
+}
+
+// noteComp appends a touched component root to the mutation journal.
+func (m *Monitor) noteComp(root int) {
+	if len(m.changeLog) >= maxChangeLog {
+		half := len(m.changeLog) / 2
+		m.changeLog = append(m.changeLog[:0], m.changeLog[half:]...)
+	}
+	m.changeLog = append(m.changeLog, root)
+	m.logSeq++
+}
+
+func (m *Monitor) bumpConflict(a, b int, delta int) {
+	m.bumpConflictDir(a, b, delta)
+	m.bumpConflictDir(b, a, delta)
+}
+
+// bumpConflictDir adjusts one direction of the symmetric adjacency;
+// the a->b call tracks the distinct-pair count.
+func (m *Monitor) bumpConflictDir(a, b int, delta int) {
+	adj := m.conflictAdj[a]
+	old := adj[b]
+	count := old + delta
+	if count <= 0 {
+		if adj != nil {
+			delete(adj, b)
+			if len(adj) == 0 {
+				delete(m.conflictAdj, a)
+			}
+		}
+	} else {
+		if adj == nil {
+			adj = make(map[int]int)
+			m.conflictAdj[a] = adj
+		}
+		adj[b] = count
+	}
+	if a < b {
+		if old <= 0 && count > 0 {
+			m.conflictPairs++
+		} else if old > 0 && count <= 0 {
+			m.conflictPairs--
+		}
+	}
+}
+
+// setLive flips a transaction's maintained liveness status.
+func (m *Monitor) setLive(id int, v bool) {
+	if m.live[id] == v {
+		return
+	}
+	m.live[id] = v
+	if v {
+		m.liveCount++
+	} else {
+		m.liveCount--
 	}
 }
 
@@ -183,6 +406,7 @@ func (m *Monitor) removeLocked(id int) error {
 	if !ok {
 		return fmt.Errorf("core: unknown pending transaction %d", id)
 	}
+	m.gen++
 	tx := m.db.Pending[slot]
 	for fdIdx := range m.db.Constraints.FDs {
 		lhsKeys, rhsKeys := m.db.Constraints.FDKeys(fdIdx, tx)
@@ -209,6 +433,17 @@ func (m *Monitor) removeLocked(id int) error {
 			}
 		}
 	}
+	// Remove the transaction's Θ_I occupancy before touching the
+	// partition, so the rebuild below sees only surviving edges.
+	for indIdx := range m.db.Constraints.INDs {
+		lhsKeys, refKeys := m.db.Constraints.INDKeys(indIdx, tx)
+		for _, k := range lhsKeys {
+			m.indLeave(indIdx, k, id, false)
+		}
+		for _, k := range refKeys {
+			m.indLeave(indIdx, k, id, true)
+		}
+	}
 	// Compact the pending slice. The verdict cache is untouched: slot
 	// indexes never appear in cache keys or stored witnesses (both are
 	// content-addressed), so the swap-with-last rewrite below cannot
@@ -226,14 +461,84 @@ func (m *Monitor) removeLocked(id int) error {
 	m.digests = m.digests[:last]
 	delete(m.byID, id)
 	delete(m.appendable, id)
+	delete(m.selfOK, id)
+	if m.live[id] {
+		m.liveCount--
+	}
+	delete(m.live, id)
+	m.rebuildComponentAfterDetach(id)
+	m.updateGraphGauges()
 	return nil
+}
+
+// rebuildComponentAfterDetach removes id from the maintained partition
+// and re-unions the remainder of its component from the surviving Θ_I
+// buckets — the per-component deletion strategy: O(touched component)
+// work, every other component untouched. Correctness rests on the
+// active-bucket invariant (an active bucket's occupants share one
+// component): every bucket a remaining member occupies that is still
+// active lies entirely within the remaining set, so re-unioning along
+// those buckets reconstructs exactly the surviving edges.
+func (m *Monitor) rebuildComponentAfterDetach(id int) {
+	oldRoot, remaining, ok := m.parts.Detach(id, m.gen)
+	if !ok {
+		return
+	}
+	m.noteComp(oldRoot)
+	if len(remaining) == 0 {
+		return
+	}
+	for _, mid := range remaining {
+		tx := m.db.Pending[m.byID[mid]]
+		for indIdx := range m.db.Constraints.INDs {
+			lhsKeys, refKeys := m.db.Constraints.INDKeys(indIdx, tx)
+			for _, keys := range [2][]string{lhsKeys, refKeys} {
+				for _, k := range keys {
+					b := m.bucketsIND[indIdx][k]
+					if b == nil || b.visited == m.gen || !b.active() {
+						continue
+					}
+					b.visited = m.gen
+					anchor := -1
+					for o := range b.lhs {
+						if anchor < 0 {
+							anchor = o
+						} else {
+							m.parts.Union(anchor, o, m.gen)
+						}
+					}
+					for o := range b.rhs {
+						if anchor < 0 {
+							anchor = o
+						} else {
+							m.parts.Union(anchor, o, m.gen)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Log the distinct roots the component split into. Intermediate
+	// rebuild unions need no logging of their own: every participant
+	// was a fresh singleton out of Detach, so the only pre-existing
+	// verdict key affected is oldRoot, already logged above.
+	logged := make(map[int]struct{}, len(remaining))
+	for _, mid := range remaining {
+		if r, ok := m.parts.Root(mid); ok {
+			if _, dup := logged[r]; !dup {
+				logged[r] = struct{}{}
+				m.noteComp(r)
+			}
+		}
+	}
 }
 
 // Commit applies a pending transaction to the current state — a block
 // accepted it — and removes it from the pending set. Committing a
 // transaction that cannot be appended is an error (the chain would be
-// inconsistent). Appendability statuses of the remaining transactions
-// are refreshed against the grown state.
+// inconsistent). Appendability and liveness are refreshed only for the
+// transactions whose FD/IND keys intersect the committed tuples — the
+// only ones a grown state can affect — never the whole pending set.
 func (m *Monitor) Commit(id int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -251,13 +556,13 @@ func (m *Monitor) Commit(id int) error {
 	if err := m.db.State.InsertTransaction(tx); err != nil {
 		return err
 	}
-	for oid, slot := range m.byID {
-		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
-	}
+	refreshed := m.refreshAfterCommitLocked(tx)
 	m.invalidateCacheLocked("commit")
+	m.clearSweepsLocked()
 	m.journal.Append(obs.EvMonitorCommit, 0, "",
 		obs.F("id", id),
-		obs.F("pending", len(m.db.Pending)))
+		obs.F("pending", len(m.db.Pending)),
+		obs.F("refreshed", refreshed))
 	return nil
 }
 
@@ -266,8 +571,9 @@ func (m *Monitor) Commit(id int) error {
 // a transaction this node never gossiped). The chain has already
 // accepted it, so no appendability gate applies: the transaction is
 // normalized, inserted into the state, and the cached structures that
-// read the state (appendability statuses, the verdict cache) are
-// refreshed, exactly as for Commit.
+// read the state (appendability and liveness of the key-intersecting
+// transactions, the verdict cache, the sweeps) are refreshed, exactly
+// as for Commit.
 func (m *Monitor) CommitExternal(tx *relation.Transaction) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -278,13 +584,64 @@ func (m *Monitor) CommitExternal(tx *relation.Transaction) error {
 	if err := m.db.State.InsertTransaction(norm); err != nil {
 		return err
 	}
-	for oid, slot := range m.byID {
-		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, m.db.Pending[slot])
-	}
+	refreshed := m.refreshAfterCommitLocked(norm)
 	m.invalidateCacheLocked("commit_external")
+	m.clearSweepsLocked()
 	m.journal.Append(obs.EvMonitorCommitExternal, 0, "",
-		obs.F("pending", len(m.db.Pending)))
+		obs.F("pending", len(m.db.Pending)),
+		obs.F("refreshed", refreshed))
 	return nil
+}
+
+// refreshAfterCommitLocked recomputes appendability and fd-liveness
+// for exactly the pending transactions the committed transaction can
+// affect, and returns how many were touched. The state only grows, so
+// a commit can flip a pending transaction only through tuples sharing
+// a key with the committed ones:
+//
+//   - appendable true->false and live->dead require an FD conflict
+//     with a new state tuple, i.e. a pending tuple with the same FD
+//     lhs projection — exactly the occupants of the committed tuples'
+//     lhs-key buckets;
+//   - appendable false->true requires a previously missing IND
+//     reference now supplied by a committed RefRel tuple, i.e. a
+//     pending transaction on the lhs side of that tuple's Θ_I bucket;
+//   - live->dead cannot happen through INDs (liveness is fd-only), and
+//     dead->live / appendable IND-true->false cannot happen at all
+//     (references never disappear from an append-only state).
+//
+// Every other pending transaction shares no key with the committed
+// tuples, so CanAppend and liveness are unchanged for it by
+// construction of those predicates (they only ever probe the state at
+// the transaction's own keys).
+func (m *Monitor) refreshAfterCommitLocked(tx *relation.Transaction) int {
+	cand := make(map[int]struct{})
+	for fdIdx := range m.db.Constraints.FDs {
+		lhsKeys, _ := m.db.Constraints.FDKeys(fdIdx, tx)
+		for _, k := range lhsKeys {
+			for _, occ := range m.bucketsFD[fdIdx][k] {
+				cand[occ.id] = struct{}{}
+			}
+		}
+	}
+	for indIdx := range m.db.Constraints.INDs {
+		_, refKeys := m.db.Constraints.INDKeys(indIdx, tx)
+		for _, k := range refKeys {
+			if b := m.bucketsIND[indIdx][k]; b != nil {
+				for oid := range b.lhs {
+					cand[oid] = struct{}{}
+				}
+			}
+		}
+	}
+	for oid := range cand {
+		ptx := m.db.Pending[m.byID[oid]]
+		m.appendable[oid] = m.db.Constraints.CanAppend(m.db.State, ptx)
+		m.setLive(oid, m.selfOK[oid] && !fdConflictsWithState(m.db, ptx))
+		m.appendRefreshes++
+		mCommitRefreshes.Inc()
+	}
+	return len(cand)
 }
 
 // invalidateCacheLocked clears the verdict cache after a state
@@ -300,6 +657,27 @@ func (m *Monitor) invalidateCacheLocked(reason string) {
 			obs.F("reason", reason),
 			obs.F("entries", n))
 	}
+}
+
+// clearSweepsLocked drops every per-query sweep state after a state
+// mutation (same reasoning as the verdict cache) and trims the
+// mutation journal — with no sweep left to replay it, the retained
+// suffix serves no one. logSeq stays monotone so rebuilt sweeps
+// resynchronize cleanly. Caller holds the write lock.
+func (m *Monitor) clearSweepsLocked() {
+	m.sweepMu.Lock()
+	m.sweeps = nil
+	m.sweepOrder = nil
+	m.sweepMu.Unlock()
+	m.changeLog = m.changeLog[:0]
+}
+
+// updateGraphGauges publishes the maintained graph sizes. Last writer
+// wins across monitors — the gauges describe the most recently mutated
+// one, which is the one a single-node deployment runs.
+func (m *Monitor) updateGraphGauges() {
+	gMonitorComponents.Set(int64(m.parts.Components()))
+	gMonitorConflicts.Set(int64(m.conflictPairs))
 }
 
 // PendingCount returns the number of pending transactions.
@@ -321,20 +699,43 @@ func (m *Monitor) Appendable(id int) bool {
 func (m *Monitor) ConflictCount() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.conflicts)
+	return m.conflictPairs
+}
+
+// GraphStats is a point-in-time snapshot of the Monitor's maintained
+// graph structures, for dashboards and tests.
+type GraphStats struct {
+	Pending         int    // pending transactions
+	Live            int    // fd-live pending transactions
+	Components      int    // Θ_I connected components over the pending set
+	ConflictPairs   int    // distinct fd-conflicting pairs
+	AppendRefreshes uint64 // CanAppend recomputations by commit refreshes
+}
+
+// GraphStatsSnapshot returns the current maintained-graph sizes.
+func (m *Monitor) GraphStatsSnapshot() GraphStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return GraphStats{
+		Pending:         len(m.db.Pending),
+		Live:            m.liveCount,
+		Components:      m.parts.Components(),
+		ConflictPairs:   m.conflictPairs,
+		AppendRefreshes: m.appendRefreshes,
+	}
 }
 
 // Check decides D |= ¬q over the monitored database, with the context
 // as the cancellation and tracing handle (mirroring the package-level
 // Check). Monotone clique algorithms reuse the incrementally
-// maintained conflict pairs and the delta-aware verdict cache; other
-// algorithm choices fall through to the stateless pipeline — in
-// particular, non-monotonic queries route to the exhaustive solver and
-// never touch the cache, because their verdicts do not decompose per
-// component. Either way the check runs through the same front door and
-// instrumentation as the stateless Check: query validation, the
-// Boolean guard, schema checking, Simplify, per-stage spans and
-// durations, and the registry metrics.
+// maintained conflict pairs, the Θ_I component partition, and the
+// delta-aware verdict cache; other algorithm choices fall through to
+// the stateless pipeline — in particular, non-monotonic queries route
+// to the exhaustive solver and never touch the cache, because their
+// verdicts do not decompose per component. Either way the check runs
+// through the same front door and instrumentation as the stateless
+// Check: query validation, the Boolean guard, schema checking,
+// Simplify, per-stage spans and durations, and the registry metrics.
 func (m *Monitor) Check(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -358,15 +759,20 @@ func (m *Monitor) Check(ctx context.Context, q *query.Query, opts Options) (*Res
 	var env checkEnv
 	if algo == AlgoNaive || algo == AlgoOpt {
 		opts.Algorithm = algo
-		// The hooks read m.ids, m.conflicts, and m.digests; the read
-		// lock held for the duration of the check keeps them stable,
-		// including for the parallel workers (all of which finish
-		// inside this call). The verdict cache has its own lock, so
-		// concurrent Checks share it safely; it is only ever cleared
-		// under the write lock, which cannot run while we hold read.
+		// The hooks read m.ids, m.conflictAdj, m.parts, and m.digests;
+		// the read lock held for the duration of the check keeps them
+		// stable, including for the parallel workers (all of which
+		// finish inside this call). The verdict cache and the sweep
+		// states have their own locks, so concurrent Checks share them
+		// safely; both are only ever cleared under the write lock,
+		// which cannot run while we hold read.
 		env.fdGraph = m.fdGraphFromConflicts
+		env.components = m.seededComponents
 		if m.cache != nil {
 			env.cache = monitorCacheView{m: m}
+			if algo == AlgoOpt {
+				env.sweep = &monitorSweeper{m: m}
+			}
 		}
 	}
 	return checkContext(ctx, snapshot, q, opts, env)
@@ -390,22 +796,49 @@ func (m *Monitor) CacheStats() CacheStats {
 }
 
 // fdGraphFromConflicts assembles a component's fd graph from the
-// maintained conflict-pair set: complete graph minus recorded
-// conflicts, O(|comp|²/64 + conflicts).
-func (m *Monitor) fdGraphFromConflicts(comp []int) *graph.Undirected {
-	g := graph.NewComplete(len(comp))
-	pos := make(map[int]int, len(comp)) // id -> local index
+// maintained conflict adjacency, sparsely: O(|comp| + conflicts
+// incident to it), instead of iterating a global pair set or
+// allocating a complete bitset over all members.
+func (m *Monitor) fdGraphFromConflicts(comp []int) *fdCompGraph {
+	idLocal := make(map[int]int, len(comp))
 	for local, slot := range comp {
-		pos[m.ids[slot]] = local
+		idLocal[m.ids[slot]] = local
 	}
-	for pair := range m.conflicts {
-		u, uok := pos[pair[0]]
-		v, vok := pos[pair[1]]
-		if uok && vok {
-			g.RemoveEdge(u, v)
+	var pairs [][2]int
+	for local, slot := range comp {
+		for oid := range m.conflictAdj[m.ids[slot]] {
+			if ol, ok := idLocal[oid]; ok && ol > local {
+				pairs = append(pairs, [2]int{local, ol})
+			}
 		}
 	}
-	return g
+	return newFDCompGraph(comp, pairs)
+}
+
+// seededComponents is the Monitor's componentsFn hook: the Θ_I side of
+// the ind-q split comes from the maintained partition (restricted to
+// the subset) instead of a from-scratch bucket pass, so only the
+// query-derived Θ_q edges and the state-bridge closure run per Check.
+// The maintained partition covers ALL pending transactions while the
+// subset here is typically the live ones; a dead transaction can
+// bridge two live groups, making the seed coarser than the
+// from-scratch Θ_I partition over the subset — sound (components only
+// grow), and exactly the coarsening NaiveDCSat lives with globally.
+func (m *Monitor) seededComponents(ctx context.Context, subset []int, q *query.Query) [][]int {
+	seeds := make(map[int][]int, len(subset))
+	for local, slot := range subset {
+		r, ok := m.parts.Root(m.ids[slot])
+		if !ok {
+			// Unreachable: every pending slot has a partition entry.
+			return indQComponents(ctx, m.db, subset, q)
+		}
+		seeds[r] = append(seeds[r], local)
+	}
+	groups := make([][]int, 0, len(seeds))
+	for _, g := range seeds {
+		groups = append(groups, g)
+	}
+	return indQComponentsSeeded(ctx, m.db, subset, q, groups)
 }
 
 // Witnesses returned by Monitor.Check are slots in the snapshot; expose

@@ -203,13 +203,13 @@ const branchesPerWorker = 4
 func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query, comp []int, opts Options, env checkEnv, stats *Stats) (bool, []int, error) {
 	workers := poolSize(opts)
 	buildStart := time.Now()
-	g := env.fdGraph(comp)
+	cg := env.fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
 	splitStart := time.Now()
-	branches := graph.CliqueBranches(g, workers*branchesPerWorker)
+	branches := graph.CliqueBranches(cg.g, workers*branchesPerWorker)
 	stats.CliqueDur += time.Since(splitStart)
 	if len(branches) <= 1 {
-		return searchComponentGraph(ctx, d, q, comp, g, env.plan, stats)
+		return searchComponentGraph(ctx, d, q, cg, env.plan, stats)
 	}
 	stats.WorkersUsed = workers
 	var statsMu sync.Mutex
@@ -217,9 +217,9 @@ func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query
 		func(cctx context.Context, i int, local *Stats) *parOutcome {
 			// Each branch worker owns its cliqueSearch: the shared plan is
 			// read-only, the scratch/overlay state is per-search.
-			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: comp, stats: local, plan: env.plan}
+			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: cg.conflicted, base: cg.universal, stats: local, plan: env.plan}
 			enumStart := time.Now()
-			ctxErr := graph.MaximalCliquesBranch(cctx, g, branches[i], cs.yield)
+			ctxErr := graph.MaximalCliquesBranch(cctx, cg.g, branches[i], cs.yield)
 			local.CliqueDur += time.Since(enumStart) - cs.evalDur
 			local.EvalDur += cs.evalDur
 			switch {

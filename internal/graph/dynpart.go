@@ -1,0 +1,153 @@
+package graph
+
+// DynamicPartition maintains a partition of externally-named elements
+// (arbitrary ints) under interleaved additions, unions, and removals —
+// the connected-component structure of the Monitor's ind-transaction
+// graph, kept up to date per mempool delta instead of rebuilt per
+// Check.
+//
+// Union uses relabel-smaller-half with explicit per-root member lists:
+// merging always rewrites the smaller component's labels, so any
+// element is relabeled at most O(log n) times across a growth phase,
+// and every component's member list is available in O(|component|) at
+// all times (the sweep layer and the deletion rebuild both need it).
+//
+// Deletion is handled by the caller as a per-component rebuild:
+// Detach(x) removes x and explodes its component into singletons,
+// returning the remaining members; the caller re-unions them from its
+// maintained edge structure (cost O(touched component), the best a
+// decremental union-find can do without storing the edge set itself).
+//
+// Every root carries a stamp — the caller-supplied generation of the
+// last membership change — so a reader can tell in O(1) whether a
+// component changed since it last looked. Roots are stable element
+// names: the root of a component is always one of its members, and a
+// singleton's root is itself.
+//
+// The zero DynamicPartition is not ready for use; call
+// NewDynamicPartition. Methods are not safe for concurrent use — the
+// Monitor guards the partition with its own lock.
+type DynamicPartition struct {
+	comp    map[int]int    // element -> root of its component
+	members map[int][]int  // root -> members (unordered; includes the root)
+	stamp   map[int]uint64 // root -> generation of last membership change
+}
+
+// NewDynamicPartition returns an empty partition.
+func NewDynamicPartition() *DynamicPartition {
+	return &DynamicPartition{
+		comp:    make(map[int]int),
+		members: make(map[int][]int),
+		stamp:   make(map[int]uint64),
+	}
+}
+
+// Len returns the number of elements.
+func (p *DynamicPartition) Len() int { return len(p.comp) }
+
+// Components returns the number of components.
+func (p *DynamicPartition) Components() int { return len(p.members) }
+
+// Has reports whether x is an element of the partition.
+func (p *DynamicPartition) Has(x int) bool {
+	_, ok := p.comp[x]
+	return ok
+}
+
+// Add inserts x as a new singleton component stamped gen. Adding an
+// existing element is a no-op.
+func (p *DynamicPartition) Add(x int, gen uint64) {
+	if _, ok := p.comp[x]; ok {
+		return
+	}
+	p.comp[x] = x
+	p.members[x] = append(make([]int, 0, 1), x)
+	p.stamp[x] = gen
+}
+
+// Root returns the root naming x's component.
+func (p *DynamicPartition) Root(x int) (int, bool) {
+	r, ok := p.comp[x]
+	return r, ok
+}
+
+// IsRoot reports whether r currently names a component.
+func (p *DynamicPartition) IsRoot(r int) bool {
+	_, ok := p.members[r]
+	return ok
+}
+
+// Stamp returns the generation of the last membership change of the
+// component named r (zero if r is not a root).
+func (p *DynamicPartition) Stamp(r int) uint64 { return p.stamp[r] }
+
+// Members returns the member list of the component named r. The slice
+// is owned by the partition: callers must not mutate it and must not
+// hold it across a mutation.
+func (p *DynamicPartition) Members(r int) []int { return p.members[r] }
+
+// Union merges the components of a and b, relabeling the smaller one,
+// and stamps the surviving root with gen. It returns the surviving
+// root, the root that disappeared, and whether a merge happened (false
+// when a and b were already together).
+func (p *DynamicPartition) Union(a, b int, gen uint64) (winner, loser int, merged bool) {
+	ra, ok := p.comp[a]
+	if !ok {
+		return 0, 0, false
+	}
+	rb, ok := p.comp[b]
+	if !ok {
+		return 0, 0, false
+	}
+	if ra == rb {
+		return ra, ra, false
+	}
+	if len(p.members[ra]) < len(p.members[rb]) {
+		ra, rb = rb, ra
+	}
+	for _, m := range p.members[rb] {
+		p.comp[m] = ra
+	}
+	p.members[ra] = append(p.members[ra], p.members[rb]...)
+	delete(p.members, rb)
+	delete(p.stamp, rb)
+	p.stamp[ra] = gen
+	return ra, rb, true
+}
+
+// Detach removes x and explodes its component into singletons, each
+// stamped gen. It returns the root the component had and the remaining
+// members (now singletons, in unspecified order); the caller re-unions
+// them from its maintained edge structure. Detaching an unknown
+// element returns ok=false.
+func (p *DynamicPartition) Detach(x int, gen uint64) (oldRoot int, remaining []int, ok bool) {
+	r, okk := p.comp[x]
+	if !okk {
+		return 0, nil, false
+	}
+	ms := p.members[r]
+	delete(p.members, r)
+	delete(p.stamp, r)
+	delete(p.comp, x)
+	remaining = make([]int, 0, len(ms)-1)
+	for _, m := range ms {
+		if m == x {
+			continue
+		}
+		p.comp[m] = m
+		p.members[m] = append(make([]int, 0, 1), m)
+		p.stamp[m] = gen
+		remaining = append(remaining, m)
+	}
+	return r, remaining, true
+}
+
+// Roots visits every current root; returning false stops the walk.
+// Iteration order is unspecified.
+func (p *DynamicPartition) Roots(yield func(root int) bool) {
+	for r := range p.members {
+		if !yield(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedMembers(p *DynamicPartition, x int) []int {
+	r, ok := p.Root(x)
+	if !ok {
+		return nil
+	}
+	out := append([]int(nil), p.Members(r)...)
+	sort.Ints(out)
+	return out
+}
+
+func TestDynamicPartitionBasics(t *testing.T) {
+	p := NewDynamicPartition()
+	for _, x := range []int{10, 20, 30} {
+		p.Add(x, 1)
+	}
+	if p.Len() != 3 || p.Components() != 3 {
+		t.Fatalf("Len=%d Components=%d, want 3/3", p.Len(), p.Components())
+	}
+	if _, _, merged := p.Union(10, 20, 2); !merged {
+		t.Fatal("union of distinct singletons must merge")
+	}
+	if _, _, merged := p.Union(20, 10, 3); merged {
+		t.Fatal("repeated union must not merge")
+	}
+	r, _ := p.Root(10)
+	r2, _ := p.Root(20)
+	if r != r2 || !p.IsRoot(r) {
+		t.Fatalf("10 and 20 in different components: %d vs %d", r, r2)
+	}
+	if got := sortedMembers(p, 10); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("members = %v, want [10 20]", got)
+	}
+	if p.Stamp(r) != 2 {
+		t.Fatalf("stamp = %d, want 2 (the merge generation)", p.Stamp(r))
+	}
+	// Detach 10: the component explodes; 20 is a singleton again.
+	oldRoot, remaining, ok := p.Detach(10, 4)
+	if !ok || oldRoot != r {
+		t.Fatalf("Detach: ok=%v oldRoot=%d want root %d", ok, oldRoot, r)
+	}
+	if len(remaining) != 1 || remaining[0] != 20 {
+		t.Fatalf("remaining = %v, want [20]", remaining)
+	}
+	if p.Has(10) || !p.Has(20) || p.Stamp(20) != 4 {
+		t.Fatalf("post-detach state wrong: has10=%v has20=%v stamp20=%d",
+			p.Has(10), p.Has(20), p.Stamp(20))
+	}
+	if _, _, ok := p.Detach(10, 5); ok {
+		t.Fatal("detaching an unknown element must report ok=false")
+	}
+}
+
+func TestDynamicPartitionStampTracksMembershipChanges(t *testing.T) {
+	p := NewDynamicPartition()
+	p.Add(1, 1)
+	p.Add(2, 1)
+	p.Add(3, 1)
+	winner, loser, _ := p.Union(1, 2, 5)
+	if p.Stamp(winner) != 5 {
+		t.Fatalf("winner stamp = %d, want 5", p.Stamp(winner))
+	}
+	if p.IsRoot(loser) {
+		t.Fatal("loser must no longer be a root")
+	}
+	// An untouched component keeps its stamp.
+	r3, _ := p.Root(3)
+	if p.Stamp(r3) != 1 {
+		t.Fatalf("untouched stamp = %d, want 1", p.Stamp(r3))
+	}
+}
+
+// TestDynamicPartitionAgainstUnionFind cross-checks random
+// add/union/detach sequences against a from-scratch union-find over
+// the surviving elements and edges.
+func TestDynamicPartitionAgainstUnionFind(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := NewDynamicPartition()
+		var elems []int
+		type edge struct{ a, b int }
+		var edges []edge
+		gen := uint64(0)
+		next := 0
+		rebuildUnions := func(surviving map[int]bool) map[int]int {
+			// From-scratch: index surviving elements, union surviving edges.
+			idx := make(map[int]int)
+			var list []int
+			for e := range surviving {
+				idx[e] = len(list)
+				list = append(list, e)
+			}
+			uf := NewUnionFind(len(list))
+			for _, e := range edges {
+				if surviving[e.a] && surviving[e.b] {
+					uf.Union(idx[e.a], idx[e.b])
+				}
+			}
+			out := make(map[int]int)
+			for _, e := range list {
+				out[e] = uf.Find(idx[e])
+			}
+			return out
+		}
+		for step := 0; step < 60; step++ {
+			gen++
+			switch op := r.Intn(4); {
+			case op == 0 || len(elems) < 2: // add
+				p.Add(next, gen)
+				elems = append(elems, next)
+				next++
+			case op == 1: // union, replayed into the edge log
+				a := elems[r.Intn(len(elems))]
+				b := elems[r.Intn(len(elems))]
+				p.Union(a, b, gen)
+				edges = append(edges, edge{a, b})
+			default: // detach + caller-side rebuild from surviving edges
+				i := r.Intn(len(elems))
+				x := elems[i]
+				elems = append(elems[:i], elems[i+1:]...)
+				_, remaining, ok := p.Detach(x, gen)
+				if !ok {
+					t.Fatalf("trial %d: detach of live element failed", trial)
+				}
+				inComp := make(map[int]bool, len(remaining))
+				for _, m := range remaining {
+					inComp[m] = true
+				}
+				for _, e := range edges {
+					if inComp[e.a] && inComp[e.b] {
+						p.Union(e.a, e.b, gen)
+					}
+				}
+			}
+		}
+		surviving := make(map[int]bool, len(elems))
+		for _, e := range elems {
+			surviving[e] = true
+		}
+		want := rebuildUnions(surviving)
+		// Same-partition predicate must agree pairwise.
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				ri, _ := p.Root(elems[i])
+				rj, _ := p.Root(elems[j])
+				got := ri == rj
+				if got != (want[elems[i]] == want[elems[j]]) {
+					t.Fatalf("trial %d: partition disagrees on (%d,%d): dynamic=%v",
+						trial, elems[i], elems[j], got)
+				}
+			}
+		}
+		// Member lists must be consistent with comp labels.
+		total := 0
+		p.Roots(func(root int) bool {
+			for _, m := range p.Members(root) {
+				if rm, _ := p.Root(m); rm != root {
+					t.Fatalf("trial %d: member %d of root %d labeled %d", trial, m, root, rm)
+				}
+				total++
+			}
+			return true
+		})
+		if total != p.Len() {
+			t.Fatalf("trial %d: member lists cover %d elements, Len=%d", trial, total, p.Len())
+		}
+	}
+}

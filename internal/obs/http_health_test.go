@@ -107,6 +107,85 @@ func TestTimeseriesEndpoint(t *testing.T) {
 	}
 }
 
+// TestTimeseriesCursorEdgeCases pins the /debug/timeseries contract at
+// the cursor extremes a dashboard poller can reach: a negative cursor
+// (a poller that never synced) must behave like a full snapshot, a
+// cursor ahead of the newest tick (a poller that outlived a process
+// restart) must return cleanly with the NEWEST tick echoed — never the
+// future cursor back, which would livelock dash.HTTPSource into
+// requesting an empty delta forever — and ?series= must be clamped at
+// both ends rather than rejected or overrun.
+func TestTimeseriesCursorEdgeCases(t *testing.T) {
+	DefaultWindows.Counter("test_cursor_total", "test-only").Add(3)
+	mux := NewIntrospectionMux(Default)
+	get := func(path string) TimeseriesDump {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s status = %d\n%s", path, rec.Code, rec.Body.String())
+		}
+		var d TimeseriesDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+			t.Fatalf("%s not JSON: %v", path, err)
+		}
+		return d
+	}
+
+	// Negative cursor: every retained tick is strictly after it, so the
+	// dump equals the full snapshot.
+	full := get("/debug/timeseries")
+	neg := get("/debug/timeseries?cursor=-7")
+	if got, want := len(neg.Counters["test_cursor_total"].Series), len(full.Counters["test_cursor_total"].Series); got != want {
+		t.Fatalf("negative cursor returned %d series points, full snapshot %d", got, want)
+	}
+	if neg.Cursor != neg.NowTick {
+		t.Fatalf("negative cursor echoed %d, want newest tick %d", neg.Cursor, neg.NowTick)
+	}
+
+	// Cursor ahead of the newest tick: empty series, newest tick echoed.
+	ahead := get("/debug/timeseries?cursor=9223372036854775806")
+	for name, cs := range ahead.Counters {
+		if len(cs.Series) != 0 {
+			t.Fatalf("future cursor: counter %s still returned %d points", name, len(cs.Series))
+		}
+	}
+	for name, hs := range ahead.Histograms {
+		if len(hs.Series) != 0 {
+			t.Fatalf("future cursor: histogram %s still returned %d points", name, len(hs.Series))
+		}
+	}
+	if ahead.Cursor != ahead.NowTick || ahead.Cursor >= 9223372036854775806 {
+		t.Fatalf("future cursor echoed %d (now %d): a poller passing it back would livelock", ahead.Cursor, ahead.NowTick)
+	}
+
+	// ?series= bounds: zero and negative fall back to the default
+	// length, an over-large cap is clamped to the ring, one is honored.
+	for _, path := range []string{
+		"/debug/timeseries?series=0",
+		"/debug/timeseries?series=-4",
+	} {
+		d := get(path)
+		if got, want := len(d.Counters["test_cursor_total"].Series), len(full.Counters["test_cursor_total"].Series); got != want {
+			t.Fatalf("%s returned %d series points, default snapshot has %d", path, got, want)
+		}
+	}
+	ringSlots := int(DefaultWindowConfig.Horizons[len(DefaultWindowConfig.Horizons)-1]/DefaultWindowConfig.Tick) + 1
+	huge := get("/debug/timeseries?series=1000000")
+	if n := len(huge.Counters["test_cursor_total"].Series); n > ringSlots {
+		t.Fatalf("series=1000000 returned %d points, ring holds %d", n, ringSlots)
+	}
+	one := get("/debug/timeseries?series=1")
+	if n := len(one.Counters["test_cursor_total"].Series); n > 1 {
+		t.Fatalf("series=1 returned %d points", n)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeseries?series=oops", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad series status = %d, want 400", rec.Code)
+	}
+}
+
 // TestIntrospectionSurfaceUnderConcurrentLoad hammers every read
 // endpoint from parallel goroutines while writers are appending events,
 // offering exemplars, and observing into windowed instruments — the

@@ -34,6 +34,15 @@ const (
 	MetricPoolUtilization  = "dcsat_pool_utilization_permille"
 	MetricPoolSaturation   = "dcsat_pool_saturation_permille"
 
+	// Monitor persistent graphs and the per-query delta sweep
+	// (internal/core monitor.go / sweep.go).
+	MetricCommitRefreshes = "monitor_commit_refreshes_total"
+	MetricSweepRebuilds   = "dcsat_sweep_rebuilds_total"
+	MetricSweepReplayed   = "dcsat_sweep_replayed_total"
+	MetricSweepRecomputed = "dcsat_sweep_recomputed_total"
+	MetricMonitorComps    = "monitor_components"
+	MetricMonitorConflict = "monitor_conflict_pairs"
+
 	// Query evaluation engine (internal/query).
 	MetricQueryEvals         = "query_evals_total"
 	MetricQueryIndexLookups  = "query_index_lookups_total"
@@ -100,6 +109,8 @@ var knownMetricNames = []string{
 	MetricCliqueEnumNS, MetricWorldEvalNS, MetricChecksBy,
 	MetricChecksByClass, MetricCheckNSBy, MetricInflightChecks,
 	MetricPoolBusy, MetricPoolUtilization, MetricPoolSaturation,
+	MetricCommitRefreshes, MetricSweepRebuilds, MetricSweepReplayed,
+	MetricSweepRecomputed, MetricMonitorComps, MetricMonitorConflict,
 	MetricQueryEvals, MetricQueryIndexLookups, MetricQueryScans,
 	MetricQueryTuplesProbed, MetricQueryCompileNS,
 	MetricQueryPlanCacheHits, MetricQueryPlanCacheMiss,

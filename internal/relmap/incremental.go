@@ -173,6 +173,11 @@ func (nm *NodeMonitor) Monitor() *core.Monitor { return nm.mon }
 // CacheStats snapshots the verdict cache of the current Monitor.
 func (nm *NodeMonitor) CacheStats() core.CacheStats { return nm.mon.CacheStats() }
 
+// GraphStats snapshots the Monitor's persistently maintained graph
+// structures (pending/live counts, Θ_I components, fd-conflict pairs,
+// commit-refresh work), for node dashboards and tests.
+func (nm *NodeMonitor) GraphStats() core.GraphStats { return nm.mon.GraphStatsSnapshot() }
+
 // Rebuilds reports how many times Sync fell back to a full remap.
 func (nm *NodeMonitor) Rebuilds() int { return nm.rebuilds }
 

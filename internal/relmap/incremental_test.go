@@ -105,8 +105,10 @@ func TestNodeMonitorSyncMatchesRebuild(t *testing.T) {
 }
 
 // TestNodeMonitorWarmRecheckHitsCache: after one checkpoint check, the
-// next check on an unchanged node replays every covered component from
-// the verdict cache.
+// next check on an unchanged node replays every covered component —
+// from the delta sweep's verdict map when the query is sweep-eligible,
+// otherwise from the content-addressed verdict cache — without
+// searching any component again.
 func TestNodeMonitorWarmRecheckHitsCache(t *testing.T) {
 	r := newRig(t)
 	r.mine(t)
@@ -129,6 +131,7 @@ func TestNodeMonitorWarmRecheckHitsCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cs1 := nm.CacheStats()
 	res2, err := nm.Check(context.Background(), q, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -136,11 +139,11 @@ func TestNodeMonitorWarmRecheckHitsCache(t *testing.T) {
 	if res1.Satisfied != res2.Satisfied {
 		t.Fatalf("verdict changed on warm recheck: %v then %v", res1.Satisfied, res2.Satisfied)
 	}
-	if res2.Stats.ComponentsCached == 0 || res2.Stats.ComponentsCached != res2.Stats.ComponentsCovered {
-		t.Fatalf("warm recheck cached %d of %d covered components",
-			res2.Stats.ComponentsCached, res2.Stats.ComponentsCovered)
+	if res2.Stats.ComponentsCached == 0 {
+		t.Fatalf("warm recheck replayed no components: %+v", res2.Stats)
 	}
-	if cs := nm.CacheStats(); cs.Hits == 0 {
-		t.Fatalf("cache reports no hits: %+v", cs)
+	cs2 := nm.CacheStats()
+	if cs2.Misses != cs1.Misses || cs2.Stores != cs1.Stores {
+		t.Fatalf("warm recheck searched components again: %+v then %+v", cs1, cs2)
 	}
 }
