@@ -20,6 +20,7 @@ import (
 	"blockchaindb/internal/core"
 	"blockchaindb/internal/fixture"
 	"blockchaindb/internal/graph"
+	"blockchaindb/internal/obs"
 	"blockchaindb/internal/possible"
 	"blockchaindb/internal/query"
 	"blockchaindb/internal/relation"
@@ -592,6 +593,105 @@ func TestFig6aAllocGuard(t *testing.T) {
 			t.Errorf("%s: %.0f allocs/op exceeds baseline %.0f by more than 20%%",
 				c.label, allocs, baseline)
 		}
+	}
+}
+
+// attribSetup builds the multi-tenant attribution workload: a moderate
+// dataset with a real pending set and a satisfied path query, checked
+// with the precheck disabled so every check walks the component search
+// — the path that feeds the accountant its cost vector. Checks rotate
+// across three tenants like the bcnode churn scenario does.
+func attribSetup() (*workload.Dataset, *query.Query, core.Options) {
+	ds := workload.Generate(workload.Config{
+		Seed: 1, Blocks: 100, TxPerBlock: 4, Users: 500,
+		PendingBlocks: 30, PendingTxPerBlock: 12,
+		Contradictions: 12, ChainProb: 0.3, MaxOuts: 3,
+	})
+	q := ds.MustQuery(workload.QueryPath, 3, true)
+	return ds, q, core.Options{Algorithm: core.AlgoOpt, DisablePrecheck: true, Workers: 4}
+}
+
+// BenchmarkAttributionOverhead measures the cost of per-principal
+// attribution on the check path: the same check with the accountant
+// recording (on, the default) and with it disabled (off).
+func BenchmarkAttributionOverhead(b *testing.B) {
+	ds, q, opts := attribSetup()
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	for _, enabled := range []bool{true, false} {
+		name := "on"
+		if !enabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			obs.DefaultAccountant.SetEnabled(enabled)
+			defer obs.DefaultAccountant.SetEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := obs.WithPrincipal(context.Background(), tenants[i%len(tenants)], "")
+				res, err := core.Check(ctx, ds.DB, q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("verdict flipped")
+				}
+			}
+		})
+	}
+}
+
+// TestAttributionOverheadGuard is the CI guard over attribution cost:
+// with the accountant recording every check into five space-saving
+// sketches plus the admission table, the check path must stay within 5%
+// of the accountant-off latency (plus a small absolute floor so
+// sub-millisecond noise cannot trip it). Samples interleave on/off so
+// machine-load drift hits both sides equally. Gated behind BENCH_GUARD
+// like the other timing guards.
+func TestAttributionOverheadGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the attribution overhead guard")
+	}
+	ds, q, opts := attribSetup()
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	check := func(i int, enabled bool) time.Duration {
+		obs.DefaultAccountant.SetEnabled(enabled)
+		ctx := obs.WithPrincipal(context.Background(), tenants[i%len(tenants)], "")
+		start := time.Now()
+		res, err := core.Check(ctx, ds.DB, q, opts)
+		d := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfied {
+			t.Fatal("verdict flipped")
+		}
+		return d
+	}
+	defer obs.DefaultAccountant.SetEnabled(true)
+	for i := 0; i < 3; i++ { // warm up: plan compile, lazy indexes
+		check(i, true)
+	}
+	const samples = 21
+	on := make([]time.Duration, 0, samples)
+	off := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		on = append(on, check(i, true))
+		off = append(off, check(i, false))
+	}
+	median := func(ds []time.Duration) time.Duration {
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[len(ds)/2]
+	}
+	mOn, mOff := median(on), median(off)
+	t.Logf("attribution on=%v off=%v overhead=%.2f%%", mOn, mOff,
+		100*(float64(mOn)/float64(mOff)-1))
+	if mOn > mOff+mOff/20 && mOn > mOff+200*time.Microsecond {
+		t.Errorf("attribution overhead: on=%v exceeds off=%v by more than 5%%", mOn, mOff)
 	}
 }
 

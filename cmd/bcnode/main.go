@@ -49,6 +49,9 @@ func main() {
 		slowFloor  = flag.Duration("slow-floor", 0, "minimum check duration to be eligible for the slow-exemplar list (0 admits anything until the list fills)")
 		churn      = flag.Bool("churn", false, "after the scenario, keep generating payments, blocks, and checks so the windowed rates stay live")
 		top        = flag.Bool("top", false, "after the scenario, render the live in-process ops dashboard (dcsattop) on stdout")
+
+		tenant       = flag.String("tenant", "node", "attribution principal the scenario's checks are billed to (obs cost accounting); -churn cycles three synthetic tenants on top")
+		tenantBudget = flag.Int64("tenant-budget", 0, "admission budget in cost units/sec for each synthetic -churn tenant (0 = unmetered); over-budget tenants see THROTTLE/SHED on /debug/attrib")
 	)
 	flag.Parse()
 
@@ -133,12 +136,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	checkCtx := context.Background()
+	if *tenant != "" {
+		checkCtx = obs.WithPrincipal(checkCtx, *tenant, "")
+	}
 	checkpoints := 0
 	check := func(stage string) {
 		if err := nodeMon.Sync(); err != nil {
 			fatal(err)
 		}
-		res, err := nodeMon.Check(context.Background(), q1, core.Options{})
+		res, err := nodeMon.Check(checkCtx, q1, core.Options{})
 		if err != nil {
 			fatal(err)
 		}
@@ -240,7 +247,7 @@ func main() {
 		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stopSig()
 		if *churn {
-			go churnLoop(ctx, rng, net, sim, home, nodeMon, q1, miner, victim, heightGauge)
+			go churnLoop(ctx, rng, net, sim, home, nodeMon, q1, miner, victim, heightGauge, *tenantBudget)
 		}
 		if *top {
 			_ = dash.Run(ctx, &dash.LocalSource{}, os.Stdout, 2*time.Second, 0, true, dash.Options{})
@@ -251,15 +258,45 @@ func main() {
 	}
 }
 
+// churnTenants are the synthetic principals the churn loop cycles
+// through, with skewed weights so /debug/attrib has a ranking worth
+// looking at: tenant-a issues ~4× the checks tenant-c does.
+var churnTenants = []struct {
+	name   string
+	weight int
+}{
+	{"tenant-a", 4},
+	{"tenant-b", 2},
+	{"tenant-c", 1},
+}
+
 // churnLoop keeps the node alive after the scenario: a steady trickle
 // of small payments out of the miner's accumulated rewards, a block
 // every few beats, and a constraint check per beat — so the windowed
 // rates, latency percentiles, and SLO verdicts on /debug/timeseries
-// keep moving for dcsattop to watch. Errors are tolerated (the miner
-// may briefly run out of spendable outputs between blocks).
+// keep moving for dcsattop to watch. Each check is billed to one of
+// three synthetic tenants (skewed 4:2:1), and when budget > 0 the
+// tenants are metered: a SHED decision from the Accountant skips the
+// check entirely, so admission control is visible end to end —
+// /debug/attrib ranks the tenants, the heavy one runs out of budget,
+// and the journal records its THROTTLE/SHED transitions. Errors are
+// tolerated (the miner may briefly run out of spendable outputs
+// between blocks).
 func churnLoop(ctx context.Context, rng *rand.Rand, net *netsim.Network, sim *netsim.Simulator,
 	home *netsim.Node, nodeMon *relmap.NodeMonitor, q1 *query.Query,
-	miner, victim *bitcoin.Wallet, heightGauge *obs.Gauge) {
+	miner, victim *bitcoin.Wallet, heightGauge *obs.Gauge, budget int64) {
+	if budget > 0 {
+		for _, ct := range churnTenants {
+			obs.DefaultAccountant.SetBudget(ct.name, budget, 2*budget)
+		}
+	}
+	// Expand the skew weights into a pick table: a,a,a,a,b,b,c.
+	var picks []string
+	for _, ct := range churnTenants {
+		for w := 0; w < ct.weight; w++ {
+			picks = append(picks, ct.name)
+		}
+	}
 	t := time.NewTicker(150 * time.Millisecond)
 	defer t.Stop()
 	for i := 0; ; i++ {
@@ -282,7 +319,11 @@ func churnLoop(ctx context.Context, rng *rand.Rand, net *netsim.Network, sim *ne
 		if err := nodeMon.Sync(); err != nil {
 			continue
 		}
-		_, _ = nodeMon.Check(context.Background(), q1, core.Options{})
+		p := obs.Principal{Tenant: picks[rng.Intn(len(picks))]}
+		if dec, _ := obs.DefaultAccountant.Admit(p); dec == obs.AdmitShed {
+			continue // honor SHED: the tenant's check never starts
+		}
+		_, _ = nodeMon.Check(obs.WithPrincipal(ctx, p.Tenant, ""), q1, core.Options{})
 		heightGauge.Set(int64(home.Chain.Height()))
 	}
 }
@@ -294,6 +335,7 @@ type journalSnapshot struct {
 	WrittenAt time.Time       `json:"written_at"`
 	Journal   obs.JournalDump `json:"journal"`
 	Slow      obs.SlowDump    `json:"slow"`
+	Attrib    obs.AttribDump  `json:"attrib"`
 }
 
 // writeJournalSnapshot dumps the default journal and exemplar store to
@@ -304,6 +346,7 @@ func writeJournalSnapshot(path string) error {
 		WrittenAt: time.Now(),
 		Journal:   obs.DumpJournal(obs.DefaultJournal, 0),
 		Slow:      obs.DumpSlow(obs.DefaultExemplars),
+		Attrib:    obs.DumpAttrib(obs.DefaultAccountant, 0),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -51,6 +51,7 @@ func main() {
 
 		journalCap = flag.Int("journal-cap", 0, "resize the flight-recorder journal ring to this many events (0 keeps the default)")
 		slowFloor  = flag.Duration("slow-floor", 0, "minimum check duration to be eligible for the slow-exemplar list")
+		tenant     = flag.String("tenant", "", "attribution principal the check is billed to (obs cost accounting)")
 	)
 	flag.Parse()
 	if *dataPath == "" || *qSrc == "" {
@@ -121,6 +122,9 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *tenant != "" {
+		ctx = obs.WithPrincipal(ctx, *tenant, "")
+	}
 	var root *obs.Span
 	if *trace {
 		ctx, root = obs.StartTrace(ctx, "dcsat")

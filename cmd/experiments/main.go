@@ -33,8 +33,15 @@ func main() {
 		stats   = flag.Bool("stats", false, "print the instrument registry snapshot after the runs")
 		trace   = flag.Bool("trace", false, "print a span tree per timed cell")
 		top     = flag.Bool("top", false, "render the live in-process ops dashboard on stderr while the runs execute (redirect stdout when sharing a terminal)")
+		tenant  = flag.String("tenant", "", "attribution principal every check in the run is billed to (obs cost accounting)")
 	)
 	flag.Parse()
+
+	if *tenant != "" {
+		// The harness runs checks deep inside internal/bench with its own
+		// contexts; the process-wide default tenant attributes them all.
+		obs.SetDefaultTenant(*tenant)
+	}
 
 	if *top {
 		ctx, cancel := context.WithCancel(context.Background())

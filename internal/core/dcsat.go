@@ -139,6 +139,14 @@ type Stats struct {
 	WorldsEvaluated   int  // worlds the query was evaluated on
 	Duration          time.Duration
 
+	// Cost-attribution counters (obs.CostVector sources): compiled-plan
+	// tuple probes, verdict-cache traffic, and sweep replays for this
+	// check.
+	PlanProbes   int64
+	CacheHits    int
+	CacheMisses  int
+	SweepReplays int
+
 	// Per-stage durations (the Section 6/7 cost model).
 	PrecheckDur   time.Duration // monotone pre-check over R ∪ ∪T
 	LiveFilterDur time.Duration // fd-liveness filter over the pending set
@@ -165,6 +173,10 @@ func (s *Stats) Merge(o Stats) {
 	s.Cliques += o.Cliques
 	s.WorldsEvaluated += o.WorldsEvaluated
 	s.Duration += o.Duration
+	s.PlanProbes += o.PlanProbes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.SweepReplays += o.SweepReplays
 	s.PrecheckDur += o.PrecheckDur
 	s.LiveFilterDur += o.LiveFilterDur
 	s.ClosureDur += o.ClosureDur
@@ -293,10 +305,21 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	gInflight.Add(1)
 	defer gInflight.Add(-1)
 	start := time.Now()
-	vChecksByClass.With(string(Classify(q, d.Constraints))).Inc()
+	class := string(Classify(q, d.Constraints))
+	vChecksByClass.With(class).Inc()
+	// The attribution identity this check is billed to: the principal
+	// carried on the context (tenant defaulted), the complexity class,
+	// and the constraint-set shape. The query fingerprint is fixed after
+	// Simplify, inside finishCheck.
+	attrib := checkAttrib{
+		prin:  obs.ResolvePrincipal(ctx),
+		class: class,
+		cons:  fmt.Sprintf("fd%d/ind%d", len(d.Constraints.FDs), len(d.Constraints.INDs)),
+	}
 	obs.DefaultJournal.Append(obs.EvCheckStart, checkID, "",
 		obs.F("query", q.String()),
 		obs.F("algorithm", opts.Algorithm.String()),
+		obs.F("tenant", attrib.prin.Tenant),
 		obs.F("pending", len(d.Pending)))
 	if !opts.Deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -309,7 +332,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	// visible in the journal and the undecided exemplar ring.
 	if err := ctx.Err(); err != nil {
 		res := &Result{Stats: Stats{Algorithm: opts.Algorithm, Duration: time.Since(start)}}
-		finishCheck(checkID, span, start, res, opts, q, verdictUndecided)
+		finishCheck(checkID, span, start, res, opts, q, attrib, verdictUndecided)
 		return res, undecided(err)
 	}
 	// Rewrite first: constant folding may prove the constraint
@@ -323,7 +346,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 			Prechecked: true,
 			Duration:   time.Since(start),
 		}}
-		finishCheck(checkID, span, start, res, opts, q, verdictSatisfied)
+		finishCheck(checkID, span, start, res, opts, q, attrib, verdictSatisfied)
 		return res, nil
 	}
 	q = simplified
@@ -381,7 +404,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 			}
 			res.Stats.Algorithm = algo
 			res.Stats.Duration = time.Since(start)
-			finishCheck(checkID, span, start, res, opts, q, verdictUndecided)
+			finishCheck(checkID, span, start, res, opts, q, attrib, verdictUndecided)
 			return res, undecided(err)
 		}
 		return nil, err
@@ -389,19 +412,34 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 	res.Stats.Algorithm = algo
 	res.Stats.Duration = time.Since(start)
 	span.SetAttr("satisfied", res.Satisfied)
-	finishCheck(checkID, span, start, res, opts, q, verdictOf(res))
+	finishCheck(checkID, span, start, res, opts, q, attrib, verdictOf(res))
 	return res, nil
+}
+
+// checkAttrib is the attribution identity of one check: the principal
+// it is billed to plus the class and constraint-shape dimensions the
+// Accountant ranks by.
+type checkAttrib struct {
+	prin  obs.Principal
+	class string
+	cons  string
 }
 
 // finishCheck is the closing bookkeeping shared by every checkContext
 // exit that produced a Result — decided, rewritten, or cut short:
-// metrics (aggregate and labeled), journal events, and exemplar
-// capture.
-func finishCheck(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q *query.Query, verdict string) {
+// metrics (aggregate and labeled), journal events, exemplar capture,
+// and cost attribution to the check's principal.
+func finishCheck(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q *query.Query, attrib checkAttrib, verdict string) {
 	span.SetAttr("verdict", verdict)
+	if attrib.prin.Query == "" {
+		// Default the principal's query dimension to the check's own
+		// fingerprint (post-Simplify when the pipeline got that far).
+		attrib.prin.Query = q.String()
+	}
 	recordCheckMetrics(res, verdict)
-	journalCheckEvents(checkID, res, verdict)
-	offerExemplar(checkID, span, start, res, opts, q, verdict)
+	journalCheckEvents(checkID, attrib.prin.Tenant, res, verdict)
+	offerExemplar(checkID, span, start, res, opts, q, attrib, verdict)
+	recordAttribution(attrib, res)
 }
 
 // cliqueDCSat implements NaiveDCSat (optimized=false) and OptDCSat
@@ -682,6 +720,9 @@ func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, c
 	ctxErr := graph.MaximalCliquesCtx(ctx, cg.g, cs.yield)
 	stats.CliqueDur += time.Since(enumStart) - cs.evalDur
 	stats.EvalDur += cs.evalDur
+	if cs.sc != nil {
+		stats.PlanProbes += cs.sc.TotalProbes()
+	}
 	if cs.violated {
 		return true, cs.witness, nil
 	}

@@ -277,12 +277,14 @@ func cachedComponentSearch(env checkEnv, comp []int, stats *Stats, search func()
 	}
 	if violated, witness, ok := env.cache.lookup(env.qfp, comp); ok {
 		stats.ComponentsCached++
+		stats.CacheHits++
 		mCacheHits.Inc()
 		obs.DefaultJournal.Append(obs.EvCachedComponent, env.checkID, "",
 			obs.F("members", len(comp)),
 			obs.F("violated", violated))
 		return violated, witness, nil
 	}
+	stats.CacheMisses++
 	mCacheMisses.Inc()
 	violated, witness, err := search()
 	if err == nil {

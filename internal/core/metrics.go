@@ -134,7 +134,7 @@ func recordCheckMetrics(res *Result, verdict string) {
 // journalCheckEvents appends one check's flight-recorder record: the
 // finish event with its headline numbers, then one event per nonzero
 // pipeline stage. The caller already appended check_start.
-func journalCheckEvents(checkID uint64, res *Result, verdict string) {
+func journalCheckEvents(checkID uint64, tenant string, res *Result, verdict string) {
 	st := &res.Stats
 	typ := obs.EvCheckFinish
 	if verdict == verdictUndecided {
@@ -143,6 +143,7 @@ func journalCheckEvents(checkID uint64, res *Result, verdict string) {
 	obs.DefaultJournal.Append(typ, checkID, "",
 		obs.F("verdict", verdict),
 		obs.F("algorithm", st.Algorithm.String()),
+		obs.F("tenant", tenant),
 		obs.F("duration_ns", int64(st.Duration)),
 		obs.F("cliques", st.Cliques),
 		obs.F("worlds", st.WorldsEvaluated),
@@ -158,7 +159,7 @@ func journalCheckEvents(checkID uint64, res *Result, verdict string) {
 // offerExemplar submits the check to the slow/undecided exemplar store:
 // identity, options, verdict, per-stage breakdown, witness summary, and
 // the rendered span tree when the check ran under a trace.
-func offerExemplar(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q fmt.Stringer, verdict string) {
+func offerExemplar(checkID uint64, span *obs.Span, start time.Time, res *Result, opts Options, q fmt.Stringer, attrib checkAttrib, verdict string) {
 	st := &res.Stats
 	// Cheap pre-test: most checks are faster than the slow-list floor
 	// and not undecided, so skip building the exemplar at all.
@@ -176,12 +177,35 @@ func offerExemplar(checkID uint64, span *obs.Span, start time.Time, res *Result,
 		Duration:  int64(st.Duration),
 		Verdict:   verdict,
 		Algorithm: st.Algorithm.String(),
+		Class:     attrib.class,
+		Tenant:    attrib.prin.Tenant,
 		Options:   optionsSummary(opts),
 		Stages:    stages,
 		Witness:   witnessSummary(res, verdict),
 		SpanTree:  span.Render(),
 	}
 	obs.DefaultExemplars.Offer(ex)
+}
+
+// recordAttribution bills one finished check's cost vector to its
+// principal in the process-wide Accountant.
+func recordAttribution(attrib checkAttrib, res *Result) {
+	st := &res.Stats
+	obs.DefaultAccountant.Record(obs.CheckCost{
+		Principal:   attrib.prin,
+		Class:       attrib.class,
+		Constraints: attrib.cons,
+		Algo:        st.Algorithm.String(),
+		Cost: obs.CostVector{
+			WallNS:       int64(st.Duration),
+			Cliques:      int64(st.Cliques),
+			Worlds:       int64(st.WorldsEvaluated),
+			PlanProbes:   st.PlanProbes,
+			CacheHits:    int64(st.CacheHits),
+			CacheMisses:  int64(st.CacheMisses),
+			SweepReplays: int64(st.SweepReplays),
+		},
+	})
 }
 
 // optionsSummary renders the check options that affect cost.

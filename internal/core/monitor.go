@@ -100,6 +100,10 @@ type Monitor struct {
 	sweepOrder []string
 
 	journal *obs.Journal // lifecycle event sink (never nil)
+
+	// tenant, when set, is the attribution principal injected into every
+	// Check whose context does not already carry one (WithTenant).
+	tenant string
 }
 
 type fdOccupant struct {
@@ -153,6 +157,13 @@ func WithObserver(j *obs.Journal) MonitorOption {
 			m.journal = j
 		}
 	}
+}
+
+// WithTenant bills every Check run through this Monitor to the named
+// tenant (obs cost attribution) unless the Check's own context already
+// carries a principal — an explicit obs.WithPrincipal wins.
+func WithTenant(name string) MonitorOption {
+	return func(m *Monitor) { m.tenant = name }
 }
 
 // NewMonitor wraps the database. The pending transactions already in
@@ -737,6 +748,11 @@ func (m *Monitor) GraphStatsSnapshot() GraphStats {
 // Check: query validation, the Boolean guard, schema checking,
 // Simplify, per-stage spans and durations, and the registry metrics.
 func (m *Monitor) Check(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
+	if m.tenant != "" {
+		if _, ok := obs.PrincipalFrom(ctx); !ok {
+			ctx = obs.WithPrincipal(ctx, m.tenant, "")
+		}
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	snapshot := &possible.DB{

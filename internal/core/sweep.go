@@ -235,6 +235,7 @@ func (sw *monitorSweeper) run(ctx context.Context, d *possible.DB, q *query.Quer
 	res.Stats.Components = len(st.verdicts)
 	res.Stats.ComponentsCovered = st.nCovered
 	res.Stats.ComponentsCached += replayed
+	res.Stats.SweepReplays += replayed
 	if opts.DisableLiveFilter {
 		res.Stats.LivePending = len(d.Pending)
 	} else {

@@ -17,12 +17,13 @@ import (
 )
 
 // Snapshot is one poll of an instrumented process: the windowed
-// time-series dump (with the health report attached) plus the slow
-// exemplars.
+// time-series dump (with the health report attached), the slow
+// exemplars, and the per-principal attribution dump.
 type Snapshot struct {
-	TS   obs.TimeseriesDump
-	Slow obs.SlowDump
-	At   time.Time
+	TS     obs.TimeseriesDump
+	Slow   obs.SlowDump
+	Attrib obs.AttribDump
+	At     time.Time
 }
 
 // Source yields snapshots; implementations poll over HTTP or read the
@@ -308,6 +309,7 @@ func (d *Dashboard) Render(sourceName string) string {
 	d.renderRates(&b)
 	d.renderLatency(&b)
 	d.renderGauges(&b)
+	d.renderPrincipals(&b)
 	d.renderSlow(&b)
 	return b.String()
 }
@@ -456,6 +458,50 @@ func (d *Dashboard) meter(v, max int64, width int) string {
 	filled := int(v * int64(width) / max)
 	return d.color(cDim, "[") + strings.Repeat("▓", filled) +
 		strings.Repeat("░", width-filled) + d.color(cDim, "]")
+}
+
+// renderPrincipals is the "who is spending the engine's time" panel:
+// the tenant-dimension heavy hitters from the Accountant, with spend
+// share bars, plus any non-OK admission decisions.
+func (d *Dashboard) renderPrincipals(b *strings.Builder) {
+	tenants := d.snap.Attrib.Dimensions[obs.DimTenant]
+	if len(tenants) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " %s %s\n", d.color(cBold, "TOP PRINCIPALS"),
+		d.color(cDim, fmt.Sprintf("(%d checks, %d cost units)",
+			d.snap.Attrib.Checks, d.snap.Attrib.TotalUnits)))
+	admitByTenant := make(map[string]obs.AdmitStatus, len(d.snap.Attrib.Admit))
+	for _, s := range d.snap.Attrib.Admit {
+		admitByTenant[s.Tenant] = s
+	}
+	fmt.Fprintf(b, "  %-20s %12s %7s %8s %-12s %s\n",
+		d.color(cDim, "tenant"), d.color(cDim, "units"), d.color(cDim, "share"),
+		d.color(cDim, "checks"), d.color(cDim, "spend"), d.color(cDim, "admission"))
+	for _, e := range tenants {
+		name := e.Key
+		if len(name) > 20 {
+			name = name[:19] + "…"
+		}
+		admission := d.color(cDim, "—")
+		if s, ok := admitByTenant[e.Key]; ok {
+			switch s.Decision {
+			case "shed":
+				admission = d.color(cRed+cBold, "SHED")
+			case "throttle":
+				admission = d.color(cYellow, "THROTTLE")
+			default:
+				admission = d.color(cGreen, "ok")
+			}
+			if s.RetryMS > 0 {
+				admission += d.color(cDim, fmt.Sprintf(" retry %dms", s.RetryMS))
+			}
+		}
+		fmt.Fprintf(b, "  %-20s %12d %6.1f%% %8d %s %s\n",
+			name, e.Units, 100*e.Share, e.Checks,
+			d.meter(int64(e.Share*1000), 1000, 10), admission)
+	}
+	d.rule(b)
 }
 
 func (d *Dashboard) renderSlow(b *strings.Builder) {

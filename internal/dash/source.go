@@ -43,7 +43,12 @@ func (s *LocalSource) Fetch(cursor int64, maxSeries int) (Snapshot, error) {
 	d := ws.Dump(cursor, maxSeries)
 	rep := he.Evaluate()
 	d.Health = &rep
-	return Snapshot{TS: d, Slow: obs.DumpSlow(ex), At: time.Now()}, nil
+	return Snapshot{
+		TS:     d,
+		Slow:   obs.DumpSlow(ex),
+		Attrib: obs.DumpAttrib(obs.DefaultAccountant, 8),
+		At:     time.Now(),
+	}, nil
 }
 
 // HTTPSource polls a remote introspection mux (obs.NewIntrospectionMux)
@@ -86,9 +91,11 @@ func (s *HTTPSource) Fetch(cursor int64, maxSeries int) (Snapshot, error) {
 	if err := s.getJSON(path, &snap.TS); err != nil {
 		return Snapshot{}, err
 	}
-	// Slow exemplars are best-effort decoration: a server predating
-	// /debug/slow still yields a working dashboard.
+	// Slow exemplars and attribution are best-effort decoration: a
+	// server predating /debug/slow or /debug/attrib still yields a
+	// working dashboard.
 	_ = s.getJSON("/debug/slow", &snap.Slow)
+	_ = s.getJSON("/debug/attrib?top=8", &snap.Attrib)
 	snap.At = time.Now()
 	return snap, nil
 }

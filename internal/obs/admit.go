@@ -1,0 +1,223 @@
+package obs
+
+import "time"
+
+// Admission control on attributed cost: each tenant gets a token
+// bucket denominated in cost units (CostVector.Units), refilled at the
+// budgeted rate. Record debits the bucket as checks finish — after the
+// fact, since a check's cost is unknown until it runs — so the bucket
+// level is a *debt* model: it may go negative when a tenant lands an
+// expensive check against a small remaining balance. Admit then maps
+// the level to a graduated signal:
+//
+//	level > 0        → OK        (budget in hand)
+//	level > -burst   → THROTTLE  (overdrawn; slow down, retryAfter says when)
+//	level ≤ -burst   → SHED      (deeply overdrawn; drop work now)
+//
+// The signal is advisory — the Accountant never refuses to account —
+// but the serving layer (bcnode's churn loop today, dcsatd tomorrow)
+// honors SHED by not starting the check at all. Debt clamps at
+// -2*burst so one pathological check cannot exile a tenant for hours.
+
+// Decision is an admission verdict.
+type Decision int
+
+const (
+	AdmitOK Decision = iota
+	AdmitThrottle
+	AdmitShed
+)
+
+// String returns the lowercase label used in metrics and journal
+// events.
+func (d Decision) String() string {
+	switch d {
+	case AdmitThrottle:
+		return "throttle"
+	case AdmitShed:
+		return "shed"
+	default:
+		return "ok"
+	}
+}
+
+// admitBudget is a tenant's configured allowance.
+type admitBudget struct {
+	unitsPerSec int64
+	burst       int64
+}
+
+// admitBucket is a tenant's live token bucket.
+type admitBucket struct {
+	budget  admitBudget
+	level   float64 // current balance in units; negative = debt
+	last    time.Time
+	lastDec Decision
+}
+
+// maxAdmitBuckets bounds the bucket map; tenants beyond the bound
+// share the overflow bucket (keyed "") so the table itself cannot be
+// ballooned by principal churn.
+const maxAdmitBuckets = 256
+
+// admitTable is the mutex-free inner table; the owning Accountant
+// serializes access under its own lock.
+type admitTable struct {
+	defBudget admitBudget // applied to tenants without their own
+	buckets   map[string]*admitBucket
+	nowFn     func() time.Time
+}
+
+func (t *admitTable) init() {
+	t.buckets = make(map[string]*admitBucket)
+	t.nowFn = time.Now
+}
+
+func (t *admitTable) setNow(fn func() time.Time) {
+	if fn == nil {
+		fn = time.Now
+	}
+	t.nowFn = fn
+}
+
+func (t *admitTable) setBudget(tenant string, unitsPerSec, burst int64) {
+	if burst < 1 {
+		burst = unitsPerSec
+	}
+	b := admitBudget{unitsPerSec: unitsPerSec, burst: burst}
+	if unitsPerSec <= 0 {
+		b = admitBudget{} // unmetered
+	}
+	if tenant == "" {
+		t.defBudget = b
+		return
+	}
+	bk := t.bucket(tenant)
+	if bk == nil {
+		return
+	}
+	bk.budget = b
+	bk.level = float64(b.burst)
+	bk.last = t.nowFn()
+}
+
+// bucket returns the tenant's bucket, creating it (pre-filled to
+// burst) if the table has room; at capacity, unknown tenants share the
+// overflow bucket.
+func (t *admitTable) bucket(tenant string) *admitBucket {
+	if bk, ok := t.buckets[tenant]; ok {
+		return bk
+	}
+	if len(t.buckets) >= maxAdmitBuckets {
+		tenant = ""
+		if bk, ok := t.buckets[tenant]; ok {
+			return bk
+		}
+	}
+	bk := &admitBucket{budget: t.defBudget, level: float64(t.defBudget.burst), last: t.nowFn()}
+	t.buckets[tenant] = bk
+	return bk
+}
+
+// refill advances the bucket to now, crediting elapsed time at the
+// budgeted rate and capping at burst.
+func (bk *admitBucket) refill(now time.Time) {
+	if bk.budget.unitsPerSec <= 0 {
+		return
+	}
+	if elapsed := now.Sub(bk.last).Seconds(); elapsed > 0 {
+		bk.level += elapsed * float64(bk.budget.unitsPerSec)
+		if max := float64(bk.budget.burst); bk.level > max {
+			bk.level = max
+		}
+	}
+	bk.last = now
+}
+
+// debit charges units against the tenant's bucket, clamping debt at
+// -2*burst.
+func (t *admitTable) debit(tenant string, units int64) {
+	bk := t.bucket(tenant)
+	if bk.budget.unitsPerSec <= 0 {
+		return
+	}
+	bk.refill(t.nowFn())
+	bk.level -= float64(units)
+	if floor := -2 * float64(bk.budget.burst); bk.level < floor {
+		bk.level = floor
+	}
+}
+
+// decide maps the tenant's bucket level to a decision. changed reports
+// a transition from the previous decision (the journaling trigger).
+func (t *admitTable) decide(tenant string) (dec Decision, retry time.Duration, changed bool) {
+	bk := t.bucket(tenant)
+	if bk.budget.unitsPerSec <= 0 {
+		return AdmitOK, 0, false
+	}
+	bk.refill(t.nowFn())
+	switch {
+	case bk.level > 0:
+		dec = AdmitOK
+	case bk.level > -float64(bk.budget.burst):
+		dec = AdmitThrottle
+	default:
+		dec = AdmitShed
+	}
+	if dec != AdmitOK {
+		// Time until the balance refills back to zero.
+		retry = time.Duration(-bk.level / float64(bk.budget.unitsPerSec) * float64(time.Second))
+	}
+	changed = dec != bk.lastDec
+	bk.lastDec = dec
+	return dec, retry, changed
+}
+
+// AdmitStatus is one tenant's admission state in a dump.
+type AdmitStatus struct {
+	Tenant      string `json:"tenant"`
+	Decision    string `json:"decision"`
+	UnitsPerSec int64  `json:"units_per_sec"`
+	Burst       int64  `json:"burst"`
+	Level       int64  `json:"level"`
+	RetryMS     int64  `json:"retry_ms"`
+}
+
+// statuses snapshots every metered bucket (unmetered tenants are
+// omitted — they are always OK).
+func (t *admitTable) statuses() []AdmitStatus {
+	out := make([]AdmitStatus, 0, len(t.buckets))
+	now := t.nowFn()
+	for tenant, bk := range t.buckets {
+		if bk.budget.unitsPerSec <= 0 {
+			continue
+		}
+		bk.refill(now)
+		var dec Decision
+		var retry time.Duration
+		switch {
+		case bk.level > 0:
+			dec = AdmitOK
+		case bk.level > -float64(bk.budget.burst):
+			dec = AdmitThrottle
+		default:
+			dec = AdmitShed
+		}
+		if dec != AdmitOK {
+			retry = time.Duration(-bk.level / float64(bk.budget.unitsPerSec) * float64(time.Second))
+		}
+		name := tenant
+		if name == "" {
+			name = "(overflow)"
+		}
+		out = append(out, AdmitStatus{
+			Tenant:      name,
+			Decision:    dec.String(),
+			UnitsPerSec: bk.budget.unitsPerSec,
+			Burst:       bk.budget.burst,
+			Level:       int64(bk.level),
+			RetryMS:     retry.Milliseconds(),
+		})
+	}
+	return out
+}

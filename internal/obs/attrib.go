@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-principal cost attribution: who is spending the engine's time?
+//
+// A Principal — the (tenant, query fingerprint) pair a check runs on
+// behalf of — rides the context exactly like a trace does. The core
+// layer resolves it at the top of every check (falling back to the
+// process default tenant and the check's own query fingerprint) and,
+// when the check finishes, records its cost vector into the process-
+// wide Accountant. The Accountant aggregates under bounded cardinality
+// (a space-saving sketch per dimension — sketch.go), writes cost units
+// through to the windowed metrics layer, and answers the admission
+// question (admit.go) a multi-tenant server asks before accepting more
+// work. /debug/attrib serves it; the dcsattop "TOP PRINCIPALS" panel
+// renders it.
+
+// Principal identifies who a check is billed to: the tenant (empty
+// means unattributed) and the query fingerprint the work ran for.
+type Principal struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query,omitempty"`
+}
+
+type principalCtxKey struct{}
+
+// WithPrincipal attaches a principal to the context. An empty queryFP
+// is filled in by the core layer with the check's own (simplified)
+// query fingerprint — callers that meter per-tenant only pass "".
+func WithPrincipal(ctx context.Context, tenant, queryFP string) context.Context {
+	return context.WithValue(ctx, principalCtxKey{}, Principal{Tenant: tenant, Query: queryFP})
+}
+
+// PrincipalFrom returns the principal carried by the context, if any.
+func PrincipalFrom(ctx context.Context) (Principal, bool) {
+	p, ok := ctx.Value(principalCtxKey{}).(Principal)
+	return p, ok
+}
+
+// defaultTenant is the process-wide fallback tenant for contexts that
+// carry no principal — how one-shot commands (cmd/experiments -tenant)
+// attribute every check they run without threading contexts through
+// their harnesses.
+var defaultTenant atomic.Value // string
+
+// SetDefaultTenant sets the fallback tenant used when a check's
+// context carries no principal. Empty restores the built-in "anon".
+func SetDefaultTenant(name string) { defaultTenant.Store(name) }
+
+// DefaultTenant returns the current fallback tenant.
+func DefaultTenant() string {
+	if v, ok := defaultTenant.Load().(string); ok && v != "" {
+		return v
+	}
+	return "anon"
+}
+
+// ResolvePrincipal returns the context's principal with the tenant
+// defaulted: the attribution identity a check is billed to.
+func ResolvePrincipal(ctx context.Context) Principal {
+	p, _ := PrincipalFrom(ctx)
+	if p.Tenant == "" {
+		p.Tenant = DefaultTenant()
+	}
+	return p
+}
+
+// CostVector is what one check spent, harvested from core's per-check
+// Stats: wall time plus the work counters the paper's cost model says
+// dominate (cliques enumerated, worlds evaluated, compiled-plan tuple
+// probes) and the reuse counters that say what was avoided (verdict-
+// cache hits/misses, delta-sweep replays).
+type CostVector struct {
+	WallNS       int64 `json:"wall_ns"`
+	Cliques      int64 `json:"cliques"`
+	Worlds       int64 `json:"worlds"`
+	PlanProbes   int64 `json:"plan_probes"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	SweepReplays int64 `json:"sweep_replays"`
+}
+
+// Add folds another vector in.
+func (c *CostVector) Add(o CostVector) {
+	c.WallNS += o.WallNS
+	c.Cliques += o.Cliques
+	c.Worlds += o.Worlds
+	c.PlanProbes += o.PlanProbes
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+	c.SweepReplays += o.SweepReplays
+}
+
+// Units collapses the vector into the scalar the sketches rank by and
+// the admission buckets debit: wall microseconds plus the work terms
+// (cliques, worlds, probes/64) that keep a check billable even when
+// wall time is distorted by contention. Every check costs at least 1.
+func (c CostVector) Units() int64 {
+	u := c.WallNS/1000 + c.Cliques + c.Worlds + c.PlanProbes/64
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// Attribution dimensions, in dump order.
+const (
+	DimTenant      = "tenant"
+	DimQuery       = "query"
+	DimClass       = "class"
+	DimConstraints = "constraints"
+	DimAlgo        = "algo"
+)
+
+var attribDims = []string{DimTenant, DimQuery, DimClass, DimConstraints, DimAlgo}
+
+// CheckCost is one finished check's attribution record.
+type CheckCost struct {
+	Principal   Principal
+	Class       string // Theorems 1-2 data-complexity class of (query, constraints)
+	Constraints string // constraint-set fingerprint (fd/ind shape)
+	Algo        string
+	Cost        CostVector
+}
+
+// DefaultAttribK bounds each dimension's sketch: the top ~64 principals
+// per dimension is plenty for ranking and admission while keeping the
+// whole Accountant a few KiB.
+const DefaultAttribK = 64
+
+// Accountant aggregates per-check cost vectors by principal under
+// bounded cardinality and answers admission queries. All methods are
+// safe for concurrent use.
+type Accountant struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	dims   map[string]*SpaceSaving
+	checks int64
+	units  int64
+
+	admit admitTable
+
+	windows *WindowSet
+	journal *Journal
+
+	wChecks    *WindowedCounter
+	wUnits     *WindowedCounter
+	wEvictions *WindowedCounter
+	gTracked   *Gauge
+	vDecisions *CounterVec
+}
+
+// NewAccountant builds an accountant whose windowed counters write
+// through ws and whose overflow/admission events go to j. k bounds each
+// dimension's sketch.
+func NewAccountant(k int, ws *WindowSet, j *Journal) *Accountant {
+	a := &Accountant{
+		dims:    make(map[string]*SpaceSaving, len(attribDims)),
+		windows: ws,
+		journal: j,
+	}
+	a.enabled.Store(true)
+	a.admit.init()
+	for _, d := range attribDims {
+		dim := d
+		sk := NewSpaceSaving(k)
+		sk.onEvict = func(evicted, replacedBy string) { a.noteEviction(dim, evicted, replacedBy) }
+		a.dims[dim] = sk
+	}
+	a.wChecks = ws.Counter(MetricAttribChecks, "checks attributed to a principal")
+	a.wUnits = ws.Counter(MetricAttribCostUnits, "attributed cost units (wall µs + cliques + worlds + probes/64)")
+	a.wEvictions = ws.Counter(MetricAttribEvictions, "attribution sketch evictions (cardinality overflow)")
+	a.gTracked = ws.reg.Gauge(MetricAttribTracked, "principals tracked by the tenant-dimension sketch")
+	a.vDecisions = ws.reg.CounterVec(MetricAdmitDecisions, "admission decisions by outcome", "decision")
+	return a
+}
+
+// DefaultAccountant is the process-wide accountant internal/core
+// records every finished check into; /debug/attrib serves it.
+var DefaultAccountant = NewAccountant(DefaultAttribK, DefaultWindows, DefaultJournal)
+
+// SetEnabled switches attribution recording on or off (admission state
+// freezes while off). The overhead guard benches the off path against
+// the on path.
+func (a *Accountant) SetEnabled(v bool) { a.enabled.Store(v) }
+
+// Enabled reports whether Record is live.
+func (a *Accountant) Enabled() bool { return a.enabled.Load() }
+
+// SetNow injects the admission clock (nil restores time.Now); tests
+// drive refill deterministically.
+func (a *Accountant) SetNow(fn func() time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.admit.setNow(fn)
+}
+
+// Record attributes one finished check: every dimension's sketch gets
+// the cost units, the windowed counters get the write-through, and the
+// principal's tenant bucket is debited.
+func (a *Accountant) Record(cc CheckCost) {
+	if !a.enabled.Load() {
+		return
+	}
+	units := cc.Cost.Units()
+	keys := [...]struct{ dim, key string }{
+		{DimTenant, cc.Principal.Tenant},
+		{DimQuery, cc.Principal.Query},
+		{DimClass, cc.Class},
+		{DimConstraints, cc.Constraints},
+		{DimAlgo, cc.Algo},
+	}
+	a.mu.Lock()
+	a.checks++
+	a.units += units
+	for _, k := range keys {
+		if k.key == "" {
+			continue
+		}
+		a.dims[k.dim].Add(k.key, units, cc.Cost)
+	}
+	tracked := a.dims[DimTenant].Len()
+	a.admit.debit(cc.Principal.Tenant, units)
+	a.mu.Unlock()
+	a.wChecks.Inc()
+	a.wUnits.Add(units)
+	a.gTracked.Set(int64(tracked))
+}
+
+// noteEviction surfaces one sketch displacement: the no-silent-caps
+// rule. Called under a.mu (from Add inside Record).
+func (a *Accountant) noteEviction(dim, evicted, replacedBy string) {
+	a.wEvictions.Inc()
+	a.journal.Append(EvAttribOverflow, 0, "",
+		F("dimension", dim),
+		F("evicted", evicted),
+		F("replaced_by", replacedBy))
+}
+
+// SetBudget sets a tenant's admission budget: sustained cost units per
+// second and a burst allowance. Zero or negative rate removes the
+// budget (the tenant is unmetered). Tenant "" sets the default budget
+// applied to tenants without their own.
+func (a *Accountant) SetBudget(tenant string, unitsPerSec, burst int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.admit.setBudget(tenant, unitsPerSec, burst)
+}
+
+// Admit answers whether the principal's tenant should be admitted for
+// more work right now. The decision is advisory — Record never refuses
+// to account — but a serving layer that honors SHED keeps an over-
+// budget tenant from starving the rest. Decisions are counted by
+// outcome, and transitions away from OK are journaled.
+func (a *Accountant) Admit(p Principal) (Decision, time.Duration) {
+	if p.Tenant == "" {
+		p.Tenant = DefaultTenant()
+	}
+	a.mu.Lock()
+	dec, retry, changed := a.admit.decide(p.Tenant)
+	a.mu.Unlock()
+	a.vDecisions.With(dec.String()).Inc()
+	if changed && dec != AdmitOK {
+		a.journal.Append(EvAdmitDecision, 0, "",
+			F("tenant", p.Tenant),
+			F("decision", dec.String()),
+			F("retry_after_ms", retry.Milliseconds()))
+	}
+	return dec, retry
+}
+
+// AttribEntry is one ranked principal in a dump.
+type AttribEntry struct {
+	Key    string     `json:"key"`
+	Units  int64      `json:"units"`
+	Err    int64      `json:"err"`
+	Checks int64      `json:"checks"`
+	Share  float64    `json:"share"` // Units / dimension total
+	Cost   CostVector `json:"cost"`
+}
+
+// AttribDump is the JSON shape of /debug/attrib.
+type AttribDump struct {
+	Enabled    bool                     `json:"enabled"`
+	K          int                      `json:"k"`
+	Checks     int64                    `json:"checks"`
+	TotalUnits int64                    `json:"total_units"`
+	Dimensions map[string][]AttribEntry `json:"dimensions"`
+	Admit      []AdmitStatus            `json:"admit"`
+}
+
+// DumpAttrib snapshots the accountant: up to top entries per dimension
+// (0 means everything tracked) plus the admission table.
+func DumpAttrib(a *Accountant, top int) AttribDump {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := AttribDump{
+		Enabled:    a.enabled.Load(),
+		K:          a.dims[DimTenant].K(),
+		Checks:     a.checks,
+		TotalUnits: a.units,
+		Dimensions: make(map[string][]AttribEntry, len(attribDims)),
+	}
+	for _, dim := range attribDims {
+		sk := a.dims[dim]
+		total := sk.Total()
+		entries := sk.Top(top)
+		out := make([]AttribEntry, 0, len(entries))
+		for _, e := range entries {
+			ae := AttribEntry{Key: e.Key, Units: e.Count, Err: e.Err, Checks: e.Checks, Cost: e.Cost}
+			if total > 0 {
+				ae.Share = float64(e.Count) / float64(total)
+			}
+			out = append(out, ae)
+		}
+		d.Dimensions[dim] = out
+	}
+	d.Admit = a.admit.statuses()
+	sort.Slice(d.Admit, func(i, j int) bool { return d.Admit[i].Tenant < d.Admit[j].Tenant })
+	return d
+}
+
+// Format renders the dump as aligned text (the ?format=text view).
+func (d AttribDump) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attribution: enabled=%v k=%d checks=%d total_units=%d\n",
+		d.Enabled, d.K, d.Checks, d.TotalUnits)
+	for _, dim := range attribDims {
+		entries := d.Dimensions[dim]
+		if len(entries) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s:\n", dim)
+		fmt.Fprintf(&b, "  %-32s %12s %8s %7s %6s %10s %8s %8s\n",
+			"key", "units", "±err", "share", "checks", "wall_ms", "cliques", "worlds")
+		for _, e := range entries {
+			key := e.Key
+			if len(key) > 32 {
+				key = key[:31] + "…"
+			}
+			fmt.Fprintf(&b, "  %-32s %12d %8d %6.1f%% %6d %10.1f %8d %8d\n",
+				key, e.Units, e.Err, 100*e.Share, e.Checks,
+				float64(e.Cost.WallNS)/1e6, e.Cost.Cliques, e.Cost.Worlds)
+		}
+	}
+	if len(d.Admit) > 0 {
+		fmt.Fprintf(&b, "\nadmission:\n")
+		fmt.Fprintf(&b, "  %-24s %-9s %12s %10s %12s %10s\n",
+			"tenant", "decision", "units/s", "burst", "level", "retry_ms")
+		for _, s := range d.Admit {
+			fmt.Fprintf(&b, "  %-24s %-9s %12d %10d %12d %10d\n",
+				s.Tenant, s.Decision, s.UnitsPerSec, s.Burst, s.Level, s.RetryMS)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestAccountant builds an accountant over private stores so tests
+// do not race the process-wide defaults. The returned journal is the
+// overflow/admission event sink.
+func newTestAccountant(k int) (*Accountant, *Journal) {
+	reg := NewRegistry()
+	ws := NewWindowSet(reg, DefaultWindowConfig)
+	j := NewJournal(256)
+	return NewAccountant(k, ws, j), j
+}
+
+func TestPrincipalContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := PrincipalFrom(ctx); ok {
+		t.Fatal("empty context should carry no principal")
+	}
+	ctx = WithPrincipal(ctx, "acme", "q1()")
+	p, ok := PrincipalFrom(ctx)
+	if !ok || p.Tenant != "acme" || p.Query != "q1()" {
+		t.Fatalf("PrincipalFrom = %+v, %v", p, ok)
+	}
+	if got := ResolvePrincipal(ctx); got.Tenant != "acme" {
+		t.Fatalf("ResolvePrincipal = %+v", got)
+	}
+	// No principal: tenant falls back to the process default.
+	if got := ResolvePrincipal(context.Background()); got.Tenant != "anon" {
+		t.Fatalf("default tenant = %q, want anon", got.Tenant)
+	}
+	SetDefaultTenant("batch-7")
+	defer SetDefaultTenant("")
+	if got := ResolvePrincipal(context.Background()); got.Tenant != "batch-7" {
+		t.Fatalf("default tenant = %q, want batch-7", got.Tenant)
+	}
+}
+
+func TestCostVectorUnits(t *testing.T) {
+	if u := (CostVector{}).Units(); u != 1 {
+		t.Errorf("zero vector Units = %d, want 1 (every check is billable)", u)
+	}
+	v := CostVector{WallNS: 5000, Cliques: 3, Worlds: 2, PlanProbes: 128}
+	if u := v.Units(); u != 5+3+2+2 {
+		t.Errorf("Units = %d, want 12", u)
+	}
+	var sum CostVector
+	sum.Add(v)
+	sum.Add(CostVector{WallNS: 1000, CacheHits: 4, SweepReplays: 1})
+	if sum.WallNS != 6000 || sum.CacheHits != 4 || sum.SweepReplays != 1 || sum.Cliques != 3 {
+		t.Errorf("Add folded wrong: %+v", sum)
+	}
+}
+
+func TestAccountantRecordAndDump(t *testing.T) {
+	a, _ := newTestAccountant(8)
+	rec := func(tenant, class, algo string, wallUS int64) {
+		a.Record(CheckCost{
+			Principal:   Principal{Tenant: tenant, Query: "q()"},
+			Class:       class,
+			Constraints: "fd2/ind1",
+			Algo:        algo,
+			Cost:        CostVector{WallNS: wallUS * 1000},
+		})
+	}
+	rec("acme", "PTIME", "opt", 100)
+	rec("acme", "PTIME", "opt", 200)
+	rec("globex", "CoNP-complete", "naive", 50)
+	d := DumpAttrib(a, 10)
+	if d.Checks != 3 {
+		t.Fatalf("Checks = %d, want 3", d.Checks)
+	}
+	tenants := d.Dimensions[DimTenant]
+	if len(tenants) != 2 || tenants[0].Key != "acme" || tenants[0].Units != 300 {
+		t.Fatalf("tenant ranking wrong: %+v", tenants)
+	}
+	if tenants[0].Checks != 2 || tenants[0].Share <= tenants[1].Share {
+		t.Fatalf("tenant entry fields wrong: %+v", tenants)
+	}
+	if got := d.Dimensions[DimClass][0].Key; got != "PTIME" {
+		t.Fatalf("top class = %q", got)
+	}
+	if got := d.Dimensions[DimAlgo][0].Key; got != "opt" {
+		t.Fatalf("top algo = %q", got)
+	}
+	if got := d.Dimensions[DimConstraints][0].Key; got != "fd2/ind1" {
+		t.Fatalf("top constraints = %q", got)
+	}
+	// Text rendering covers every dimension and the header counters.
+	text := d.Format()
+	for _, want := range []string{"checks=3", "tenant:", "acme", "class:", "PTIME", "algo:", "opt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAccountantDisabled(t *testing.T) {
+	a, _ := newTestAccountant(8)
+	a.SetEnabled(false)
+	a.Record(CheckCost{Principal: Principal{Tenant: "x"}, Cost: CostVector{WallNS: 1000}})
+	if d := DumpAttrib(a, 0); d.Checks != 0 || d.Enabled {
+		t.Fatalf("disabled accountant recorded: %+v", d)
+	}
+	a.SetEnabled(true)
+	a.Record(CheckCost{Principal: Principal{Tenant: "x"}, Cost: CostVector{WallNS: 1000}})
+	if d := DumpAttrib(a, 0); d.Checks != 1 {
+		t.Fatalf("re-enabled accountant did not record: %+v", d)
+	}
+}
+
+// TestAccountantOverflowJournaled is the no-silent-caps satellite: when
+// the sketch displaces a principal, the eviction counter moves and an
+// attrib_overflow event lands in the journal with the evicted key.
+func TestAccountantOverflowJournaled(t *testing.T) {
+	a, j := newTestAccountant(2)
+	for i, tenant := range []string{"t-a", "t-b", "t-c", "t-d"} {
+		a.Record(CheckCost{
+			Principal: Principal{Tenant: tenant, Query: "q()"},
+			Cost:      CostVector{WallNS: int64(i+1) * 10_000},
+		})
+	}
+	// k=2: t-c displaced the min (t-a), t-d displaced the next min.
+	if got := a.wEvictions.Value(); got < 2 {
+		t.Fatalf("eviction counter = %d, want >= 2", got)
+	}
+	var overflow []Event
+	for _, e := range j.Snapshot() {
+		if e.Type == EvAttribOverflow {
+			overflow = append(overflow, e)
+		}
+	}
+	if len(overflow) < 2 {
+		t.Fatalf("journal holds %d attrib_overflow events, want >= 2", len(overflow))
+	}
+	attrs := make(map[string]any)
+	for _, f := range overflow[0].Attrs {
+		attrs[f.Key] = f.Val
+	}
+	if attrs["dimension"] != DimTenant {
+		t.Errorf("overflow event dimension = %v, want tenant", attrs["dimension"])
+	}
+	if attrs["evicted"] != "t-a" {
+		t.Errorf("overflow event evicted = %v, want t-a", attrs["evicted"])
+	}
+	if attrs["replaced_by"] != "t-c" {
+		t.Errorf("overflow event replaced_by = %v, want t-c", attrs["replaced_by"])
+	}
+}
+
+// TestAdmitStateMachine drives a tenant's bucket through
+// OK → THROTTLE → SHED and back on an injected clock.
+func TestAdmitStateMachine(t *testing.T) {
+	a, j := newTestAccountant(8)
+	now := time.Unix(1000, 0)
+	a.SetNow(func() time.Time { return now })
+	a.SetBudget("acme", 100, 100) // 100 units/s, burst 100
+	p := Principal{Tenant: "acme"}
+
+	if dec, retry := a.Admit(p); dec != AdmitOK || retry != 0 {
+		t.Fatalf("fresh bucket: %v %v, want OK", dec, retry)
+	}
+	// Spend the burst and dip into debt: level 100 → -50 ⇒ THROTTLE.
+	a.Record(CheckCost{Principal: p, Cost: CostVector{WallNS: 150 * 1000}})
+	dec, retry := a.Admit(p)
+	if dec != AdmitThrottle {
+		t.Fatalf("overdrawn bucket: %v, want THROTTLE", dec)
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retryAfter = %v, want %v (50 units at 100/s)", retry, want)
+	}
+	// Dig past -burst ⇒ SHED. Debt clamps at -2*burst.
+	a.Record(CheckCost{Principal: p, Cost: CostVector{WallNS: 500 * 1000}})
+	if dec, _ = a.Admit(p); dec != AdmitShed {
+		t.Fatalf("deep debt: %v, want SHED", dec)
+	}
+	// Refill: 2 seconds at 100/s clears the clamped -200 debt back to 0,
+	// one more tick makes it positive.
+	now = now.Add(2100 * time.Millisecond)
+	if dec, _ = a.Admit(p); dec != AdmitOK {
+		t.Fatalf("after refill: %v, want OK", dec)
+	}
+
+	// Decision transitions were journaled (ok→throttle, throttle→shed),
+	// and the decision counter moved for every Admit call.
+	var transitions []string
+	for _, e := range j.Snapshot() {
+		if e.Type == EvAdmitDecision {
+			for _, f := range e.Attrs {
+				if f.Key == "decision" {
+					transitions = append(transitions, fmt.Sprint(f.Val))
+				}
+			}
+		}
+	}
+	if len(transitions) != 2 || transitions[0] != "throttle" || transitions[1] != "shed" {
+		t.Fatalf("journaled transitions = %v, want [throttle shed]", transitions)
+	}
+
+	// The dump's admission table reports the bucket.
+	d := DumpAttrib(a, 0)
+	if len(d.Admit) != 1 || d.Admit[0].Tenant != "acme" || d.Admit[0].UnitsPerSec != 100 {
+		t.Fatalf("admission statuses = %+v", d.Admit)
+	}
+}
+
+func TestAdmitUnmeteredAndDefaultBudget(t *testing.T) {
+	a, _ := newTestAccountant(8)
+	now := time.Unix(2000, 0)
+	a.SetNow(func() time.Time { return now })
+	// No budget anywhere: always OK, never journaled.
+	if dec, _ := a.Admit(Principal{Tenant: "free"}); dec != AdmitOK {
+		t.Fatalf("unmetered tenant: %v, want OK", dec)
+	}
+	// Default budget applies to tenants without their own.
+	a.SetBudget("", 10, 10)
+	p := Principal{Tenant: "newcomer"}
+	a.Record(CheckCost{Principal: p, Cost: CostVector{WallNS: 15 * 1000}})
+	if dec, _ := a.Admit(p); dec != AdmitThrottle {
+		t.Fatalf("default-budget tenant after overdraw: %v, want THROTTLE", dec)
+	}
+	// Tenant "" resolves through the process default name, not a budget
+	// key: Admit on an empty tenant uses the anon bucket.
+	if dec, _ := a.Admit(Principal{}); dec != AdmitOK {
+		t.Fatalf("anon tenant fresh bucket: %v, want OK", dec)
+	}
+}
+
+// TestAccountantConcurrent hammers Record/Admit/DumpAttrib from
+// parallel goroutines — the -race acceptance for the accountant itself
+// (the HTTP surface variant lives in http_health_test.go).
+func TestAccountantConcurrent(t *testing.T) {
+	a, _ := newTestAccountant(4)
+	a.SetBudget("", 1000, 1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := Principal{Tenant: fmt.Sprintf("t%d", (g+i)%16), Query: "q()"}
+				a.Record(CheckCost{Principal: p, Class: "PTIME", Algo: "opt",
+					Cost: CostVector{WallNS: int64(i) * 100}})
+				if i%7 == 0 {
+					_, _ = a.Admit(p)
+				}
+				if i%31 == 0 {
+					_ = DumpAttrib(a, 4)
+					_ = DumpAttrib(a, 0).Format()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d := DumpAttrib(a, 0)
+	if d.Checks != 8*500 {
+		t.Fatalf("Checks = %d, want %d", d.Checks, 8*500)
+	}
+	if len(d.Dimensions[DimTenant]) != 4 {
+		t.Fatalf("tenant sketch tracks %d keys, want k=4", len(d.Dimensions[DimTenant]))
+	}
+}

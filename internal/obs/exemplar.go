@@ -22,6 +22,8 @@ type Exemplar struct {
 	Duration  int64     `json:"duration_ns"`
 	Verdict   string    `json:"verdict"`
 	Algorithm string    `json:"algorithm,omitempty"`
+	Class     string    `json:"class,omitempty"`  // data-complexity class of (query, constraints)
+	Tenant    string    `json:"tenant,omitempty"` // attribution principal the check was billed to
 	Options   string    `json:"options,omitempty"`
 	Stages    []StageNS `json:"stages,omitempty"`
 	Witness   string    `json:"witness,omitempty"`
@@ -150,6 +152,12 @@ func (e Exemplar) Format() string {
 		fmt.Fprintf(&b, "  algorithm=%s", e.Algorithm)
 	}
 	fmt.Fprintf(&b, "  verdict=%s", e.Verdict)
+	if e.Class != "" {
+		fmt.Fprintf(&b, "  class=%s", e.Class)
+	}
+	if e.Tenant != "" {
+		fmt.Fprintf(&b, "  tenant=%s", e.Tenant)
+	}
 	if e.Options != "" {
 		fmt.Fprintf(&b, "  %s", e.Options)
 	}

@@ -70,13 +70,23 @@ func TestExemplarFormat(t *testing.T) {
 	e := Exemplar{
 		TraceID: 42, Name: "q1", Duration: int64(12 * time.Millisecond),
 		Verdict: "violated", Algorithm: "opt",
+		Class: "PTIME", Tenant: "tenant-a",
 		Stages:  []StageNS{{Name: "precheck", NS: int64(4 * time.Millisecond)}},
 		Witness: "pending [3 7]",
 	}
 	out := e.Format()
-	for _, want := range []string{"q1", "trace=42", "algorithm=opt", "verdict=violated", "precheck", "witness: pending [3 7]"} {
+	for _, want := range []string{"q1", "trace=42", "algorithm=opt", "verdict=violated",
+		"class=PTIME", "tenant=tenant-a", "precheck", "witness: pending [3 7]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Class and tenant are optional decorations: absent fields render
+	// nothing rather than empty key=value noise.
+	bare := Exemplar{TraceID: 1, Name: "q2", Verdict: "satisfied"}.Format()
+	for _, not := range []string{"class=", "tenant="} {
+		if strings.Contains(bare, not) {
+			t.Errorf("Format rendered empty field %q:\n%s", not, bare)
 		}
 	}
 }

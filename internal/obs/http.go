@@ -24,6 +24,8 @@ import (
 //	                   newest N events, ?trace=ID for one check's events)
 //	/debug/slow        slow-check exemplars: the N slowest plus every
 //	                   undecided check (JSON; ?format=text renders blocks)
+//	/debug/attrib      per-principal cost attribution and admission
+//	                   state (JSON; ?format=text, ?top=N per dimension)
 //	/debug/pprof/      the standard pprof index, plus cmdline/profile/
 //	                   symbol/trace
 //	/                  a plain-text index of the above
@@ -45,6 +47,7 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/journal", serveJournal)
 	mux.HandleFunc("/debug/slow", serveSlow)
 	mux.HandleFunc("/debug/timeseries", serveTimeseries)
+	mux.HandleFunc("/debug/attrib", serveAttrib)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,6 +67,7 @@ func NewIntrospectionMux(reg *Registry) *http.ServeMux {
 			"  /debug/vars        expvar JSON\n" +
 			"  /debug/journal     flight-recorder event journal (?format=text, ?n=, ?trace=)\n" +
 			"  /debug/slow        slow-check and undecided exemplars (?format=text)\n" +
+			"  /debug/attrib      per-principal cost attribution and admission state (?format=text, ?top=)\n" +
 			"  /debug/pprof/      pprof profiles\n"))
 	})
 	return mux
@@ -220,6 +224,29 @@ func serveTimeseries(w http.ResponseWriter, r *http.Request) {
 	d := DefaultWindows.Dump(cursor, maxSeries)
 	rep := DefaultHealth.Evaluate()
 	d.Health = &rep
+	writeJSON(w, d)
+}
+
+// serveAttrib dumps the DefaultAccountant: ranked principals per
+// dimension plus the admission table. ?top=N caps entries per
+// dimension (default 16, 0 for everything tracked); ?format=text
+// renders aligned tables.
+func serveAttrib(w http.ResponseWriter, r *http.Request) {
+	top := 16
+	if s := r.URL.Query().Get("top"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad top: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		top = v
+	}
+	d := DumpAttrib(DefaultAccountant, top)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(d.Format()))
+		return
+	}
 	writeJSON(w, d)
 }
 

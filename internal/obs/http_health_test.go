@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -214,6 +215,14 @@ func TestIntrospectionSurfaceUnderConcurrentLoad(t *testing.T) {
 					TraceID: id, Name: "hammer", Verdict: "satisfied",
 					Duration: int64(i % 977),
 				})
+				// Attribution writers: more distinct tenants than the
+				// sketch holds, so reads race with displacement too.
+				DefaultAccountant.Record(CheckCost{
+					Principal: Principal{Tenant: fmt.Sprintf("hammer-%d-%d", g, i%100), Query: "qh()"},
+					Class:     "PTIME", Constraints: "fd1/ind0", Algo: "opt",
+					Cost: CostVector{WallNS: int64(i%977) * 1000, Cliques: int64(i % 7)},
+				})
+				_, _ = DefaultAccountant.Admit(Principal{Tenant: "hammer-admit"})
 			}
 		}(g)
 	}
@@ -222,6 +231,7 @@ func TestIntrospectionSurfaceUnderConcurrentLoad(t *testing.T) {
 	paths := []string{
 		"/metrics", "/debug/journal?n=50", "/debug/slow",
 		"/debug/timeseries", "/debug/timeseries?cursor=1&series=10",
+		"/debug/attrib", "/debug/attrib?format=text&top=4",
 		"/healthz", "/readyz",
 	}
 	var readers sync.WaitGroup

@@ -71,6 +71,14 @@ const (
 	// Commands and the obs layer itself.
 	MetricChainHeight    = "bcnode_chain_height"
 	MetricJournalDropped = "obs_journal_dropped_total"
+
+	// Per-principal cost attribution and admission control (attrib.go,
+	// admit.go).
+	MetricAttribCostUnits = "obs_attrib_cost_units_total"
+	MetricAttribChecks    = "obs_attrib_checks_total"
+	MetricAttribEvictions = "obs_attrib_evictions_total"
+	MetricAttribTracked   = "obs_attrib_tracked_principals"
+	MetricAdmitDecisions  = "obs_admit_decisions_total"
 )
 
 // Journal event types.
@@ -96,6 +104,10 @@ const (
 	EvGossipRecv = "gossip_recv"
 
 	EvDatasetGenerated = "dataset_generated"
+
+	// Attribution and admission (attrib.go, admit.go).
+	EvAttribOverflow = "attrib_overflow"
+	EvAdmitDecision  = "admit_decision"
 )
 
 // knownMetricNames lists every canonical metric name. names_test.go
@@ -120,6 +132,8 @@ var knownMetricNames = []string{
 	MetricUTXOOutputs, MetricBlockAssemblyNS,
 	MetricGossipTx, MetricGossipBlock, MetricLinkDelayTicks,
 	MetricChainHeight, MetricJournalDropped,
+	MetricAttribCostUnits, MetricAttribChecks, MetricAttribEvictions,
+	MetricAttribTracked, MetricAdmitDecisions,
 }
 
 // knownEventNames lists every canonical journal event type.
@@ -128,7 +142,7 @@ var knownEventNames = []string{
 	EvCachedComponent, EvMonitorAdd, EvMonitorDrop, EvMonitorCommit,
 	EvMonitorCommitExternal, EvMonitorCacheClear, EvMempoolAccept,
 	EvMempoolReject, EvMempoolEvict, EvMinerBlock, EvGossipSend,
-	EvGossipRecv, EvDatasetGenerated,
+	EvGossipRecv, EvDatasetGenerated, EvAttribOverflow, EvAdmitDecision,
 }
 
 // KnownMetricNames returns the canonical metric-name table as a set.

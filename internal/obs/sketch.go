@@ -1,0 +1,119 @@
+package obs
+
+import "sort"
+
+// Space-saving top-K heavy-hitter sketch (Metwally, Agrawal, El Abbadi:
+// "Efficient Computation of Frequent and Top-k Elements in Data
+// Streams"), generalized to weighted increments. The Accountant keys
+// one sketch per attribution dimension (tenant, query, class,
+// constraint set, algorithm), so per-principal spend stays rankable
+// under bounded memory no matter how many distinct principals a
+// multi-tenant deployment produces.
+//
+// Invariants the classic analysis gives (and sketch_test.go
+// property-tests under adversarial insert orders):
+//
+//   - the sum of all tracked counts equals the total weight N ever
+//     added, so the minimum tracked count is ≤ N/k;
+//   - every key whose true weight exceeds N/k is tracked;
+//   - for a tracked key, Count overestimates the true weight by at most
+//     Err, and Err is the minimum tracked count at the moment the key
+//     displaced it — never more than N/k.
+//
+// Not internally locked: the owning Accountant serializes access.
+
+// SketchEntry is one tracked key: its (over)estimated weight, the
+// overestimation bound inherited from the entry it displaced, and the
+// observations folded in since the key entered the sketch.
+type SketchEntry struct {
+	Key    string     `json:"key"`
+	Count  int64      `json:"units"` // estimated total weight; true ∈ [Count-Err, Count]
+	Err    int64      `json:"err"`   // overestimation bound
+	Checks int64      `json:"checks"`
+	Cost   CostVector `json:"cost"` // exact sums since the key entered the sketch
+}
+
+// SpaceSaving is the sketch itself: at most k tracked keys.
+type SpaceSaving struct {
+	k     int
+	items map[string]*SketchEntry
+	total int64 // N: total weight ever added
+
+	// onEvict, when set, observes every displacement: the evicted key
+	// and the key that replaced it. The Accountant uses it to surface
+	// cardinality overflow (metric + journal) instead of dropping keys
+	// silently.
+	onEvict func(evicted, replacedBy string)
+}
+
+// NewSpaceSaving creates a sketch tracking at most k keys (minimum 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, items: make(map[string]*SketchEntry, k)}
+}
+
+// Add folds one weighted observation (with its cost vector) into the
+// sketch. Zero and negative weights still count the observation but add
+// no weight. Returns true when the key displaced another (cardinality
+// overflow).
+func (s *SpaceSaving) Add(key string, weight int64, cost CostVector) bool {
+	if weight < 0 {
+		weight = 0
+	}
+	s.total += weight
+	if e, ok := s.items[key]; ok {
+		e.Count += weight
+		e.Checks++
+		e.Cost.Add(cost)
+		return false
+	}
+	if len(s.items) < s.k {
+		s.items[key] = &SketchEntry{Key: key, Count: weight, Checks: 1, Cost: cost}
+		return false
+	}
+	// Displace the minimum-count entry: the newcomer inherits its count
+	// as the overestimation bound (it may have accrued up to that much
+	// weight while untracked).
+	var min *SketchEntry
+	for _, e := range s.items {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key < min.Key) {
+			min = e
+		}
+	}
+	delete(s.items, min.Key)
+	s.items[key] = &SketchEntry{Key: key, Count: min.Count + weight, Err: min.Count, Checks: 1, Cost: cost}
+	if s.onEvict != nil {
+		s.onEvict(min.Key, key)
+	}
+	return true
+}
+
+// Top returns up to n tracked entries, highest count first (key order
+// breaking ties so dumps are deterministic). n <= 0 returns everything.
+func (s *SpaceSaving) Top(n int) []SketchEntry {
+	out := make([]SketchEntry, 0, len(s.items))
+	for _, e := range s.items {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.items) }
+
+// Total returns N, the total weight ever added.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// K returns the capacity.
+func (s *SpaceSaving) K() int { return s.k }

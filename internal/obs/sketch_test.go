@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkSpaceSavingBounds asserts the classic space-saving guarantees
+// against an exact reference count: every key whose true weight exceeds
+// N/k is tracked, and every tracked key's Count overestimates its true
+// weight by at most Err, with Err ≤ the minimum tracked count ≤ N/k.
+func checkSpaceSavingBounds(t *testing.T, s *SpaceSaving, truth map[string]int64) {
+	t.Helper()
+	var n int64
+	for _, w := range truth {
+		n += w
+	}
+	if s.Total() != n {
+		t.Fatalf("Total = %d, want %d", s.Total(), n)
+	}
+	entries := s.Top(0)
+	var sum, minCount int64
+	tracked := make(map[string]SketchEntry, len(entries))
+	for i, e := range entries {
+		sum += e.Count
+		minCount = e.Count // Top is descending; last is the minimum
+		tracked[e.Key] = e
+		if i > 0 && entries[i-1].Count < e.Count {
+			t.Fatalf("Top not sorted: %d before %d", entries[i-1].Count, e.Count)
+		}
+	}
+	// Counts conserve mass: the sum of tracked counts is exactly N.
+	if len(entries) > 0 && sum != n {
+		t.Fatalf("sum of tracked counts = %d, want N = %d", sum, n)
+	}
+	threshold := n / int64(s.K())
+	if len(entries) == int(s.K()) && minCount > threshold {
+		t.Fatalf("min tracked count %d > N/k = %d", minCount, threshold)
+	}
+	for key, w := range truth {
+		e, ok := tracked[key]
+		if w > threshold && !ok {
+			t.Fatalf("heavy hitter %q (true %d > N/k %d) not tracked", key, w, threshold)
+		}
+		if !ok {
+			continue
+		}
+		if e.Count < w {
+			t.Fatalf("key %q underestimated: Count %d < true %d", key, e.Count, w)
+		}
+		if e.Count-w > e.Err {
+			t.Fatalf("key %q overestimate %d exceeds Err %d", key, e.Count-w, e.Err)
+		}
+		if e.Err > threshold {
+			t.Fatalf("key %q Err %d > N/k %d", key, e.Err, threshold)
+		}
+	}
+}
+
+// TestSpaceSavingErrorBounds property-tests the sketch under
+// adversarial insert orders: skewed, uniform, heavy-hitters-last (the
+// worst case for a top-K cache), alternating, and random, across
+// several k values and random weight streams.
+func TestSpaceSavingErrorBounds(t *testing.T) {
+	type stream func(rng *rand.Rand, nKeys, nOps int) []struct {
+		key string
+		w   int64
+	}
+	mk := func(key string, w int64) struct {
+		key string
+		w   int64
+	} {
+		return struct {
+			key string
+			w   int64
+		}{key, w}
+	}
+	orders := map[string]stream{
+		// Zipf-ish skew: key i gets weight ~ 1/(i+1), shuffled.
+		"skewed-shuffled": func(rng *rand.Rand, nKeys, nOps int) (ops []struct {
+			key string
+			w   int64
+		}) {
+			for op := 0; op < nOps; op++ {
+				i := int(float64(nKeys) * rng.Float64() * rng.Float64())
+				if i >= nKeys {
+					i = nKeys - 1
+				}
+				ops = append(ops, mk(fmt.Sprintf("k%03d", i), 1+rng.Int63n(50)))
+			}
+			return ops
+		},
+		// Uniform churn: every key equally likely, far more keys than k.
+		"uniform": func(rng *rand.Rand, nKeys, nOps int) (ops []struct {
+			key string
+			w   int64
+		}) {
+			for op := 0; op < nOps; op++ {
+				ops = append(ops, mk(fmt.Sprintf("k%03d", rng.Intn(nKeys)), 1+rng.Int63n(10)))
+			}
+			return ops
+		},
+		// Adversarial: fill with nKeys distinct light keys first, then
+		// deliver the heavy hitters — they must displace their way in.
+		"heavy-last": func(rng *rand.Rand, nKeys, nOps int) (ops []struct {
+			key string
+			w   int64
+		}) {
+			for i := 0; i < nKeys; i++ {
+				ops = append(ops, mk(fmt.Sprintf("light%03d", i), 1))
+			}
+			for op := 0; op < nOps; op++ {
+				ops = append(ops, mk(fmt.Sprintf("heavy%d", op%3), 20+rng.Int63n(30)))
+			}
+			return ops
+		},
+		// Alternating pair storm: two heavy keys take turns with a tail
+		// of singletons trying to evict them.
+		"alternating": func(rng *rand.Rand, nKeys, nOps int) (ops []struct {
+			key string
+			w   int64
+		}) {
+			for op := 0; op < nOps; op++ {
+				switch op % 4 {
+				case 0:
+					ops = append(ops, mk("A", 25))
+				case 2:
+					ops = append(ops, mk("B", 25))
+				default:
+					ops = append(ops, mk(fmt.Sprintf("tail%04d", op), 1))
+				}
+			}
+			return ops
+		},
+	}
+	for name, gen := range orders {
+		for _, k := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(k)*1000 + int64(len(name))))
+				for trial := 0; trial < 5; trial++ {
+					s := NewSpaceSaving(k)
+					truth := make(map[string]int64)
+					for _, op := range gen(rng, 120, 2000) {
+						s.Add(op.key, op.w, CostVector{WallNS: op.w})
+						truth[op.key] += op.w
+					}
+					checkSpaceSavingBounds(t, s, truth)
+				}
+			})
+		}
+	}
+}
+
+func TestSpaceSavingTracksExactWithinCapacity(t *testing.T) {
+	s := NewSpaceSaving(8)
+	truth := map[string]int64{"a": 100, "b": 50, "c": 25}
+	for key, w := range truth {
+		s.Add(key, w, CostVector{})
+	}
+	for _, e := range s.Top(0) {
+		if e.Err != 0 {
+			t.Errorf("key %q has Err %d without any eviction", e.Key, e.Err)
+		}
+		if e.Count != truth[e.Key] {
+			t.Errorf("key %q Count %d, want exact %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSpaceSavingEvictionCallbackAndCost(t *testing.T) {
+	s := NewSpaceSaving(2)
+	var evictions [][2]string
+	s.onEvict = func(evicted, replacedBy string) {
+		evictions = append(evictions, [2]string{evicted, replacedBy})
+	}
+	s.Add("a", 10, CostVector{Cliques: 1})
+	s.Add("b", 1, CostVector{Cliques: 2})
+	if displaced := s.Add("c", 5, CostVector{Cliques: 3}); !displaced {
+		t.Fatal("third key into k=2 sketch should displace")
+	}
+	if len(evictions) != 1 || evictions[0] != [2]string{"b", "c"} {
+		t.Fatalf("evictions = %v, want [[b c]]", evictions)
+	}
+	top := s.Top(0)
+	if len(top) != 2 || top[0].Key != "a" {
+		t.Fatalf("Top = %+v, want a first", top)
+	}
+	// The newcomer inherits the displaced minimum as count base and Err.
+	c := top[1]
+	if c.Key != "c" || c.Count != 6 || c.Err != 1 {
+		t.Fatalf("newcomer entry = %+v, want Count=6 Err=1", c)
+	}
+	// Cost vectors are exact since entry: only c's own cost, not b's.
+	if c.Cost.Cliques != 3 {
+		t.Fatalf("newcomer cost = %+v, want Cliques=3", c.Cost)
+	}
+}
+
+func TestSpaceSavingTopN(t *testing.T) {
+	s := NewSpaceSaving(16)
+	for i := 0; i < 10; i++ {
+		s.Add(fmt.Sprintf("k%d", i), int64(i+1), CostVector{})
+	}
+	top3 := s.Top(3)
+	if len(top3) != 3 {
+		t.Fatalf("Top(3) returned %d entries", len(top3))
+	}
+	wantKeys := []string{"k9", "k8", "k7"}
+	for i, e := range top3 {
+		if e.Key != wantKeys[i] {
+			t.Errorf("Top(3)[%d] = %q, want %q", i, e.Key, wantKeys[i])
+		}
+	}
+	all := s.Top(0)
+	if len(all) != 10 {
+		t.Fatalf("Top(0) returned %d entries, want all 10", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	}) {
+		t.Error("Top(0) not in deterministic descending order")
+	}
+}

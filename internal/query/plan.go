@@ -363,11 +363,21 @@ type Scratch struct {
 	lookups int64
 	scans   int64
 	probes  int64
+
+	// totalProbes survives flushes: the probe count accumulated over the
+	// scratch's lifetime, harvested by the core layer for per-check cost
+	// attribution.
+	totalProbes int64
 }
 
 // NewScratch returns an empty Scratch; it grows to fit whatever plan it
 // runs.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// TotalProbes returns the tuple probes accumulated across every run
+// this scratch has finished — the plan-probe term of a check's cost
+// vector.
+func (sc *Scratch) TotalProbes() int64 { return sc.totalProbes + sc.probes }
 
 func (sc *Scratch) prepare(p *Plan, v relation.View, skipNeg bool, yield func() bool) {
 	sc.plan, sc.view, sc.skipNeg, sc.yield = p, v, skipNeg, yield
@@ -392,6 +402,7 @@ func (sc *Scratch) finish() {
 	mIndexLookups.Add(sc.lookups)
 	mScans.Add(sc.scans)
 	mTuplesProbed.Add(sc.probes)
+	sc.totalProbes += sc.probes
 	sc.lookups, sc.scans, sc.probes = 0, 0, 0
 	sc.plan, sc.view, sc.yield = nil, nil, nil
 }

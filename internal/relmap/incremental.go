@@ -37,7 +37,9 @@ type NodeMonitor struct {
 
 // NewNodeMonitor maps the node's current chain and mempool and wraps
 // them in a core.Monitor. The options are forwarded to core.NewMonitor
-// (and re-applied on every rebuild).
+// (and re-applied on every rebuild) — core.WithTenant, for example,
+// bills every check run through the node monitor to one attribution
+// principal unless the check's context carries its own.
 func NewNodeMonitor(chain *bitcoin.Chain, mempool *bitcoin.Mempool, opts ...core.MonitorOption) (*NodeMonitor, error) {
 	nm := &NodeMonitor{chain: chain, mempool: mempool, opts: opts}
 	if err := nm.rebuild(); err != nil {
