@@ -215,14 +215,6 @@ func (d *Database) Check(ctx context.Context, q *Query, opts Options) (*Result, 
 	return core.Check(ctx, d.db, q, opts)
 }
 
-// CheckContext is the old name for the context-first entrypoint.
-//
-// Deprecated: Check now takes the context as its first parameter; call
-// Check directly.
-func (d *Database) CheckContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
-	return d.Check(ctx, q, opts)
-}
-
 // Classify reports the data complexity of checking this query class
 // against this database's constraint types, per Theorems 1–2.
 func (d *Database) Classify(q *Query) Complexity {

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -82,14 +81,11 @@ func main() {
 	}
 	heightGauge := obs.Default.Gauge(obs.MetricChainHeight, "best chain height at the home node")
 	if *listen != "" {
-		obs.PublishExpvar("blockchaindb", obs.Default)
-		srv := &http.Server{Addr: *listen, Handler: obs.NewIntrospectionMux(obs.Default)}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fatal(err)
-			}
-		}()
-		logger.Info("introspection listening", "addr", *listen)
+		if _, addr, err := obs.Serve(*listen, obs.Default, fatal, nil); err != nil {
+			fatal(err)
+		} else {
+			logger.Info("introspection listening", "addr", addr.String())
+		}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

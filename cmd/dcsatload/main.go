@@ -1,0 +1,269 @@
+// Command dcsatload drives a running dcsatd with multi-tenant check
+// traffic and reports sustained throughput with latency percentiles.
+//
+//	dcsatd -listen :8080 &
+//	dcsatload -addr http://127.0.0.1:8080 -tenants 3 -concurrency 4 -duration 5s
+//
+// Each tenant is registered with a server-generated Bitcoin-shaped
+// workload (varying seed); the planted constants in the register
+// response instantiate a hot query (planted double-spend key — every
+// check finds a violation witness) and a cold query (absent key —
+// every check proves satisfaction). Workers then run closed-loop
+// checks, mixing hot and cold by -hot, and periodically stream
+// mempool deltas (add a fresh TxOut transaction, drop an old one) so
+// the monitors see churn, not a frozen pending set. With -budget set,
+// tenants run over budget on purpose and the throttle/shed counters
+// exercise the admission path. The summary JSON on stdout is the
+// shape committed as BENCH_9.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"blockchaindb/dcsatd/api"
+	"blockchaindb/dcsatd/client"
+)
+
+type summary struct {
+	Addr        string  `json:"addr"`
+	Tenants     int     `json:"tenants"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	HotFraction float64 `json:"hot_fraction"`
+	Budget      int64   `json:"budget_units_per_sec,omitempty"`
+
+	Served       int64   `json:"served"`
+	Violated     int64   `json:"violated"`
+	Satisfied    int64   `json:"satisfied"`
+	Undecided    int64   `json:"undecided"`
+	Throttled    int64   `json:"throttled"`
+	Shed         int64   `json:"shed"`
+	Backpressure int64   `json:"backpressure"`
+	Errors       int64   `json:"errors"`
+	DeltaOps     int64   `json:"delta_ops"`
+	ChecksPerSec float64 `json:"checks_per_sec"`
+	P50us        float64 `json:"p50_us"`
+	P90us        float64 `json:"p90_us"`
+	P99us        float64 `json:"p99_us"`
+}
+
+type workerStats struct {
+	summary
+	latencies []time.Duration
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the dcsatd instance")
+		tenants     = flag.Int("tenants", 3, "tenants to register and drive")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers per tenant")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to sustain the load")
+		hot         = flag.Float64("hot", 0.5, "fraction of checks on the hot (violated) query; the rest hit the cold (satisfied) one")
+		budget      = flag.Int64("budget", 0, "admission budget in cost units/sec per tenant (0 = unmetered)")
+		burst       = flag.Int64("burst", 0, "admission burst per tenant (0 = same as budget)")
+		timeoutMS   = flag.Int64("timeout-ms", 1000, "per-check deadline sent in the request")
+		deltaEvery  = flag.Int("delta-every", 20, "stream a mempool delta batch every N checks per worker (0 disables)")
+		seed        = flag.Int64("seed", 1, "workload and traffic seed")
+		out         = flag.String("out", "", "also write the summary JSON to this file")
+	)
+	flag.Parse()
+
+	c := client.New(*addr)
+	ctx := context.Background()
+	if err := waitHealthy(ctx, c, 5*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsatload:", err)
+		os.Exit(1)
+	}
+
+	// Register tenants. The hot/cold queries need the planted
+	// constants, which only exist once the server has generated the
+	// workload, so they are sent inline with each check.
+	type target struct {
+		name     string
+		hotQ     string
+		coldQ    string
+		txidBase int64
+	}
+	targets := make([]target, *tenants)
+	for i := range targets {
+		name := fmt.Sprintf("load-%d", i)
+		resp, err := c.Register(ctx, &api.RegisterRequest{
+			Tenant:            name,
+			Workload:          &api.WorkloadSpec{Seed: *seed + int64(i)},
+			BudgetUnitsPerSec: *budget,
+			BudgetBurst:       *burst,
+		})
+		if err != nil {
+			var ae *api.Error
+			if errors.As(err, &ae) && ae.Code == api.CodeConflict {
+				fmt.Fprintf(os.Stderr, "dcsatload: tenant %s already registered (stale run?); deregister or restart dcsatd\n", name)
+			} else {
+				fmt.Fprintln(os.Stderr, "dcsatload: register:", err)
+			}
+			os.Exit(1)
+		}
+		if resp.Plant == nil {
+			fmt.Fprintln(os.Stderr, "dcsatload: server returned no plant info; is it older than v1?")
+			os.Exit(1)
+		}
+		targets[i] = target{
+			name:     name,
+			hotQ:     fmt.Sprintf("qs() :- TxOut(ntx, s, '%s', a)", resp.Plant.SimplePk),
+			coldQ:    fmt.Sprintf("qs() :- TxOut(ntx, s, '%s', a)", resp.Plant.AbsentPk),
+			txidBase: 10_000_000,
+		}
+	}
+
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	stats := make([]workerStats, *tenants**concurrency)
+	for ti, tg := range targets {
+		for wi := 0; wi < *concurrency; wi++ {
+			wg.Add(1)
+			go func(slot int, tg target, wseed int64) {
+				defer wg.Done()
+				runWorker(ctx, c, tg.name, tg.hotQ, tg.coldQ, *hot, *timeoutMS, *deltaEvery,
+					tg.txidBase+wseed*100_000, stop, rand.New(rand.NewSource(wseed)), &stats[slot])
+			}(ti**concurrency+wi, tg, *seed+int64(ti**concurrency+wi))
+		}
+	}
+	wg.Wait()
+
+	// Aggregate.
+	total := summary{
+		Addr: *addr, Tenants: *tenants, Concurrency: *concurrency,
+		DurationSec: duration.Seconds(), HotFraction: *hot, Budget: *budget,
+	}
+	var lat []time.Duration
+	for i := range stats {
+		s := &stats[i]
+		total.Served += s.Served
+		total.Violated += s.Violated
+		total.Satisfied += s.Satisfied
+		total.Undecided += s.Undecided
+		total.Throttled += s.Throttled
+		total.Shed += s.Shed
+		total.Backpressure += s.Backpressure
+		total.Errors += s.Errors
+		total.DeltaOps += s.DeltaOps
+		lat = append(lat, s.latencies...)
+	}
+	total.ChecksPerSec = float64(total.Served) / duration.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	total.P50us = pctUS(lat, 0.50)
+	total.P90us = pctUS(lat, 0.90)
+	total.P99us = pctUS(lat, 0.99)
+
+	buf, _ := json.MarshalIndent(&total, "", "  ")
+	fmt.Println(string(buf))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dcsatload: write summary:", err)
+			os.Exit(1)
+		}
+	}
+	if total.Served == 0 {
+		fmt.Fprintln(os.Stderr, "dcsatload: no checks served")
+		os.Exit(1)
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers or the window
+// closes; it lets a just-exec'd dcsatd finish binding.
+func waitHealthy(ctx context.Context, c *client.Client, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		err := c.Healthz(ctx)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy after %s: %w", window, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runWorker is one closed-loop traffic source against one tenant.
+func runWorker(ctx context.Context, c *client.Client, tenant, hotQ, coldQ string, hotFrac float64,
+	timeoutMS int64, deltaEvery int, txidBase int64, stop time.Time, rng *rand.Rand, st *workerStats) {
+	var added []int64
+	nextTxid := txidBase
+	for n := 0; time.Now().Before(stop); n++ {
+		if deltaEvery > 0 && n > 0 && n%deltaEvery == 0 {
+			ops := []api.DeltaOp{{Op: api.OpAdd, Tx: &api.TxSpec{
+				Name:    fmt.Sprintf("load-tx-%d", nextTxid),
+				Inserts: []api.Insert{{Rel: "TxOut", Rows: []api.Row{{nextTxid, int64(1), fmt.Sprintf("LoadPk%d", nextTxid), int64(1)}}}},
+			}}}
+			nextTxid++
+			if len(added) > 8 {
+				ops = append(ops, api.DeltaOp{Op: api.OpDrop, ID: added[0]})
+				added = added[1:]
+			}
+			resp, err := c.Deltas(ctx, tenant, &api.DeltaRequest{Ops: ops})
+			if err == nil {
+				st.DeltaOps += int64(len(resp.Results))
+				if resp.Results[0].Error == "" {
+					added = append(added, resp.Results[0].ID)
+				}
+			}
+		}
+		q := coldQ
+		if rng.Float64() < hotFrac {
+			q = hotQ
+		}
+		start := time.Now()
+		resp, err := c.Check(ctx, tenant, &api.CheckRequest{Query: q, TimeoutMS: timeoutMS})
+		if err != nil {
+			var ae *api.Error
+			if errors.As(err, &ae) {
+				switch ae.Code {
+				case api.CodeThrottled:
+					st.Throttled++
+				case api.CodeShed:
+					st.Shed++
+				case api.CodeBackpressure:
+					st.Backpressure++
+				default:
+					st.Errors++
+				}
+				if ae.IsRetryable() && ae.RetryAfterMS > 0 {
+					wait := time.Duration(min(ae.RetryAfterMS, 200)) * time.Millisecond
+					time.Sleep(wait)
+				}
+			} else {
+				st.Errors++
+			}
+			continue
+		}
+		st.latencies = append(st.latencies, time.Since(start))
+		st.Served++
+		switch {
+		case resp.Undecided:
+			st.Undecided++
+		case resp.Satisfied:
+			st.Satisfied++
+		default:
+			st.Violated++
+		}
+	}
+}
+
+// pctUS returns the p-th percentile of the sorted latencies in
+// microseconds.
+func pctUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:6060", "base URL of the instrumented process (bcnode -listen)")
+	addr := flag.String("addr", "http://127.0.0.1:6060", "base URL of the instrumented process (bcnode -listen or dcsatd -listen)")
 	interval := flag.Duration("interval", 2*time.Second, "poll/redraw interval")
 	frames := flag.Int("frames", 0, "stop after N frames (0 = run until interrupted)")
 	width := flag.Int("width", 100, "frame width in columns")

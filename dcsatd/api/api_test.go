@@ -1,0 +1,191 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGoldenWire pins the v1 wire shapes: marshalling the canonical
+// populated value of each type must produce exactly the JSON below.
+// A failing golden means the wire contract changed — within v1 that
+// is only legal for *added* fields (extend the golden), never for
+// renamed, retyped, or removed ones (mint /v2 instead).
+func TestGoldenWire(t *testing.T) {
+	cases := []struct {
+		name   string
+		value  any
+		golden string
+	}{
+		{
+			name: "RegisterRequest",
+			value: RegisterRequest{
+				Tenant:  "acme",
+				Schemas: []SchemaSpec{{Name: "TxOut", Columns: []string{"txId:int", "ser:int", "pk:string", "amount:int"}}},
+				FDs:     []FDSpec{{Rel: "TxOut", LHS: []string{"txId", "ser"}}},
+				INDs:    []INDSpec{{Rel: "TxIn", Cols: []string{"newTxId"}, RefRel: "TxOut", RefCols: []string{"txId"}}},
+				State: []TxSpec{{Name: "genesis", Inserts: []Insert{
+					{Rel: "TxOut", Rows: []Row{{int64(1), int64(1), "U1Pk", int64(500)}}},
+				}}},
+				Pending:           []TxSpec{{Name: "t1", Inserts: []Insert{{Rel: "TxOut", Rows: []Row{{int64(2), int64(1), "U2Pk", int64(9)}}}}}},
+				Queries:           map[string]string{"qs": "qs() :- TxOut(ntx, s, 'U2Pk', a)"},
+				BudgetUnitsPerSec: 500,
+				BudgetBurst:       1000,
+				CacheEntries:      64,
+				Workers:           2,
+			},
+			golden: `{"tenant":"acme","schemas":[{"name":"TxOut","columns":["txId:int","ser:int","pk:string","amount:int"]}],"fds":[{"rel":"TxOut","lhs":["txId","ser"]}],"inds":[{"rel":"TxIn","cols":["newTxId"],"ref_rel":"TxOut","ref_cols":["txId"]}],"state":[{"name":"genesis","inserts":[{"rel":"TxOut","rows":[[1,1,"U1Pk",500]]}]}],"pending":[{"name":"t1","inserts":[{"rel":"TxOut","rows":[[2,1,"U2Pk",9]]}]}],"queries":{"qs":"qs() :- TxOut(ntx, s, 'U2Pk', a)"},"budget_units_per_sec":500,"budget_burst":1000,"cache_entries":64,"workers":2}`,
+		},
+		{
+			name: "RegisterRequestWorkload",
+			value: RegisterRequest{
+				Tenant:   "load-0",
+				Workload: &WorkloadSpec{Seed: 7, Blocks: 12, TxPerBlock: 6, Users: 40, PendingBlocks: 2, PendingTxPerBlock: 6, Contradictions: 2},
+				Queries:  map[string]string{"hot": "qs() :- TxOut(ntx, s, 'PlantedPk', a)"},
+			},
+			golden: `{"tenant":"load-0","workload":{"seed":7,"blocks":12,"tx_per_block":6,"users":40,"pending_blocks":2,"pending_tx_per_block":6,"contradictions":2},"queries":{"hot":"qs() :- TxOut(ntx, s, 'PlantedPk', a)"}}`,
+		},
+		{
+			name: "RegisterResponse",
+			value: RegisterResponse{
+				Tenant: "acme", StateTuples: 321, Pending: 2, FDs: 2, INDs: 2,
+				PendingIDs: []int64{0, 1}, Queries: []string{"qs"},
+				Plant: &PlantInfo{SimplePk: "U7Pk", AbsentPk: "GhostPk", PathPks: []string{"A", "B"}, StarPk: "S", StarSize: 3, AggPk: "G", AggReachable: 12, AggUnionTotal: 20},
+			},
+			golden: `{"tenant":"acme","state_tuples":321,"pending":2,"fds":2,"inds":2,"pending_ids":[0,1],"queries":["qs"],"plant":{"simple_pk":"U7Pk","absent_pk":"GhostPk","path_pks":["A","B"],"star_pk":"S","star_size":3,"agg_pk":"G","agg_reachable":12,"agg_union_total":20}}`,
+		},
+		{
+			name: "DeltaRequest",
+			value: DeltaRequest{Ops: []DeltaOp{
+				{Op: OpAdd, Tx: &TxSpec{Name: "t9", Inserts: []Insert{{Rel: "TxOut", Rows: []Row{{int64(9), int64(1), "U9Pk", int64(4)}}}}}},
+				{Op: OpDrop, ID: 3},
+				{Op: OpCommit, ID: 4},
+			}},
+			golden: `{"ops":[{"op":"add","tx":{"name":"t9","inserts":[{"rel":"TxOut","rows":[[9,1,"U9Pk",4]]}]}},{"op":"drop","id":3},{"op":"commit","id":4}]}`,
+		},
+		{
+			name: "DeltaResponse",
+			value: DeltaResponse{
+				Results: []DeltaResult{{Op: OpAdd, ID: 7}, {Op: OpDrop, ID: 3, Error: "core: unknown pending transaction 3"}},
+				Applied: 1, Failed: 1, Pending: 12,
+			},
+			golden: `{"results":[{"op":"add","id":7},{"op":"drop","id":3,"error":"core: unknown pending transaction 3"}],"applied":1,"failed":1,"pending":12}`,
+		},
+		{
+			name:   "CheckRequest",
+			value:  CheckRequest{Name: "qs", TimeoutMS: 250, Algorithm: "opt", Workers: 4},
+			golden: `{"name":"qs","timeout_ms":250,"algorithm":"opt","workers":4}`,
+		},
+		{
+			name: "CheckResponse",
+			value: CheckResponse{
+				Tenant: "acme", Satisfied: false, Witness: []int64{2, 5},
+				Stats: CheckStats{Algorithm: "opt", DurationNS: 48_000, Cliques: 3, Worlds: 2, Components: 4, ComponentsCached: 3, CacheHits: 3, CacheMisses: 1, SweepReplays: 3, PlanProbes: 96},
+			},
+			golden: `{"tenant":"acme","satisfied":false,"witness":[2,5],"stats":{"algorithm":"opt","duration_ns":48000,"cliques":3,"worlds":2,"components":4,"components_cached":3,"cache_hits":3,"cache_misses":1,"sweep_replays":3,"plan_probes":96}}`,
+		},
+		{
+			name: "TenantStatus",
+			value: TenantStatus{
+				Tenant: "acme", Pending: 12, Live: 11, Components: 5, ConflictPairs: 2, ChecksServed: 100,
+				Queries: []string{"qs"},
+				Budget:  &BudgetStatus{UnitsPerSec: 500, Burst: 1000, Decision: "throttle", RetryMS: 120},
+				Cache:   CacheStatus{Hits: 9, Misses: 3, Stores: 3, Evicted: 0, Invalidated: 1},
+			},
+			golden: `{"tenant":"acme","pending":12,"live":11,"components":5,"conflict_pairs":2,"checks_served":100,"queries":["qs"],"budget":{"units_per_sec":500,"burst":1000,"decision":"throttle","retry_ms":120},"cache":{"hits":9,"misses":3,"stores":3,"evicted":0,"invalidated":1}}`,
+		},
+		{
+			name:   "Error",
+			value:  Error{Code: CodeThrottled, Message: "tenant acme over budget", RetryAfterMS: 340},
+			golden: `{"code":"throttled","message":"tenant acme over budget","retry_after_ms":340}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(got) != tc.golden {
+				t.Errorf("wire shape drifted:\n got: %s\nwant: %s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestRoundTrip checks that each golden decodes back into a value that
+// re-encodes identically — the client and server can exchange any of
+// these without loss.
+func TestRoundTrip(t *testing.T) {
+	types := map[string]func() any{
+		"RegisterRequest":  func() any { return &RegisterRequest{} },
+		"RegisterResponse": func() any { return &RegisterResponse{} },
+		"DeltaRequest":     func() any { return &DeltaRequest{} },
+		"DeltaResponse":    func() any { return &DeltaResponse{} },
+		"CheckRequest":     func() any { return &CheckRequest{} },
+		"CheckResponse":    func() any { return &CheckResponse{} },
+		"TenantStatus":     func() any { return &TenantStatus{} },
+		"ListResponse":     func() any { return &ListResponse{} },
+		"Error":            func() any { return &Error{} },
+	}
+	samples := map[string]string{
+		"RegisterRequest":  `{"tenant":"t","schemas":[{"name":"R","columns":["a:int"]}],"fds":[{"rel":"R","lhs":["a"]}],"pending":[{"name":"p","inserts":[{"rel":"R","rows":[[1],[2]]}]}]}`,
+		"RegisterResponse": `{"tenant":"t","state_tuples":1,"pending":2,"fds":1,"inds":0,"pending_ids":[0,1]}`,
+		"DeltaRequest":     `{"ops":[{"op":"add","tx":{"name":"x","inserts":[{"rel":"R","rows":[[3]]}]}},{"op":"commit","id":0}]}`,
+		"DeltaResponse":    `{"results":[{"op":"add","id":2}],"applied":1,"failed":0,"pending":3}`,
+		"CheckRequest":     `{"query":"q() :- R(a), a > 1","timeout_ms":100}`,
+		"CheckResponse":    `{"tenant":"t","satisfied":true,"stats":{"algorithm":"fdonly","duration_ns":1,"cliques":0,"worlds":0,"components":0,"components_cached":0,"cache_hits":0,"cache_misses":0,"sweep_replays":0,"plan_probes":2}}`,
+		"TenantStatus":     `{"tenant":"t","pending":3,"live":3,"components":1,"conflict_pairs":0,"checks_served":9,"cache":{"hits":0,"misses":0,"stores":0,"evicted":0,"invalidated":0}}`,
+		"ListResponse":     `{"tenants":[{"tenant":"t","pending":0,"live":0,"components":0,"conflict_pairs":0,"checks_served":0,"cache":{"hits":0,"misses":0,"stores":0,"evicted":0,"invalidated":0}}]}`,
+		"Error":            `{"code":"shed","message":"m","retry_after_ms":5}`,
+	}
+	for name, mk := range types {
+		t.Run(name, func(t *testing.T) {
+			src, ok := samples[name]
+			if !ok {
+				t.Fatalf("no sample for %s", name)
+			}
+			v := mk()
+			dec := json.NewDecoder(strings.NewReader(src))
+			dec.UseNumber()
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(v); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			out, err := json.Marshal(v)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			v2 := mk()
+			dec2 := json.NewDecoder(strings.NewReader(string(out)))
+			dec2.UseNumber()
+			if err := dec2.Decode(v2); err != nil {
+				t.Fatalf("decode re-encoded: %v", err)
+			}
+			if !reflect.DeepEqual(v, v2) {
+				t.Errorf("round trip diverged:\nfirst:  %#v\nsecond: %#v", v, v2)
+			}
+		})
+	}
+}
+
+// TestErrorEnvelope checks the error interface and retryability split.
+func TestErrorEnvelope(t *testing.T) {
+	e := &Error{Code: CodeShed, Message: "over budget"}
+	if got, want := e.Error(), "shed: over budget"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	retryable := []string{CodeThrottled, CodeShed, CodeBackpressure, CodeDraining}
+	for _, c := range retryable {
+		if !(&Error{Code: c}).IsRetryable() {
+			t.Errorf("code %s should be retryable", c)
+		}
+	}
+	terminal := []string{CodeBadRequest, CodeNotFound, CodeConflict, CodeTenantLimit, CodeInternal}
+	for _, c := range terminal {
+		if (&Error{Code: c}).IsRetryable() {
+			t.Errorf("code %s should not be retryable", c)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package client is the Go driver for dcsatd's v1 API. It speaks the
+// wire types in dcsatd/api verbatim, decodes every response with
+// number fidelity, and surfaces server-side rejections as *api.Error
+// values so callers can branch on the code (errors.As plus
+// IsRetryable covers the throttle/shed/backpressure family).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"blockchaindb/dcsatd/api"
+)
+
+// Client talks to one dcsatd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the daemon at base, e.g.
+// "http://127.0.0.1:8080". The v1 prefix is appended here; base should
+// name only the host.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the daemon base URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// do runs one round trip: JSON-encode in (when non-nil), issue the
+// request, and on 2xx decode into out (when non-nil). On any other
+// status the api.Error envelope is decoded and returned as the error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e api.Error
+		dec := json.NewDecoder(resp.Body)
+		dec.UseNumber()
+		if derr := dec.Decode(&e); derr != nil || e.Code == "" {
+			return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		}
+		return &e
+	}
+	if out == nil {
+		return nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Register creates a tenant.
+func (c *Client) Register(ctx context.Context, req *api.RegisterRequest) (*api.RegisterResponse, error) {
+	var resp api.RegisterResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/tenants", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Deregister removes a tenant and clears its budget.
+func (c *Client) Deregister(ctx context.Context, tenant string) error {
+	return c.do(ctx, http.MethodDelete, api.Prefix+"/tenants/"+url.PathEscape(tenant), nil, nil)
+}
+
+// List returns the status of every registered tenant.
+func (c *Client) List(ctx context.Context) (*api.ListResponse, error) {
+	var resp api.ListResponse
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/tenants", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status returns one tenant's status.
+func (c *Client) Status(ctx context.Context, tenant string) (*api.TenantStatus, error) {
+	var resp api.TenantStatus
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/tenants/"+url.PathEscape(tenant), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Deltas applies a batch of mempool delta operations.
+func (c *Client) Deltas(ctx context.Context, tenant string, req *api.DeltaRequest) (*api.DeltaResponse, error) {
+	var resp api.DeltaResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/tenants/"+url.PathEscape(tenant)+"/deltas", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Check runs one denial-constraint check.
+func (c *Client) Check(ctx context.Context, tenant string, req *api.CheckRequest) (*api.CheckResponse, error) {
+	var resp api.CheckResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/tenants/"+url.PathEscape(tenant)+"/check", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes the ops surface; nil means the daemon reports
+// healthy (HTTP 200 on /healthz, the SLO engine's verdict).
+func (c *Client) Healthz(ctx context.Context) error { return c.probe(ctx, "/healthz") }
+
+// Ready probes /readyz; nil means the daemon is up and not draining.
+func (c *Client) Ready(ctx context.Context) error { return c.probe(ctx, "/readyz") }
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"blockchaindb/dcsatd/api"
+)
+
+// TestServeThroughputGuard sustains closed-loop multi-tenant check
+// traffic through the real HTTP stack for two seconds and fails if
+// throughput or tail latency regress an order of magnitude below the
+// recorded BENCH_9.json run (4.5k checks/sec, p99 ≈ 8ms on the
+// recording machine; the floors leave generous headroom for slower CI
+// hardware). Gated behind BENCH_GUARD like the other timing guards.
+func TestServeThroughputGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the serving throughput guard")
+	}
+	const (
+		tenants   = 2
+		workers   = 4
+		runFor    = 2 * time.Second
+		minPerSec = 200.0
+		maxP99    = 500 * time.Millisecond
+	)
+	_, c := bootServer(t, Config{})
+	ctx := context.Background()
+	type target struct{ name, hotQ, coldQ string }
+	targets := make([]target, tenants)
+	for i := range targets {
+		name := fmt.Sprintf("bench-%d", i)
+		reg, err := c.Register(ctx, &api.RegisterRequest{
+			Tenant:   name,
+			Workload: &api.WorkloadSpec{Seed: int64(100 + i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Deregister(ctx, name) })
+		targets[i] = target{
+			name:  name,
+			hotQ:  fmt.Sprintf("qs() :- TxOut(n, s, '%s', a)", reg.Plant.SimplePk),
+			coldQ: fmt.Sprintf("qs() :- TxOut(n, s, '%s', a)", reg.Plant.AbsentPk),
+		}
+	}
+
+	stop := time.Now().Add(runFor)
+	var mu sync.Mutex
+	var lat []time.Duration
+	var served int64
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(tg target, hot bool) {
+				defer wg.Done()
+				var mine []time.Duration
+				q := tg.coldQ
+				if hot {
+					q = tg.hotQ
+				}
+				for time.Now().Before(stop) {
+					start := time.Now()
+					if _, err := c.Check(ctx, tg.name, &api.CheckRequest{Query: q, TimeoutMS: 1000}); err != nil {
+						continue
+					}
+					mine = append(mine, time.Since(start))
+				}
+				mu.Lock()
+				lat = append(lat, mine...)
+				served += int64(len(mine))
+				mu.Unlock()
+			}(targets[ti], wi%2 == 0)
+		}
+	}
+	wg.Wait()
+
+	perSec := float64(served) / runFor.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var p99 time.Duration
+	if len(lat) > 0 {
+		p99 = lat[int(0.99*float64(len(lat)-1))]
+	}
+	t.Logf("served=%d checks/sec=%.0f p99=%s", served, perSec, p99)
+	if perSec < minPerSec {
+		t.Errorf("throughput %.0f checks/sec below the %v floor", perSec, minPerSec)
+	}
+	if p99 == 0 || p99 > maxP99 {
+		t.Errorf("p99 %s outside (0, %s]", p99, maxP99)
+	}
+}

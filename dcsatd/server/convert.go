@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blockchaindb/dcsatd/api"
+	"blockchaindb/internal/constraint"
+	"blockchaindb/internal/core"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+	"blockchaindb/internal/workload"
+)
+
+// This file is the wire↔engine boundary: everything arriving as api
+// types is validated and converted here, and nothing in it panics on
+// user input — malformed specs come back as errors the handlers turn
+// into api.CodeBadRequest envelopes.
+
+// toValue converts one JSON array element into a typed engine value.
+// Request bodies are decoded with json.Decoder.UseNumber, so numbers
+// arrive as json.Number and integers survive exactly; the float64/int
+// cases cover values built in-process (tests, embedded callers).
+func toValue(x any) (value.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return value.Null, nil
+	case string:
+		return value.Str(v), nil
+	case bool:
+		return value.Bool(v), nil
+	case json.Number:
+		if i, err := strconv.ParseInt(string(v), 10, 64); err == nil {
+			return value.Int(i), nil
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad number %q", string(v))
+		}
+		return value.Float(f), nil
+	case float64:
+		return value.Float(v), nil
+	case int:
+		return value.Int(int64(v)), nil
+	case int64:
+		return value.Int(v), nil
+	default:
+		return value.Value{}, fmt.Errorf("unsupported value type %T", x)
+	}
+}
+
+// validKinds are the column kinds SchemaSpec accepts, matching
+// relation.NewSchema's specs (empty means any).
+var validKinds = map[string]bool{
+	"": true, "int": true, "float": true, "string": true, "bool": true, "any": true,
+}
+
+// buildState validates the schema specs and registers them on a fresh
+// state. relation.NewSchema panics on malformed specs (they are meant
+// to be programmer-supplied), so the wire path validates first.
+func buildState(specs []api.SchemaSpec) (*relation.State, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no schemas")
+	}
+	s := relation.NewState()
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("schema with empty name")
+		}
+		if len(spec.Columns) == 0 {
+			return nil, fmt.Errorf("schema %q has no columns", spec.Name)
+		}
+		for _, col := range spec.Columns {
+			name, kind, _ := strings.Cut(col, ":")
+			if name == "" {
+				return nil, fmt.Errorf("schema %q: empty column name in %q", spec.Name, col)
+			}
+			if !validKinds[kind] {
+				return nil, fmt.Errorf("schema %q: unknown column kind %q (want int, float, string, bool, or any)", spec.Name, kind)
+			}
+		}
+		if err := s.AddSchema(relation.NewSchema(spec.Name, spec.Columns...)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildConstraints converts the FD/IND specs. An FDSpec with an empty
+// RHS is a key (lhs determines the whole relation). NewSet performs the
+// full attribute-level validation.
+func buildConstraints(s *relation.State, fds []api.FDSpec, inds []api.INDSpec) (*constraint.Set, error) {
+	cfds := make([]*constraint.FD, 0, len(fds))
+	for _, f := range fds {
+		if len(f.RHS) == 0 {
+			sc := s.Schema(f.Rel)
+			if sc == nil {
+				return nil, fmt.Errorf("key on unknown relation %q", f.Rel)
+			}
+			cfds = append(cfds, constraint.NewKey(sc, f.LHS...))
+			continue
+		}
+		cfds = append(cfds, constraint.NewFD(f.Rel, f.LHS, f.RHS))
+	}
+	cinds := make([]*constraint.IND, 0, len(inds))
+	for _, i := range inds {
+		cinds = append(cinds, constraint.NewIND(i.Rel, i.Cols, i.RefRel, i.RefCols))
+	}
+	return constraint.NewSet(s, cfds, cinds)
+}
+
+// buildTransaction converts one wire transaction into an engine
+// transaction (unnormalized — AddPending and InsertTransaction
+// normalize against the schemas).
+func buildTransaction(spec *api.TxSpec) (*relation.Transaction, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("missing transaction")
+	}
+	tx := relation.NewTransaction(spec.Name)
+	for _, ins := range spec.Inserts {
+		if ins.Rel == "" {
+			return nil, fmt.Errorf("transaction %q: insert with empty relation", spec.Name)
+		}
+		for _, row := range ins.Rows {
+			vals := make([]value.Value, len(row))
+			for i, x := range row {
+				v, err := toValue(x)
+				if err != nil {
+					return nil, fmt.Errorf("transaction %q, relation %q: %v", spec.Name, ins.Rel, err)
+				}
+				vals[i] = v
+			}
+			tx.Add(ins.Rel, value.NewTuple(vals...))
+		}
+	}
+	return tx, nil
+}
+
+// buildDatabase assembles D = (R, I, T) from an explicit register
+// request: schemas, state transactions (validated to satisfy the
+// constraints by possible.New), and the initial pending set.
+func buildDatabase(req *api.RegisterRequest) (*possible.DB, error) {
+	state, err := buildState(req.Schemas)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := buildConstraints(state, req.FDs, req.INDs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range req.State {
+		tx, err := buildTransaction(&req.State[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := state.InsertTransaction(tx); err != nil {
+			return nil, fmt.Errorf("state transaction %q: %v", req.State[i].Name, err)
+		}
+	}
+	pending := make([]*relation.Transaction, 0, len(req.Pending))
+	for i := range req.Pending {
+		tx, err := buildTransaction(&req.Pending[i])
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, tx)
+	}
+	return possible.New(state, cons, pending)
+}
+
+// defaultWorkload is the serving-scale dataset generated when a
+// WorkloadSpec leaves sizes zero: small enough that a warm check runs
+// in tens of microseconds, structured enough (contradictions, chains)
+// that the clique search has real work.
+func defaultWorkload(w *api.WorkloadSpec) workload.Config {
+	cfg := workload.Config{
+		Seed:              w.Seed,
+		Blocks:            w.Blocks,
+		TxPerBlock:        w.TxPerBlock,
+		Users:             w.Users,
+		PendingBlocks:     w.PendingBlocks,
+		PendingTxPerBlock: w.PendingTxPerBlock,
+		Contradictions:    w.Contradictions,
+		ChainProb:         w.ChainProb,
+		MaxOuts:           w.MaxOuts,
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 12
+	}
+	if cfg.TxPerBlock == 0 {
+		cfg.TxPerBlock = 6
+	}
+	if cfg.Users == 0 {
+		cfg.Users = 40
+	}
+	if cfg.PendingBlocks == 0 {
+		cfg.PendingBlocks = 2
+	}
+	if cfg.PendingTxPerBlock == 0 {
+		cfg.PendingTxPerBlock = 6
+	}
+	if cfg.Contradictions == 0 {
+		cfg.Contradictions = 2
+	}
+	if cfg.ChainProb == 0 {
+		cfg.ChainProb = 0.3
+	}
+	if cfg.MaxOuts == 0 {
+		cfg.MaxOuts = 3
+	}
+	return cfg
+}
+
+// generateDatabase builds a tenant database from a workload spec and
+// reports the planted constants.
+func generateDatabase(w *api.WorkloadSpec) (*possible.DB, *api.PlantInfo, error) {
+	cfg := defaultWorkload(w)
+	// Generation caps: the daemon synthesizes datasets on behalf of
+	// remote callers, so a hostile spec must not be able to wedge it.
+	const maxStateTx, maxPendingTx = 100_000, 20_000
+	if cfg.Blocks*cfg.TxPerBlock > maxStateTx {
+		return nil, nil, fmt.Errorf("workload too large: %d state transactions > %d", cfg.Blocks*cfg.TxPerBlock, maxStateTx)
+	}
+	if cfg.PendingBlocks*cfg.PendingTxPerBlock+cfg.Contradictions > maxPendingTx {
+		return nil, nil, fmt.Errorf("workload too large: %d pending transactions > %d",
+			cfg.PendingBlocks*cfg.PendingTxPerBlock+cfg.Contradictions, maxPendingTx)
+	}
+	ds := workload.Generate(cfg)
+	plant := &api.PlantInfo{
+		SimplePk:      ds.Plant.SimplePk,
+		AbsentPk:      ds.Plant.AbsentPk,
+		PathPks:       ds.Plant.PathPks,
+		StarPk:        ds.Plant.StarPk,
+		StarSize:      ds.Plant.StarSize,
+		AggPk:         ds.Plant.AggPk,
+		AggReachable:  ds.Plant.AggReachable,
+		AggUnionTotal: ds.Plant.AggUnionTotal,
+	}
+	return ds.DB, plant, nil
+}
+
+// parseAlgorithm maps the wire algorithm names onto core's enum.
+func parseAlgorithm(s string) (core.Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return core.AlgoAuto, nil
+	case "naive":
+		return core.AlgoNaive, nil
+	case "opt":
+		return core.AlgoOpt, nil
+	case "fdonly":
+		return core.AlgoFDOnly, nil
+	case "exhaustive":
+		return core.AlgoExhaustive, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want auto, naive, opt, fdonly, or exhaustive)", s)
+	}
+}
+
+// wireStats converts the engine's per-check stats to the wire shape.
+func wireStats(st *core.Stats) api.CheckStats {
+	return api.CheckStats{
+		Algorithm:        st.Algorithm.String(),
+		DurationNS:       int64(st.Duration),
+		Cliques:          int64(st.Cliques),
+		Worlds:           int64(st.WorldsEvaluated),
+		Components:       st.Components,
+		ComponentsCached: st.ComponentsCached,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		SweepReplays:     st.SweepReplays,
+		PlanProbes:       st.PlanProbes,
+	}
+}

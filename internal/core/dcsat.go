@@ -265,14 +265,6 @@ func Check(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*
 	return checkContext(ctx, d, q, opts, checkEnv{})
 }
 
-// CheckContext is the old name for the context-first entrypoint.
-//
-// Deprecated: Check now takes the context as its first parameter; call
-// Check directly.
-func CheckContext(ctx context.Context, d *possible.DB, q *query.Query, opts Options) (*Result, error) {
-	return Check(ctx, d, q, opts)
-}
-
 // checkContext is the shared pipeline behind Check and Monitor.Check:
 // the validation front door, the Simplify rewrite, algorithm routing,
 // deadline handling, dispatch, and the closing bookkeeping (duration,

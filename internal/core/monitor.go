@@ -794,14 +794,6 @@ func (m *Monitor) Check(ctx context.Context, q *query.Query, opts Options) (*Res
 	return checkContext(ctx, snapshot, q, opts, env)
 }
 
-// CheckContext is the old name for the context-first entrypoint.
-//
-// Deprecated: Check now takes the context as its first parameter; call
-// Check directly.
-func (m *Monitor) CheckContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
-	return m.Check(ctx, q, opts)
-}
-
 // CacheStats snapshots the incremental verdict cache's counters. The
 // zero CacheStats is returned when caching is disabled.
 func (m *Monitor) CacheStats() CacheStats {

@@ -78,7 +78,7 @@ func TestMonitorCheckFrontDoor(t *testing.T) {
 }
 
 // TestMonitorCheckTraced: a traced context passed to
-// Monitor.CheckContext produces the standard dcsat_check span tree.
+// Monitor.Check produces the standard dcsat_check span tree.
 func TestMonitorCheckTraced(t *testing.T) {
 	mon := NewMonitor(fixture.PaperDB())
 	q := query.MustParse("q() :- TxOut(t, s, pk, a), a > 100")

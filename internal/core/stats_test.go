@@ -150,9 +150,9 @@ func TestStageDurationsSumWithinTotal(t *testing.T) {
 	}
 }
 
-// TestCheckContextTrace drives CheckContext under an active trace and
-// checks the span tree has the pipeline stages.
-func TestCheckContextTrace(t *testing.T) {
+// TestCheckTrace drives Check under an active trace and checks the
+// span tree has the pipeline stages.
+func TestCheckTrace(t *testing.T) {
 	ds := statsTestDataset(t)
 	q, err := ds.Query(workload.QueryPath, 3, false)
 	if err != nil {

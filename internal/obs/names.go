@@ -79,6 +79,14 @@ const (
 	MetricAttribEvictions = "obs_attrib_evictions_total"
 	MetricAttribTracked   = "obs_attrib_tracked_principals"
 	MetricAdmitDecisions  = "obs_admit_decisions_total"
+
+	// Serving daemon (dcsatd/server).
+	MetricServedChecks   = "dcsatd_checks_served_total"
+	MetricServedRejects  = "dcsatd_rejected_total"
+	MetricServedDeltaOps = "dcsatd_delta_ops_total"
+	MetricServedTenants  = "dcsatd_tenants"
+	MetricServedInflight = "dcsatd_inflight_requests"
+	MetricServedCheckNS  = "dcsatd_check_ns"
 )
 
 // Journal event types.
@@ -108,6 +116,11 @@ const (
 	// Attribution and admission (attrib.go, admit.go).
 	EvAttribOverflow = "attrib_overflow"
 	EvAdmitDecision  = "admit_decision"
+
+	// Serving daemon (dcsatd/server).
+	EvTenantRegister   = "tenant_register"
+	EvTenantDeregister = "tenant_deregister"
+	EvServerDrain      = "server_drain"
 )
 
 // knownMetricNames lists every canonical metric name. names_test.go
@@ -134,6 +147,8 @@ var knownMetricNames = []string{
 	MetricChainHeight, MetricJournalDropped,
 	MetricAttribCostUnits, MetricAttribChecks, MetricAttribEvictions,
 	MetricAttribTracked, MetricAdmitDecisions,
+	MetricServedChecks, MetricServedRejects, MetricServedDeltaOps,
+	MetricServedTenants, MetricServedInflight, MetricServedCheckNS,
 }
 
 // knownEventNames lists every canonical journal event type.
@@ -143,6 +158,7 @@ var knownEventNames = []string{
 	EvMonitorCommitExternal, EvMonitorCacheClear, EvMempoolAccept,
 	EvMempoolReject, EvMempoolEvict, EvMinerBlock, EvGossipSend,
 	EvGossipRecv, EvDatasetGenerated, EvAttribOverflow, EvAdmitDecision,
+	EvTenantRegister, EvTenantDeregister, EvServerDrain,
 }
 
 // KnownMetricNames returns the canonical metric-name table as a set.

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication: expvar panics
+// on duplicate names, and the helpers below may be called more than
+// once per process (tests boot several servers).
+var expvarOnce sync.Once
+
+// Serve binds addr, wires the full introspection surface for reg (the
+// same mux NewIntrospectionMux builds: /metrics, /healthz, /readyz,
+// /debug/*), publishes the registry under expvar once per process, and
+// serves in a background goroutine. mount, when non-nil, runs before
+// the listener starts so callers can hang extra handler trees off the
+// same mux (dcsatd mounts its /v1 API this way). The bound address is
+// returned so addr may be ":0" (tests pick a free port); onErr, when
+// non-nil, receives any terminal Serve error other than the
+// http.ErrServerClosed a clean Shutdown produces.
+//
+// This is the single piece of listener wiring shared by bcnode
+// -listen, dcsatd, and anything dcsattop points its -addr at — the
+// ops endpoints stay identical across binaries because they are
+// registered in exactly one place.
+func Serve(addr string, reg *Registry, onErr func(error), mount func(*http.ServeMux)) (*http.Server, net.Addr, error) {
+	expvarOnce.Do(func() { PublishExpvar("blockchaindb", reg) })
+	mux := NewIntrospectionMux(reg)
+	if mount != nil {
+		mount(mux)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && onErr != nil {
+			onErr(err)
+		}
+	}()
+	return srv, ln.Addr(), nil
+}
