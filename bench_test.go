@@ -596,6 +596,121 @@ func TestFig6aAllocGuard(t *testing.T) {
 	}
 }
 
+// fig6bIncrementalSetup builds the clique-dominated workload the
+// incremental world maintenance targets: the Fig 6b contention regime,
+// where double-spend races dominate the pending set. 150 unconflicted
+// chain transactions form the shared universal prefix of every world,
+// and 3 committed outputs are contended by 4 pending spenders each, so
+// the fd graph is the complete 3-partite K(4,4,4) with 4^3 = 64
+// maximal cliques. The query never matches, so the walk is exhaustive
+// (every clique's maximal world is visited), and the precheck is
+// disabled so the measured cost is the clique search itself. The
+// from-scratch ablation rebuilds the 150-member prefix for each of the
+// 64 worlds; the incremental path builds it once and extends by one
+// spender per Bron–Kerbosch edge.
+func fig6bIncrementalSetup() (*possible.DB, *query.Query, core.Options) {
+	const fillers, groups, spenders = 150, 3, 4
+	s := fixture.BitcoinSchema()
+	cons := fixture.BitcoinConstraints(s)
+	for i := 0; i < fillers; i++ {
+		s.MustInsert("TxOut", fixture.TxOut(1, int64(i+1), fmt.Sprintf("F%dPk", i), 1))
+	}
+	for j := 0; j < groups; j++ {
+		s.MustInsert("TxOut", fixture.TxOut(2, int64(j+1), fmt.Sprintf("G%dPk", j), 1))
+	}
+	var pending []*relation.Transaction
+	for i := 0; i < fillers; i++ {
+		owner := fmt.Sprintf("F%dPk", i)
+		tx := relation.NewTransaction(fmt.Sprintf("F%d", i))
+		tx.Add("TxIn", fixture.TxIn(1, int64(i+1), owner, 1, int64(100+i), owner+"Sig"))
+		tx.Add("TxOut", fixture.TxOut(int64(100+i), 1, owner+"Chg", 1))
+		pending = append(pending, tx)
+	}
+	for j := 0; j < groups; j++ {
+		owner := fmt.Sprintf("G%dPk", j)
+		for l := 0; l < spenders; l++ {
+			tid := int64(1000 + j*100 + l)
+			tx := relation.NewTransaction(fmt.Sprintf("S%d_%d", j, l))
+			tx.Add("TxIn", fixture.TxIn(2, int64(j+1), owner, 1, tid, owner+"Sig"))
+			tx.Add("TxOut", fixture.TxOut(tid, 1, "SpentPk", 1))
+			pending = append(pending, tx)
+		}
+	}
+	d := possible.MustNew(s, cons, pending)
+	q := query.MustParse("q() :- TxOut(t, s, 'U9Pk', a)") // matches nothing: exhaustive walk
+	return d, q, core.Options{Algorithm: core.AlgoNaive, DisablePrecheck: true}
+}
+
+// BenchmarkFig6bIncremental measures the incremental world maintenance
+// along the Bron–Kerbosch recursion against the from-scratch ablation
+// on the Fig 6b contention workload: same query, same search tree, the
+// only difference being whether each clique's world is extended in
+// place (push/pop + delta re-probe) or rebuilt and fully re-evaluated.
+func BenchmarkFig6bIncremental(b *testing.B) {
+	d, q, opts := fig6bIncrementalSetup()
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"incremental", false}, {"from-scratch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := opts
+			o.DisableIncrementalWorlds = mode.off
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Check(context.Background(), d, q, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Satisfied {
+					b.Fatal("verdict flipped: the exhaustive walk found a violation")
+				}
+			}
+		})
+	}
+}
+
+// TestFig6bIncrementalGuard is the CI bench-smoke guard for the
+// incremental clique search: on the Fig 6b workload the incremental
+// mode must beat the from-scratch ablation by more than 1.5x
+// (min-of-3 each, interleaved so load drift hits both sides). Gated
+// behind BENCH_GUARD like the other timing guards.
+func TestFig6bIncrementalGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the Fig6b incremental guard")
+	}
+	d, q, opts := fig6bIncrementalSetup()
+	off := opts
+	off.DisableIncrementalWorlds = true
+	run := func(o core.Options) time.Duration {
+		start := time.Now()
+		res, err := core.Check(context.Background(), d, q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfied {
+			t.Fatal("verdict flipped: the exhaustive walk found a violation")
+		}
+		return time.Since(start)
+	}
+	// Warm up both paths (plan compile, lazy index builds).
+	run(opts)
+	run(off)
+	inc, scratch := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	for i := 0; i < 3; i++ {
+		if d := run(opts); d < inc {
+			inc = d
+		}
+		if d := run(off); d < scratch {
+			scratch = d
+		}
+	}
+	t.Logf("incremental=%v from-scratch=%v speedup=%.1fx", inc, scratch, float64(scratch)/float64(inc))
+	if inc*3/2 > scratch {
+		t.Fatalf("incremental %v is within 1.5x of from-scratch %v — the delta path regressed", inc, scratch)
+	}
+}
+
 // attribSetup builds the multi-tenant attribution workload: a moderate
 // dataset with a real pending set and a satisfied path query, checked
 // with the precheck disabled so every check walks the component search

@@ -107,6 +107,11 @@ type Options struct {
 	// DisableLiveFilter keeps fd-dead pending transactions in the
 	// clique graphs. Ablation only.
 	DisableLiveFilter bool
+	// DisableIncrementalWorlds forces every clique's world to be
+	// materialized and evaluated from scratch instead of being extended
+	// incrementally along the Bron–Kerbosch recursion. Ablation and
+	// differential testing only.
+	DisableIncrementalWorlds bool
 	// Workers > 1 enables the parallel search: components of the
 	// ind-q graph are processed concurrently when there are several,
 	// and the first-level branches of the Bron–Kerbosch clique tree
@@ -137,6 +142,8 @@ type Stats struct {
 	ComponentsCached  int  // components answered from the incremental verdict cache
 	Cliques           int  // maximal cliques enumerated
 	WorldsEvaluated   int  // worlds the query was evaluated on
+	WorldsIncremental int  // worlds extended in place along the clique tree (delta re-probe)
+	WorldsRebuilt     int  // worlds materialized from scratch (tree roots and fallback yields)
 	Duration          time.Duration
 
 	// Cost-attribution counters (obs.CostVector sources): compiled-plan
@@ -172,6 +179,8 @@ func (s *Stats) Merge(o Stats) {
 	s.ComponentsCached += o.ComponentsCached
 	s.Cliques += o.Cliques
 	s.WorldsEvaluated += o.WorldsEvaluated
+	s.WorldsIncremental += o.WorldsIncremental
+	s.WorldsRebuilt += o.WorldsRebuilt
 	s.Duration += o.Duration
 	s.PlanProbes += o.PlanProbes
 	s.CacheHits += o.CacheHits
@@ -355,6 +364,7 @@ func checkContext(ctx context.Context, d *possible.DB, q *query.Query, opts Opti
 		env.plan = plan
 		span.SetAttr("plan", plan.OrderSummary())
 	}
+	env.incremental = env.plan != nil && env.plan.SupportsDelta() && !opts.DisableIncrementalWorlds
 	algo := opts.Algorithm
 	if algo == AlgoAuto {
 		switch {
@@ -623,14 +633,24 @@ func searchComponent(ctx context.Context, d *possible.DB, q *query.Query, comp [
 	buildStart := time.Now()
 	cg := env.fdGraph(comp)
 	stats.GraphBuildDur += time.Since(buildStart)
-	return searchComponentGraph(ctx, d, q, cg, env.plan, stats)
+	return searchComponentGraph(ctx, d, q, cg, env, stats)
 }
 
 // cliqueSearch is the per-clique evaluation shared by the serial,
-// component-parallel, and clique-branch-parallel searches: materialize
-// the maximal world of the clique, evaluate the query, and record the
-// outcome. Not safe for concurrent use — parallel searches give each
-// worker its own instance (and its own Stats, merged afterwards).
+// component-parallel, and clique-branch-parallel searches. It runs in
+// one of two modes. The incremental mode (beginIncremental plus the
+// MaximalCliquesVisitor methods) maintains ONE world along the
+// Bron–Kerbosch recursion: each Descend pushes a transaction onto a
+// possible.WorldStack and re-probes only the plan steps that can touch
+// the delta, each Ascend pops the undo log, and leaves cost nothing —
+// their worlds were already evaluated edge by edge on the way down.
+// The fallback mode (yield) materializes and evaluates the maximal
+// world of each maximal clique from scratch; it remains the path for
+// aggregate or negated queries (no delta evaluation), checks without a
+// compiled plan, and the DisableIncrementalWorlds ablation.
+//
+// Not safe for concurrent use — parallel searches give each worker its
+// own instance (and its own Stats, merged afterwards).
 type cliqueSearch struct {
 	ctx      context.Context
 	d        *possible.DB
@@ -652,6 +672,14 @@ type cliqueSearch struct {
 	sc     *query.Scratch
 	ms     possible.MaximalScratch
 	subset []int
+
+	// Incremental-mode state: the world stack the recursion pushes and
+	// pops, the plan's relation list, and the per-edge floor buffer
+	// (overlay extra counts captured just before a Push, consumed
+	// immediately by EvalDelta).
+	ws       possible.WorldStack
+	relNames []string
+	floorBuf []int
 }
 
 // eval evaluates the query on one world through the compiled plan when
@@ -666,9 +694,9 @@ func (s *cliqueSearch) eval(world relation.View) (bool, error) {
 	return s.plan.Eval(world, s.sc)
 }
 
-// yield is the graph.MaximalCliques callback. Time spent here —
-// materializing and evaluating the world — accrues to EvalDur; the
-// remainder of the enumeration accrues to CliqueDur.
+// yield is the graph.MaximalCliques callback of the fallback mode.
+// Time spent here — materializing and evaluating the world — accrues
+// to EvalDur; the remainder of the enumeration accrues to CliqueDur.
 func (s *cliqueSearch) yield(clique []int) bool {
 	// Worlds can take milliseconds each; poll between them so a
 	// deadline interrupts the evaluation loop, not just the tree walk.
@@ -678,13 +706,19 @@ func (s *cliqueSearch) yield(clique []int) bool {
 	}
 	s.stats.Cliques++
 	evalStart := time.Now()
-	subset := append(s.subset[:0], s.base...)
+	// The base prefix is seeded once per search; each clique rewrites
+	// only the suffix after it.
+	if s.subset == nil {
+		s.subset = append(make([]int, 0, len(s.base)+len(clique)), s.base...)
+	}
+	subset := s.subset[:len(s.base)]
 	for _, local := range clique {
 		subset = append(subset, s.comp[local])
 	}
-	s.subset = subset
+	s.subset = subset[:len(s.base)]
 	world, included := s.d.GetMaximalScratch(&s.ms, subset)
 	s.stats.WorldsEvaluated++
+	s.stats.WorldsRebuilt++
 	hit, err := s.eval(world)
 	keepGoing := true
 	switch {
@@ -701,15 +735,114 @@ func (s *cliqueSearch) yield(clique []int) bool {
 	return keepGoing
 }
 
+// markHit records a violating world found by the incremental walk: the
+// witness is the world's included set, and the hit is also counted as
+// an enumerated clique and an evaluated world so violated runs keep
+// nonzero headline stats (the walk stops here, before any leaf).
+func (s *cliqueSearch) markHit(included []int) {
+	s.violated = true
+	s.witness = append([]int(nil), included...)
+	sort.Ints(s.witness)
+	s.stats.Cliques++
+	s.stats.WorldsEvaluated++
+}
+
+// beginIncremental establishes the incremental walk's root: the world
+// of the component's universal members, materialized once and fully
+// evaluated. It reports whether the tree walk should proceed — false
+// on a root hit (every extension of a violating world also violates,
+// the query being monotone in the view), an evaluation error, or a
+// cancelled context.
+func (s *cliqueSearch) beginIncremental() bool {
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	if s.sc == nil {
+		s.sc = query.NewScratch()
+	}
+	s.relNames = s.plan.RelNames()
+	evalStart := time.Now()
+	world, included := s.ws.Rebase(s.d, s.base)
+	s.stats.WorldsRebuilt++
+	hit, err := s.plan.Eval(world, s.sc)
+	s.evalDur += time.Since(evalStart)
+	switch {
+	case err != nil:
+		s.err = err
+		return false
+	case hit:
+		s.markHit(included)
+		return false
+	}
+	return true
+}
+
+// Descend pushes one transaction onto the world stack and delta-probes
+// the plan: only assignments touching a tuple the push added are
+// enumerated, sound because every ancestor world on the path — root
+// included — is known hit-free. A hit here is a valid violating world
+// (the stack's included set is exactly a reachable transaction set),
+// so the walk stops without ever reaching a leaf.
+func (s *cliqueSearch) Descend(v int) bool {
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	evalStart := time.Now()
+	s.floorBuf = s.floorBuf[:0]
+	w := s.ws.World()
+	for _, rel := range s.relNames {
+		s.floorBuf = append(s.floorBuf, w.ExtraCount(rel))
+	}
+	world, _ := s.ws.Push(s.comp[v])
+	s.stats.WorldsIncremental++
+	hReuseDepth.Observe(int64(s.ws.Depth()))
+	hit, err := s.plan.EvalDelta(world, s.sc, s.floorBuf)
+	s.evalDur += time.Since(evalStart)
+	switch {
+	case err != nil:
+		s.err = err
+		return false
+	case hit:
+		s.markHit(s.ws.Included())
+		return false
+	}
+	return true
+}
+
+// Ascend pops the world stack — O(tuples the matching Descend added).
+func (s *cliqueSearch) Ascend() { s.ws.Pop() }
+
+// Leaf counts one maximal clique. Its world needs no evaluation: it
+// was already probed edge by edge on the way down, so reaching a leaf
+// means the world is hit-free.
+func (s *cliqueSearch) Leaf(r []int) bool {
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	s.stats.Cliques++
+	s.stats.WorldsEvaluated++
+	return true
+}
+
 // searchComponentGraph is searchComponent with a caller-supplied fd
 // graph. The enumeration runs over the conflicted subgraph only; the
 // component's universal members are prepended to every world. A
 // context cancellation surfaces as that context's error, which
 // checkContext translates into ErrUndecided.
-func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, cg *fdCompGraph, plan *query.Plan, stats *Stats) (bool, []int, error) {
-	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: cg.conflicted, base: cg.universal, stats: stats, plan: plan}
+func searchComponentGraph(ctx context.Context, d *possible.DB, q *query.Query, cg *fdCompGraph, env checkEnv, stats *Stats) (bool, []int, error) {
+	cs := &cliqueSearch{ctx: ctx, d: d, q: q, comp: cg.conflicted, base: cg.universal, stats: stats, plan: env.plan}
 	enumStart := time.Now()
-	ctxErr := graph.MaximalCliquesCtx(ctx, cg.g, cs.yield)
+	var ctxErr error
+	if env.incremental {
+		if cs.beginIncremental() {
+			ctxErr = graph.MaximalCliquesVisit(ctx, cg.g, cs)
+		}
+	} else {
+		ctxErr = graph.MaximalCliquesCtx(ctx, cg.g, cs.yield)
+	}
 	stats.CliqueDur += time.Since(enumStart) - cs.evalDur
 	stats.EvalDur += cs.evalDur
 	if cs.sc != nil {

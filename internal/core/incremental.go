@@ -75,6 +75,11 @@ type checkEnv struct {
 	qfp        string
 	plan       *query.Plan
 	checkID    uint64
+	// incremental selects the visitor-driven clique search that extends
+	// each world in place along the Bron–Kerbosch recursion (plan
+	// present, delta-eligible query, ablation flag off); false falls
+	// back to from-scratch materialization per maximal clique.
+	incremental bool
 }
 
 // verdictEntry is one cached per-component outcome. witnessPos is

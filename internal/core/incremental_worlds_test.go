@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"blockchaindb/internal/fixture"
+	"blockchaindb/internal/graph"
+	"blockchaindb/internal/possible"
+	"blockchaindb/internal/query"
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// This file pins the incremental world maintenance along the
+// Bron–Kerbosch recursion (possible.WorldStack + query.EvalDelta +
+// the cliqueSearch visitor): the differential oracle against the
+// from-scratch path, the walk-level oracle against GetMaximalScratch
+// on real fd graphs, and a fuzz target over both.
+
+// incrementalQueries are monotone connected queries the incremental
+// path accepts (SupportsDelta); they mirror the differential suite's
+// non-aggregate entries.
+var incrementalQueries = []string{
+	"q() :- TxOut(t, s, 'U0Pk', a)",
+	"q() :- TxOut(t, s, 'U3Pk', a)",
+	"q() :- TxIn(pt, ps, 'U1Pk', a, nt, sig), TxOut(nt, s2, pk2, a2)",
+	"q() :- TxOut(t1, s1, 'U2Pk', a1), TxIn(t1, s1, 'U2Pk', a1, t2, sg), TxOut(t2, s2, pk, a2)",
+}
+
+// TestIncrementalWorldsDifferential is the incremental-vs-from-scratch
+// oracle: on random Bitcoin-like databases the default (incremental)
+// clique search and the DisableIncrementalWorlds ablation must agree
+// on the verdict, serial and branch-parallel alike, and any witness
+// must be a reachable world that satisfies the query.
+func TestIncrementalWorldsDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := bitcoinLikeDB(r)
+		q := query.MustParse(incrementalQueries[r.Intn(len(incrementalQueries))])
+		want, err := Check(context.Background(), d, q, Options{Algorithm: AlgoOpt, DisableIncrementalWorlds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{
+			{Algorithm: AlgoOpt},
+			{Algorithm: AlgoNaive},
+			{Algorithm: AlgoOpt, Workers: 3},
+			{Algorithm: AlgoNaive, Workers: 3},
+			{Algorithm: AlgoOpt, DisablePrecheck: true},
+		} {
+			got, err := Check(context.Background(), d, q, opts)
+			if err != nil {
+				t.Fatalf("opts %+v: %v", opts, err)
+			}
+			if got.Satisfied != want.Satisfied {
+				t.Logf("seed %d query %s opts %+v: incremental=%v from-scratch=%v",
+					seed, q, opts, got.Satisfied, want.Satisfied)
+				return false
+			}
+			if !got.Satisfied {
+				if !d.IsReachable(got.Witness) {
+					t.Logf("seed %d: witness %v not reachable", seed, got.Witness)
+					return false
+				}
+				world := relation.NewOverlay(d.State)
+				for _, i := range got.Witness {
+					world.Add(d.Pending[i])
+				}
+				hit, err := query.Eval(q, world)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !hit {
+					t.Logf("seed %d: witness world %v does not satisfy %s", seed, got.Witness, q)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalStatsSplit: the world-accounting counters reflect the
+// mode actually used — the incremental path reports extensions and a
+// single root rebuild per searched component, the ablation rebuilds
+// every world and never extends, and both agree on the per-leaf
+// headline counters.
+func TestIncrementalStatsSplit(t *testing.T) {
+	// Two committed outputs, five pending spenders: {T1,T3,T5} contend
+	// for output 1 and {T2,T4} for output 2, so the fd graph is the
+	// complete bipartite K(3,2) and the naive search enumerates its six
+	// maximal cliques with real descends between them.
+	s := fixture.BitcoinSchema()
+	cons := fixture.BitcoinConstraints(s)
+	s.MustInsert("TxOut", fixture.TxOut(1, 1, "U0Pk", 1))
+	s.MustInsert("TxOut", fixture.TxOut(1, 2, "U1Pk", 1))
+	var pending []*relation.Transaction
+	for i := 0; i < 5; i++ {
+		ser := int64(1 + i%2)
+		owner := fmt.Sprintf("U%dPk", ser-1)
+		tx := relation.NewTransaction(fmt.Sprintf("T%d", i+1))
+		tx.Add("TxIn", fixture.TxIn(1, ser, owner, 1, int64(2+i), owner+"Sig"))
+		tx.Add("TxOut", fixture.TxOut(int64(2+i), 1, "U2Pk", 1))
+		pending = append(pending, tx)
+	}
+	d := possible.MustNew(s, cons, pending)
+	q := query.MustParse("q() :- TxOut(t, s, 'U9Pk', a)") // never satisfied: exhaustive walk
+	opts := Options{Algorithm: AlgoNaive, DisablePrecheck: true}
+	inc, err := Check(context.Background(), d, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Satisfied || inc.Stats.Cliques != 6 {
+		t.Fatalf("unexpected incremental run: satisfied=%v cliques=%d", inc.Satisfied, inc.Stats.Cliques)
+	}
+	if inc.Stats.WorldsIncremental == 0 {
+		t.Error("incremental run reported no in-place extensions")
+	}
+	optsOff := opts
+	optsOff.DisableIncrementalWorlds = true
+	scratch, err := Check(context.Background(), d, q, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats.Cliques != scratch.Stats.Cliques || inc.Stats.WorldsEvaluated != scratch.Stats.WorldsEvaluated {
+		t.Errorf("headline stats diverged: incremental cliques=%d worlds=%d, from-scratch cliques=%d worlds=%d",
+			inc.Stats.Cliques, inc.Stats.WorldsEvaluated, scratch.Stats.Cliques, scratch.Stats.WorldsEvaluated)
+	}
+	if inc.Stats.WorldsRebuilt == 0 {
+		t.Error("incremental run reported no root rebuilds")
+	}
+	if scratch.Stats.WorldsIncremental != 0 {
+		t.Errorf("ablation reported %d incremental extensions", scratch.Stats.WorldsIncremental)
+	}
+	if scratch.Stats.WorldsRebuilt != scratch.Stats.Cliques {
+		t.Errorf("ablation: WorldsRebuilt=%d but Cliques=%d (every clique world should be built from scratch)",
+			scratch.Stats.WorldsRebuilt, scratch.Stats.Cliques)
+	}
+}
+
+// walkOracle drives a WorldStack through an actual pivoted BK walk of
+// a component's fd graph and, at every tree node, compares the
+// incrementally maintained world against a from-scratch
+// GetMaximalScratch over the same subset. Within a clique of G^fd_T
+// the fixpoint's included SET and world tuples are order-insensitive
+// (CanAppend is monotone there), so set equality is the exact
+// correctness contract — inclusion order may differ.
+type walkOracle struct {
+	t      *testing.T
+	d      *possible.DB
+	cg     *fdCompGraph
+	ws     *possible.WorldStack
+	ms     possible.MaximalScratch
+	path   []int // global pending indexes of the current tree path
+	nodes  int
+	maxPer int // stop after this many nodes to bound deep components
+}
+
+func worldKey(w *relation.Overlay) string {
+	var rows []string
+	for _, name := range w.Names() {
+		w.Scan(name, func(tu value.Tuple) bool {
+			rows = append(rows, name+":"+fmt.Sprint(tu))
+			return true
+		})
+	}
+	sort.Strings(rows)
+	return fmt.Sprint(rows)
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func (o *walkOracle) check() bool {
+	subset := append(append([]int(nil), o.cg.universal...), o.path...)
+	refWorld, refInc := o.d.GetMaximalScratch(&o.ms, subset)
+	wantInc := fmt.Sprint(sortedCopy(refInc))
+	gotInc := fmt.Sprint(sortedCopy(o.ws.Included()))
+	if gotInc != wantInc {
+		o.t.Errorf("path %v: included set %s, from-scratch %s", o.path, gotInc, wantInc)
+		return false
+	}
+	if got, want := worldKey(o.ws.World()), worldKey(refWorld); got != want {
+		o.t.Errorf("path %v: world diverged from from-scratch fixpoint", o.path)
+		return false
+	}
+	return true
+}
+
+func (o *walkOracle) Descend(v int) bool {
+	o.ws.Push(o.cg.conflicted[v])
+	o.path = append(o.path, o.cg.conflicted[v])
+	o.nodes++
+	return o.check() && o.nodes < o.maxPer
+}
+
+func (o *walkOracle) Ascend() {
+	o.ws.Pop()
+	o.path = o.path[:len(o.path)-1]
+	if !o.check() {
+		o.nodes = o.maxPer // poison: stop the walk
+	}
+}
+
+func (o *walkOracle) Leaf(r []int) bool { return o.nodes < o.maxPer }
+
+// TestIncrementalWalkAgainstScratch runs the walk oracle over the fd
+// graphs of random databases: every node of the pivoted recursion —
+// descending and after re-ascending — holds exactly the from-scratch
+// maximal world of its path.
+func TestIncrementalWalkAgainstScratch(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		d := bitcoinLikeDB(r)
+		live := liveTransactions(d)
+		if len(live) == 0 {
+			continue
+		}
+		cg := buildFDGraph(d, live)
+		var ws possible.WorldStack
+		ws.Rebase(d, cg.universal)
+		o := &walkOracle{t: t, d: d, cg: cg, ws: &ws, maxPer: 200}
+		if !o.check() {
+			t.Fatalf("seed %d: root world diverged", seed)
+		}
+		if err := graph.MaximalCliquesVisit(context.Background(), cg.g, o); err != nil {
+			t.Fatal(err)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: walk oracle failed", seed)
+		}
+	}
+}
+
+// FuzzIncrementalWorld fuzzes the same property from a raw seed: a
+// random database, a random push/pop walk (not necessarily a clique —
+// the replay contract must hold for arbitrary sequences), and a
+// cross-check of the stack against a fresh replay after every step.
+func FuzzIncrementalWorld(f *testing.F) {
+	f.Add(int64(1), uint64(0x9e3779b97f4a7c15))
+	f.Add(int64(42), uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed int64, walk uint64) {
+		r := rand.New(rand.NewSource(seed))
+		d := bitcoinLikeDB(r)
+		if len(d.Pending) == 0 {
+			return
+		}
+		var ws possible.WorldStack
+		ws.Rebase(d, nil)
+		var pushed []int
+		for i := 0; i < 16; i++ {
+			bit := walk & 3
+			walk >>= 2
+			if bit == 0 && ws.Depth() > 0 {
+				ws.Pop()
+				pushed = pushed[:len(pushed)-1]
+			} else {
+				ti := int(walk % uint64(len(d.Pending)))
+				walk >>= 2
+				ws.Push(ti)
+				pushed = append(pushed, ti)
+			}
+			var ref possible.WorldStack
+			ref.Rebase(d, nil)
+			for _, ti := range pushed {
+				ref.Push(ti)
+			}
+			if got, want := fmt.Sprint(ws.Included()), fmt.Sprint(ref.Included()); got != want {
+				t.Fatalf("step %d pushed %v: included %s, replay %s", i, pushed, got, want)
+			}
+			if got, want := worldKey(ws.World()), worldKey(ref.World()); got != want {
+				t.Fatalf("step %d pushed %v: world diverged from replay", i, pushed)
+			}
+		}
+	})
+}

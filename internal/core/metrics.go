@@ -27,6 +27,14 @@ var (
 	mWorlds     = obs.DefaultWindows.Counter(obs.MetricWorlds, "possible worlds the query was evaluated on")
 	mUndecided  = obs.DefaultWindows.Counter(obs.MetricUndecided, "checks cut short by a deadline or cancellation before reaching a verdict")
 
+	// Incremental world maintenance along the Bron–Kerbosch recursion.
+	// The counters split world evaluations by how the world was obtained;
+	// the histogram records the recursion depth at which each in-place
+	// extension happened — deeper means more shared prefix work per world.
+	mWorldsIncremental = obs.DefaultWindows.Counter(obs.MetricWorldsIncremental, "worlds extended in place along the clique tree (delta re-probe)")
+	mWorldsRebuilt     = obs.DefaultWindows.Counter(obs.MetricWorldsRebuilt, "worlds materialized from scratch (tree roots and fallback yields)")
+	hReuseDepth        = obs.DefaultWindows.Histogram(obs.MetricReuseDepth, "clique-tree depth of each incremental world extension")
+
 	// Incremental verdict cache (Monitor-owned; see incremental.go).
 	// Windowed so "cache hit-rate over the last minute" is computable.
 	mCacheHits        = obs.DefaultWindows.Counter(obs.MetricCacheHits, "components answered from the incremental verdict cache")
@@ -107,6 +115,8 @@ func recordCheckMetrics(res *Result, verdict string) {
 	}
 	mCliques.Add(int64(st.Cliques))
 	mWorlds.Add(int64(st.WorldsEvaluated))
+	mWorldsIncremental.Add(int64(st.WorldsIncremental))
+	mWorldsRebuilt.Add(int64(st.WorldsRebuilt))
 	hCheck.ObserveDuration(st.Duration)
 	if st.PrecheckDur > 0 {
 		hPrecheck.ObserveDuration(st.PrecheckDur)
@@ -225,6 +235,9 @@ func optionsSummary(opts Options) string {
 	}
 	if opts.DisableLiveFilter {
 		parts = append(parts, "livefilter=off")
+	}
+	if opts.DisableIncrementalWorlds {
+		parts = append(parts, "incremental=off")
 	}
 	return strings.Join(parts, " ")
 }

@@ -52,5 +52,8 @@ func (o Options) validate() error {
 	if o.DisableCoverFilter && !(o.Algorithm == AlgoAuto || o.Algorithm == AlgoOpt) {
 		return fmt.Errorf("core: DisableCoverFilter only affects OptDCSat (AlgoAuto/AlgoOpt), not %v", o.Algorithm)
 	}
+	if o.DisableIncrementalWorlds && !cliqueFamily {
+		return fmt.Errorf("core: DisableIncrementalWorlds only affects the clique algorithms (AlgoAuto/AlgoNaive/AlgoOpt), not %v", o.Algorithm)
+	}
 	return nil
 }

@@ -209,19 +209,33 @@ func searchComponentParallel(ctx context.Context, d *possible.DB, q *query.Query
 	branches := graph.CliqueBranches(cg.g, workers*branchesPerWorker)
 	stats.CliqueDur += time.Since(splitStart)
 	if len(branches) <= 1 {
-		return searchComponentGraph(ctx, d, q, cg, env.plan, stats)
+		return searchComponentGraph(ctx, d, q, cg, env, stats)
 	}
 	stats.WorkersUsed = workers
 	var statsMu sync.Mutex
 	o := runDeterministic(ctx, len(branches), workers, stats, &statsMu,
 		func(cctx context.Context, i int, local *Stats) *parOutcome {
 			// Each branch worker owns its cliqueSearch: the shared plan is
-			// read-only, the scratch/overlay state is per-search.
+			// read-only, the scratch/overlay/world-stack state is
+			// per-search. In incremental mode the branch's path prefix is
+			// replayed as Descends, so the worker's world stack starts at
+			// the subtree's root with every prefix world already verified
+			// hit-free (or the walk stops right there with the violation).
 			cs := &cliqueSearch{ctx: cctx, d: d, q: q, comp: cg.conflicted, base: cg.universal, stats: local, plan: env.plan}
 			enumStart := time.Now()
-			ctxErr := graph.MaximalCliquesBranch(cctx, cg.g, branches[i], cs.yield)
+			var ctxErr error
+			if env.incremental {
+				if cs.beginIncremental() {
+					ctxErr = graph.MaximalCliquesBranchVisit(cctx, cg.g, branches[i], cs)
+				}
+			} else {
+				ctxErr = graph.MaximalCliquesBranch(cctx, cg.g, branches[i], cs.yield)
+			}
 			local.CliqueDur += time.Since(enumStart) - cs.evalDur
 			local.EvalDur += cs.evalDur
+			if cs.sc != nil {
+				local.PlanProbes += cs.sc.TotalProbes()
+			}
 			switch {
 			case cs.violated:
 				return &parOutcome{hit: true, witness: cs.witness}

@@ -10,29 +10,32 @@ package obs
 // that everything actually registered appears in the tables below.
 const (
 	// DCSat check pipeline (internal/core).
-	MetricChecks           = "dcsat_checks_total"
-	MetricViolations       = "dcsat_violations_total"
-	MetricPrechecked       = "dcsat_prechecked_total"
-	MetricCliques          = "dcsat_cliques_total"
-	MetricWorlds           = "dcsat_worlds_total"
-	MetricUndecided        = "dcsat_undecided_total"
-	MetricCacheHits        = "dcsat_cache_hits_total"
-	MetricCacheMisses      = "dcsat_cache_misses_total"
-	MetricCacheInvalidated = "dcsat_cache_invalidated_total"
-	MetricCheckNS          = "dcsat_check_ns"
-	MetricPrecheckNS       = "dcsat_precheck_ns"
-	MetricLiveFilterNS     = "dcsat_live_filter_ns"
-	MetricComponentSplitNS = "dcsat_component_split_ns"
-	MetricFDGraphBuildNS   = "dcsat_fd_graph_build_ns"
-	MetricCliqueEnumNS     = "dcsat_clique_enum_ns"
-	MetricWorldEvalNS      = "dcsat_world_eval_ns"
-	MetricChecksBy         = "dcsat_checks_by"
-	MetricChecksByClass    = "dcsat_checks_by_class"
-	MetricCheckNSBy        = "dcsat_check_ns_by"
-	MetricInflightChecks   = "dcsat_inflight_checks"
-	MetricPoolBusy         = "dcsat_pool_workers_busy"
-	MetricPoolUtilization  = "dcsat_pool_utilization_permille"
-	MetricPoolSaturation   = "dcsat_pool_saturation_permille"
+	MetricChecks            = "dcsat_checks_total"
+	MetricViolations        = "dcsat_violations_total"
+	MetricPrechecked        = "dcsat_prechecked_total"
+	MetricCliques           = "dcsat_cliques_total"
+	MetricWorlds            = "dcsat_worlds_total"
+	MetricWorldsIncremental = "dcsat_worlds_incremental"
+	MetricWorldsRebuilt     = "dcsat_worlds_rebuilt"
+	MetricReuseDepth        = "dcsat_reuse_depth"
+	MetricUndecided         = "dcsat_undecided_total"
+	MetricCacheHits         = "dcsat_cache_hits_total"
+	MetricCacheMisses       = "dcsat_cache_misses_total"
+	MetricCacheInvalidated  = "dcsat_cache_invalidated_total"
+	MetricCheckNS           = "dcsat_check_ns"
+	MetricPrecheckNS        = "dcsat_precheck_ns"
+	MetricLiveFilterNS      = "dcsat_live_filter_ns"
+	MetricComponentSplitNS  = "dcsat_component_split_ns"
+	MetricFDGraphBuildNS    = "dcsat_fd_graph_build_ns"
+	MetricCliqueEnumNS      = "dcsat_clique_enum_ns"
+	MetricWorldEvalNS       = "dcsat_world_eval_ns"
+	MetricChecksBy          = "dcsat_checks_by"
+	MetricChecksByClass     = "dcsat_checks_by_class"
+	MetricCheckNSBy         = "dcsat_check_ns_by"
+	MetricInflightChecks    = "dcsat_inflight_checks"
+	MetricPoolBusy          = "dcsat_pool_workers_busy"
+	MetricPoolUtilization   = "dcsat_pool_utilization_permille"
+	MetricPoolSaturation    = "dcsat_pool_saturation_permille"
 
 	// Monitor persistent graphs and the per-query delta sweep
 	// (internal/core monitor.go / sweep.go).
@@ -128,7 +131,8 @@ const (
 // register into Default.
 var knownMetricNames = []string{
 	MetricChecks, MetricViolations, MetricPrechecked, MetricCliques,
-	MetricWorlds, MetricUndecided, MetricCacheHits, MetricCacheMisses,
+	MetricWorlds, MetricWorldsIncremental, MetricWorldsRebuilt,
+	MetricReuseDepth, MetricUndecided, MetricCacheHits, MetricCacheMisses,
 	MetricCacheInvalidated, MetricCheckNS, MetricPrecheckNS,
 	MetricLiveFilterNS, MetricComponentSplitNS, MetricFDGraphBuildNS,
 	MetricCliqueEnumNS, MetricWorldEvalNS, MetricChecksBy,

@@ -63,21 +63,13 @@ func (d *DB) CanAppend(world relation.View, tx *relation.Transaction) bool {
 	return d.Constraints.CanAppend(world, tx)
 }
 
-// GetMaximal computes the unique maximal possible world over the
-// transaction subset given by indexes into Pending — the paper's
-// getMaximal: repeatedly append any transaction whose addition
-// preserves the constraints, until a fixpoint. It returns the world as
-// an overlay over the state and the indexes actually included, in
-// inclusion order.
-//
-// For subsets that are pairwise fd-consistent (cliques of G^fd_T) the
-// result is the maximal possible world of (R, I, T'); for arbitrary
-// subsets it is still a valid possible world, just not necessarily one
-// containing every member of the subset.
-func (d *DB) GetMaximal(subset []int) (*relation.Overlay, []int) {
-	world := relation.NewOverlay(d.State)
-	remaining := append([]int(nil), subset...)
-	var included []int
+// appendFixpoint is the one getMaximal fixpoint in the package:
+// repeatedly append any remaining transaction whose addition preserves
+// the constraints, until a round makes no progress or nothing remains.
+// It mutates world in place, compacts remaining, appends to included,
+// and returns both updated slices. GetMaximal, GetMaximalScratch, and
+// WorldStack all run their rounds through it.
+func (d *DB) appendFixpoint(world *relation.Overlay, remaining, included []int) ([]int, []int) {
 	for {
 		progressed := false
 		next := remaining[:0]
@@ -93,9 +85,27 @@ func (d *DB) GetMaximal(subset []int) (*relation.Overlay, []int) {
 		}
 		remaining = next
 		if !progressed || len(remaining) == 0 {
-			return world, included
+			return remaining, included
 		}
 	}
+}
+
+// GetMaximal computes the unique maximal possible world over the
+// transaction subset given by indexes into Pending — the paper's
+// getMaximal: repeatedly append any transaction whose addition
+// preserves the constraints, until a fixpoint. It returns the world as
+// an overlay over the state and the indexes actually included, in
+// inclusion order. It is a thin allocating wrapper over
+// GetMaximalScratch; hot loops should hold a scratch instead.
+//
+// For subsets that are pairwise fd-consistent (cliques of G^fd_T) the
+// result is the maximal possible world of (R, I, T'); for arbitrary
+// subsets it is still a valid possible world, just not necessarily one
+// containing every member of the subset.
+func (d *DB) GetMaximal(subset []int) (*relation.Overlay, []int) {
+	var ms MaximalScratch
+	world, included := d.GetMaximalScratch(&ms, subset)
+	return world, append([]int(nil), included...)
 }
 
 // MaximalScratch holds the reusable allocations of GetMaximalScratch:
@@ -123,25 +133,8 @@ func (d *DB) GetMaximalScratch(ms *MaximalScratch, subset []int) (*relation.Over
 	world := ms.world
 	remaining := append(ms.remaining[:0], subset...)
 	included := ms.included[:0]
-	for {
-		progressed := false
-		next := remaining[:0]
-		for _, ti := range remaining {
-			tx := d.Pending[ti]
-			if d.Constraints.CanAppend(world, tx) {
-				world.Add(tx)
-				included = append(included, ti)
-				progressed = true
-			} else {
-				next = append(next, ti)
-			}
-		}
-		remaining = next
-		if !progressed || len(remaining) == 0 {
-			ms.remaining, ms.included = remaining, included
-			return world, included
-		}
-	}
+	ms.remaining, ms.included = d.appendFixpoint(world, remaining, included)
+	return world, ms.included
 }
 
 // IsReachable implements Proposition 1 for a chosen transaction subset:

@@ -1,0 +1,109 @@
+package query
+
+import (
+	"fmt"
+
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// This file implements delta re-evaluation for the incremental world
+// maintenance in internal/core: when a world grows monotonically (the
+// clique search pushes one more transaction and its fixpoint closure),
+// a positive non-aggregate query that was unsatisfied on the old world
+// is satisfied on the new one iff some assignment uses at least one of
+// the delta tuples. EvalDelta decomposes that condition as an OR over
+// plan steps — for each step d it runs the plan with step d windowed to
+// the delta, steps before d windowed below the delta floor, and steps
+// after d unwindowed — so every candidate assignment is enumerated from
+// a delta tuple at its first delta position and none is enumerated
+// twice.
+
+// Window modes for one plan step during a delta run. winFull is the
+// zero value so plain Eval runs need no window setup at all.
+const (
+	winFull  uint8 = iota // probe the whole view
+	winBelow              // probe base + extra tuples with position < floor
+	winFrom               // probe only extra tuples with position >= floor
+)
+
+// DeltaView is the view contract EvalDelta needs: the plain View probes
+// plus position-windowed variants that split each relation's overlay
+// extras at a floor captured before the delta was applied.
+// *relation.Overlay is the canonical implementation; its windows are
+// documented in internal/relation/window.go.
+type DeltaView interface {
+	relation.View
+	// ExtraCount returns the number of overlay-extra tuples currently in
+	// the relation; capturing it before a mutation yields the floor the
+	// windowed probes split at.
+	ExtraCount(rel string) int
+	ScanBelow(rel string, floor int, f func(value.Tuple) bool) bool
+	ScanFrom(rel string, floor int, f func(value.Tuple) bool) bool
+	LookupKeyBelow(rel string, cols []int, projKey []byte, floor int, f func(value.Tuple) bool) bool
+	LookupKeyFrom(rel string, cols []int, projKey []byte, floor int, f func(value.Tuple) bool) bool
+}
+
+var _ DeltaView = (*relation.Overlay)(nil)
+
+// EvalDelta reports whether the plan is satisfied on the view given
+// that it was NOT satisfied on the same view as it stood at the floors:
+// floors[i] is the ExtraCount of plan.RelNames()[i] captured before the
+// delta tuples were added. It only ever enumerates assignments touching
+// the delta, so its cost is proportional to the delta's matches, not
+// the world's.
+//
+// Soundness requires the caller to guarantee (a) the query is positive
+// and non-aggregate (SupportsDelta), so satisfaction is monotone in the
+// view, and (b) the pre-delta view was hit-free — otherwise the old
+// assignment is simply not found and a false negative results. Callers
+// that cannot guarantee (b) must fall back to Eval.
+func (p *Plan) EvalDelta(v DeltaView, sc *Scratch, floors []int) (bool, error) {
+	if !p.deltaOK {
+		return false, fmt.Errorf("query: EvalDelta on a plan with aggregates or negation")
+	}
+	if len(floors) != len(p.relNames) {
+		return false, fmt.Errorf("query: EvalDelta got %d floors for %d relations", len(floors), len(p.relNames))
+	}
+	n := len(p.steps)
+	if cap(sc.winModes) >= n {
+		sc.winModes = sc.winModes[:n]
+		sc.winFloors = sc.winFloors[:n]
+	} else {
+		sc.winModes = make([]uint8, n)
+		sc.winFloors = make([]int, n)
+	}
+	found := false
+	sc.prepare(p, v, false, func() bool {
+		found = true
+		return false
+	})
+	sc.dv = v
+	// OR over the position of the first delta tuple in the assignment:
+	// steps before d see the pre-delta overlay (base plus extras below
+	// the floor), step d sees only the delta, steps after d see
+	// everything. A step whose relation gained no extras cannot host the
+	// first delta tuple and is skipped outright.
+	for d := 0; d < n && !found; d++ {
+		ri := p.stepRelIdx[d]
+		if v.ExtraCount(p.relNames[ri]) == floors[ri] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			rj := p.stepRelIdx[i]
+			switch {
+			case i < d:
+				sc.winModes[i] = winBelow
+				sc.winFloors[i] = floors[rj]
+			case i == d:
+				sc.winModes[i] = winFrom
+				sc.winFloors[i] = floors[rj]
+			default:
+				sc.winModes[i] = winFull
+			}
+		}
+		sc.run()
+	}
+	sc.finish()
+	return found, nil
+}

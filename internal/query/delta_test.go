@@ -1,0 +1,165 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockchaindb/internal/relation"
+	"blockchaindb/internal/value"
+)
+
+// randomPositiveQuery derives a delta-eligible query from the package's
+// random generator: aggregates and negated atoms are stripped, which is
+// exactly the SupportsDelta fragment.
+func randomPositiveQuery(r *rand.Rand) *Query {
+	q := randomQuery(r)
+	q.Agg = nil
+	atoms := q.Atoms[:0]
+	for _, a := range q.Atoms {
+		if !a.Negated {
+			atoms = append(atoms, a)
+		}
+	}
+	q.Atoms = atoms
+	if err := q.Validate(); err != nil {
+		return MustParse("q() :- R(x, y)")
+	}
+	return q
+}
+
+// randomTx builds one random transaction over R/S, the delta unit.
+func randomTx(r *rand.Rand) *relation.Transaction {
+	tx := relation.NewTransaction("T")
+	for j, n := 0, 1+r.Intn(3); j < n; j++ {
+		tx.Add("R", value.NewTuple(value.Int(int64(r.Intn(3))), value.Int(int64(r.Intn(3)))))
+	}
+	if r.Intn(2) == 0 {
+		tx.Add("S", value.NewTuple(value.Int(int64(r.Intn(3)))))
+	}
+	return tx
+}
+
+// TestEvalDeltaAgainstFull is the delta-evaluation property test: grow
+// a random overlay in stages and at each stage capture the floors, add
+// the delta, and compare EvalDelta against a full Eval. Two properties
+// are pinned:
+//
+//  1. Soundness, unconditionally: EvalDelta true implies Eval true (its
+//     windows only ever see subsets of the view).
+//  2. Completeness, under the documented precondition: when the
+//     pre-delta view was hit-free, EvalDelta equals Eval exactly.
+func TestEvalDeltaAgainstFull(t *testing.T) {
+	for seed := int64(0); seed < 600; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := randomState(r)
+		q := randomPositiveQuery(r)
+		o := relation.NewOverlay(s)
+		for i, n := 0, r.Intn(2); i < n; i++ {
+			o.Add(randomTx(r))
+		}
+		p, err := Compile(q, o)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if !p.SupportsDelta() {
+			t.Fatalf("seed %d: positive non-aggregate query rejected by SupportsDelta: %s", seed, q)
+		}
+		sc := NewScratch()
+		for stage := 0; stage < 3; stage++ {
+			preHit, err := p.Eval(o, sc)
+			if err != nil {
+				t.Fatalf("seed %d: eval: %v", seed, err)
+			}
+			floors := make([]int, len(p.RelNames()))
+			for i, rel := range p.RelNames() {
+				floors[i] = o.ExtraCount(rel)
+			}
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				o.Add(randomTx(r))
+			}
+			got, err := p.EvalDelta(o, sc, floors)
+			if err != nil {
+				t.Fatalf("seed %d: EvalDelta: %v", seed, err)
+			}
+			want, err := p.Eval(o, sc)
+			if err != nil {
+				t.Fatalf("seed %d: eval: %v", seed, err)
+			}
+			if got && !want {
+				t.Fatalf("seed %d stage %d: EvalDelta=true but Eval=false on %s", seed, stage, q)
+			}
+			if !preHit && got != want {
+				t.Fatalf("seed %d stage %d: pre-delta hit-free, EvalDelta=%v Eval=%v on %s", seed, stage, got, want, q)
+			}
+		}
+	}
+}
+
+// TestEvalDeltaInterleavesPlainEval: a scratch alternating between
+// EvalDelta and plain Eval must not leak window state into the plain
+// runs (sc.dv is cleared by finish).
+func TestEvalDeltaInterleavesPlainEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := randomState(r)
+	q := MustParse("q() :- R(x, y), S(y)")
+	o := relation.NewOverlay(s)
+	p, err := Compile(q, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	for i := 0; i < 20; i++ {
+		floors := make([]int, len(p.RelNames()))
+		for j, rel := range p.RelNames() {
+			floors[j] = o.ExtraCount(rel)
+		}
+		o.Add(randomTx(r))
+		if _, err := p.EvalDelta(o, sc, floors); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Eval(o, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EvalReference(q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iteration %d: plain Eval diverged after EvalDelta: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestEvalDeltaRejectsUnsupported: aggregate and negated queries must
+// be refused, and a floors slice of the wrong shape is an error.
+func TestEvalDeltaRejectsUnsupported(t *testing.T) {
+	s := relation.NewState()
+	s.MustAddSchema(relation.NewSchema("R", "a:int", "b:int"))
+	s.MustAddSchema(relation.NewSchema("S", "b:int"))
+	o := relation.NewOverlay(s)
+	sc := NewScratch()
+	for _, src := range []string{
+		"q() :- R(x, y), not S(y)",
+		"q(count()) > 1 :- R(x, y)",
+	} {
+		q := MustParse(src)
+		p, err := Compile(q, o)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if p.SupportsDelta() {
+			t.Errorf("%s: SupportsDelta = true", src)
+		}
+		if _, err := p.EvalDelta(o, sc, make([]int, len(p.RelNames()))); err == nil {
+			t.Errorf("%s: EvalDelta accepted an unsupported plan", src)
+		}
+	}
+	p, err := Compile(MustParse("q() :- R(x, y)"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EvalDelta(o, sc, make([]int, 5)); err == nil {
+		t.Error("EvalDelta accepted a mis-shaped floors slice")
+	}
+}

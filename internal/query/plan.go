@@ -73,15 +73,17 @@ type planStep struct {
 // Plan is a compiled query. Plans are immutable after Compile and safe
 // for concurrent use; per-evaluation state lives in a Scratch.
 type Plan struct {
-	q         *Query
-	relNames  []string // distinct relations referenced, any order
-	schemas   []*relation.Schema
-	slotNames []string // slot -> variable name
-	slotOf    map[string]int
-	steps     []planStep
-	preNegs   []compiledNeg // ground negations, tested once per run
-	headSlots []int         // HeadVars -> slots (-1 if unbound)
-	aggSlots  []int         // Agg.Vars -> slots (-1 if unbound)
+	q          *Query
+	relNames   []string // distinct relations referenced, any order
+	schemas    []*relation.Schema
+	slotNames  []string // slot -> variable name
+	slotOf     map[string]int
+	steps      []planStep
+	stepRelIdx []int         // per step: index of its relation in relNames
+	preNegs    []compiledNeg // ground negations, tested once per run
+	headSlots  []int         // HeadVars -> slots (-1 if unbound)
+	aggSlots   []int         // Agg.Vars -> slots (-1 if unbound)
+	deltaOK    bool          // EvalDelta applies: no aggregate, no negation
 
 	// unsatCmp: a comparison references a variable no positive atom
 	// binds, or a constant comparison is false — no assignment can ever
@@ -144,14 +146,15 @@ func Compile(q *Query, v relation.View) (*Plan, error) {
 		return nil, err
 	}
 	p := &Plan{q: q, slotOf: make(map[string]int)}
-	seenRel := make(map[string]bool)
+	relIdx := make(map[string]int)
 	for _, a := range q.Atoms {
-		if !seenRel[a.Rel] {
-			seenRel[a.Rel] = true
+		if _, ok := relIdx[a.Rel]; !ok {
+			relIdx[a.Rel] = len(p.relNames)
 			p.relNames = append(p.relNames, a.Rel)
 			p.schemas = append(p.schemas, v.Schema(a.Rel))
 		}
 	}
+	p.deltaOK = q.Agg == nil && len(q.Negatives()) == 0
 	slot := func(name string) int {
 		s, ok := p.slotOf[name]
 		if !ok {
@@ -191,6 +194,7 @@ func Compile(q *Query, v relation.View) (*Plan, error) {
 			st.outSlots = append(st.outSlots, slotCol{col: i, slot: slot(t.Var)})
 		}
 		p.steps = append(p.steps, st)
+		p.stepRelIdx = append(p.stepRelIdx, relIdx[a.Rel])
 	}
 
 	// Push each comparison down to the earliest depth where both sides
@@ -300,6 +304,16 @@ func Compile(q *Query, v relation.View) (*Plan, error) {
 // Query returns the compiled query.
 func (p *Plan) Query() *Query { return p.q }
 
+// RelNames returns the distinct relations the plan probes, in the order
+// EvalDelta's floors slice must follow. Callers must not mutate it.
+func (p *Plan) RelNames() []string { return p.relNames }
+
+// SupportsDelta reports whether EvalDelta is sound for this plan: the
+// query has no aggregate and no negated atoms, so satisfaction is
+// monotone in the view and a new satisfying assignment must touch at
+// least one delta tuple.
+func (p *Plan) SupportsDelta() bool { return p.deltaOK }
+
 // valid reports whether the plan's schema snapshot matches the view.
 // Schema pointers are stable across State.Clone and Overlay
 // construction, so a plan compiled against a Monitor's state remains
@@ -359,6 +373,13 @@ type Scratch struct {
 	skipNeg bool
 	proj    value.Tuple // aggregate projection, reused across assignments
 
+	// Delta-evaluation window state (see delta.go). dv is nil for plain
+	// Eval runs, keeping the windowed dispatch to a single pointer check
+	// on the hot path. winModes/winFloors are per-depth.
+	dv        DeltaView
+	winModes  []uint8
+	winFloors []int
+
 	// Local instrument counts, flushed once per run.
 	lookups int64
 	scans   int64
@@ -405,6 +426,7 @@ func (sc *Scratch) finish() {
 	sc.totalProbes += sc.probes
 	sc.lookups, sc.scans, sc.probes = 0, 0, 0
 	sc.plan, sc.view, sc.yield = nil, nil, nil
+	sc.dv = nil
 }
 
 // run enumerates satisfying assignments, invoking the prepared yield
@@ -435,6 +457,14 @@ func (sc *Scratch) step(depth int) bool {
 	st := &p.steps[depth]
 	if len(st.boundCols) == 0 {
 		sc.scans++
+		if sc.dv != nil {
+			switch sc.winModes[depth] {
+			case winBelow:
+				return sc.dv.ScanBelow(st.rel, sc.winFloors[depth], sc.try[depth])
+			case winFrom:
+				return sc.dv.ScanFrom(st.rel, sc.winFloors[depth], sc.try[depth])
+			}
+		}
 		return sc.view.Scan(st.rel, sc.try[depth])
 	}
 	sc.lookups++
@@ -456,6 +486,14 @@ func (sc *Scratch) step(depth int) bool {
 		buf = v.AppendKey(buf)
 	}
 	sc.keyBufs[depth] = buf
+	if sc.dv != nil {
+		switch sc.winModes[depth] {
+		case winBelow:
+			return sc.dv.LookupKeyBelow(st.rel, st.boundCols, buf, sc.winFloors[depth], sc.try[depth])
+		case winFrom:
+			return sc.dv.LookupKeyFrom(st.rel, st.boundCols, buf, sc.winFloors[depth], sc.try[depth])
+		}
+	}
 	return sc.view.LookupKey(st.rel, st.boundCols, buf, sc.try[depth])
 }
 

@@ -201,6 +201,79 @@ func (r *Relation) Scan(f func(value.Tuple) bool) bool {
 	return true
 }
 
+// ScanRange iterates the tuples at positions [lo, hi) in insertion
+// order; f returning false stops early. It reports whether iteration
+// ran to completion. Out-of-range bounds are clamped. Together with
+// Truncate this is what lets an overlay expose "tuples before/after an
+// undo mark" windows without copying anything.
+func (r *Relation) ScanRange(lo, hi int, f func(value.Tuple) bool) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.tuples) {
+		hi = len(r.tuples)
+	}
+	for ; lo < hi; lo++ {
+		if !f(r.tuples[lo]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupTuplesKeyRange is LookupTuplesKey restricted to tuples at
+// positions [lo, hi). Index buckets hold positions in ascending order,
+// so the probe skips the below-window prefix and stops at the first
+// position past the window.
+func (r *Relation) LookupTuplesKeyRange(cols []int, projKey []byte, lo, hi int, f func(value.Tuple) bool) bool {
+	idx := r.indexFor(cols)
+	for _, pos := range idx.buckets[string(projKey)] {
+		if pos < lo {
+			continue
+		}
+		if pos >= hi {
+			break
+		}
+		if !f(r.tuples[pos]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Truncate removes the tuples at positions n and above — the exact
+// inverse of the inserts that appended them, undoing key-map entries
+// and index postings as well. The cost is O(tuples removed × indexes),
+// independent of the relation's size, which is what makes popping a
+// transaction off an overlay's undo log cheap. Callers must exclude
+// concurrent readers, as with Insert.
+func (r *Relation) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(r.tuples) {
+		return
+	}
+	r.idxMu.Lock()
+	for _, idx := range r.idxList {
+		// Walk positions high-to-low: a bucket's positions ascend, and
+		// the highest live position overall is necessarily its bucket's
+		// tail, so each removal pops a tail.
+		for pos := len(r.tuples) - 1; pos >= n; pos-- {
+			r.keyBuf = r.tuples[pos].AppendProjectKey(r.keyBuf[:0], idx.cols)
+			b := idx.buckets[string(r.keyBuf)]
+			idx.buckets[string(r.keyBuf)] = b[:len(b)-1]
+		}
+	}
+	r.idxMu.Unlock()
+	for pos := len(r.tuples) - 1; pos >= n; pos-- {
+		r.keyBuf = r.tuples[pos].AppendKey(r.keyBuf[:0])
+		delete(r.byKey, string(r.keyBuf))
+		r.tuples[pos] = nil // release the tuple for GC
+	}
+	r.tuples = r.tuples[:n]
+}
+
 // Clear removes every tuple while keeping the schema, the key map's
 // allocated buckets, and any built indexes (emptied in place), so a
 // pooled relation refills without re-allocating its bookkeeping.

@@ -1,0 +1,97 @@
+package relation
+
+import "blockchaindb/internal/value"
+
+// This file is the overlay's undo log and its windowed read API — the
+// relation-layer half of the incremental world evaluation along the
+// Bron–Kerbosch recursion (see possible.WorldStack and DESIGN.md §15).
+//
+// An overlay mark is a snapshot of the extra state's per-relation
+// tuple counts. Because Add only ever appends (set semantics drops
+// duplicates, it never reorders), restoring a mark is a truncation:
+// every relation cut back to its marked length, at a cost proportional
+// to the tuples added since the mark — never to the world's size. Marks
+// are strictly LIFO: popping to a mark invalidates every mark taken
+// after it.
+//
+// The window probes split the same positional structure the other way:
+// "below floor" is the overlay as it stood when the floor was recorded
+// (base plus the first floor extra tuples), "from floor" is exactly the
+// delta added since. query.Plan's delta re-probing uses them to pin
+// join steps to old or new tuples.
+
+// ExtraCount returns the number of overlay-only tuples of rel — the
+// per-relation coordinate of a mark, and the floor value for the
+// windowed probes.
+func (o *Overlay) ExtraCount(rel string) int { return o.extra.Count(rel) }
+
+// MarkLen returns the number of ints one mark occupies (one per
+// relation); callers that pack marks into a shared backing slice size
+// frames with it.
+func (o *Overlay) MarkLen() int { return len(o.extra.names) }
+
+// AppendMark appends the overlay's current undo mark — the extra-tuple
+// count of every relation, in Names order — to buf and returns the
+// extended slice. The mark is only meaningful against this overlay,
+// and only until a PopToMark of an earlier mark.
+func (o *Overlay) AppendMark(buf []int) []int {
+	for _, name := range o.extra.names {
+		buf = append(buf, o.extra.rels[name].Len())
+	}
+	return buf
+}
+
+// PopToMark undoes every Add since the matching AppendMark, truncating
+// each extra relation to its marked length. mark must be the MarkLen
+// ints AppendMark produced, and marks must be popped LIFO. Callers
+// must exclude concurrent readers, as with Add.
+func (o *Overlay) PopToMark(mark []int) {
+	for i, name := range o.extra.names {
+		o.extra.rels[name].Truncate(mark[i])
+	}
+}
+
+// ScanBelow scans the pre-floor window: every base tuple, then the
+// first floor overlay tuples of rel — the overlay exactly as it stood
+// when the floor was recorded.
+func (o *Overlay) ScanBelow(rel string, floor int, f func(value.Tuple) bool) bool {
+	if !o.base.Scan(rel, f) {
+		return false
+	}
+	r := o.extra.rels[rel]
+	if r == nil {
+		return true
+	}
+	return r.ScanRange(0, floor, f)
+}
+
+// ScanFrom scans the delta window only: overlay tuples of rel at
+// positions floor and above. Base tuples are never part of a delta.
+func (o *Overlay) ScanFrom(rel string, floor int, f func(value.Tuple) bool) bool {
+	r := o.extra.rels[rel]
+	if r == nil {
+		return true
+	}
+	return r.ScanRange(floor, r.Len(), f)
+}
+
+// LookupKeyBelow is LookupKey restricted to the pre-floor window.
+func (o *Overlay) LookupKeyBelow(rel string, cols []int, projKey []byte, floor int, f func(value.Tuple) bool) bool {
+	if !o.base.LookupKey(rel, cols, projKey, f) {
+		return false
+	}
+	r := o.extra.rels[rel]
+	if r == nil {
+		return true
+	}
+	return r.LookupTuplesKeyRange(cols, projKey, 0, floor, f)
+}
+
+// LookupKeyFrom is LookupKey restricted to the delta window.
+func (o *Overlay) LookupKeyFrom(rel string, cols []int, projKey []byte, floor int, f func(value.Tuple) bool) bool {
+	r := o.extra.rels[rel]
+	if r == nil {
+		return true
+	}
+	return r.LookupTuplesKeyRange(cols, projKey, floor, r.Len(), f)
+}
